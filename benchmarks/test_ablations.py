@@ -1,0 +1,183 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+1. two-kernel split vs fused conditional kernel (paper §II-C);
+2. boundary-index gather/scatter vs full-volume masked boundary update;
+3. coalescing sensitivity of the boundary kernel (contiguity sweep);
+4. constant-memory coefficient tables vs kernel arguments (§VII-B1);
+5. workgroup-size autotuning vs a fixed workgroup.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from conftest import SCALE, write_artifact
+
+from repro.acoustics import kernels_numpy as kn
+from repro.bench.harness import kernel_resources, modelled_time
+from repro.bench.rooms import room_bundle
+from repro.gpu.autotune import autotune_workgroup
+from repro.gpu.costmodel import (HANDWRITTEN_TRAITS, LIFT_TRAITS,
+                                 kernel_time, sector_bytes_per_item)
+from repro.gpu.device import NVIDIA_TITAN_BLACK
+
+
+# --- 1. fused vs two-kernel ----------------------------------------------------------
+
+class TestFusedVsTwoKernel:
+    def test_model_prefers_split_for_boundary_heavy_rooms(self):
+        """The split removes divergence from the hot volume loop; the
+        boundary pass touches only K << N points.  Modelled total time of
+        the split must not exceed the fused kernel's by more than the
+        boundary pass itself."""
+        b = room_bundle("302", "box", SCALE)
+        fused = modelled_time("fi_fused", "double", "OpenCL",
+                              NVIDIA_TITAN_BLACK, b)
+        vol = modelled_time("volume", "double", "OpenCL",
+                            NVIDIA_TITAN_BLACK, b)
+        bnd = modelled_time("fi_mm", "double", "OpenCL",
+                            NVIDIA_TITAN_BLACK, b)
+        split_total = vol.time_ms + bnd.time_ms
+        assert split_total < fused.time_ms * 1.5
+        art = io.StringIO()
+        print("ablation 1 — fused vs two-kernel (TitanBlack, double, "
+              f"box-302/{SCALE}):", file=art)
+        print(f"  fused:      {fused.time_ms:8.4f} ms", file=art)
+        print(f"  volume:     {vol.time_ms:8.4f} ms", file=art)
+        print(f"  boundary:   {bnd.time_ms:8.4f} ms", file=art)
+        print(f"  split sum:  {split_total:8.4f} ms", file=art)
+        write_artifact("ablation1_fused_vs_split.txt", art.getvalue())
+
+    def test_bench_fused(self, benchmark, box_problem):
+        p = box_problem
+        benchmark(kn.fi_fused_step, p.prev[:p.N], p.curr[:p.N],
+                  p.nxt[:p.N], p.topo.nbrs, p.grid.shape, p.grid.courant,
+                  0.3)
+
+    def test_bench_two_kernel(self, benchmark, box_problem):
+        p = box_problem
+
+        def step():
+            kn.volume_step(p.prev[:p.N], p.curr[:p.N], p.nxt[:p.N],
+                           p.topo.nbrs, p.grid.shape, p.grid.courant)
+            kn.fi_boundary(p.nxt[:p.N], p.prev[:p.N],
+                           p.topo.boundary_indices, p.topo.nbrs,
+                           p.grid.courant, 0.3)
+
+        benchmark(step)
+
+
+# --- 2. gather/scatter vs masked full-volume update -------------------------------------
+
+def _masked_boundary_update(nxt, prev, nbrs, beta_arr, material_full, lam):
+    """The ablation alternative: update *every* grid point, masking
+    non-boundary points — no boundaryIndices structure needed, but the
+    kernel touches N points instead of K."""
+    is_boundary = (nbrs >= 1) & (nbrs <= 5)
+    cf = 0.5 * lam * (6 - nbrs) * beta_arr[material_full]
+    upd = (nxt + cf * prev) / (1.0 + cf)
+    np.copyto(nxt, np.where(is_boundary, upd, nxt))
+    return nxt
+
+
+class TestGatherVsMasked:
+    def test_equivalent_results(self, box_problem):
+        p = box_problem
+        t = p.topo
+        material_full = np.zeros(p.N, dtype=np.int32)
+        material_full[t.boundary_indices] = t.material
+        a = p.nxt[:p.N].copy()
+        kn.fi_mm_boundary(a, p.prev[:p.N], t.boundary_indices, t.nbrs,
+                          t.material, p.fi_table.beta, p.grid.courant)
+        b = p.nxt[:p.N].copy()
+        _masked_boundary_update(b, p.prev[:p.N], t.nbrs, p.fi_table.beta,
+                                material_full, p.grid.courant)
+        np.testing.assert_allclose(a, b, atol=1e-13)
+
+    def test_bench_gather(self, benchmark, box_problem):
+        p = box_problem
+        t = p.topo
+        benchmark(kn.fi_mm_boundary, p.nxt[:p.N], p.prev[:p.N],
+                  t.boundary_indices, t.nbrs, t.material, p.fi_table.beta,
+                  p.grid.courant)
+
+    def test_bench_masked(self, benchmark, box_problem):
+        p = box_problem
+        t = p.topo
+        material_full = np.zeros(p.N, dtype=np.int32)
+        material_full[t.boundary_indices] = t.material
+        benchmark(_masked_boundary_update, p.nxt[:p.N], p.prev[:p.N],
+                  t.nbrs, p.fi_table.beta, material_full, p.grid.courant)
+
+
+# --- 3. coalescing sensitivity ------------------------------------------------------------
+
+class TestCoalescingSensitivity:
+    def test_throughput_degrades_with_shuffling(self):
+        """Randomising an increasing fraction of the boundary indices must
+        monotonically slow the modelled boundary kernel — the mechanism
+        behind box > dome > (uniform box) in the paper."""
+        b = room_bundle("302", "box", SCALE)
+        res = kernel_resources("fi_mm", "double")
+        rng = np.random.default_rng(0)
+        times = []
+        art = io.StringIO()
+        print("ablation 3 — coalescing sensitivity "
+              f"(box-302/{SCALE}, TitanBlack, double):", file=art)
+        for frac in (0.0, 0.25, 0.5, 1.0):
+            idx = b.boundary_indices.copy().astype(np.int64)
+            n_shuffle = int(frac * idx.size)
+            if n_shuffle:
+                take = rng.choice(idx.size, n_shuffle, replace=False)
+                idx[take] = rng.choice(b.num_points, n_shuffle,
+                                       replace=False)
+            t = kernel_time(res, idx.size, NVIDIA_TITAN_BLACK, "double",
+                            LIFT_TRAITS, np.sort(idx))
+            times.append(t.time_ms)
+            sb = sector_bytes_per_item(np.sort(idx), 8, 32)
+            print(f"  shuffled {frac:4.0%}: {t.time_ms:8.4f} ms "
+                  f"({sb:5.1f} B/gather)", file=art)
+        write_artifact("ablation3_coalescing.txt", art.getvalue())
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+
+# --- 4. constant tables vs kernel arguments ------------------------------------------------
+
+class TestConstantTableAblation:
+    def test_nvidia_double_gap(self):
+        b = room_bundle("302", "box", SCALE)
+        lift = modelled_time("fi_mm", "double", "LIFT",
+                             NVIDIA_TITAN_BLACK, b)
+        hand = modelled_time("fi_mm", "double", "OpenCL",
+                             NVIDIA_TITAN_BLACK, b)
+        assert lift.time_ms > hand.time_ms
+        write_artifact("ablation4_constant_table.txt", (
+            "ablation 4 — coefficient table placement "
+            f"(TitanBlack, double, box-302/{SCALE}):\n"
+            f"  constant memory (handwritten): {hand.time_ms:.4f} ms\n"
+            f"  kernel argument (LIFT):        {lift.time_ms:.4f} ms\n"
+            f"  slowdown: {lift.time_ms / hand.time_ms:.2f}x "
+            "(the paper's §VII-B1 discrepancy)\n"))
+
+
+# --- 5. autotuning -------------------------------------------------------------------------
+
+class TestAutotuneAblation:
+    def test_autotuned_beats_untuned_extremes(self):
+        b = room_bundle("302", "box", SCALE)
+        res = kernel_resources("fd_mm", "double")
+        best = autotune_workgroup(res, b.num_boundary_points,
+                                  NVIDIA_TITAN_BLACK, "double",
+                                  LIFT_TRAITS, b.boundary_indices)
+        worst = max(
+            kernel_time(res, b.num_boundary_points, NVIDIA_TITAN_BLACK,
+                        "double", LIFT_TRAITS, b.boundary_indices,
+                        workgroup=wg).time_ms
+            for wg in (32, 1024))
+        assert best.time_ms < worst
+        write_artifact("ablation5_autotune.txt", (
+            "ablation 5 — workgroup autotuning "
+            f"(FD-MM double, box-302/{SCALE}, TitanBlack):\n"
+            f"  autotuned (wg={best.workgroup}): {best.time_ms:.4f} ms\n"
+            f"  worst fixed workgroup:           {worst:.4f} ms\n"))

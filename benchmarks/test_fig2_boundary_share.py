@@ -1,0 +1,71 @@
+"""Figure 2: boundary handling share of total computation time.
+
+Regenerates the paper's bar chart from the modelled two-kernel times and
+benchmarks a full simulation step (volume + boundary) of both schemes to
+measure the share on the real NumPy backend too.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import SCALE, write_artifact
+
+from repro.acoustics import kernels_numpy as kn
+from repro.bench.report import render_fig2
+
+
+def test_fig2_artifact():
+    write_artifact("fig2_boundary_share.txt", render_fig2(SCALE))
+
+
+def _step(p, scheme):
+    g = p.grid
+    t = p.topo
+    kn.volume_step(p.prev[:p.N], p.curr[:p.N], p.nxt[:p.N], t.nbrs,
+                   g.shape, g.courant)
+    if scheme == "fi_mm":
+        kn.fi_mm_boundary(p.nxt[:p.N], p.prev[:p.N], t.boundary_indices,
+                          t.nbrs, t.material, p.fi_table.beta, g.courant)
+    else:
+        kn.fd_mm_boundary(p.nxt[:p.N], p.prev[:p.N], t.boundary_indices,
+                          t.nbrs, t.material, p.fd_table.beta,
+                          p.fd_table.BI, p.fd_table.DI, p.fd_table.F,
+                          p.fd_table.D, p.g1, p.v1, p.v2, g.courant)
+
+
+@pytest.mark.parametrize("scheme", ["fi_mm", "fd_mm"])
+def test_bench_two_kernel_step(benchmark, scheme, box_problem):
+    benchmark(_step, box_problem, scheme)
+
+
+def test_measured_share_fd_exceeds_fi(box_problem):
+    """On the real backend too, FD-MM boundary handling consumes a larger
+    share of the step than FI-MM (the paper's §II-F motivation)."""
+    p = box_problem
+    g = p.grid
+    t = p.topo
+
+    def timed(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_vol = timed(lambda: kn.volume_step(
+        p.prev[:p.N], p.curr[:p.N], p.nxt[:p.N], t.nbrs, g.shape,
+        g.courant))
+    t_fi = timed(lambda: kn.fi_mm_boundary(
+        p.nxt[:p.N], p.prev[:p.N], t.boundary_indices, t.nbrs, t.material,
+        p.fi_table.beta, g.courant))
+    t_fd = timed(lambda: kn.fd_mm_boundary(
+        p.nxt[:p.N], p.prev[:p.N], t.boundary_indices, t.nbrs, t.material,
+        p.fd_table.beta, p.fd_table.BI, p.fd_table.DI, p.fd_table.F,
+        p.fd_table.D, p.g1, p.v1, p.v2, g.courant))
+    share_fi = t_fi / (t_vol + t_fi)
+    share_fd = t_fd / (t_vol + t_fd)
+    print(f"\nmeasured boundary share: FI-MM {share_fi:.1%}, "
+          f"FD-MM {share_fd:.1%}")
+    assert share_fd > share_fi

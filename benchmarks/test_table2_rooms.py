@@ -1,0 +1,32 @@
+"""Regenerates paper Table II (room sizes / boundary points) and
+benchmarks the topology-construction substrate."""
+
+from conftest import SCALE, write_artifact
+
+from repro.acoustics.geometry import Room, shape_by_name
+from repro.acoustics.grid import Grid3D
+from repro.acoustics.topology import build_topology
+from repro.bench.report import render_table2, render_table3
+from repro.bench.rooms import scaled_dims
+
+
+def test_table2_artifact():
+    write_artifact("table2.txt", render_table2(SCALE))
+
+
+def test_table3_artifact():
+    write_artifact("table3.txt", render_table3())
+
+
+def test_bench_voxelise_box(benchmark):
+    nx, ny, nz = scaled_dims("302", SCALE)
+    room = Room(Grid3D(nx, ny, nz), shape_by_name("box"))
+    topo = benchmark(build_topology, room, 4)
+    assert topo.num_boundary_points > 0
+
+
+def test_bench_voxelise_dome(benchmark):
+    nx, ny, nz = scaled_dims("302", SCALE)
+    room = Room(Grid3D(nx, ny, nz), shape_by_name("dome"))
+    topo = benchmark(build_topology, room, 4)
+    assert topo.num_boundary_points > 0

@@ -1,0 +1,57 @@
+"""Beyond room acoustics: a ground-penetrating-radar survey (paper §VIII).
+
+The paper argues its in-place LIFT primitives matter even more for
+geophysical FDTD models, whose *volume* kernels update several field
+arrays in place.  This example runs a 2-D GPR scan over a two-layer
+subsurface with a buried high-permittivity target: the radargram trace
+shows the direct wave followed by reflections from the interface and the
+target.  The generated OpenCL for the multi-array volume kernel is printed
+first.
+
+    python examples/beyond_acoustics_gpr.py
+"""
+
+import numpy as np
+
+from repro.geowaves import (GPRSimulation, GprConfig,
+                            permittivity_half_space)
+from repro.geowaves.lift_programs import h_update_program
+from repro.lift.codegen.opencl import compile_kernel
+
+
+def main() -> None:
+    print("multi-array in-place volume kernel (H half-step) in OpenCL:\n")
+    print(compile_kernel(h_update_program().kernel, "gpr_h_update").source)
+
+    nx, ny = 120, 90
+    eps = permittivity_half_space(nx, ny, depth_fraction=0.45,
+                                  eps_upper=1.0, eps_lower=4.0)
+    # a buried high-permittivity target (e.g. a water-filled pipe)
+    eps[48:56, 50:70] = 25.0
+
+    traces = {}
+    for label, scenario in (("with target", eps),
+                            ("background", permittivity_half_space(
+                                nx, ny, 0.45, 1.0, 4.0))):
+        sim = GPRSimulation(GprConfig(nx=nx, ny=ny, eps_r=scenario,
+                                      backend="lift"))
+        sim.add_source(nx // 2, 10)
+        sim.add_receiver("rx", nx // 2 + 6, 10)
+        sim.run(260)
+        traces[label] = sim.receiver_signal("rx")
+
+    diff = traces["with target"] - traces["background"]
+    print("\nA-scan at the surface receiver (LIFT-generated kernels):")
+    print(f"{'step':>6} {'with target':>13} {'background':>12} "
+          f"{'target response':>16}")
+    for t in range(20, 260, 20):
+        print(f"{t:>6} {traces['with target'][t]:>13.4e} "
+              f"{traces['background'][t]:>12.4e} {diff[t]:>16.4e}")
+
+    arrival = int(np.argmax(np.abs(diff) > 0.1 * np.abs(diff).max()))
+    print(f"\ntarget reflection emerges around step {arrival} "
+          f"(after the direct wave and interface reflection)")
+
+
+if __name__ == "__main__":
+    main()

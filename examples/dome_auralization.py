@@ -1,0 +1,69 @@
+"""Dome room with frequency-dependent walls (the paper's headline scenario).
+
+Simulates the non-cuboid dome of the paper's Fig. 1 with FD-MM boundaries:
+four resonant materials (concrete base, wood panelling, curtains,
+cushioned seating), compares their analytic absorption spectra, runs the
+full two-kernel simulation, and contrasts the decay against a
+frequency-independent approximation of the same walls.
+
+    python examples/dome_auralization.py
+"""
+
+import numpy as np
+
+from repro.acoustics import (DomeRoom, Grid3D, Room, RoomSimulation,
+                             SimConfig)
+from repro.acoustics.analysis import (energy_decay_db, rt60_from_decay,
+                                      total_field_energy)
+from repro.acoustics.materials import default_fd_materials
+
+
+def main() -> None:
+    grid = Grid3D(58, 58, 34, spacing=0.05)
+    room = Room(grid, DomeRoom())
+    materials = default_fd_materials(4)
+
+    print(f"room: {room.name} ({grid.num_points:,} grid points)")
+    print("\nmaterial absorption spectra (analytic, normal incidence):")
+    freqs_hz = np.array([125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0])
+    omegas = 2 * np.pi * freqs_hz * grid.dt
+    header = "  " + f"{'material':>15}" + "".join(f"{f:>8.0f}" for f in freqs_hz)
+    print(header + "   [Hz]")
+    for m in materials:
+        alpha = m.absorption_coefficient(omegas)
+        print("  " + f"{m.name:>15}" + "".join(f"{a:>8.2f}" for a in alpha))
+
+    steps = 500
+    signals = {}
+    for scheme_label, scheme in (("FD-MM (resonant walls)", "fd_mm"),
+                                 ("FI-MM (flat approximation)", "fi_mm")):
+        sim = RoomSimulation(SimConfig(
+            room=room, scheme=scheme, backend="lift",
+            materials=materials, num_branches=3))
+        sim.add_impulse("center")
+        sim.add_receiver("mic", (grid.nx // 2 + 8, grid.ny // 2,
+                                 grid.nz // 3))
+        e0 = total_field_energy(sim)
+        sim.run(steps)
+        e1 = total_field_energy(sim)
+        ir = sim.receiver_signal("mic")
+        signals[scheme_label] = ir
+        rt60 = rt60_from_decay(ir, grid.dt)
+        rt = f"{rt60*1000:.0f} ms" if np.isfinite(rt60) else "> simulated span"
+        print(f"\n{scheme_label}:")
+        print(f"  boundary points: {sim.topology.num_boundary_points:,}, "
+              f"branch state: {sim.g1.size:,} values")
+        print(f"  field energy: {e0:.3e} -> {e1:.3e} "
+              f"({10*np.log10(e1/e0):.1f} dB over {steps} steps)")
+        print(f"  RT60 estimate: {rt}")
+
+    print("\nSchroeder decay at the receiver [dB]:")
+    ticks = np.linspace(0, steps - 1, 11, dtype=int)
+    print("  step:   " + "".join(f"{t:>7d}" for t in ticks))
+    for label, ir in signals.items():
+        db = energy_decay_db(ir)
+        print(f"  {label[:7]:>7s} " + "".join(f"{db[t]:>7.1f}" for t in ticks))
+
+
+if __name__ == "__main__":
+    main()

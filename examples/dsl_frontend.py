@@ -1,0 +1,53 @@
+"""Targeting LIFT from a front-end DSL (the paper's intended use).
+
+LIFT "is not intended for directly writing applications ... it is meant to
+be targeted by DSLs or libraries" (paper §III).  This example drives the
+whole pipeline from a five-line declarative spec: it compiles to LIFT,
+shows the generated OpenCL kernel and host code, and runs the simulation
+through the generated NumPy backend — all from the same IR.
+
+    python examples/dsl_frontend.py
+"""
+
+from repro.acoustics.dsl import AcousticsSpec
+
+
+def main() -> None:
+    spec = AcousticsSpec(
+        shape="lshape",
+        size=(50, 42, 30),
+        scheme="fd_mm",
+        materials=("fd_concrete", "fd_wood_panel", "fd_curtain",
+                   "fd_cushion"),
+        precision="single",
+        num_branches=3,
+    )
+    print(f"spec: {spec}\n")
+    build = spec.compile()
+
+    print("generated OpenCL kernels:")
+    for name, src in build.kernel_sources.items():
+        first = src.splitlines()
+        sig = next(l for l in first if l.startswith("__kernel"))
+        print(f"  {name}: {len(first)} lines — {sig[:100]}...")
+
+    print("\ngenerated host code (first 12 lines):")
+    for line in (build.host_source or "").splitlines()[:12]:
+        print(f"  {line}")
+
+    print("\nfull boundary kernel:")
+    print(build.kernel_sources["boundary"])
+
+    sim = build.simulation(backend="lift")
+    # the L-shape notch removes the (x, y)-high quadrant; pick points in
+    # the remaining wing
+    sim.add_impulse((12, 12, 15))
+    sim.add_receiver("mic", (30, 12, 15))
+    sim.run(120)
+    ir = sim.receiver_signal("mic")
+    print(f"\nsimulated 120 steps on the generated NumPy backend; "
+          f"receiver RMS = {float((ir**2).mean())**0.5:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Performance portability across the paper's four GPUs.
+
+Runs the FI-MM host program (Listing 5) on each virtual device, with both
+the LIFT-generated and hand-written implementation traits, and prints the
+throughput matrix — the paper's Figures 4–6 in miniature.  Also
+demonstrates the workgroup-size autotuner.
+
+    python examples/performance_portability.py [--size 302] [--scale 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench.harness import modelled_time, throughput_gelems
+from repro.bench.rooms import room_bundle
+from repro.gpu import PAPER_DEVICES
+from repro.gpu.autotune import CANDIDATE_WORKGROUPS
+from repro.gpu.costmodel import LIFT_TRAITS, kernel_time
+from repro.bench.harness import kernel_resources
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--size", default="302", choices=("302", "336", "602"))
+    parser.add_argument("--scale", type=int, default=2)
+    args = parser.parse_args()
+
+    print(f"building rooms (size {args.size}, scale 1/{args.scale})...")
+    bundles = {shape: room_bundle(args.size, shape, args.scale)
+               for shape in ("box", "dome")}
+    for shape, b in bundles.items():
+        print(f"  {b.name}: {b.num_points:,} points, "
+              f"{b.num_boundary_points:,} boundary points, "
+              f"contiguity {b.contiguity:.2f}")
+
+    for kind, label in (("fi_mm", "FI-MM boundary kernel"),
+                        ("fd_mm", "FD-MM boundary kernel (3 branches)")):
+        print(f"\n{label} — modelled throughput [Gelem/s] "
+              f"(LIFT / handwritten):")
+        print(f"{'device':>12}" + "".join(
+            f"{s + '-' + p[:3]:>16}" for s in ("box", "dome")
+            for p in ("single", "double")))
+        for device in PAPER_DEVICES:
+            cells = []
+            for shape in ("box", "dome"):
+                for precision in ("single", "double"):
+                    b = bundles[shape]
+                    tl = modelled_time(kind, precision, "LIFT", device, b)
+                    th = modelled_time(kind, precision, "OpenCL", device, b)
+                    cells.append(f"{throughput_gelems(kind, tl, b):5.2f}/"
+                                 f"{throughput_gelems(kind, th, b):5.2f}")
+            print(f"{device:>12}" + "".join(f"{c:>16}" for c in cells))
+
+    # autotuning demonstration
+    print("\nworkgroup-size sweep (FD-MM double on TitanBlack, box):")
+    b = bundles["box"]
+    res = kernel_resources("fd_mm", "double")
+    device = PAPER_DEVICES["TitanBlack"]
+    for wg in CANDIDATE_WORKGROUPS:
+        t = kernel_time(res, b.num_boundary_points, device, "double",
+                        LIFT_TRAITS, b.boundary_indices, workgroup=wg)
+        print(f"  wg={wg:>5}: {t.time_ms:7.4f} ms "
+              f"(occupancy {t.occupancy:.2f})")
+
+
+if __name__ == "__main__":
+    main()

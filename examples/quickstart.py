@@ -1,0 +1,56 @@
+"""Quickstart: simulate a small room and listen at a receiver.
+
+Runs the frequency-independent multi-material (FI-MM) scheme through the
+LIFT-generated backend, prints the first impulse-response samples, the
+energy decay, and an RT60 estimate.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.acoustics import (BoxRoom, Grid3D, Room, RoomSimulation,
+                             SimConfig)
+from repro.acoustics.analysis import energy_decay_db, rt60_from_decay
+from repro.acoustics.materials import material_by_name
+
+
+def main() -> None:
+    # A 3.2 m x 2.4 m x 1.9 m box room at 5 cm resolution (plus the halo).
+    grid = Grid3D(66, 50, 40, spacing=0.05)
+    room = Room(grid, BoxRoom())
+
+    sim = RoomSimulation(SimConfig(
+        room=room,
+        scheme="fi_mm",
+        backend="lift",           # run the LIFT-generated NumPy kernels
+        precision="double",
+        materials=[material_by_name(n)
+                   for n in ("concrete", "wood", "carpet", "cushion")],
+    ))
+
+    print(f"room: {room.name}")
+    print(f"grid: {grid.num_points:,} points, dt = {grid.dt*1e6:.1f} µs "
+          f"(sample rate {grid.sample_rate/1000:.1f} kHz)")
+    print(f"boundary points: {sim.topology.num_boundary_points:,} "
+          f"({sim.topology.num_materials} materials)")
+
+    sim.add_impulse("center")
+    sim.add_receiver("mic", (grid.nx // 2 + 10, grid.ny // 2, grid.nz // 2))
+    sim.run(400)
+
+    ir = sim.receiver_signal("mic")
+    print("\nfirst 10 impulse-response samples at the receiver:")
+    print("  " + " ".join(f"{v:+.2e}" for v in ir[:10]))
+
+    edc = energy_decay_db(ir)
+    print(f"\nenergy decay after 400 steps: {edc[-1]:.1f} dB")
+    rt60 = rt60_from_decay(ir, grid.dt)
+    if np.isfinite(rt60):
+        print(f"estimated RT60: {rt60*1000:.0f} ms")
+    else:
+        print("RT60: not enough decay in 400 steps (try more steps)")
+
+
+if __name__ == "__main__":
+    main()

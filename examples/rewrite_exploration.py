@@ -1,0 +1,89 @@
+"""Exploring implementation choices with rewrite rules.
+
+LIFT's core idea: one high-level program, many semantically-equal
+lowerings, each with different performance (paper §III: "optimized by
+applying semantic-preserving rewrite rules encoding different optimization
+and implementation choices").  This example takes the 1-D stencil of
+§III-B, applies rules (map fusion, split-join tiling, sequential/global
+lowerings), verifies every variant computes the same result through the
+interpreter, and compares the variants' per-work-item resources.
+
+    python examples/rewrite_exploration.py
+"""
+
+import numpy as np
+
+from repro.lift.analysis import analyse_kernel
+from repro.lift.arith import Var
+from repro.lift.ast import BinOp, FunCall, Lambda, Param, lam
+from repro.lift.interp import Interp
+from repro.lift.patterns import Map, Pad, Reduce, Slide, dump
+from repro.lift.rewrite import (MAP_FUSION, lower_simple, rewrite_everywhere,
+                                rewrite_first, split_join)
+from repro.lift.types import ArrayType, Float
+
+N = Var("N")
+
+
+def stencil_program() -> Lambda:
+    A = Param("A", ArrayType(Float, N))
+    add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+    body = FunCall(Map(Reduce(add, 0.0)),
+                   FunCall(Slide(3, 1), FunCall(Pad(1, 1, 0.0), A)))
+    return Lambda([A], body)
+
+
+def scaled_program() -> Lambda:
+    """map(*2) o map(3-point-sum): a fusion candidate."""
+    base = stencil_program()
+    doubled = FunCall(Map(lam(Float, lambda x: BinOp("*", x, 2.0))),
+                      base.body)
+    return Lambda(list(base.params), doubled)
+
+
+def run(prog: Lambda, xs: np.ndarray) -> np.ndarray:
+    return np.asarray(Interp(sizes={"N": xs.size}).run(prog, xs))
+
+
+def main() -> None:
+    xs = np.arange(1.0, 13.0)
+    reference = run(scaled_program(), xs)
+    print(f"input : {xs}")
+    print(f"output: {reference}   (2 * 3-point sums)\n")
+
+    variants: dict[str, Lambda] = {"original": scaled_program()}
+
+    p = scaled_program()
+    fused, n = rewrite_everywhere(p.body, MAP_FUSION)
+    variants["mapFusion"] = Lambda(list(p.params), fused)
+    print(f"mapFusion applied {n} time(s): the scaling moves into the "
+          f"stencil map, removing an intermediate array")
+
+    for tile in (2, 3, 4):
+        p = scaled_program()
+        tiled = rewrite_first(p.body, split_join(tile))
+        variants[f"splitJoin({tile})"] = Lambda(list(p.params), tiled)
+    print("splitJoin(n): tiles the outer map into workgroup-sized chunks")
+
+    print("\nsemantics check (interpreter) and lowered resources:")
+    print(f"{'variant':>14} {'equal':>6} {'loads':>6} {'stores':>7} "
+          f"{'flops':>6}  lowered spine")
+    for name, prog in variants.items():
+        out = run(prog, xs)
+        same = np.allclose(out, reference)
+        try:
+            res = analyse_kernel(lower_simple(prog))
+            loads, stores, flops = (f"{res.loads:.0f}", f"{res.stores:.0f}",
+                                    f"{res.flops:.0f}")
+        except Exception:
+            loads = stores = flops = "-"
+        spine = dump(lower_simple(prog).body)[:60]
+        print(f"{name:>14} {str(same):>6} {loads:>6} {stores:>7} "
+              f"{flops:>6}  {spine}...")
+
+    print("\nevery variant computes the same result; fusion cuts a full "
+          "intermediate store+load per element.")
+
+
+if __name__ == "__main__":
+    main()

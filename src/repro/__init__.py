@@ -1,0 +1,28 @@
+"""repro — reproduction of "Code Generation for Room Acoustics Simulations
+with Complex Boundary Conditions using LIFT" (Stoltzfus et al., IPDPS 2021).
+
+Subpackages
+-----------
+``repro.lift``
+    The paper's primary contribution: a pattern-based data-parallel IR and
+    code generator (OpenCL C text + executable NumPy backend) extended with
+    host-code orchestration and in-place update primitives.
+``repro.acoustics``
+    The room-acoustics FDTD substrate: geometry, boundary topology,
+    materials (frequency-independent and frequency-dependent), reference
+    kernels (paper Listings 1-4), LIFT programs (Listings 5-8) and a
+    simulation driver.
+``repro.gpu``
+    A virtual OpenCL GPU: device table (paper Table III), an analytic
+    roofline cost model, a host runtime with profiling, and a
+    workgroup-size autotuner.
+``repro.bench``
+    Regeneration harnesses for every table and figure in the paper's
+    evaluation (Tables II-VI, Figures 2, 4, 5, 6).
+"""
+
+__version__ = "1.0.0"
+
+from . import lift
+
+__all__ = ["lift", "__version__"]

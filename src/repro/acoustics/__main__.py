@@ -1,0 +1,102 @@
+"""CLI: run a room-acoustics simulation from the command line.
+
+    python -m repro.acoustics --shape dome --size 58 58 34 \\
+        --scheme fd_mm --backend lift --steps 400
+
+Prints the configuration, runs the simulation, and reports receiver
+statistics, energy decay, and (for the virtual_gpu backend) the
+accumulated modelled kernel time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import energy_decay_db, rt60_from_decay, total_field_energy
+from .dsl import AcousticsSpec
+from .geometry import SHAPES
+from .sim import BACKENDS, SCHEMES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.acoustics",
+        description="Run a room-acoustics FDTD simulation.")
+    parser.add_argument("--shape", default="box", choices=sorted(SHAPES))
+    parser.add_argument("--size", type=int, nargs=3, default=(50, 42, 34),
+                        metavar=("NX", "NY", "NZ"))
+    parser.add_argument("--scheme", default="fi_mm", choices=SCHEMES)
+    parser.add_argument("--backend", default="lift", choices=BACKENDS)
+    parser.add_argument("--precision", default="double",
+                        choices=("single", "double"))
+    parser.add_argument("--materials", nargs="+",
+                        default=None, help="material names (see "
+                        "repro.acoustics.materials); defaults per scheme")
+    parser.add_argument("--steps", type=int, default=300)
+    parser.add_argument("--spacing", type=float, default=0.05,
+                        help="grid spacing in metres")
+    parser.add_argument("--emit-opencl", action="store_true",
+                        help="print the generated OpenCL kernels and exit")
+    args = parser.parse_args(argv)
+
+    materials = tuple(args.materials) if args.materials else (
+        ("fd_concrete", "fd_wood_panel", "fd_curtain", "fd_cushion")
+        if args.scheme == "fd_mm"
+        else ("concrete", "wood", "carpet", "cushion"))
+    spec = AcousticsSpec(shape=args.shape, size=tuple(args.size),
+                         scheme=args.scheme, materials=materials,
+                         precision=args.precision, spacing=args.spacing)
+    build = spec.compile(emit_opencl=args.emit_opencl)
+
+    if args.emit_opencl:
+        for name, src in build.kernel_sources.items():
+            print(f"// ===== kernel: {name} =====")
+            print(src)
+            print()
+        if build.host_source:
+            print("// ===== host code =====")
+            print(build.host_source)
+        return 0
+
+    sim = build.simulation(backend=args.backend)
+    g = sim.grid
+    print(f"room: {args.shape} {g.nx}x{g.ny}x{g.nz} "
+          f"({g.num_points:,} points, dt = {g.dt*1e6:.1f} µs)")
+    print(f"scheme: {args.scheme}  backend: {args.backend}  "
+          f"precision: {args.precision}")
+    print(f"boundary points: {sim.topology.num_boundary_points:,}  "
+          f"materials: {', '.join(materials)}")
+
+    sim.add_impulse("center")
+    sim.add_receiver("mic", (g.nx // 2 + max(2, g.nx // 8), g.ny // 2,
+                             g.nz // 2))
+    e0 = None
+    for step in range(args.steps):
+        sim.step()
+        if step == 1:
+            e0 = total_field_energy(sim)
+    e1 = total_field_energy(sim)
+    ir = sim.receiver_signal("mic")
+
+    print(f"\nran {args.steps} steps "
+          f"({args.steps * g.dt * 1e3:.2f} ms of audio)")
+    if e0 and e0 > 0:
+        print(f"field energy: {e0:.3e} -> {e1:.3e} "
+              f"({10*np.log10(max(e1, 1e-300)/e0):+.1f} dB)")
+    rt = rt60_from_decay(ir, g.dt)
+    print(f"RT60 estimate: "
+          f"{rt*1e3:.0f} ms" if np.isfinite(rt) else
+          "RT60 estimate: beyond the simulated span")
+    db = energy_decay_db(ir)
+    print(f"receiver decay at end: {db[-1]:.1f} dB")
+    if hasattr(sim, "modelled_gpu_time_ms") and sim.modelled_gpu_time_ms:
+        print(f"modelled GPU kernel time: {sim.modelled_gpu_time_ms:.3f} ms "
+              f"total ({sim.modelled_gpu_time_ms/args.steps*1e3:.1f} µs/step)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""3-D FDTD grid for room acoustics.
+
+The volume is discretised into ``Nx × Ny × Nz`` voxels *including* a
+one-point zero halo on every face (paper §II-A: "the volume is zero-padded
+around the edge to prevent illegal memory accesses").  The paper's Table II
+room sizes (602×402×302, 336³, 302×202×152) use this convention.
+
+Storage layout matches the paper's generated code: flat arrays with
+``idx = (z*Ny + y)*Nx + x`` (x fastest).  NumPy arrays of shape
+``(Nz, Ny, Nx)`` in C order alias the same memory.
+
+The scheme is the standard leapfrog (SLF) 7-point scheme for the wave
+equation; with Courant number λ = c·dt/h it is stable iff λ ≤ 1/√3
+(:func:`courant_limit`).  The interior update is
+
+    next = (2 − 6λ²)·curr + λ²·Σ neighbours − prev
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: speed of sound in air at ~20 °C [m/s]
+SPEED_OF_SOUND = 344.0
+
+
+def courant_limit(dims: int = 3) -> float:
+    """Stability limit for the SLF scheme in ``dims`` dimensions: 1/√dims."""
+    return 1.0 / math.sqrt(dims)
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A room-acoustics FDTD grid (dims include the one-point zero halo).
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Grid points per axis, including the halo (so the interior is
+        ``(nx-2) × (ny-2) × (nz-2)``).
+    spacing:
+        Grid spacing h in metres.
+    courant:
+        Courant number λ = c·dt/h; defaults to the 3-D stability limit.
+    c:
+        Speed of sound in m/s.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    spacing: float = 0.05
+    courant: float = field(default_factory=courant_limit)
+    c: float = SPEED_OF_SOUND
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 3:
+            raise ValueError("grid needs at least one interior point per axis")
+        if not (0.0 < self.courant <= courant_limit() + 1e-12):
+            raise ValueError(
+                f"Courant number {self.courant} violates the 3-D stability "
+                f"limit 1/sqrt(3) ≈ {courant_limit():.6f}")
+        if self.spacing <= 0:
+            raise ValueError("grid spacing must be positive")
+
+    # -- sizes ---------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """NumPy shape (z, y, x) — C order, x fastest."""
+        return (self.nz, self.ny, self.nx)
+
+    @property
+    def num_points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def interior_shape(self) -> tuple[int, int, int]:
+        return (self.nz - 2, self.ny - 2, self.nx - 2)
+
+    @property
+    def num_interior(self) -> int:
+        return (self.nx - 2) * (self.ny - 2) * (self.nz - 2)
+
+    # -- time step -------------------------------------------------------------------
+    @property
+    def dt(self) -> float:
+        """Time step implied by λ = c·dt/h."""
+        return self.courant * self.spacing / self.c
+
+    @property
+    def sample_rate(self) -> float:
+        return 1.0 / self.dt
+
+    @property
+    def lam(self) -> float:
+        """Courant number λ (the paper's ``l``)."""
+        return self.courant
+
+    @property
+    def lam2(self) -> float:
+        """λ² (the paper's ``l2``)."""
+        return self.courant * self.courant
+
+    # -- indexing ---------------------------------------------------------------------
+    def flat_index(self, x, y, z):
+        """Flat index of (x, y, z); accepts scalars or arrays."""
+        return (np.asarray(z) * self.ny + np.asarray(y)) * self.nx + np.asarray(x)
+
+    def coords_of(self, idx):
+        """(x, y, z) of a flat index; accepts scalars or arrays."""
+        idx = np.asarray(idx)
+        x = idx % self.nx
+        y = (idx // self.nx) % self.ny
+        z = idx // (self.nx * self.ny)
+        return x, y, z
+
+    def allocate(self, dtype=np.float64) -> np.ndarray:
+        """A zeroed flat state array of the full grid."""
+        return np.zeros(self.num_points, dtype=dtype)
+
+    def as_volume(self, flat: np.ndarray) -> np.ndarray:
+        """View a flat state array as a (z, y, x) volume (no copy)."""
+        return flat.reshape(self.shape)
+
+    # -- neighbour offsets ----------------------------------------------------------------
+    @property
+    def neighbour_offsets(self) -> tuple[int, ...]:
+        """Flat-index offsets of the six face neighbours (paper Listing 1)."""
+        return (-1, 1, -self.nx, self.nx, -self.nx * self.ny, self.nx * self.ny)
+
+
+def paper_room_grids() -> dict[str, Grid3D]:
+    """The three room sizes of the paper's Table II, keyed by their label."""
+    return {
+        "602": Grid3D(602, 402, 302),
+        "336": Grid3D(336, 336, 336),
+        "302": Grid3D(302, 202, 152),
+    }

@@ -1,0 +1,292 @@
+"""Wall materials: frequency-independent and frequency-dependent absorption.
+
+Frequency-independent (FI / FI-MM)
+----------------------------------
+Each material is a specific admittance β ≥ 0 (the paper's ``beta``).  The
+boundary update adds the loss term ``cf = 0.5·λ·(6−nbr)·β`` (Listing 1/3);
+β = 0 is a rigid (lossless) wall.
+
+Frequency-dependent (FD-MM)
+---------------------------
+Real materials have internal resonances (paper §II-E).  Each material
+carries ``MB`` second-order ODE branches; branch ``b`` has parameters
+(mᵦ, rᵦ, kᵦ) ≥ 0 in normalised time units (dt = 1):
+
+    mᵦ·v̇ᵦ + rᵦ·vᵦ + kᵦ·gᵦ = ṗ,    ġᵦ = vᵦ
+
+Discretising with the midpoint rule (v¹ = vⁿ⁺¹, v² = vⁿ, g at n+½)
+and eliminating v¹ from the pressure update reproduces *exactly* the
+kernel algebra of paper Listing 4:
+
+    A  = m + r/2 + k/4          BI = 1/A
+    DI = m − r/2 − k/4          F  = k/2          D = m/2
+    beta_eff = β∞ + Σᵦ BIᵦ      (the pre-combined ``beta[mi]``)
+
+    v¹ = BI·(next − prev + DI·v² − 2F·g¹)
+    g¹ ← g¹ + ½(v¹ + v²)
+
+Passivity holds for m, r, k ≥ 0 (tested via energy decay).  Setting all
+branches inert (BI = 0 rows) recovers FI-MM bit-for-bit.
+
+``admittance`` / ``absorption_coefficient`` evaluate the material's
+frequency response analytically for documentation, examples and tests
+(absorption peaks at the branch resonances ω₀ = √(k/m)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FIMaterial:
+    """Frequency-independent material: a single specific admittance β."""
+
+    name: str
+    beta: float
+
+    def __post_init__(self):
+        if self.beta < 0:
+            raise ValueError(f"admittance beta must be >= 0, got {self.beta}")
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One resonant ODE branch with normalised-time parameters (m, r, k)."""
+
+    m: float
+    r: float
+    k: float
+
+    def __post_init__(self):
+        if self.m < 0 or self.r < 0 or self.k < 0:
+            raise ValueError("branch parameters must be >= 0 (passivity)")
+        if self.coef_A <= 0:
+            raise ValueError("degenerate branch: m + r/2 + k/4 must be > 0")
+
+    # -- discrete update coefficients (paper Listing 4 tables) -------------------
+    @property
+    def coef_A(self) -> float:
+        return self.m + self.r / 2.0 + self.k / 4.0
+
+    @property
+    def BI(self) -> float:
+        return 1.0 / self.coef_A
+
+    @property
+    def DI(self) -> float:
+        return self.m - self.r / 2.0 - self.k / 4.0
+
+    @property
+    def F(self) -> float:
+        return self.k / 2.0
+
+    @property
+    def D(self) -> float:
+        return self.m / 2.0
+
+    @property
+    def resonance_normalised(self) -> float:
+        """Resonant angular frequency ω₀ = √(k/m) in rad/sample."""
+        if self.m == 0:
+            return math.inf
+        return math.sqrt(self.k / self.m)
+
+    @staticmethod
+    def inert() -> "Branch":
+        """A branch contributing nothing (used to pad material tables).
+
+        m → large makes BI → 0; we represent the limit exactly with zeroed
+        coefficients in :class:`MaterialTable` instead, so this helper
+        exists mainly for API completeness in tests.
+        """
+        return Branch(m=1e30, r=0.0, k=0.0)
+
+    @staticmethod
+    def from_resonance(f0_hz: float, damping: float, strength: float,
+                       dt: float) -> "Branch":
+        """Build a branch from physical resonance parameters.
+
+        ``f0_hz`` — resonant frequency; ``damping`` — dimensionless damping
+        ratio (r = damping·m·ω₀); ``strength`` — admittance scale
+        (m = 1/strength; larger strength absorbs more at resonance).
+        """
+        if f0_hz <= 0 or strength <= 0 or damping < 0:
+            raise ValueError("need f0 > 0, strength > 0, damping >= 0")
+        w0 = 2.0 * math.pi * f0_hz * dt  # rad/sample
+        m = 1.0 / strength
+        k = m * w0 * w0
+        r = damping * m * w0
+        return Branch(m=m, r=r, k=k)
+
+
+@dataclass(frozen=True)
+class FDMaterial:
+    """Frequency-dependent material: β∞ plus resonant branches."""
+
+    name: str
+    beta_inf: float
+    branches: tuple[Branch, ...] = ()
+
+    def __post_init__(self):
+        if self.beta_inf < 0:
+            raise ValueError("beta_inf must be >= 0")
+
+    @property
+    def beta_eff(self) -> float:
+        """The pre-combined coefficient stored in the kernel's beta table."""
+        return self.beta_inf + sum(b.BI for b in self.branches)
+
+    # -- frequency response (normalised: omega in rad/sample) ---------------------
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        """Specific acoustic admittance Y(ω) of the continuous-time model.
+
+        Defined relative to the pressure *derivative* drive of the boundary
+        condition (∂p/∂n ∝ −Y·∂p/∂t), so the FI limit returns the constant
+        β and each branch contributes Yᵦ(ω) = 1/(m·jω + r + k/jω).
+        Re Yᵦ = r/|Z|² ≥ 0 — passive for r ≥ 0, with |Yᵦ| peaking at the
+        branch resonance ω₀ = √(k/m).
+        """
+        omega = np.asarray(omega, dtype=np.float64)
+        jw = 1j * np.where(omega == 0.0, 1e-12, omega)
+        y = np.full(omega.shape, self.beta_inf, dtype=np.complex128)
+        for b in self.branches:
+            y = y + 1.0 / (b.m * jw + b.r + b.k / jw)
+        return y
+
+    def reflection_coefficient(self, omega: np.ndarray) -> np.ndarray:
+        """Normal-incidence reflection R(ω) = (1 − Y)/(1 + Y)."""
+        y = self.admittance(omega)
+        return (1.0 - y) / (1.0 + y)
+
+    def absorption_coefficient(self, omega: np.ndarray) -> np.ndarray:
+        """α(ω) = 1 − |R(ω)|² (1 = fully absorbing)."""
+        r = self.reflection_coefficient(omega)
+        return 1.0 - np.abs(r) ** 2
+
+    def as_fi(self) -> FIMaterial:
+        """Frequency-independent approximation using the effective β."""
+        return FIMaterial(self.name, self.beta_eff)
+
+
+@dataclass
+class MaterialTable:
+    """Packed per-material coefficient arrays for the kernels.
+
+    Arrays are ``(M,)`` for ``beta`` and ``(M, MB)`` for branch coefficient
+    tables (``MB`` = max branch count over the materials; shorter materials
+    padded with zero rows, which are exact no-ops in the update).
+    """
+
+    beta: np.ndarray   # (M,)  effective beta (FI) / beta_eff (FD)
+    BI: np.ndarray     # (M, MB)
+    DI: np.ndarray
+    F: np.ndarray
+    D: np.ndarray
+    names: list[str]
+
+    @property
+    def num_materials(self) -> int:
+        return int(self.beta.shape[0])
+
+    @property
+    def num_branches(self) -> int:
+        return int(self.BI.shape[1]) if self.BI.ndim == 2 else 0
+
+    def astype(self, dtype) -> "MaterialTable":
+        return MaterialTable(beta=self.beta.astype(dtype),
+                             BI=self.BI.astype(dtype),
+                             DI=self.DI.astype(dtype),
+                             F=self.F.astype(dtype),
+                             D=self.D.astype(dtype),
+                             names=list(self.names))
+
+    @staticmethod
+    def from_fi(materials: list[FIMaterial], dtype=np.float64) -> "MaterialTable":
+        beta = np.array([m.beta for m in materials], dtype=dtype)
+        z = np.zeros((len(materials), 0), dtype=dtype)
+        return MaterialTable(beta=beta, BI=z, DI=z.copy(), F=z.copy(),
+                             D=z.copy(), names=[m.name for m in materials])
+
+    @staticmethod
+    def from_fd(materials: list[FDMaterial], num_branches: int | None = None,
+                dtype=np.float64) -> "MaterialTable":
+        mb = num_branches if num_branches is not None else max(
+            (len(m.branches) for m in materials), default=0)
+        M = len(materials)
+        beta = np.zeros(M, dtype=dtype)
+        BI = np.zeros((M, mb), dtype=dtype)
+        DI = np.zeros((M, mb), dtype=dtype)
+        F = np.zeros((M, mb), dtype=dtype)
+        D = np.zeros((M, mb), dtype=dtype)
+        for i, m in enumerate(materials):
+            if len(m.branches) > mb:
+                raise ValueError(
+                    f"material {m.name} has {len(m.branches)} branches > MB={mb}")
+            beta[i] = m.beta_eff
+            for b, br in enumerate(m.branches):
+                BI[i, b] = br.BI
+                DI[i, b] = br.DI
+                F[i, b] = br.F
+                D[i, b] = br.D
+        return MaterialTable(beta=beta, BI=BI, DI=DI, F=F, D=D,
+                             names=[m.name for m in materials])
+
+
+# --- a small material database -------------------------------------------------------
+
+_FI_DB: dict[str, FIMaterial] = {
+    "rigid": FIMaterial("rigid", 0.0),
+    "concrete": FIMaterial("concrete", 0.02),
+    "brick": FIMaterial("brick", 0.04),
+    "wood": FIMaterial("wood", 0.10),
+    "carpet": FIMaterial("carpet", 0.30),
+    "cushion": FIMaterial("cushion", 0.60),
+    "absorber": FIMaterial("absorber", 1.0),
+}
+
+
+def _fd(name: str, beta_inf: float, specs: list[tuple[float, float, float]],
+        dt: float = 1.0 / 44100.0) -> FDMaterial:
+    return FDMaterial(name, beta_inf, tuple(
+        Branch.from_resonance(f0, d, s, dt) for (f0, d, s) in specs))
+
+
+_FD_DB: dict[str, FDMaterial] = {
+    "fd_concrete": _fd("fd_concrete", 0.01,
+                       [(120.0, 1.2, 0.005), (900.0, 1.5, 0.01),
+                        (4000.0, 2.0, 0.02)]),
+    "fd_wood_panel": _fd("fd_wood_panel", 0.03,
+                         [(110.0, 0.8, 0.12), (600.0, 1.0, 0.06),
+                          (2500.0, 1.5, 0.04)]),
+    "fd_curtain": _fd("fd_curtain", 0.08,
+                      [(300.0, 1.0, 0.25), (1200.0, 1.2, 0.35),
+                       (3600.0, 1.4, 0.3)]),
+    "fd_cushion": _fd("fd_cushion", 0.12,
+                      [(200.0, 1.3, 0.4), (800.0, 1.1, 0.5),
+                       (3000.0, 1.2, 0.45)]),
+}
+
+
+def material_by_name(name: str):
+    """Look up a material (FI or FD) from the built-in database."""
+    if name in _FI_DB:
+        return _FI_DB[name]
+    if name in _FD_DB:
+        return _FD_DB[name]
+    raise KeyError(f"unknown material {name!r}; available: "
+                   f"{sorted(_FI_DB) + sorted(_FD_DB)}")
+
+
+def default_fd_materials(count: int = 4) -> list[FDMaterial]:
+    """A deterministic selection of FD materials for benchmarks."""
+    names = ["fd_concrete", "fd_wood_panel", "fd_curtain", "fd_cushion"]
+    return [_FD_DB[names[i % len(names)]] for i in range(count)]
+
+
+def default_fi_materials(count: int = 4) -> list[FIMaterial]:
+    names = ["concrete", "wood", "carpet", "cushion", "brick", "absorber"]
+    return [_FI_DB[names[i % len(names)]] for i in range(count)]

@@ -1,0 +1,378 @@
+"""Room-acoustics simulation driver.
+
+Ties the substrate together: geometry → topology → materials → kernels,
+with interchangeable execution backends so the LIFT-generated code can be
+validated against (and benchmarked against) the hand-written baseline:
+
+``numpy``
+    The hand-written vectorised kernels (:mod:`.kernels_numpy`) — the
+    stand-in for the paper's tuned OpenCL baseline.
+``scalar``
+    The loop transliterations of the paper listings (tiny rooms only).
+``lift``
+    LIFT programs (:mod:`.lift_programs`) compiled through the NumPy
+    backend — i.e. *generated* code.
+``lift_interp``
+    LIFT programs run by the reference interpreter (tiny rooms only).
+``virtual_gpu``
+    The full Listing-5 host orchestration executed on a virtual OpenCL
+    device (:mod:`repro.gpu.runtime`): per-step kernel launches with
+    modelled profiling times accumulated in ``modelled_gpu_time_ms``.
+
+The driver allocates state arrays with a one-z-plane guard of zeros at the
+end (see :mod:`.lift_programs` for why), rotates the three time levels
+without copying, and swaps the FD-MM branch velocity arrays each step just
+like the paper's multi-GPU driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from . import kernels_numpy as kn
+from . import kernels_scalar as ks
+from .geometry import Room
+from .grid import Grid3D
+from .materials import (FDMaterial, FIMaterial, MaterialTable,
+                        default_fd_materials, default_fi_materials)
+from .topology import RoomTopology, build_topology
+
+SCHEMES = ("fi", "fi_mm", "fd_mm")
+BACKENDS = ("numpy", "scalar", "lift", "lift_interp", "virtual_gpu")
+
+
+@dataclass
+class SimConfig:
+    """Configuration of a room simulation."""
+
+    room: Room
+    scheme: str = "fi_mm"
+    backend: str = "numpy"
+    precision: str = "double"
+    materials: Sequence[FIMaterial | FDMaterial] | None = None
+    num_branches: int = 3
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; one of {SCHEMES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; one of {BACKENDS}")
+        if self.precision not in ("single", "double"):
+            raise ValueError("precision must be 'single' or 'double'")
+
+    @property
+    def dtype(self):
+        return np.float32 if self.precision == "single" else np.float64
+
+
+class RoomSimulation:
+    """Time-stepping FDTD room simulation with pluggable backends."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.grid: Grid3D = config.room.grid
+        mats = list(config.materials) if config.materials is not None else None
+        if mats is None:
+            mats = (default_fd_materials(4) if config.scheme == "fd_mm"
+                    else default_fi_materials(4))
+        self.materials = mats
+        num_materials = max(1, len(mats))
+        self.topology: RoomTopology = build_topology(config.room,
+                                                     num_materials)
+        dtype = config.dtype
+        if config.scheme == "fd_mm":
+            if not all(isinstance(m, FDMaterial) for m in mats):
+                raise ValueError("fd_mm scheme requires FDMaterial entries")
+            self.table = MaterialTable.from_fd(mats, config.num_branches,
+                                               dtype=dtype)
+        else:
+            fi = [m.as_fi() if isinstance(m, FDMaterial) else m for m in mats]
+            self.table = MaterialTable.from_fi(fi, dtype=dtype)
+
+        g = self.grid
+        self._N = g.num_points
+        self._guard = g.nx * g.ny
+        total = self._N + self._guard
+        self.prev = np.zeros(total, dtype=dtype)
+        self.curr = np.zeros(total, dtype=dtype)
+        self.nxt = np.zeros(total, dtype=dtype)
+        self.nbrs = self.topology.nbrs
+        self._nbrs_guarded = np.concatenate(
+            [self.nbrs, np.zeros(self._guard, dtype=np.int32)])
+
+        K = self.topology.num_boundary_points
+        MB = self.table.num_branches
+        self.g1 = np.zeros(MB * K, dtype=dtype)
+        self.v1 = np.zeros(MB * K, dtype=dtype)
+        self.v2 = np.zeros(MB * K, dtype=dtype)
+
+        self.time_step = 0
+        self.receivers: dict[str, tuple[int, list[float]]] = {}
+
+        self.modelled_gpu_time_ms = 0.0
+        if config.backend == "lift":
+            self._compile_lift()
+        elif config.backend == "lift_interp":
+            self._setup_interp()
+        elif config.backend == "virtual_gpu":
+            self._setup_virtual_gpu()
+
+    # -- LIFT backends ----------------------------------------------------------------
+    def _size_env(self) -> dict[str, int]:
+        return {"N": self._N, "NP": self._N + self._guard,
+                "K": self.topology.num_boundary_points,
+                "M": self.table.num_materials}
+
+    def _compile_lift(self):
+        from ..lift.codegen.numpy_backend import compile_numpy
+        from .lift_programs import (fd_mm_boundary, fi_fused_flat,
+                                    fi_mm_boundary, volume_kernel)
+        prec = self.config.precision
+        if self.config.scheme == "fi":
+            self._k_fused = compile_numpy(fi_fused_flat(prec).kernel,
+                                          "fi_fused_flat")
+        else:
+            self._k_volume = compile_numpy(volume_kernel(prec).kernel,
+                                           "volume_kernel")
+            if self.config.scheme == "fi_mm":
+                self._k_boundary = compile_numpy(fi_mm_boundary(prec).kernel,
+                                                 "fi_mm_boundary")
+            else:
+                self._k_boundary = compile_numpy(
+                    fd_mm_boundary(prec, self.table.num_branches).kernel,
+                    "fd_mm_boundary")
+
+    def _setup_virtual_gpu(self, device=None):
+        from ..lift.codegen.host import compile_host
+        from ..gpu.device import NVIDIA_TITAN_BLACK
+        from ..gpu.runtime import VirtualGPU
+        from .lift_programs import two_kernel_host
+        scheme = self.config.scheme
+        if scheme == "fi":
+            raise ValueError(
+                "the virtual_gpu backend runs the two-kernel host program; "
+                "use scheme 'fi_mm' or 'fd_mm'")
+        hp = two_kernel_host(scheme, self.config.precision,
+                             self.table.num_branches or 3)
+        self._host_program = compile_host(hp.program, hp.name)
+        self._gpu = VirtualGPU(device or NVIDIA_TITAN_BLACK)
+
+    def set_virtual_device(self, device) -> None:
+        """Re-target the virtual_gpu backend at another device spec."""
+        from ..gpu.runtime import VirtualGPU
+        self._gpu = VirtualGPU(device)
+
+    def _setup_interp(self):
+        from ..lift.interp import Interp
+        from .lift_programs import (fd_mm_boundary, fi_fused_flat,
+                                    fi_mm_boundary, volume_kernel)
+        prec = self.config.precision
+        self._interp = Interp(sizes=self._size_env())
+        if self.config.scheme == "fi":
+            self._p_fused = fi_fused_flat(prec).kernel
+        else:
+            self._p_volume = volume_kernel(prec).kernel
+            if self.config.scheme == "fi_mm":
+                self._p_boundary = fi_mm_boundary(prec).kernel
+            else:
+                self._p_boundary = fd_mm_boundary(
+                    prec, self.table.num_branches).kernel
+
+    # -- sources / receivers --------------------------------------------------------------
+    def point_index(self, position: tuple[int, int, int] | str) -> int:
+        g = self.grid
+        if position == "center":
+            position = (g.nx // 2, g.ny // 2, g.nz // 2)
+        x, y, z = position
+        idx = int(g.flat_index(x, y, z))
+        if not self.topology.inside.reshape(-1)[idx]:
+            raise ValueError(f"point {position} lies outside the room")
+        return idx
+
+    def add_impulse(self, position: tuple[int, int, int] | str = "center",
+                    amplitude: float = 1.0) -> int:
+        """Inject an impulse into the current state; returns the flat index."""
+        idx = self.point_index(position)
+        self.curr[idx] += amplitude
+        return idx
+
+    def add_receiver(self, name: str,
+                     position: tuple[int, int, int] | str = "center") -> None:
+        self.receivers[name] = (self.point_index(position), [])
+
+    def receiver_signal(self, name: str) -> np.ndarray:
+        return np.asarray(self.receivers[name][1])
+
+    # -- stepping ---------------------------------------------------------------------------
+    def step(self) -> None:
+        backend = self.config.backend
+        if backend == "numpy":
+            self._step_numpy()
+        elif backend == "scalar":
+            self._step_scalar()
+        elif backend == "lift":
+            self._step_lift()
+        elif backend == "virtual_gpu":
+            self._step_virtual_gpu()
+        else:
+            self._step_lift_interp()
+        # rotate time levels (the old prev buffer becomes the next target)
+        self.prev, self.curr, self.nxt = self.curr, self.nxt, self.prev
+        if self.config.scheme == "fd_mm":
+            self.v1, self.v2 = self.v2, self.v1
+        self.time_step += 1
+        for name, (idx, sig) in self.receivers.items():
+            sig.append(float(self.curr[idx]))
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    # -- backend steps ------------------------------------------------------------------------
+    def _lam(self):
+        return self.config.dtype(self.grid.courant)
+
+    def _step_numpy(self):
+        g = self.grid
+        N = self._N
+        lam = self._lam()
+        t = self.topology
+        if self.config.scheme == "fi":
+            kn.fi_fused_step(self.prev[:N], self.curr[:N], self.nxt[:N],
+                             self.nbrs, g.shape, lam, self.table.beta[0])
+            return
+        kn.volume_step(self.prev[:N], self.curr[:N], self.nxt[:N],
+                       self.nbrs, g.shape, lam)
+        if self.config.scheme == "fi_mm":
+            kn.fi_mm_boundary(self.nxt[:N], self.prev[:N],
+                              t.boundary_indices, self.nbrs, t.material,
+                              self.table.beta, lam)
+        else:
+            kn.fd_mm_boundary(self.nxt[:N], self.prev[:N],
+                              t.boundary_indices, self.nbrs, t.material,
+                              self.table.beta, self.table.BI, self.table.DI,
+                              self.table.F, self.table.D,
+                              self.g1, self.v1, self.v2, lam)
+
+    def _step_scalar(self):
+        g = self.grid
+        N = self._N
+        lam = float(self.grid.courant)
+        t = self.topology
+        if self.config.scheme == "fi":
+            ks.fi_fused_step_scalar_nbrs(self.prev[:N], self.curr[:N],
+                                         self.nxt[:N], self.nbrs,
+                                         g.nx, g.ny, g.nz, lam,
+                                         float(self.table.beta[0]))
+            return
+        ks.volume_step_scalar(self.prev[:N], self.curr[:N], self.nxt[:N],
+                              self.nbrs, g.nx, g.ny, g.nz, lam)
+        if self.config.scheme == "fi_mm":
+            ks.fi_mm_boundary_scalar(self.nxt[:N], self.prev[:N],
+                                     t.boundary_indices, self.nbrs,
+                                     t.material, self.table.beta, lam)
+        else:
+            ks.fd_mm_boundary_scalar(self.nxt[:N], self.prev[:N],
+                                     t.boundary_indices, self.nbrs,
+                                     t.material, self.table.beta,
+                                     self.table.BI, self.table.DI,
+                                     self.table.F, self.table.D,
+                                     self.g1, self.v1, self.v2, lam)
+
+    def _step_lift(self):
+        g = self.grid
+        N = self._N
+        lam = self._lam()
+        t = self.topology
+        sizes = self._size_env()
+        NP = N + self._guard
+        if self.config.scheme == "fi":
+            self._k_fused.fn(self.prev, self.curr, self._nbrs_guarded, lam,
+                             self.table.beta[0], g.nx, g.nx * g.ny,
+                             N=N, NP=NP, out=self.nxt)
+            return
+        self._k_volume.fn(self.prev, self.curr, self._nbrs_guarded, lam,
+                          g.nx, g.nx * g.ny, N=N, NP=NP, out=self.nxt)
+        if self.config.scheme == "fi_mm":
+            self._k_boundary.fn(t.boundary_indices, t.material, self.nbrs,
+                                self.table.beta, self.nxt, self.prev, lam,
+                                K=sizes["K"], M=sizes["M"], N=N)
+        else:
+            self._k_boundary.fn(t.boundary_indices, t.material, self.nbrs,
+                                self.table.beta,
+                                self.table.BI.reshape(-1),
+                                self.table.DI.reshape(-1),
+                                self.table.F.reshape(-1),
+                                self.table.D.reshape(-1),
+                                self.nxt, self.prev,
+                                self.g1, self.v2, self.v1, lam, sizes["K"],
+                                M=sizes["M"], N=N)
+
+    def _step_virtual_gpu(self):
+        g = self.grid
+        t = self.topology
+        sizes = self._size_env()
+        inputs = dict(boundaries=t.boundary_indices, materialIdx=t.material,
+                      neighbors=self._nbrs_guarded,
+                      betaTable=self.table.beta, prev1_h=self.curr,
+                      prev2_h=self.prev, lambda_h=self._lam(),
+                      Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+        if self.config.scheme == "fd_mm":
+            inputs.update(BI_h=self.table.BI.reshape(-1),
+                          DI_h=self.table.DI.reshape(-1),
+                          F_h=self.table.F.reshape(-1),
+                          D_h=self.table.D.reshape(-1),
+                          g1_h=self.g1, v2_h=self.v2, v1_h=self.v1,
+                          K=sizes["K"])
+        res = self._gpu.execute(self._host_program, inputs, sizes)
+        self.nxt[:self._N] = np.asarray(res.result)[:self._N]
+        if self.config.scheme == "fd_mm":
+            # read the branch-state device buffers back
+            for host_name, target in (("g1_h", self.g1),
+                                      ("v1_h", self.v1)):
+                buf = [b for n, b in res.buffers.items()
+                       if n.startswith(f"d_{host_name}")][0]
+                target[:] = buf
+        self.modelled_gpu_time_ms += res.kernel_time_ms()
+
+    def _step_lift_interp(self):
+        g = self.grid
+        N = self._N
+        lam = float(self.grid.courant)
+        t = self.topology
+        K = t.num_boundary_points
+        if self.config.scheme == "fi":
+            res = self._interp.run(self._p_fused, self.prev, self.curr,
+                                   self._nbrs_guarded, lam,
+                                   float(self.table.beta[0]),
+                                   g.nx, g.nx * g.ny)
+            self.nxt[:N] = np.asarray(res)
+            return
+        res = self._interp.run(self._p_volume, self.prev, self.curr,
+                               self._nbrs_guarded, lam, g.nx, g.nx * g.ny)
+        self.nxt[:N] = np.asarray(res)
+        if self.config.scheme == "fi_mm":
+            self._interp.run(self._p_boundary, t.boundary_indices,
+                             t.material, self.nbrs, self.table.beta,
+                             self.nxt, self.prev, lam)
+        else:
+            self._interp.run(self._p_boundary, t.boundary_indices,
+                             t.material, self.nbrs, self.table.beta,
+                             self.table.BI.reshape(-1),
+                             self.table.DI.reshape(-1),
+                             self.table.F.reshape(-1),
+                             self.table.D.reshape(-1),
+                             self.nxt, self.prev, self.g1, self.v2, self.v1,
+                             lam, K)
+
+    # -- diagnostics -------------------------------------------------------------------------
+    def energy(self) -> float:
+        """A simple field-energy proxy: Σ curr² over the grid."""
+        return float(np.sum(self.curr[:self._N].astype(np.float64) ** 2))
+
+    def state_snapshot(self) -> np.ndarray:
+        """Copy of the current state as a (z, y, x) volume."""
+        return self.curr[:self._N].reshape(self.grid.shape).copy()

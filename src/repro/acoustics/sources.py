@@ -1,0 +1,102 @@
+"""Excitation signals for room simulations.
+
+A bare impulse in ``curr`` excites the SLF scheme's secular DC mode under
+rigid boundaries (energy grows linearly — see
+``tests/acoustics/test_sim.py``).  Real acoustics codes therefore inject
+band-limited, zero-mean pulses.  This module provides the standard ones:
+
+* :func:`gaussian_pulse` — low-passed pulse (has DC; fine for lossy rooms);
+* :func:`ricker_wavelet` — differentiated Gaussian, zero mean (the safe
+  default for rigid or nearly-rigid rooms);
+* :func:`tone_burst` — windowed sine for narrow-band excitation.
+
+:class:`SignalSource` drives a simulation by adding the signal sample to
+one grid point each step (a soft source); attach with
+:func:`attach_source` and advance the simulation normally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+def gaussian_pulse(width_steps: float, delay_steps: float | None = None
+                   ) -> Callable[[int], float]:
+    """Gaussian amplitude pulse; ``width_steps`` is the 1-σ width."""
+    if width_steps <= 0:
+        raise ValueError("width must be positive")
+    t0 = delay_steps if delay_steps is not None else 4.0 * width_steps
+    return lambda n: math.exp(-0.5 * ((n - t0) / width_steps) ** 2)
+
+
+def ricker_wavelet(peak_step: float, width_steps: float
+                   ) -> Callable[[int], float]:
+    """Ricker (Mexican-hat) wavelet: zero-mean, band-limited."""
+    if width_steps <= 0:
+        raise ValueError("width must be positive")
+
+    def f(n: int) -> float:
+        u = (n - peak_step) / width_steps
+        return (1.0 - u * u) * math.exp(-0.5 * u * u)
+
+    return f
+
+
+def tone_burst(frequency_hz: float, dt: float, cycles: int = 5
+               ) -> Callable[[int], float]:
+    """Hann-windowed sine burst of ``cycles`` periods."""
+    if frequency_hz <= 0 or dt <= 0 or cycles < 1:
+        raise ValueError("need positive frequency, dt and cycles")
+    period_steps = 1.0 / (frequency_hz * dt)
+    total = cycles * period_steps
+
+    def f(n: int) -> float:
+        if n < 0 or n > total:
+            return 0.0
+        window = 0.5 * (1.0 - math.cos(2.0 * math.pi * n / total))
+        return window * math.sin(2.0 * math.pi * frequency_hz * dt * n)
+
+    return f
+
+
+@dataclass
+class SignalSource:
+    """A soft source: adds ``signal(step)`` to one point each step."""
+
+    index: int
+    signal: Callable[[int], float]
+    amplitude: float = 1.0
+
+    def inject(self, state: np.ndarray, step: int) -> float:
+        value = self.amplitude * float(self.signal(step))
+        state[self.index] += value
+        return value
+
+
+def attach_source(sim, signal: Callable[[int], float],
+                  position="center", amplitude: float = 1.0) -> SignalSource:
+    """Attach a stepped signal source to a RoomSimulation.
+
+    Wraps the simulation's ``step`` so the source injects before each
+    update; returns the :class:`SignalSource` (whose ``index`` can be used
+    for probing).
+    """
+    idx = sim.point_index(position)
+    source = SignalSource(index=idx, signal=signal, amplitude=amplitude)
+    original_step = sim.step
+
+    def stepped():
+        source.inject(sim.curr, sim.time_step)
+        original_step()
+
+    sim.step = stepped  # type: ignore[method-assign]
+    return source
+
+
+def signal_samples(signal: Callable[[int], float], steps: int) -> np.ndarray:
+    """Materialise a signal for inspection/tests."""
+    return np.array([signal(n) for n in range(steps)])

@@ -1,0 +1,39 @@
+"""CLI: ``python -m repro.bench [artefact...] [--scale N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import RENDERERS, render_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures "
+                    "(paper-vs-model comparison).")
+    parser.add_argument("artefacts", nargs="*", default=["all"],
+                        help="which artefacts to render: "
+                             f"{sorted(RENDERERS)} or 'all'")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="divide room dimensions by this factor "
+                             "(1 = full paper sizes; larger = faster)")
+    args = parser.parse_args(argv)
+    artefacts = args.artefacts or ["all"]
+    if artefacts == ["list"]:
+        from .experiments import render_index
+        print(render_index())
+        return 0
+    if artefacts == ["all"]:
+        print(render_all(args.scale))
+        return 0
+    for a in artefacts:
+        if a not in RENDERERS:
+            parser.error(f"unknown artefact {a!r}; one of {sorted(RENDERERS)}")
+        print(RENDERERS[a](args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The per-experiment index: every paper artefact, machine-readable.
+
+Mirrors DESIGN.md §4 so documentation, tests, and the CLI agree on what is
+reproduced, with which modules, and how to regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table or figure of the paper's evaluation."""
+
+    id: str                      # e.g. "fig5"
+    paper_artifact: str          # e.g. "Figure 5 / Table V"
+    what: str                    # one-line description
+    workload: str                # rooms / kernels / parameters
+    modules: tuple[str, ...]     # implementing modules
+    bench_target: str            # pytest target regenerating it
+    cli: str                     # CLI command regenerating it
+
+
+EXPERIMENTS: dict[str, Experiment] = {e.id: e for e in [
+    Experiment(
+        id="table2",
+        paper_artifact="Table II",
+        what="Room sizes and boundary-point counts for box and dome",
+        workload="602x402x302, 336^3, 302x202x152; box & dome voxelised",
+        modules=("repro.acoustics.geometry", "repro.acoustics.topology",
+                 "repro.bench.rooms"),
+        bench_target="benchmarks/test_table2_rooms.py",
+        cli="python -m repro.bench table2"),
+    Experiment(
+        id="table3",
+        paper_artifact="Table III",
+        what="Platform metrics of the four GPUs",
+        workload="GTX 780, HD 7970, TITAN Black, R9 295X2",
+        modules=("repro.gpu.device",),
+        bench_target="benchmarks/test_table2_rooms.py::test_table3_artifact",
+        cli="python -m repro.bench table3"),
+    Experiment(
+        id="fig2",
+        paper_artifact="Figure 2",
+        what="Boundary handling % of total computation time (GTX 780)",
+        workload="two-kernel volume+boundary, FI-MM & FD-MM, box & dome",
+        modules=("repro.bench.figures", "repro.gpu.costmodel",
+                 "repro.lift.analysis"),
+        bench_target="benchmarks/test_fig2_boundary_share.py",
+        cli="python -m repro.bench fig2"),
+    Experiment(
+        id="fig4",
+        paper_artifact="Figure 4 / Table IV",
+        what="Naive FI kernel throughput, LIFT vs handwritten",
+        workload="fused FI kernel, box rooms, 4 GPUs x 3 sizes x 2 "
+                 "precisions",
+        modules=("repro.acoustics.lift_programs.fi_fused_flat",
+                 "repro.acoustics.kernels_numpy.fi_fused_step",
+                 "repro.bench.harness"),
+        bench_target="benchmarks/test_fig4_fi.py",
+        cli="python -m repro.bench fig4"),
+    Experiment(
+        id="fig5",
+        paper_artifact="Figure 5 / Table V",
+        what="FI-MM boundary kernel throughput, box & dome",
+        workload="boundary kernel over boundaryIndices, 4 GPUs x 3 sizes "
+                 "x 2 shapes x 2 precisions",
+        modules=("repro.acoustics.lift_programs.fi_mm_boundary",
+                 "repro.bench.harness"),
+        bench_target="benchmarks/test_fig5_fimm.py",
+        cli="python -m repro.bench fig5"),
+    Experiment(
+        id="fig6",
+        paper_artifact="Figure 6 / Table VI",
+        what="FD-MM boundary kernel throughput (3 ODE branches)",
+        workload="FD-MM kernel with branch state, same sweep as fig5",
+        modules=("repro.acoustics.lift_programs.fd_mm_boundary",
+                 "repro.bench.harness"),
+        bench_target="benchmarks/test_fig6_fdmm.py",
+        cli="python -m repro.bench fig6"),
+    Experiment(
+        id="counts",
+        paper_artifact="§VII-B2 resource counts",
+        what="FD-MM: 45 accesses / 98 ops; FI-MM: 6 / 7 per update",
+        workload="IR resource analysis of the boundary kernels",
+        modules=("repro.lift.analysis",),
+        bench_target="tests/lift/test_analysis.py::TestPaperCounts",
+        cli="pytest tests/lift/test_analysis.py -k paper -q"),
+]}
+
+
+def render_index() -> str:
+    """Human-readable experiment index (used by `python -m repro.bench list`)."""
+    lines = []
+    for e in EXPERIMENTS.values():
+        lines.append(f"{e.id:8s} {e.paper_artifact}")
+        lines.append(f"         {e.what}")
+        lines.append(f"         workload: {e.workload}")
+        lines.append(f"         modules:  {', '.join(e.modules)}")
+        lines.append(f"         bench:    {e.bench_target}")
+        lines.append(f"         cli:      {e.cli}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each ``fig*_rows`` / ``table*_rows`` function returns a list of dicts (one
+per cell of the corresponding paper artefact) combining the reproduction's
+modelled numbers with the paper's published values, so reports and tests
+can compare them directly.  ``scale`` divides the room dimensions for
+quick runs (tests use ``scale=4``; the shipped report uses full size).
+"""
+
+from __future__ import annotations
+
+from .harness import modelled_time, throughput_gelems
+from .paper_data import (FIG2_BOUNDARY_SHARE_PCT, TABLE2_ROOMS,
+                         TABLE3_PLATFORMS, TABLE4_FI, TABLE5_FIMM,
+                         TABLE6_FDMM)
+from .rooms import PAPER_SHAPES, PAPER_SIZES, room_bundle
+from ..gpu.device import PAPER_DEVICES
+
+SIZES = tuple(PAPER_SIZES)
+DEVICES = tuple(PAPER_DEVICES)
+IMPLS = ("OpenCL", "LIFT")
+PRECISIONS = ("single", "double")
+
+
+def table2_rows(scale: int = 1) -> list[dict]:
+    """Paper Table II: room sizes and boundary-point counts."""
+    rows = []
+    for size in SIZES:
+        dims = PAPER_SIZES[size]
+        row = {"size": size, "dims": tuple(d // scale for d in dims)}
+        for shape in PAPER_SHAPES:
+            b = room_bundle(size, shape, scale)
+            row[f"{shape}_bpts"] = b.num_boundary_points
+            row[f"{shape}_paper_bpts"] = TABLE2_ROOMS[size][f"{shape}_bpts"]
+            row[f"{shape}_contiguity"] = round(b.contiguity, 3)
+        rows.append(row)
+    return rows
+
+
+def table3_rows() -> list[dict]:
+    """Paper Table III: platform metrics (ours are the same table)."""
+    rows = []
+    for name, spec in PAPER_DEVICES.items():
+        paper = TABLE3_PLATFORMS[name]
+        rows.append({
+            "platform": name,
+            "bandwidth_gbs": spec.mem_bandwidth_gbs,
+            "paper_bandwidth_gbs": paper["bandwidth_gbs"],
+            "sp_gflops": spec.sp_gflops,
+            "paper_sp_gflops": paper["sp_gflops"],
+        })
+    return rows
+
+
+def fig4_rows(scale: int = 1, devices=DEVICES) -> list[dict]:
+    """Figure 4 / Table IV: FI throughput, box rooms, 4 GPUs, 2 precisions."""
+    rows = []
+    for device in devices:
+        for size in SIZES:
+            b = room_bundle(size, "box", scale)
+            for impl in IMPLS:
+                for precision in PRECISIONS:
+                    t = modelled_time("fi_fused", precision, impl, device, b)
+                    paper = TABLE4_FI.get((device, impl, size))
+                    paper_ms = (paper[0] if precision == "single"
+                                else paper[1]) if paper else None
+                    rows.append({
+                        "device": device, "size": size, "impl": impl,
+                        "precision": precision,
+                        "time_ms": t.time_ms,
+                        "gelems": throughput_gelems("fi_fused", t, b),
+                        "paper_ms": paper_ms if scale == 1 else None,
+                    })
+    return rows
+
+
+def _boundary_rows(kind: str, paper_table: dict, scale: int,
+                   devices=DEVICES) -> list[dict]:
+    rows = []
+    for device in devices:
+        for shape in PAPER_SHAPES:
+            for size in SIZES:
+                b = room_bundle(size, shape, scale)
+                for impl in IMPLS:
+                    for precision in PRECISIONS:
+                        t = modelled_time(kind, precision, impl, device, b)
+                        paper = paper_table.get((device, impl, size, shape))
+                        paper_ms = (paper[0] if precision == "single"
+                                    else paper[1]) if paper else None
+                        rows.append({
+                            "device": device, "size": size, "shape": shape,
+                            "impl": impl, "precision": precision,
+                            "time_ms": t.time_ms,
+                            "gelems": throughput_gelems(kind, t, b),
+                            "paper_ms": paper_ms if scale == 1 else None,
+                        })
+    return rows
+
+
+def fig5_rows(scale: int = 1, devices=DEVICES) -> list[dict]:
+    """Figure 5 / Table V: FI-MM boundary kernel, box & dome."""
+    return _boundary_rows("fi_mm", TABLE5_FIMM, scale, devices)
+
+
+def fig6_rows(scale: int = 1, devices=DEVICES) -> list[dict]:
+    """Figure 6 / Table VI: FD-MM boundary kernel (3 ODE branches)."""
+    return _boundary_rows("fd_mm", TABLE6_FDMM, scale, devices)
+
+
+def fig2_rows(scale: int = 1, device: str = "GTX780",
+              precision: str = "double") -> list[dict]:
+    """Figure 2: boundary handling % of total computation time.
+
+    The paper measures the hand-written CUDA codes on a GTX 780; we model
+    the two-kernel split (volume + boundary) with the hand-written traits.
+    """
+    rows = []
+    for shape in PAPER_SHAPES:
+        for scheme, kind in (("FI-MM", "fi_mm"), ("FD-MM", "fd_mm")):
+            shares = []
+            for size in SIZES:
+                b = room_bundle(size, shape, scale)
+                tv = modelled_time("volume", precision, "OpenCL", device, b)
+                tb = modelled_time(kind, precision, "OpenCL", device, b)
+                shares.append(100.0 * tb.time_ms / (tv.time_ms + tb.time_ms))
+            rows.append({
+                "shape": shape, "scheme": scheme,
+                "share_pct_by_size": dict(zip(SIZES, shares)),
+                "share_pct_max": max(shares),
+                "paper_pct": FIG2_BOUNDARY_SHARE_PCT.get((shape, scheme)),
+            })
+    return rows

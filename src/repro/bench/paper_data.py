@@ -1,0 +1,196 @@
+"""The paper's published evaluation numbers, embedded for comparison.
+
+Sources: Table II (room sizes / boundary points), Table III (platforms),
+Tables IV–VI in the appendix (median kernel run times in milliseconds) and
+Figure 2 (percent of computation time in boundary handling — values read
+off the chart, marked approximate).
+
+Keys follow the paper's labels: platform ∈ {"AMD7970", "GTX780",
+"RadeonR9", "TitanBlack"}, version ∈ {"OpenCL", "LIFT"}, size ∈ {"602",
+"336", "302"}, shape ∈ {"box", "dome"}; values are (single_ms, double_ms).
+"""
+
+from __future__ import annotations
+
+#: Table II — (X, Y, Z) grid dims and boundary point counts per shape
+TABLE2_ROOMS = {
+    "602": {"dims": (602, 402, 302), "dome_bpts": 690_624, "box_bpts": 1_085_208},
+    "336": {"dims": (336, 336, 336), "dome_bpts": 376_808, "box_bpts": 673_352},
+    "302": {"dims": (302, 202, 152), "dome_bpts": 172_256, "box_bpts": 272_608},
+}
+
+#: Table III — platform metrics (GB/s, SP GFLOPS)
+TABLE3_PLATFORMS = {
+    "GTX780": {"bandwidth_gbs": 288, "sp_gflops": 3977},
+    "AMD7970": {"bandwidth_gbs": 288, "sp_gflops": 4096},
+    "TitanBlack": {"bandwidth_gbs": 337, "sp_gflops": 5120},
+    "RadeonR9": {"bandwidth_gbs": 320, "sp_gflops": 5733},
+}
+
+#: Table IV — naive frequency-independent (FI) kernel times [ms]
+#: {(platform, version, size): (single_ms, double_ms)}
+TABLE4_FI: dict[tuple[str, str, str], tuple[float, float]] = {
+    ("TitanBlack", "OpenCL", "602"): (8.19, 11.33),
+    ("TitanBlack", "LIFT", "602"): (6.93, 11.55),
+    ("TitanBlack", "OpenCL", "336"): (4.01, 5.16),
+    ("TitanBlack", "LIFT", "336"): (3.51, 5.91),
+    ("TitanBlack", "OpenCL", "302"): (0.97, 1.37),
+    ("TitanBlack", "LIFT", "302"): (0.84, 1.45),
+    ("AMD7970", "OpenCL", "602"): (5.05, 10.66),
+    ("AMD7970", "LIFT", "602"): (4.97, 10.31),
+    ("AMD7970", "OpenCL", "336"): (2.70, 5.68),
+    ("AMD7970", "LIFT", "336"): (2.70, 5.70),
+    ("AMD7970", "OpenCL", "302"): (0.66, 1.41),
+    ("AMD7970", "LIFT", "302"): (0.64, 1.31),
+    ("RadeonR9", "OpenCL", "602"): (4.89, 10.10),
+    ("RadeonR9", "LIFT", "602"): (5.05, 9.18),
+    ("RadeonR9", "OpenCL", "336"): (2.93, 4.91),
+    ("RadeonR9", "LIFT", "336"): (2.96, 5.09),
+    ("RadeonR9", "OpenCL", "302"): (0.60, 1.19),
+    ("RadeonR9", "LIFT", "302"): (0.69, 1.16),
+    ("GTX780", "OpenCL", "602"): (9.21, 12.30),
+    ("GTX780", "LIFT", "602"): (7.59, 13.24),
+    ("GTX780", "OpenCL", "336"): (4.57, 5.65),
+    ("GTX780", "LIFT", "336"): (3.85, 6.79),
+    ("GTX780", "OpenCL", "302"): (1.23, 1.52),
+    ("GTX780", "LIFT", "302"): (1.04, 1.69),
+}
+
+#: Table V — FI-MM boundary kernel times [ms]
+#: {(platform, version, size, shape): (single_ms, double_ms)}
+TABLE5_FIMM: dict[tuple[str, str, str, str], tuple[float, float]] = {
+    ("RadeonR9", "OpenCL", "602", "box"): (0.28, 0.51),
+    ("RadeonR9", "LIFT", "602", "box"): (0.28, 0.35),
+    ("RadeonR9", "OpenCL", "302", "box"): (0.07, 0.13),
+    ("RadeonR9", "LIFT", "302", "box"): (0.07, 0.09),
+    ("RadeonR9", "OpenCL", "336", "box"): (0.32, 0.60),
+    ("RadeonR9", "LIFT", "336", "box"): (0.33, 0.37),
+    ("AMD7970", "OpenCL", "602", "box"): (0.27, 0.34),
+    ("AMD7970", "LIFT", "602", "box"): (0.27, 0.34),
+    ("AMD7970", "OpenCL", "302", "box"): (0.07, 0.08),
+    ("AMD7970", "LIFT", "302", "box"): (0.07, 0.08),
+    ("AMD7970", "OpenCL", "336", "box"): (0.29, 0.33),
+    ("AMD7970", "LIFT", "336", "box"): (0.29, 0.33),
+    ("GTX780", "OpenCL", "602", "box"): (0.27, 0.33),
+    ("GTX780", "LIFT", "602", "box"): (0.27, 0.34),
+    ("GTX780", "OpenCL", "302", "box"): (0.06, 0.08),
+    ("GTX780", "LIFT", "302", "box"): (0.06, 0.08),
+    ("GTX780", "OpenCL", "336", "box"): (0.25, 0.34),
+    ("GTX780", "LIFT", "336", "box"): (0.25, 0.34),
+    ("TitanBlack", "OpenCL", "602", "box"): (0.29, 0.31),
+    ("TitanBlack", "LIFT", "602", "box"): (0.28, 0.36),
+    ("TitanBlack", "OpenCL", "302", "box"): (0.06, 0.07),
+    ("TitanBlack", "LIFT", "302", "box"): (0.06, 0.09),
+    ("TitanBlack", "OpenCL", "336", "box"): (0.30, 0.29),
+    ("TitanBlack", "LIFT", "336", "box"): (0.28, 0.40),
+    ("RadeonR9", "OpenCL", "602", "dome"): (0.34, 0.48),
+    ("RadeonR9", "LIFT", "602", "dome"): (0.34, 0.37),
+    ("RadeonR9", "OpenCL", "302", "dome"): (0.08, 0.11),
+    ("RadeonR9", "LIFT", "302", "dome"): (0.08, 0.08),
+    ("RadeonR9", "OpenCL", "336", "dome"): (0.28, 0.33),
+    ("RadeonR9", "LIFT", "336", "dome"): (0.28, 0.27),
+    ("AMD7970", "OpenCL", "602", "dome"): (0.32, 0.38),
+    ("AMD7970", "LIFT", "602", "dome"): (0.31, 0.38),
+    ("AMD7970", "OpenCL", "302", "dome"): (0.08, 0.09),
+    ("AMD7970", "LIFT", "302", "dome"): (0.08, 0.09),
+    ("AMD7970", "OpenCL", "336", "dome"): (0.25, 0.28),
+    ("AMD7970", "LIFT", "336", "dome"): (0.25, 0.28),
+    ("GTX780", "OpenCL", "602", "dome"): (0.28, 0.38),
+    ("GTX780", "LIFT", "602", "dome"): (0.29, 0.38),
+    ("GTX780", "OpenCL", "302", "dome"): (0.06, 0.09),
+    ("GTX780", "LIFT", "302", "dome"): (0.06, 0.09),
+    ("GTX780", "OpenCL", "336", "dome"): (0.19, 0.30),
+    ("GTX780", "LIFT", "336", "dome"): (0.21, 0.30),
+    ("TitanBlack", "OpenCL", "602", "dome"): (0.30, 0.32),
+    ("TitanBlack", "LIFT", "602", "dome"): (0.29, 0.37),
+    ("TitanBlack", "OpenCL", "302", "dome"): (0.06, 0.07),
+    ("TitanBlack", "LIFT", "302", "dome"): (0.06, 0.08),
+    ("TitanBlack", "OpenCL", "336", "dome"): (0.24, 0.25),
+    ("TitanBlack", "LIFT", "336", "dome"): (0.20, 0.25),
+}
+
+#: Table VI — FD-MM boundary kernel times [ms] (3 ODE branches)
+TABLE6_FDMM: dict[tuple[str, str, str, str], tuple[float, float]] = {
+    ("RadeonR9", "OpenCL", "602", "box"): (0.52, 1.05),
+    ("RadeonR9", "LIFT", "602", "box"): (0.47, 0.94),
+    ("RadeonR9", "OpenCL", "302", "box"): (0.12, 0.26),
+    ("RadeonR9", "LIFT", "302", "box"): (0.12, 0.23),
+    ("RadeonR9", "OpenCL", "336", "box"): (0.49, 0.69),
+    ("RadeonR9", "LIFT", "336", "box"): (0.44, 0.64),
+    ("AMD7970", "OpenCL", "602", "box"): (0.57, 0.93),
+    ("AMD7970", "LIFT", "602", "box"): (0.54, 0.85),
+    ("AMD7970", "OpenCL", "302", "box"): (0.13, 0.22),
+    ("AMD7970", "LIFT", "302", "box"): (0.13, 0.21),
+    ("AMD7970", "OpenCL", "336", "box"): (0.50, 0.71),
+    ("AMD7970", "LIFT", "336", "box"): (0.47, 0.69),
+    ("GTX780", "OpenCL", "602", "box"): (0.48, 0.78),
+    ("GTX780", "LIFT", "602", "box"): (0.52, 0.76),
+    ("GTX780", "OpenCL", "302", "box"): (0.11, 0.18),
+    ("GTX780", "LIFT", "302", "box"): (0.12, 0.18),
+    ("GTX780", "OpenCL", "336", "box"): (0.36, 0.61),
+    ("GTX780", "LIFT", "336", "box"): (0.38, 0.59),
+    ("TitanBlack", "OpenCL", "602", "box"): (0.49, 0.83),
+    ("TitanBlack", "LIFT", "602", "box"): (0.50, 0.87),
+    ("TitanBlack", "OpenCL", "302", "box"): (0.11, 0.20),
+    ("TitanBlack", "LIFT", "302", "box"): (0.12, 0.21),
+    ("TitanBlack", "OpenCL", "336", "box"): (0.40, 0.55),
+    ("TitanBlack", "LIFT", "336", "box"): (0.40, 0.60),
+    ("RadeonR9", "OpenCL", "602", "dome"): (0.45, 0.66),
+    ("RadeonR9", "LIFT", "602", "dome"): (0.46, 0.68),
+    ("RadeonR9", "OpenCL", "302", "dome"): (0.11, 0.17),
+    ("RadeonR9", "LIFT", "302", "dome"): (0.11, 0.17),
+    ("RadeonR9", "OpenCL", "336", "dome"): (0.37, 0.41),
+    ("RadeonR9", "LIFT", "336", "dome"): (0.35, 0.42),
+    ("AMD7970", "OpenCL", "602", "dome"): (0.48, 0.70),
+    ("AMD7970", "LIFT", "602", "dome"): (0.48, 0.70),
+    ("AMD7970", "OpenCL", "302", "dome"): (0.12, 0.17),
+    ("AMD7970", "LIFT", "302", "dome"): (0.12, 0.17),
+    ("AMD7970", "OpenCL", "336", "dome"): (0.36, 0.47),
+    ("AMD7970", "LIFT", "336", "dome"): (0.36, 0.47),
+    ("GTX780", "OpenCL", "602", "dome"): (0.41, 0.60),
+    ("GTX780", "LIFT", "602", "dome"): (0.44, 0.63),
+    ("GTX780", "OpenCL", "302", "dome"): (0.09, 0.15),
+    ("GTX780", "LIFT", "302", "dome"): (0.10, 0.16),
+    ("GTX780", "OpenCL", "336", "dome"): (0.29, 0.45),
+    ("GTX780", "LIFT", "336", "dome"): (0.29, 0.44),
+    ("TitanBlack", "OpenCL", "602", "dome"): (0.42, 0.56),
+    ("TitanBlack", "LIFT", "602", "dome"): (0.43, 0.65),
+    ("TitanBlack", "OpenCL", "302", "dome"): (0.10, 0.14),
+    ("TitanBlack", "LIFT", "302", "dome"): (0.10, 0.16),
+    ("TitanBlack", "OpenCL", "336", "dome"): (0.30, 0.36),
+    ("TitanBlack", "LIFT", "336", "dome"): (0.30, 0.42),
+}
+
+#: Figure 2 — boundary handling % of total computation time on a GTX 780
+#: (values read off the bar chart; approximate)
+FIG2_BOUNDARY_SHARE_PCT = {
+    ("box", "FI-MM"): 9.0,
+    ("box", "FD-MM"): 20.0,
+    ("dome", "FI-MM"): 7.0,
+    ("dome", "FD-MM"): 17.0,
+}
+
+#: §VII-B2 — per-update resource counts quoted in the text
+PAPER_RESOURCE_COUNTS = {
+    "fd_mm": {"memory_accesses": 45, "flops": 98},
+    "fi_mm": {"memory_accesses": 6, "flops": 7},
+}
+
+
+def fi_throughput_gelems(platform: str, version: str, size: str,
+                         precision: str) -> float:
+    """Figure 4's y-axis from Table IV: grid points / time [Gelem/s]."""
+    dims = TABLE2_ROOMS[size]["dims"]
+    n = dims[0] * dims[1] * dims[2]
+    t = TABLE4_FI[(platform, version, size)]
+    ms = t[0] if precision == "single" else t[1]
+    return n / (ms * 1e-3) / 1e9
+
+
+def boundary_throughput_gelems(table: dict, platform: str, version: str,
+                               size: str, shape: str, precision: str) -> float:
+    """Figures 5/6's y-axis from Tables V/VI: boundary points / time."""
+    k = TABLE2_ROOMS[size][f"{shape}_bpts"]
+    t = table[(platform, version, size, shape)]
+    ms = t[0] if precision == "single" else t[1]
+    return k / (ms * 1e-3) / 1e9

@@ -1,0 +1,25 @@
+"""repro.geowaves — beyond room acoustics (paper §VIII).
+
+The paper argues its LIFT extensions carry over to other FDTD wave
+models — reverse-time migration and ground-penetrating radar (GPR) — whose
+*volume* kernels update several field arrays in place every step
+("electromagnetic waves simulation requires modelling electric and
+magnetic fields separately ... leading to six separate arrays being
+updated ... all updated in-place").
+
+This subpackage demonstrates that claim with a 2-D TEz Yee FDTD
+electromagnetic solver (three fields: Ez, Hx, Hy) over heterogeneous
+permittivity maps with an absorbing sponge layer (a graded-conductivity
+stand-in for the PML the paper mentions):
+
+* :mod:`.fdtd2d` — NumPy reference kernels and the simulation driver;
+* :mod:`.lift_programs` — the same kernels in the extended LIFT IR: one
+  ``Map`` over the volume whose body is a *tuple of WriteTo element
+  updates* — the multi-array in-place volume kernel of §VIII.
+"""
+
+from .fdtd2d import GPRSimulation, GprConfig, permittivity_half_space
+from .lift_programs import e_update_program, h_update_program
+
+__all__ = ["GPRSimulation", "GprConfig", "permittivity_half_space",
+           "e_update_program", "h_update_program"]

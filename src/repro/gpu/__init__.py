@@ -1,0 +1,32 @@
+"""repro.gpu — a virtual OpenCL GPU substrate.
+
+The paper evaluates on four physical GPUs (Table III).  This package
+substitutes them with an analytic model so the reproduction runs anywhere:
+
+* :mod:`.device` — the paper's device table (memory bandwidth, SP GFLOPS)
+  plus microarchitectural parameters (DP ratio, DRAM sector size, compute
+  units) from vendor documentation;
+* :mod:`.costmodel` — a roofline kernel-time model driven by the
+  per-work-item resource counts of :mod:`repro.lift.analysis` and by
+  *exact* DRAM-sector statistics of the actual boundary-index arrays
+  (which is what makes box vs dome vs 336³ behave like the paper);
+* :mod:`.runtime` — virtual platform/queue/buffer/kernel/event objects
+  that execute LIFT host plans bit-correctly through the NumPy backend
+  while reporting modelled OpenCL profiling times;
+* :mod:`.autotune` — the "hand-tuned by workgroup size" emulation.
+"""
+
+from .device import (AMD_HD7970, AMD_R9_295X2, DeviceSpec, NVIDIA_GTX780,
+                     NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name)
+from .costmodel import (ImplTraits, KernelTiming, LIFT_TRAITS,
+                        HANDWRITTEN_TRAITS, kernel_time, sector_bytes_per_item)
+from .runtime import VirtualGPU, ProfilingEvent, RunResult
+from .autotune import autotune_workgroup
+
+__all__ = [
+    "AMD_HD7970", "AMD_R9_295X2", "DeviceSpec", "NVIDIA_GTX780",
+    "NVIDIA_TITAN_BLACK", "PAPER_DEVICES", "device_by_name",
+    "ImplTraits", "KernelTiming", "LIFT_TRAITS", "HANDWRITTEN_TRAITS",
+    "kernel_time", "sector_bytes_per_item",
+    "VirtualGPU", "ProfilingEvent", "RunResult", "autotune_workgroup",
+]

@@ -1,0 +1,95 @@
+"""Virtual device specifications.
+
+The four GPUs of the paper's Table III, extended with the
+microarchitectural parameters the cost model needs (all from public vendor
+documentation; Table III itself only lists bandwidth and SP GFLOPS):
+
+=================  ======  =========  ========  =======  ====
+device             GB/s    SP GFLOPS  DP ratio  sector   CUs
+=================  ======  =========  ========  =======  ====
+NVIDIA GTX 780     288     3977       1/24      32 B     12
+AMD HD 7970        288     4096       1/4       64 B     32
+NVIDIA TITAN Black 337     5120       1/3       32 B     15
+AMD R9 295X2       320     5733       1/8       64 B     44
+=================  ======  =========  ========  =======  ====
+
+(The R9 295X2 is a dual-GPU board; the paper benchmarks a single die, so
+bandwidth/GFLOPS here are per die, matching Table III.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A virtual GPU: everything the cost model knows about the hardware."""
+
+    name: str
+    vendor: str                    # "nvidia" | "amd"
+    mem_bandwidth_gbs: float       # peak DRAM bandwidth [GB/s]
+    sp_gflops: float               # peak single-precision GFLOP/s
+    dp_ratio: float                # DP throughput as a fraction of SP
+    sector_bytes: int              # minimum DRAM transaction granularity
+    compute_units: int             # SMs / CUs
+    warp_size: int                 # SIMD width (warp / wavefront)
+    max_workgroup: int = 1024
+    #: achievable fraction of peak bandwidth for streaming kernels
+    mem_efficiency: float = 0.65
+    #: fixed per-launch overhead [µs]
+    launch_overhead_us: float = 5.0
+
+    @property
+    def dp_gflops(self) -> float:
+        return self.sp_gflops * self.dp_ratio
+
+    def flops_rate(self, precision: str) -> float:
+        """Peak arithmetic rate [FLOP/s] for a precision string."""
+        if precision in ("single", "float32"):
+            return self.sp_gflops * 1e9
+        if precision in ("double", "float64"):
+            return self.dp_gflops * 1e9
+        raise ValueError(f"unknown precision {precision!r}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bandwidth [B/s]."""
+        return self.mem_bandwidth_gbs * 1e9 * self.mem_efficiency
+
+
+NVIDIA_GTX780 = DeviceSpec(
+    name="GTX780", vendor="nvidia", mem_bandwidth_gbs=288.0,
+    sp_gflops=3977.0, dp_ratio=1.0 / 24.0, sector_bytes=32,
+    compute_units=12, warp_size=32, mem_efficiency=0.62)
+
+AMD_HD7970 = DeviceSpec(
+    name="AMD7970", vendor="amd", mem_bandwidth_gbs=288.0,
+    sp_gflops=4096.0, dp_ratio=1.0 / 4.0, sector_bytes=64,
+    compute_units=32, warp_size=64, mem_efficiency=0.70)
+
+NVIDIA_TITAN_BLACK = DeviceSpec(
+    name="TitanBlack", vendor="nvidia", mem_bandwidth_gbs=337.0,
+    sp_gflops=5120.0, dp_ratio=1.0 / 3.0, sector_bytes=32,
+    compute_units=15, warp_size=32, mem_efficiency=0.62)
+
+AMD_R9_295X2 = DeviceSpec(
+    name="RadeonR9", vendor="amd", mem_bandwidth_gbs=320.0,
+    sp_gflops=5733.0, dp_ratio=1.0 / 8.0, sector_bytes=64,
+    compute_units=44, warp_size=64, mem_efficiency=0.70)
+
+#: the paper's evaluation devices, keyed as the figures label them
+PAPER_DEVICES: dict[str, DeviceSpec] = {
+    "AMD7970": AMD_HD7970,
+    "GTX780": NVIDIA_GTX780,
+    "RadeonR9": AMD_R9_295X2,
+    "TitanBlack": NVIDIA_TITAN_BLACK,
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    try:
+        return PAPER_DEVICES[name]
+    except KeyError:
+        raise ValueError(f"unknown device {name!r}; "
+                         f"available: {sorted(PAPER_DEVICES)}") from None

@@ -1,0 +1,291 @@
+"""Virtual OpenCL runtime: executes LIFT host plans on a modelled GPU.
+
+Executes a :class:`~repro.lift.codegen.host.HostPlan` produced by the LIFT
+host-code generator:
+
+* device buffers are NumPy arrays; ``CopyIn``/``CopyOut`` model PCIe
+  transfers;
+* each ``Launch`` runs the *NumPy realisation of the same kernel Lambda*
+  (bit-correct results) and records a :class:`ProfilingEvent` whose
+  duration comes from the cost model + workgroup autotuning — the virtual
+  analogue of the paper's "medians of 2000 executions ... using the OpenCL
+  profiling API.  Only running times of each kernel are reported";
+* dependent kernels are implicitly synchronised (the plan is sequential,
+  like the generated ``clFinish`` calls).
+
+The runtime's kernel-time path is shared with the benchmark harness, so
+table/figure regeneration and actual execution agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lift.analysis import Resources, analyse_kernel
+from ..lift.codegen.host import (ArgBinding, BufferDecl, CopyIn, CopyOut,
+                                 HostPlan, HostProgram, Launch)
+from ..lift.codegen.numpy_backend import NumpyKernel, compile_numpy
+from .autotune import autotune_workgroup
+from .costmodel import ImplTraits, KernelTiming, LIFT_TRAITS
+from .device import DeviceSpec
+
+#: modelled PCIe 3.0 x16 effective bandwidth [B/s]
+_PCIE_BANDWIDTH = 12e9
+
+
+class RuntimeError_(Exception):
+    """Virtual runtime errors (underscore avoids shadowing the builtin)."""
+
+
+@dataclass
+class ProfilingEvent:
+    """One profiled command, times in milliseconds (modelled)."""
+
+    kind: str                 # "kernel" | "h2d" | "d2h"
+    name: str
+    duration_ms: float
+    timing: KernelTiming | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a host plan."""
+
+    result: np.ndarray | None
+    buffers: dict[str, np.ndarray]
+    events: list[ProfilingEvent]
+
+    def kernel_time_ms(self, name_prefix: str | None = None) -> float:
+        """Total modelled kernel time (only kernels, like the paper)."""
+        return sum(e.duration_ms for e in self.events
+                   if e.kind == "kernel"
+                   and (name_prefix is None or e.name.startswith(name_prefix)))
+
+    def transfer_time_ms(self) -> float:
+        return sum(e.duration_ms for e in self.events if e.kind != "kernel")
+
+
+class VirtualGPU:
+    """A virtual OpenCL device + queue executing LIFT host programs."""
+
+    def __init__(self, device: DeviceSpec, traits: ImplTraits = LIFT_TRAITS,
+                 autotune: bool = True, workgroup: int = 256):
+        self.device = device
+        self.traits = traits
+        self.autotune = autotune
+        self.workgroup = workgroup
+        self._np_kernels: dict[str, NumpyKernel] = {}
+        self._resources: dict[str, Resources] = {}
+
+    # -- kernel caches -------------------------------------------------------------
+    def _np_kernel(self, launch: Launch) -> NumpyKernel:
+        ks = launch.kernel
+        if ks.name not in self._np_kernels:
+            if ks.kernel_lambda is None:
+                raise RuntimeError_(f"kernel {ks.name} lost its Lambda")
+            self._np_kernels[ks.name] = compile_numpy(
+                ks.kernel_lambda, ks.name, lower=False)
+        return self._np_kernels[ks.name]
+
+    def _kernel_resources(self, launch: Launch) -> Resources:
+        ks = launch.kernel
+        if ks.name not in self._resources:
+            self._resources[ks.name] = analyse_kernel(ks.kernel_lambda)
+        return self._resources[ks.name]
+
+    # -- execution --------------------------------------------------------------------
+    def execute(self, program: HostProgram,
+                inputs: dict[str, np.ndarray | float | int],
+                sizes: dict[str, int],
+                gather_index_param: str = "boundaryIndices") -> RunResult:
+        """Run a compiled host program on this virtual device.
+
+        ``inputs`` maps host parameter names to NumPy arrays / scalars;
+        ``sizes`` binds the symbolic size variables (N, K, M, ...).
+        """
+        plan: HostPlan = program.plan
+        buffers: dict[str, np.ndarray] = {}
+        events: list[ProfilingEvent] = []
+
+        for decl in plan.buffers:
+            count = int(decl.count.evaluate(sizes))
+            dtype = np.dtype(decl.scalar.np_dtype)
+            buffers[decl.name] = np.zeros(count, dtype=dtype)
+
+        result: np.ndarray | None = None
+        for op in plan.ops:
+            if isinstance(op, CopyIn):
+                src = np.asarray(inputs[op.host_name])
+                buf = buffers[op.buffer]
+                flat = src.reshape(-1)
+                n = min(flat.size, buf.size)
+                buf[:n] = flat[:n]
+                events.append(ProfilingEvent(
+                    "h2d", op.host_name,
+                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+            elif isinstance(op, Launch):
+                result = self._launch(op, buffers, inputs, sizes, events,
+                                      gather_index_param)
+            elif isinstance(op, CopyOut):
+                buf = buffers[op.buffer]
+                result = buf
+                events.append(ProfilingEvent(
+                    "d2h", op.buffer,
+                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+            else:
+                raise RuntimeError_(f"unknown plan op {op!r}")
+
+        if plan.result_buffer is not None:
+            result = buffers.get(plan.result_buffer, result)
+        return RunResult(result=result, buffers=buffers, events=events)
+
+    def execute_many(self, program: HostProgram,
+                     inputs: dict[str, np.ndarray | float | int],
+                     sizes: dict[str, int], steps: int,
+                     rotations: list[tuple[str, ...]] | None = None,
+                     gather_index_param: str = "boundaryIndices") -> RunResult:
+        """Run the host program iteratively with resident device buffers.
+
+        This is how the paper's application actually runs ("the two
+        kernels are executed iteratively"): inputs are uploaded once, the
+        kernel launches repeat every step, and buffer roles rotate between
+        steps.  ``rotations`` lists cycles of host-parameter names (the
+        sentinel ``"__out__"`` names the freshly-allocated output buffer):
+        after each step the buffer bound to each name is replaced by the
+        buffer of the next name in the cycle — e.g. the leapfrog rotation
+        ``("prev2_h", "prev1_h", "__out__")`` and the FD-MM swap
+        ``("v2_h", "v1_h")``.  Only kernel launches run per step; host
+        transfers happen once at the start/end, so the profiled kernel
+        time reflects steady-state operation.
+        """
+        plan: HostPlan = program.plan
+        buffers: dict[str, np.ndarray] = {}
+        events: list[ProfilingEvent] = []
+        for decl in plan.buffers:
+            count = int(decl.count.evaluate(sizes))
+            buffers[decl.name] = np.zeros(count,
+                                          dtype=np.dtype(decl.scalar.np_dtype))
+
+        host_to_buffer: dict[str, str] = {}
+        launches: list[Launch] = []
+        out_buffer: str | None = None
+        for op in plan.ops:
+            if isinstance(op, CopyIn):
+                src = np.asarray(inputs[op.host_name]).reshape(-1)
+                buf = buffers[op.buffer]
+                n = min(src.size, buf.size)
+                buf[:n] = src[:n]
+                host_to_buffer[op.host_name] = op.buffer
+                events.append(ProfilingEvent(
+                    "h2d", op.host_name,
+                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+            elif isinstance(op, Launch):
+                launches.append(op)
+                if op.out_buffer is not None:
+                    out_buffer = op.out_buffer
+
+        # name -> current buffer array (rotation permutes this binding)
+        binding: dict[str, str] = dict(host_to_buffer)
+        if out_buffer is not None:
+            binding["__out__"] = out_buffer
+            # a rotating output buffer must be as large as its cycle peers
+            # (state buffers carry the guard plane; see lift_programs)
+            for cycle in rotations or []:
+                if "__out__" in cycle:
+                    peer = max((buffers[binding[n]].size for n in cycle
+                                if n != "__out__"), default=0)
+                    if peer > buffers[out_buffer].size:
+                        buffers[out_buffer] = np.zeros(
+                            peer, dtype=buffers[out_buffer].dtype)
+
+        for _ in range(steps):
+            # rebind the launch arguments through the current rotation
+            view = {orig: buffers[binding[h]]
+                    for h, orig in host_to_buffer.items()}
+            if out_buffer is not None:
+                view[out_buffer] = buffers[binding["__out__"]]
+            for op in launches:
+                result = self._launch(op, view, inputs, sizes, events,
+                                      gather_index_param)
+            if rotations:
+                # each name takes over the buffer of the NEXT name in the
+                # cycle: ("prev2_h", "prev1_h", "__out__") realises the
+                # leapfrog rotation prev2 <- prev1 <- out <- (old prev2)
+                for cycle in rotations:
+                    names = list(cycle)
+                    olds = [binding[n] for n in names]
+                    for i, n in enumerate(names):
+                        binding[n] = olds[(i + 1) % len(names)]
+
+        final = buffers[binding.get("__out__", plan.result_buffer)]             if (out_buffer or plan.result_buffer) else None
+        if final is not None:
+            events.append(ProfilingEvent(
+                "d2h", "result",
+                duration_ms=final.nbytes / _PCIE_BANDWIDTH * 1e3))
+        # expose buffers under their rotated bindings for inspection
+        exposed = {f"final:{h}": buffers[b] for h, b in binding.items()}
+        exposed.update(buffers)
+        return RunResult(result=final, buffers=exposed, events=events)
+
+    def _launch(self, op: Launch, buffers: dict[str, np.ndarray],
+                inputs: dict, sizes: dict[str, int],
+                events: list[ProfilingEvent],
+                gather_index_param: str) -> np.ndarray | None:
+        nk = self._np_kernel(op)
+        args: list = []
+        size_kwargs: dict[str, int] = {}
+        out_array: np.ndarray | None = None
+        gather_index: np.ndarray | None = None
+
+        for binding in op.args:
+            if binding.kind == "buffer":
+                buf = buffers[binding.source]
+                if binding.param_name == "out":
+                    out_array = buf
+                else:
+                    args.append(buf)
+                if binding.param_name == gather_index_param:
+                    gather_index = buf
+            elif binding.kind == "scalar":
+                args.append(inputs[binding.source])
+            elif binding.kind == "size":
+                name = binding.param_name
+                size_kwargs[name] = int(sizes[name])
+            else:
+                raise RuntimeError_(f"unknown binding kind {binding.kind!r}")
+
+        for s in nk.size_params:
+            if s not in size_kwargs:
+                size_kwargs[s] = int(sizes[s])
+
+        if nk.returns_out:
+            if out_array is None:
+                raise RuntimeError_(f"kernel {op.kernel.name} needs an out buffer")
+            ret = nk.fn(*args, **size_kwargs, out=out_array)
+        else:
+            ret = nk.fn(*args, **size_kwargs)
+
+        n_items = (int(op.global_size.evaluate(sizes))
+                   if op.global_size is not None else 0)
+        res = self._kernel_resources(op)
+        precision = self._launch_precision(op)
+        if self.autotune:
+            timing = autotune_workgroup(res, n_items, self.device, precision,
+                                        self.traits, gather_index)
+        else:
+            from .costmodel import kernel_time
+            timing = kernel_time(res, n_items, self.device, precision,
+                                 self.traits, gather_index,
+                                 workgroup=self.workgroup)
+        events.append(ProfilingEvent("kernel", op.kernel.name,
+                                     duration_ms=timing.time_ms,
+                                     timing=timing))
+        return ret if isinstance(ret, np.ndarray) else None
+
+    @staticmethod
+    def _launch_precision(op: Launch) -> str:
+        widths = [p.scalar.nbytes for p in op.kernel.params
+                  if p.scalar.name in ("float", "double")]
+        return "double" if widths and max(widths) == 8 else "single"

@@ -1,0 +1,37 @@
+"""repro.lift — a Python re-implementation of the LIFT data-parallel IR
+and code generator, extended with the IPDPS'21 paper's primitives for
+complex boundary conditions (WriteTo / Concat / Skip / ArrayCons and the
+host-side OclKernel / ToGPU / ToHost).
+
+Layering (bottom-up):
+
+``arith`` → ``types`` → ``ast`` / ``patterns`` → ``type_inference`` →
+``interp`` (oracle) / ``views`` → ``memory`` → ``codegen`` (OpenCL C, host
+code, NumPy backend) with ``rewrite`` and ``analysis`` on the side.
+"""
+
+from . import arith, types
+from .arith import Cst, Var, to_arith
+from .ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
+                  UnaryOp, UserFun, as_expr, lam, lit)
+from .patterns import (ArrayAccess, ArrayCons, Concat, Get, Id, Iota,
+                       Iterate, Join, Map, Map3D, MapGlb, MapGlb3D, MapLcl,
+                       MapSeq, MapWrg, OclKernel, Pad, Pad3D, Reduce,
+                       ReduceSeq, Skip, Slide, Slide3D, Split, ToGPU, ToHost,
+                       Transpose, TupleCons, WriteTo, Zip, Zip3D, dump)
+from .type_inference import infer
+from .types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
+                    ScalarType, TupleType, TypeError_, array, float_type)
+
+__all__ = [
+    "arith", "types", "Cst", "Var", "to_arith",
+    "BinOp", "Expr", "FunCall", "Lambda", "Literal", "Param", "Select",
+    "UnaryOp", "UserFun", "as_expr", "lam", "lit",
+    "ArrayAccess", "ArrayCons", "Concat", "Get", "Id", "Iota", "Iterate",
+    "Join", "Map", "Map3D", "MapGlb", "MapGlb3D", "MapLcl", "MapSeq",
+    "MapWrg", "OclKernel", "Pad", "Pad3D", "Reduce", "ReduceSeq", "Skip",
+    "Slide", "Slide3D", "Split", "ToGPU", "ToHost", "Transpose", "TupleCons",
+    "WriteTo", "Zip", "Zip3D", "dump", "infer",
+    "ArrayType", "Bool", "Double", "Float", "Int", "LiftType", "Long",
+    "ScalarType", "TupleType", "TypeError_", "array", "float_type",
+]

@@ -1,0 +1,344 @@
+"""LIFT expression AST.
+
+The LIFT IR is a small typed lambda calculus over data-parallel patterns
+(:mod:`repro.lift.patterns`).  An expression is one of:
+
+* :class:`Param` — a named, typed function parameter;
+* :class:`Literal` — a scalar constant;
+* :class:`Lambda` — an anonymous function;
+* :class:`FunCall` — application of a :class:`FunDecl` (pattern, lambda or
+  user function) to argument expressions;
+* :class:`BinOp` / :class:`UnaryOp` / :class:`Select` — a scalar expression
+  sub-language.  (Upstream LIFT expresses scalar math via ``UserFun`` C
+  snippets only; we additionally provide first-class scalar operators so the
+  resource counter in :mod:`repro.lift.analysis` can count flops exactly.
+  ``UserFun`` is still supported for the paper flavour.)
+
+Expressions are *mutable only in their inferred ``type`` attribute*, which is
+filled in by :mod:`repro.lift.type_inference`.
+
+Builder sugar
+-------------
+``lam`` builds lambdas from a Python function, generating fresh params;
+``Param.arith`` exposes an integer-typed param as a symbolic
+:class:`~repro.lift.arith.Var` so it can appear in ``Skip`` lengths — the
+trick behind the paper's value-dependent in-place update types.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from . import arith
+from .arith import ArithExpr, Var
+from .types import (ArrayType, Double, Float, Int, LiftType, ScalarType,
+                    TupleType, TypeError_)
+
+
+class Expr:
+    """Base class for LIFT expressions; ``type`` is set by type inference."""
+
+    def __init__(self) -> None:
+        self.type: Optional[LiftType] = None
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # short structural repr for debugging
+        return f"{type(self).__name__}"
+
+
+class FunDecl:
+    """Base class of things that can be applied: patterns, lambdas, user funs."""
+
+    name: str = "<fun>"
+
+    def __call__(self, *args: "Expr | int | float") -> "FunCall":
+        return FunCall(self, *[as_expr(a) for a in args])
+
+    # ``f << x`` mirrors the paper's application syntax.
+    def __lshift__(self, arg) -> "FunCall":
+        if isinstance(arg, tuple):
+            return self(*arg)
+        return self(arg)
+
+
+class Param(Expr):
+    """A named function parameter with a declared type."""
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str, type_: LiftType):
+        super().__init__()
+        self.name = name
+        self.declared_type = type_
+        self.type = type_
+
+    @property
+    def arith(self) -> Var:
+        """This parameter as a symbolic arithmetic variable (int params only)."""
+        return Var(self.name)
+
+    def __repr__(self) -> str:
+        return f"Param({self.name})"
+
+
+class Literal(Expr):
+    """Scalar literal with an explicit LIFT scalar type."""
+
+    def __init__(self, value, type_: ScalarType):
+        super().__init__()
+        if not isinstance(type_, ScalarType):
+            raise TypeError_(f"Literal type must be scalar, got {type_!r}")
+        self.value = value
+        self.type = type_
+        self.declared_type = type_
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value})"
+
+
+class Lambda(Expr, FunDecl):
+    """Anonymous function; also usable as a FunDecl in FunCall."""
+
+    def __init__(self, params: Sequence[Param], body: Expr):
+        Expr.__init__(self)
+        self.params = tuple(params)
+        self.body = body
+        self.name = "<lambda>"
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Lambda({[p.name for p in self.params]})"
+
+
+class FunCall(Expr):
+    """Application of ``fun`` to ``args``."""
+
+    def __init__(self, fun: FunDecl, *args: Expr):
+        super().__init__()
+        if not isinstance(fun, FunDecl):
+            raise TypeError_(f"FunCall target must be a FunDecl, got {fun!r}")
+        self.fun = fun
+        self.args = tuple(as_expr(a) for a in args)
+
+    def children(self) -> tuple[Expr, ...]:
+        extra: tuple[Expr, ...] = ()
+        if isinstance(self.fun, Lambda):
+            extra = (self.fun,)
+        else:
+            extra = tuple(getattr(self.fun, "nested_exprs", lambda: ())())
+        return extra + self.args
+
+    def __repr__(self) -> str:
+        return f"FunCall({self.fun.name}, {len(self.args)} args)"
+
+
+_BINOPS = {
+    "+": ("add", 1),
+    "-": ("sub", 1),
+    "*": ("mul", 1),
+    "/": ("div", 1),
+    "min": ("min", 1),
+    "max": ("max", 1),
+    "==": ("eq", 0),
+    "!=": ("ne", 0),
+    "<": ("lt", 0),
+    "<=": ("le", 0),
+    ">": ("gt", 0),
+    ">=": ("ge", 0),
+}
+
+
+class BinOp(Expr):
+    """Scalar binary operation. ``op`` is one of ``_BINOPS``."""
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        super().__init__()
+        if op not in _BINOPS:
+            raise TypeError_(f"unknown binary op {op!r}")
+        self.op = op
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+
+    @property
+    def flops(self) -> int:
+        return _BINOPS[self.op][1]
+
+    @property
+    def is_comparison(self) -> bool:
+        return _BINOPS[self.op][1] == 0
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op})"
+
+
+class UnaryOp(Expr):
+    """Scalar unary operation: 'neg', 'sqrt', 'abs', 'toInt', 'toFloat'."""
+
+    OPS = ("neg", "sqrt", "abs", "toInt", "toFloat")
+
+    def __init__(self, op: str, operand: Expr):
+        super().__init__()
+        if op not in self.OPS:
+            raise TypeError_(f"unknown unary op {op!r}")
+        self.op = op
+        self.operand = as_expr(operand)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op})"
+
+
+class Select(Expr):
+    """Scalar conditional: ``cond ? if_true : if_false`` (OpenCL select)."""
+
+    def __init__(self, cond: Expr, if_true: Expr, if_false: Expr):
+        super().__init__()
+        self.cond = as_expr(cond)
+        self.if_true = as_expr(if_true)
+        self.if_false = as_expr(if_false)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __repr__(self) -> str:
+        return "Select"
+
+
+class UserFun(FunDecl):
+    """A scalar user function with a C body and a Python reference impl.
+
+    Example::
+
+        add = UserFun("add", ("a", "b"), "return a + b;",
+                      (Float, Float), Float, lambda a, b: a + b, flops=1)
+    """
+
+    def __init__(self, name: str, param_names: Sequence[str], body: str,
+                 in_types: Sequence[LiftType], out_type: LiftType,
+                 impl: Callable, flops: int = 1):
+        self.name = name
+        self.param_names = tuple(param_names)
+        self.body = body
+        self.in_types = tuple(in_types)
+        self.out_type = out_type
+        self.impl = impl
+        self.flops = flops
+        if len(self.param_names) != len(self.in_types):
+            raise TypeError_(f"UserFun {name}: arity mismatch")
+
+    def check_type(self, arg_types: Sequence[LiftType]) -> LiftType:
+        if len(arg_types) != len(self.in_types):
+            raise TypeError_(
+                f"UserFun {self.name}: expected {len(self.in_types)} args, got {len(arg_types)}")
+        for i, (got, want) in enumerate(zip(arg_types, self.in_types)):
+            if got != want:
+                raise TypeError_(
+                    f"UserFun {self.name}: arg {i} has type {got!r}, expected {want!r}")
+        return self.out_type
+
+
+# --- construction helpers -----------------------------------------------------
+
+def as_expr(value) -> Expr:
+    """Coerce Python scalars to Literals; pass through Exprs."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError_("bool literals are not supported; use comparisons")
+    if isinstance(value, int):
+        return Literal(value, Int)
+    if isinstance(value, float):
+        return Literal(value, Float)
+    raise TypeError_(f"cannot convert {value!r} to a LIFT expression")
+
+
+def lit(value, type_: ScalarType) -> Literal:
+    """Typed literal (use for Double constants: ``lit(2.0, Double)``)."""
+    return Literal(value, type_)
+
+
+_param_counter = itertools.count()
+
+
+def lam(param_types: Sequence[LiftType] | LiftType, fn: Callable,
+        names: Sequence[str] | None = None) -> Lambda:
+    """Build a Lambda from a Python function.
+
+    ``param_types`` is a type or list of types; ``fn`` receives the created
+    :class:`Param` objects and returns the body expression.
+    """
+    if isinstance(param_types, LiftType):
+        param_types = [param_types]
+    params = []
+    for i, t in enumerate(param_types):
+        name = names[i] if names else f"p_{next(_param_counter)}"
+        params.append(Param(name, t))
+    body = fn(*params)
+    return Lambda(params, as_expr(body))
+
+
+# --- traversal utilities --------------------------------------------------------
+
+def pre_order(expr: Expr):
+    """Yield every node of an expression tree, parents before children."""
+    yield expr
+    for c in expr.children():
+        yield from pre_order(c)
+
+
+def structurally_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality up to parameter identity (names must match)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Param):
+        return a.name == b.name
+    if isinstance(a, Literal):
+        return a.value == b.value and a.declared_type == b.declared_type
+    if isinstance(a, BinOp):
+        return a.op == b.op and structurally_equal(a.lhs, b.lhs) \
+            and structurally_equal(a.rhs, b.rhs)
+    if isinstance(a, UnaryOp):
+        return a.op == b.op and structurally_equal(a.operand, b.operand)
+    if isinstance(a, Select):
+        return all(structurally_equal(x, y) for x, y in
+                   zip(a.children(), b.children()))
+    if isinstance(a, Lambda):
+        if len(a.params) != len(b.params):
+            return False
+        if [p.name for p in a.params] != [p.name for p in b.params]:
+            return False
+        return structurally_equal(a.body, b.body)
+    if isinstance(a, FunCall):
+        if len(a.args) != len(b.args):
+            return False
+        if not _fun_equal(a.fun, b.fun):
+            return False
+        return all(structurally_equal(x, y) for x, y in zip(a.args, b.args))
+    return False
+
+
+def _fun_equal(f, g) -> bool:
+    if f is g:
+        return True
+    if type(f) is not type(g):
+        return False
+    if isinstance(f, Lambda):
+        return structurally_equal(f, g)
+    if isinstance(f, UserFun):
+        return f.name == g.name
+    # Patterns: compare via their configuration key (defined per-pattern).
+    fk = getattr(f, "config_key", None)
+    gk = getattr(g, "config_key", None)
+    if fk is None or gk is None:
+        return False
+    return fk() == gk()

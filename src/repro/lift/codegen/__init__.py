@@ -1,0 +1,16 @@
+"""Code generation backends for the LIFT IR.
+
+* :mod:`.opencl` — OpenCL C kernel source text (the paper's target).
+* :mod:`.host` — OpenCL host-side orchestration: C source text plus an
+  executable :class:`~repro.lift.codegen.host.HostPlan` for the virtual GPU
+  runtime.
+* :mod:`.numpy_backend` — a vectorising compiler emitting executable NumPy
+  Python source (the performance backend in this GPU-less reproduction).
+"""
+
+from .opencl import KernelSource, compile_kernel
+from .host import HostPlan, HostProgram, compile_host
+from .numpy_backend import compile_numpy
+
+__all__ = ["KernelSource", "compile_kernel", "HostPlan", "HostProgram",
+           "compile_host", "compile_numpy"]

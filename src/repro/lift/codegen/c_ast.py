@@ -1,0 +1,75 @@
+"""A minimal C source builder.
+
+LIFT proper lowers to a C AST; for this reproduction a disciplined string
+builder suffices — code generation remains structured (blocks, declarations,
+loops) while the artefact of interest is the emitted OpenCL C text.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class CBlock:
+    """An indented block of C statements."""
+
+    def __init__(self, indent: int = 0):
+        self.lines: list[str] = []
+        self.indent = indent
+
+    def stmt(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def comment(self, text: str) -> None:
+        self.stmt(f"// {text}")
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def declare(self, c_type: str, name: str, init: str | None = None) -> None:
+        if init is None:
+            self.stmt(f"{c_type} {name};")
+        else:
+            self.stmt(f"{c_type} {name} = {init};")
+
+    def open(self, header: str) -> "CBlock":
+        """Open a nested block (`header { ... }`); returns the inner block.
+
+        The closing brace is appended immediately — later statements added to
+        the returned inner block render before it, so blocks auto-close.
+        """
+        self.stmt(header + " {")
+        inner = CBlock(self.indent + 1)
+        self.lines.append(inner)  # type: ignore[arg-type]
+        self.stmt("}")
+        return inner
+
+    def for_loop(self, var: str, start: str, stop: str, step: str = "1") -> "CBlock":
+        inc = f"{var}++" if step == "1" else f"{var} += {step}"
+        return self.open(f"for (int {var} = {start}; {var} < {stop}; {inc})")
+
+    def if_block(self, cond: str) -> "CBlock":
+        return self.open(f"if ({cond})")
+
+    def render(self) -> str:
+        out: list[str] = []
+        self._render_into(out)
+        return "\n".join(out)
+
+    def _render_into(self, out: list[str]) -> None:
+        for item in self.lines:
+            if isinstance(item, CBlock):
+                item._render_into(out)
+            else:
+                out.append(item)
+
+
+class NameGen:
+    """Fresh C identifier generator (one counter per prefix)."""
+
+    def __init__(self):
+        self._counters: dict[str, itertools.count] = {}
+
+    def fresh(self, prefix: str = "v") -> str:
+        c = self._counters.setdefault(prefix, itertools.count())
+        return f"{prefix}_{next(c)}"

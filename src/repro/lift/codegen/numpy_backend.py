@@ -1,0 +1,761 @@
+"""Vectorising NumPy backend for the LIFT IR.
+
+Since this reproduction has no physical GPU, the executable target of the
+code generator is NumPy: :func:`compile_numpy` emits *textual Python
+source* for a kernel Lambda (inspectable, golden-testable) and compiles it
+with ``exec``.  The emission mirrors the OpenCL generator's structure but
+trades the work-item loop for whole-array operations:
+
+* a flat ``MapGlb`` becomes a ``_gid = np.arange(N)`` gather/compute/
+  scatter pipeline — boundary kernels (paper Listings 7–8) turn into fancy
+  indexing plus in-place scatters (``next[idx] = ...``), which is exactly
+  the memory behaviour the paper's in-place primitives encode;
+* a 3-D ``MapGlb3D`` stencil becomes shifted-slice arithmetic over padded
+  grids (``Pad3D`` materialises with ``np.pad``);
+* sequential inner maps / reductions over constant trip counts (the FD-MM
+  ODE branches) are unrolled at generation time.
+
+The generated functions receive the kernel's array/scalar arguments plus
+size parameters and write through the same output/aliasing decisions as
+:mod:`repro.lift.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import re
+
+import numpy as np
+
+from ..arith import ArithExpr, Cst, Var
+from ..ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
+                   UnaryOp, UserFun)
+from ..memory import allocate
+from ..patterns import (AbstractMap, AbstractReduce, ArrayAccess,
+                        ArrayAccess3, ArrayCons, Concat, Get, Id, Iota, Map,
+                        MapGlb, MapGlb3D, MapSeq, Pad, Pad3D, Pattern, Skip,
+                        Slide, Slide3D, Split, Join, ToGPU, ToHost,
+                        TupleCons, WriteTo, Zip, Zip3D)
+from ..types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
+                     ScalarType)
+from .c_ast import NameGen
+
+
+class NumpyCodegenError(Exception):
+    """Raised for IR shapes the NumPy backend does not support."""
+
+
+_IDENT = re.compile(r"^[A-Za-z_]\w*$")
+
+
+@dataclass
+class NumpyKernel:
+    """A compiled NumPy kernel: source text plus the callable."""
+
+    name: str
+    source: str
+    fn: object
+    param_names: list[str]
+    size_params: list[str]
+    out_alloc: object           # KernelAllocation
+    returns_out: bool           # True when a fresh `out` buffer is written
+
+    def __call__(self, *args, **sizes):
+        return self.fn(*args, **sizes)
+
+
+# --- views (python-expression flavoured) ------------------------------------------
+
+class NpView:
+    def access(self, idx: str) -> object:
+        raise NumpyCodegenError(f"{type(self).__name__} cannot be indexed")
+
+
+class NpMem(NpView):
+    def __init__(self, name: str):
+        self.name = name
+
+    def access(self, idx: str) -> str:
+        return f"{self.name}[{idx}]"
+
+
+class NpIota(NpView):
+    def access(self, idx: str) -> str:
+        return f"({idx})"
+
+
+class NpZip(NpView):
+    def __init__(self, components: list[NpView]):
+        self.components = components
+
+    def access(self, idx: str) -> "NpTuple":
+        return NpTuple([c.access(idx) for c in self.components])
+
+
+class NpTuple:
+    def __init__(self, components: list):
+        self.components = components
+
+    def get(self, i: int):
+        return self.components[i]
+
+
+class NpRepeat(NpView):
+    def __init__(self, value: str, n: int):
+        self.value = value
+        self.n = n
+
+    def access(self, idx: str) -> str:
+        return self.value
+
+
+class NpSlide(NpView):
+    def __init__(self, parent: NpView, size: int, step: int):
+        self.parent = parent
+        self.size = size
+        self.step = step
+
+    def access(self, idx: str) -> "NpWindow":
+        off = f"({idx})*{self.step}" if self.step != 1 else f"({idx})"
+        return NpWindow(self.parent, off, self.size)
+
+
+class NpWindow(NpView):
+    def __init__(self, parent: NpView, offset: str, size: int):
+        self.parent = parent
+        self.offset = offset
+        self.size = size
+
+    def access(self, idx: str):
+        return self.parent.access(f"{self.offset}+({idx})")
+
+
+# 3-D views: in the grid3d domain a "scalar per work-item" is a whole 3-D
+# array expression; windows carry constant offsets into the padded grid.
+
+class Np3D:
+    pass
+
+
+class NpMem3(Np3D):
+    """An (nz, ny, nx) array variable; element (z,y,x) vectorises to itself."""
+
+    def __init__(self, name: str, shape_names: tuple[str, str, str]):
+        self.name = name
+        self.shape_names = shape_names
+
+    def whole(self) -> str:
+        return self.name
+
+
+class NpSlide3(Np3D):
+    """Windows into a padded grid: element (dz,dy,dx) is a shifted slice."""
+
+    def __init__(self, padded_name: str, shape_names: tuple[str, str, str],
+                 size: int):
+        self.padded_name = padded_name
+        self.shape_names = shape_names  # of the *output* (window count) grid
+        self.size = size
+
+    def element(self, dz: int, dy: int, dx: int) -> str:
+        nz, ny, nx = self.shape_names
+        return (f"{self.padded_name}[{dz}:{dz}+{nz}, {dy}:{dy}+{ny}, "
+                f"{dx}:{dx}+{nx}]")
+
+
+class NpZip3(Np3D):
+    def __init__(self, components: list):
+        self.components = components
+
+
+# --- generator ---------------------------------------------------------------------
+
+
+class _Ctx:
+    def __init__(self, lines: list[str], names: NameGen):
+        self.env: dict[str, object] = {}
+        self.arith: dict[str, object] = {}  # name -> Var or Cst
+        self.lines = lines
+        self.names = names
+        self.memo: dict[int, object] = {}
+
+    def child(self) -> "_Ctx":
+        c = _Ctx(self.lines, self.names)
+        c.env = dict(self.env)
+        c.arith = dict(self.arith)
+        return c
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def temp(self, value: str, prefix: str = "t") -> str:
+        name = self.names.fresh(prefix)
+        self.emit(f"{name} = {value}")
+        return name
+
+
+def _render_arith(e: ArithExpr, ctx: _Ctx) -> str:
+    return e.substitute(ctx.arith).to_c()
+
+
+def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
+                  lower: bool = True) -> NumpyKernel:
+    """Generate and compile the NumPy realisation of a kernel Lambda."""
+    from ..rewrite import lower_simple
+    if lower:
+        kernel = lower_simple(kernel)
+    alloc = allocate(kernel)
+
+    names = NameGen()
+    lines: list[str] = []
+    ctx = _Ctx(lines, names)
+
+    param_names = [p.name for p in kernel.params]
+    for p in kernel.params:
+        t = p.declared_type
+        if isinstance(t, ArrayType):
+            dims = t.shape()
+            if len(dims) == 1:
+                ctx.env[p.name] = NpMem(p.name)
+            elif len(dims) == 3:
+                sn = tuple(_dim_name(d, i, p.name, ctx) for i, d in enumerate(dims))
+                ctx.env[p.name] = NpMem3(p.name, sn)  # type: ignore[arg-type]
+            else:
+                raise NumpyCodegenError(f"unsupported rank for {p.name}")
+        else:
+            ctx.env[p.name] = p.name
+            ctx.arith[p.name] = Var(p.name)
+
+    size_params = list(alloc.size_params)
+    for s in size_params:
+        ctx.arith[s] = Var(s)
+
+    returns_out = alloc.allocates_output
+    out_name = "out" if returns_out else None
+    if returns_out:
+        non_aliased = [o for o in alloc.outputs if not o.is_in_place]
+        if len(non_aliased) != 1:
+            raise NumpyCodegenError("at most one fresh output supported")
+
+    result_expr = _gen_top(kernel.body, out_name, ctx, kernel)
+
+    sig_parts = param_names + size_params + (["out"] if returns_out else [])
+    src_lines = [f"def {name}({', '.join(sig_parts)}):"]
+    src_lines += lines
+    if returns_out:
+        src_lines.append("    return out")
+    elif result_expr is not None:
+        src_lines.append(f"    return {result_expr}")
+    else:
+        aliased = [o.aliased_param.name for o in alloc.outputs
+                   if o.aliased_param is not None]
+        src_lines.append(f"    return {aliased[0] if aliased else 'None'}")
+    source = "\n".join(src_lines)
+
+    namespace: dict[str, object] = {"np": np}
+    exec(compile(source, f"<numpy backend:{name}>", "exec"), namespace)
+    fn = namespace[name]
+    return NumpyKernel(name=name, source=source, fn=fn,
+                       param_names=param_names, size_params=size_params,
+                       out_alloc=alloc, returns_out=returns_out)
+
+
+def _dim_name(d: ArithExpr, i: int, pname: str, ctx: _Ctx) -> str:
+    c = d.as_constant()
+    if c is not None:
+        return str(c)
+    # use the python shape at runtime: param.shape[i]
+    return f"{pname}.shape[{i}]"
+
+
+# --- top-level / write position ------------------------------------------------------
+
+
+def _gen_top(expr: Expr, out_name: str | None, ctx: _Ctx, kernel: Lambda):
+    if isinstance(expr, FunCall):
+        fun = expr.fun
+        if isinstance(fun, (ToGPU, ToHost, Id)):
+            return _gen_top(expr.args[0], out_name, ctx, kernel)
+        if isinstance(fun, TupleCons):
+            for a in expr.args:
+                _gen_top(a, None, ctx, kernel)
+            return None
+        if isinstance(fun, WriteTo):
+            return _gen_writeto(expr, ctx)
+        if isinstance(fun, MapGlb):
+            return _gen_mapglb(expr, out_name, ctx)
+        if isinstance(fun, MapGlb3D):
+            return _gen_mapglb3d(expr, out_name, ctx)
+    raise NumpyCodegenError(f"unsupported top-level expression {expr!r}")
+
+
+def _eta_expand(f, elem_t: LiftType) -> Lambda:
+    """Wrap a pattern/userfun map function as a typed one-param lambda."""
+    from ..type_inference import infer as _infer
+    import itertools
+    p = Param(f"_eta_{next(_ETA_IDS)}", elem_t)
+    call = FunCall(f, p)
+    _infer(call)
+    return Lambda([p], call)
+
+
+import itertools as _it
+
+_ETA_IDS = _it.count()
+
+
+def _gen_mapglb(expr: FunCall, out_name: str | None, ctx: _Ctx):
+    fun: MapGlb = expr.fun  # type: ignore[assignment]
+    arr_t = expr.args[0].type
+    if not isinstance(arr_t, ArrayType):
+        raise NumpyCodegenError("MapGlb over non-array")
+    n_py = _render_arith(arr_t.size, ctx)
+    view = _gen(expr.args[0], ctx)
+    ctx.emit(f"_gid = np.arange({n_py})")
+    inner = ctx.child()
+    elem = view.access("_gid") if isinstance(view, NpView) else None
+    if elem is None:
+        raise NumpyCodegenError("MapGlb input must be an array view")
+    body_t = expr.type
+    elem_t = body_t.elem if isinstance(body_t, ArrayType) else None
+    f = fun.f
+    if not isinstance(f, Lambda):
+        f = _eta_expand(f, arr_t.elem)
+    _bind(inner, f.params[0], elem)
+    if isinstance(elem_t, ArrayType):
+        # rows form: Concat/Skip scatter rows into the shared output
+        _gen_rows(f.body, out_name, inner)
+        return None
+    val = _gen_scalar(f.body, inner)
+    if val is None:
+        return None  # body was pure effects (tuple of element writes)
+    if out_name is None:
+        # the body's own WriteTo already realised the update (in-place
+        # element-write kernels return the written value)
+        return None
+    ctx.emit(f"{out_name}[_gid] = {val}")
+    return None
+
+
+def _gen_rows(body: Expr, out_name: str | None, ctx: _Ctx):
+    """Write one (mostly-skipped) row per work-item: vectorised scatter."""
+    # see through `let` chains (lambda applications)
+    while isinstance(body, FunCall) and isinstance(body.fun, Lambda):
+        inner = ctx.child()
+        for p, a in zip(body.fun.params, body.args):
+            _bind(inner, p, _gen(a, ctx))
+        ctx = inner
+        body = body.fun.body
+    if isinstance(body, FunCall) and isinstance(body.fun, WriteTo):
+        target = body.args[0]
+        view = _gen(target, ctx)
+        if not isinstance(view, NpMem):
+            raise NumpyCodegenError("row WriteTo target must be a flat buffer")
+        _gen_rows_into(body.args[1], view.name, ctx)
+        return
+    if out_name is None:
+        raise NumpyCodegenError("row write without an output buffer")
+    _gen_rows_into(body, out_name, ctx)
+
+
+def _gen_rows_into(expr: Expr, buffer: str, ctx: _Ctx):
+    if not (isinstance(expr, FunCall) and isinstance(expr.fun, Concat)):
+        raise NumpyCodegenError("row form requires a Concat of Skip/data parts")
+    offset_parts: list[str] = []
+    for part in expr.args:
+        if isinstance(part, FunCall) and isinstance(part.fun, Skip):
+            offset_parts.append(f"({_render_arith(part.fun.length, ctx)})")
+            continue
+        base = "+".join(offset_parts) if offset_parts else "0"
+        vals = _materialise_small(part, ctx)
+        for j, v in enumerate(vals):
+            idx = base if j == 0 else f"{base}+{j}"
+            ctx.emit(f"{buffer}[{idx}] = {v}")
+        t = part.type
+        if isinstance(t, ArrayType):
+            offset_parts.append(f"({_render_arith(t.size, ctx)})")
+
+
+def _materialise_small(expr: Expr, ctx: _Ctx) -> list[str]:
+    """Evaluate a small constant-length array part to scalar expressions."""
+    if isinstance(expr, FunCall):
+        fun = expr.fun
+        if isinstance(fun, ArrayCons):
+            v = _gen_scalar(expr.args[0], ctx)
+            return [v] * fun.n
+        if isinstance(fun, (Map, MapSeq)):
+            inner_vals = _materialise_small(expr.args[0], ctx)
+            out = []
+            for v in inner_vals:
+                f = fun.f
+                if isinstance(f, Lambda):
+                    c = ctx.child()
+                    _bind(c, f.params[0], v)
+                    out.append(_gen_scalar(f.body, c))
+                elif isinstance(f, UserFun):
+                    out.append(f"_uf_{f.name}({v})")
+                elif isinstance(f, Id):
+                    out.append(v)
+                else:
+                    raise NumpyCodegenError("unsupported map function in row part")
+            return out
+    raise NumpyCodegenError(f"cannot materialise row part {expr!r}")
+
+
+def _gen_writeto(expr: FunCall, ctx: _Ctx):
+    target = expr.args[0]
+    t = target
+    while isinstance(t, FunCall) and isinstance(t.fun, (ToGPU, ToHost, Id)):
+        t = t.args[0]
+    if isinstance(t, FunCall) and isinstance(t.fun, ArrayAccess):
+        view = _gen(t.args[0], ctx)
+        if not isinstance(view, NpMem):
+            raise NumpyCodegenError("element WriteTo target must be memory")
+        idx = _gen_scalar(t.args[1], ctx)
+        val = _gen_scalar(expr.args[1], ctx)
+        ctx.emit(f"{view.name}[{idx}] = {val}")
+        return f"{view.name}[{idx}]"
+    view = _gen(t, ctx)
+    if isinstance(view, NpMem):
+        value = expr.args[1]
+        # rows / map-over forms
+        vt = value.type
+        if isinstance(vt, ArrayType) and isinstance(vt.elem, ArrayType):
+            if isinstance(value, FunCall) and isinstance(value.fun, MapGlb):
+                return _gen_mapglb(value, view.name, ctx)
+            raise NumpyCodegenError("unsupported WriteTo rows value")
+        if isinstance(value, FunCall) and isinstance(value.fun, MapGlb):
+            return _gen_mapglb(value, view.name, ctx)
+        val = _gen_scalar(value, ctx)
+        ctx.emit(f"{view.name}[:] = {val}")
+        return view.name
+    if isinstance(view, NpMem3):
+        value = expr.args[1]
+        if isinstance(value, FunCall) and isinstance(value.fun, MapGlb3D):
+            return _gen_mapglb3d(value, view.name, ctx)
+        raise NumpyCodegenError("unsupported 3-D WriteTo value")
+    raise NumpyCodegenError(f"unsupported WriteTo target {target!r}")
+
+
+def _gen_mapglb3d(expr: FunCall, out_name: str | None, ctx: _Ctx):
+    fun: MapGlb3D = expr.fun  # type: ignore[assignment]
+    view = _gen(expr.args[0], ctx)
+    f = fun.f
+    if not isinstance(f, Lambda):
+        t = expr.args[0].type
+        elem_t = t
+        for _ in range(3):
+            if isinstance(elem_t, ArrayType):
+                elem_t = elem_t.elem
+        f = _eta_expand(f, elem_t)
+    inner = ctx.child()
+    if isinstance(view, NpZip3):
+        _bind(inner, f.params[0], NpTuple([_np3_element(c) for c in view.components]))
+    elif isinstance(view, NpMem3):
+        _bind(inner, f.params[0], view.whole())
+    else:
+        raise NumpyCodegenError("MapGlb3D input must be a 3-D view")
+    val = _gen_scalar(f.body, inner)
+    if out_name is None:
+        raise NumpyCodegenError("MapGlb3D needs an output grid")
+    ctx.emit(f"{out_name}[:, :, :] = {val}")
+    return None
+
+
+def _np3_element(c):
+    if isinstance(c, NpMem3):
+        return c.whole()
+    if isinstance(c, NpSlide3):
+        return c
+    raise NumpyCodegenError(f"unsupported Zip3D component {c!r}")
+
+
+# --- value generation -----------------------------------------------------------------
+
+
+def _bind(ctx: _Ctx, p: Param, value, prefer: str | None = None):
+    if isinstance(value, str) and not _IDENT.match(value):
+        tmp = ctx.temp(value, prefer or p.name)
+        value = tmp
+    if isinstance(value, str) and _IDENT.match(value):
+        ctx.arith[p.name] = Var(value)
+    ctx.env[p.name] = value
+
+
+def _bind_const(ctx: _Ctx, p: Param, value: int):
+    ctx.env[p.name] = str(value)
+    ctx.arith[p.name] = Cst(value)
+
+
+def _gen_scalar(expr: Expr, ctx: _Ctx):
+    v = _gen(expr, ctx)
+    if v is None or isinstance(v, str):
+        return v
+    raise NumpyCodegenError(f"expected a scalar expression, got {v!r}")
+
+
+def _gen(expr: Expr, ctx: _Ctx):
+    if isinstance(expr, Param):
+        if expr.name not in ctx.env:
+            raise NumpyCodegenError(f"unbound parameter {expr.name!r}")
+        return ctx.env[expr.name]
+    if isinstance(expr, Literal):
+        if expr.declared_type in (Float, Double):
+            return repr(float(expr.value))
+        return str(int(expr.value))
+
+    key = id(expr)
+    if key in ctx.memo:
+        return ctx.memo[key]
+    value = _gen_uncached(expr, ctx)
+    if isinstance(value, str) and not _IDENT.match(value) \
+            and isinstance(expr, FunCall) and isinstance(expr.type, ScalarType) \
+            and not isinstance(expr.fun, WriteTo):
+        value = ctx.temp(value)
+    ctx.memo[key] = value
+    return value
+
+
+def _gen_uncached(expr: Expr, ctx: _Ctx):
+    if isinstance(expr, BinOp):
+        a, b = _gen_scalar(expr.lhs, ctx), _gen_scalar(expr.rhs, ctx)
+        if expr.op == "min":
+            return f"np.minimum({a}, {b})"
+        if expr.op == "max":
+            return f"np.maximum({a}, {b})"
+        py_op = {"==": "==", "!=": "!=", "<": "<", "<=": "<=",
+                 ">": ">", ">=": ">=", "+": "+", "-": "-",
+                 "*": "*", "/": "/"}[expr.op]
+        return f"({a} {py_op} {b})"
+    if isinstance(expr, UnaryOp):
+        v = _gen_scalar(expr.operand, ctx)
+        return {"neg": f"(-({v}))", "sqrt": f"np.sqrt({v})",
+                "abs": f"np.abs({v})",
+                "toInt": f"np.asarray({v}).astype(np.int64)",
+                "toFloat": f"np.asarray({v}, dtype=np.float64)"}[expr.op]
+    if isinstance(expr, Select):
+        c = _gen_scalar(expr.cond, ctx)
+        t = _gen_scalar(expr.if_true, ctx)
+        f = _gen_scalar(expr.if_false, ctx)
+        return f"np.where({c}, {t}, {f})"
+    if isinstance(expr, FunCall):
+        return _gen_call(expr, ctx)
+    raise NumpyCodegenError(f"cannot generate {expr!r}")
+
+
+def _gen_call(expr: FunCall, ctx: _Ctx):
+    fun = expr.fun
+
+    if isinstance(fun, Lambda):
+        inner = ctx.child()
+        for p, a in zip(fun.params, expr.args):
+            _bind(inner, p, _gen(a, ctx))
+        return _gen(fun.body, inner)
+    if isinstance(fun, UserFun):
+        args = [_gen_scalar(a, ctx) for a in expr.args]
+        body = _inline_userfun(fun, args)
+        return body
+
+    if isinstance(fun, Get):
+        tup = _gen(expr.args[0], ctx)
+        if not isinstance(tup, NpTuple):
+            raise NumpyCodegenError("Get on non-tuple")
+        return tup.get(fun.i)
+
+    if isinstance(fun, Zip):
+        return NpZip([_gen(a, ctx) for a in expr.args])
+
+    if isinstance(fun, Zip3D):
+        return NpZip3([_gen(a, ctx) for a in expr.args])
+
+    if isinstance(fun, Iota):
+        return NpIota()
+
+    if isinstance(fun, ArrayAccess):
+        view = _gen(expr.args[0], ctx)
+        idx = _gen_scalar(expr.args[1], ctx)
+        if isinstance(view, NpView):
+            return view.access(idx)
+        if isinstance(view, list):
+            try:
+                return view[int(idx)]
+            except ValueError:
+                raise NumpyCodegenError(
+                    "indexing a private array needs a constant index") from None
+        raise NumpyCodegenError("ArrayAccess on non-view")
+
+    if isinstance(fun, ArrayAccess3):
+        view = _gen(expr.args[0], ctx)
+        idxs = [expr.args[i] for i in (1, 2, 3)]
+        consts = [_const_of(i) for i in idxs]
+        if isinstance(view, NpSlide3):
+            if any(c is None for c in consts):
+                raise NumpyCodegenError(
+                    "ArrayAccess3 into a window needs constant offsets")
+            return view.element(*consts)  # type: ignore[arg-type]
+        raise NumpyCodegenError("ArrayAccess3 on unsupported view")
+
+    if isinstance(fun, Slide):
+        return NpSlide(_np_view(_gen(expr.args[0], ctx)), fun.size, fun.step)
+
+    if isinstance(fun, Pad):
+        view = _gen(expr.args[0], ctx)
+        if not isinstance(view, NpMem):
+            # materialise the parent first
+            raise NumpyCodegenError("Pad over non-memory view")
+        padded = ctx.temp(
+            f"np.pad({view.name}, ({fun.left}, {fun.right}), "
+            f"constant_values={float(fun.value.value)!r})", "pad")
+        return NpMem(padded)
+
+    if isinstance(fun, Pad3D):
+        view = _gen(expr.args[0], ctx)
+        if not isinstance(view, NpMem3):
+            raise NumpyCodegenError("Pad3D over non-memory view")
+        padded = ctx.temp(
+            f"np.pad({view.name}, {fun.left}, "
+            f"constant_values={float(fun.value.value)!r})", "pad3")
+        return NpMem3(padded, view.shape_names)
+
+    if isinstance(fun, Slide3D):
+        view = _gen(expr.args[0], ctx)
+        if not isinstance(view, NpMem3):
+            raise NumpyCodegenError("Slide3D over non-memory view")
+        t = expr.type  # Array^3 of windows: shape = counts
+        dims = t.shape()
+        shape_names = tuple(_dim_render(d, ctx) for d in dims[:3])
+        return NpSlide3(view.name, shape_names, fun.size)  # type: ignore[arg-type]
+
+    if isinstance(fun, (Id, ToGPU, ToHost)):
+        return _gen(expr.args[0], ctx)
+
+    if isinstance(fun, ArrayCons):
+        v = _gen_scalar(expr.args[0], ctx)
+        return NpRepeat(v, fun.n)
+
+    if isinstance(fun, AbstractReduce):
+        return _gen_reduce(expr, ctx)
+
+    if isinstance(fun, (MapSeq, Map)):
+        return _gen_seq_map(expr, ctx)
+
+    if isinstance(fun, WriteTo):
+        return _gen_writeto(expr, ctx)
+
+    if isinstance(fun, TupleCons):
+        for a in expr.args:
+            _gen(a, ctx)
+        return None
+
+    raise NumpyCodegenError(f"pattern {fun.name} unsupported in value position")
+
+
+def _inline_userfun(uf: UserFun, args: list[str]) -> str:
+    """Inline simple `return <expr>;` user functions as Python expressions."""
+    body = uf.body.strip()
+    if body.startswith("return") and body.endswith(";"):
+        e = body[len("return"):-1].strip()
+        for pn, a in zip(uf.param_names, args):
+            e = re.sub(rf"\b{re.escape(pn)}\b", f"({a})", e)
+        return f"({e})"
+    raise NumpyCodegenError(f"cannot inline user function {uf.name}")
+
+
+def _np_view(v) -> NpView:
+    if isinstance(v, NpView):
+        return v
+    raise NumpyCodegenError(f"expected array view, got {v!r}")
+
+
+def _const_of(e: Expr) -> int | None:
+    if isinstance(e, Literal):
+        return int(e.value)
+    return None
+
+
+def _dim_render(d: ArithExpr, ctx: _Ctx) -> str:
+    c = d.as_constant()
+    if c is not None:
+        return str(c)
+    return f"({_render_arith(d, ctx)})"
+
+
+def _gen_reduce(expr: FunCall, ctx: _Ctx) -> str:
+    fun: AbstractReduce = expr.fun  # type: ignore[assignment]
+    arr_t = expr.args[0].type
+    if not isinstance(arr_t, ArrayType):
+        raise NumpyCodegenError("Reduce over non-array")
+    n = arr_t.size.as_constant()
+    view_or_elems = _reduce_elements(expr.args[0], n, ctx)
+    acc = _gen_scalar(fun.init, ctx)
+    for elem in view_or_elems:
+        if isinstance(fun.f, Lambda):
+            inner = ctx.child()
+            _bind(inner, fun.f.params[0], acc)
+            _bind(inner, fun.f.params[1], elem)
+            acc = _gen_scalar(fun.f.body, inner)
+        elif isinstance(fun.f, UserFun):
+            acc = _inline_userfun(fun.f, [acc, elem])
+        else:
+            raise NumpyCodegenError("unsupported reduce function")
+        acc = ctx.temp(acc, "acc")
+    return acc
+
+
+def _reduce_elements(arr_expr: Expr, n: int | None, ctx: _Ctx) -> list[str]:
+    """Unrolled element expressions of a constant-length array."""
+    if n is None:
+        raise NumpyCodegenError("Reduce needs a constant length in the NumPy "
+                                "backend (stencil windows / ODE branches)")
+    # Map over Iota / window views unrolls cleanly
+    view = _gen(arr_expr, ctx)
+    if isinstance(view, NpView):
+        return [_as_scalar(view.access(str(j))) for j in range(n)]
+    if isinstance(view, list):
+        return view
+    raise NumpyCodegenError(f"cannot unroll reduce input {view!r}")
+
+
+def _as_scalar(v) -> str:
+    if isinstance(v, str):
+        return v
+    raise NumpyCodegenError(f"expected scalar element, got {v!r}")
+
+
+def _gen_seq_map(expr: FunCall, ctx: _Ctx):
+    """Sequential map in value position: unroll to a list of scalar exprs."""
+    fun: AbstractMap = expr.fun  # type: ignore[assignment]
+    arr_t = expr.args[0].type
+    if not isinstance(arr_t, ArrayType):
+        raise NumpyCodegenError("map over non-array")
+    n = arr_t.size.as_constant()
+    if n is None:
+        raise NumpyCodegenError("value-position map needs constant length")
+    view = _gen(expr.args[0], ctx)
+    out: list[str] = []
+    for j in range(n):
+        if isinstance(view, NpView):
+            elem = view.access(str(j))
+        elif isinstance(view, list):
+            elem = view[j]
+        else:
+            raise NumpyCodegenError("unsupported map input")
+        f = fun.f
+        if isinstance(f, Lambda):
+            inner = ctx.child()
+            if isinstance(view, NpIota) or (
+                    isinstance(expr.args[0], FunCall)
+                    and isinstance(expr.args[0].fun, Iota)):
+                _bind_const(inner, f.params[0], j)
+            else:
+                _bind(inner, f.params[0], elem)
+            r = _gen(f.body, inner)
+            out.append(r if isinstance(r, str) else "None")
+        elif isinstance(f, UserFun):
+            out.append(_inline_userfun(f, [_as_scalar(elem)]))
+        elif isinstance(f, Id):
+            out.append(_as_scalar(elem))
+        else:
+            raise NumpyCodegenError("unsupported map function")
+    return out

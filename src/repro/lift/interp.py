@@ -1,0 +1,492 @@
+"""Reference interpreter for the LIFT IR.
+
+Executes programs directly on NumPy arrays / Python values, element by
+element.  It is the *semantic oracle*: slow but straightforward, used by the
+test-suite to validate the NumPy backend, the OpenCL code generator's
+structure, and the rewrite rules.
+
+In-place primitives are realised with two helper value kinds:
+
+* :class:`SkipValue` — result of ``Skip``; carries only a length.
+* :class:`SegmentedValue` — result of a ``Concat`` containing skips; a list
+  of ``(offset, data)`` segments plus a nominal total length.  ``WriteTo``
+  applies the data segments to the target buffer and leaves skipped ranges
+  untouched — exactly the paper's "behind the scenes it only writes values
+  at idx".
+
+Sharing: host programs are DAGs (``val next_g = OclKernel(...)`` used
+twice).  Within one environment frame each ``FunCall`` node is evaluated at
+most once, giving let-binding semantics so kernels (and their side effects)
+do not re-run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from .arith import ArithExpr
+from .ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
+                  UnaryOp, UserFun)
+from .patterns import (AbstractMap, AbstractReduce, ArrayAccess,
+                       ArrayAccess3, ArrayCons, Concat, Get, Id, Iota,
+                       Iterate, Join, Map3D, MapGlb3D, OclKernel, Pad, Pad3D,
+                       Pattern, Skip, Slide, Slide3D, Split, ToGPU, ToHost,
+                       Transpose, TupleCons, WriteTo, Zip, Zip3D)
+from .types import TypeError_
+
+
+class InterpError(Exception):
+    """Raised when the interpreter meets an unsupported construct or value."""
+
+
+class SkipValue:
+    """Value of a ``Skip``: ``length`` elements that generate no writes."""
+
+    __slots__ = ("length",)
+
+    def __init__(self, length: int):
+        self.length = int(length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"SkipValue({self.length})"
+
+
+class SegmentedValue:
+    """A partially-materialised array: data segments at explicit offsets."""
+
+    __slots__ = ("segments", "length")
+
+    def __init__(self, segments: list[tuple[int, Any]], length: int):
+        self.segments = segments
+        self.length = int(length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def apply_to(self, buffer: np.ndarray) -> None:
+        """Scatter the data segments into ``buffer`` (in place)."""
+        for offset, data in self.segments:
+            n = _value_len(data)
+            buffer[offset:offset + n] = np.asarray(data)
+
+    def __repr__(self) -> str:
+        return f"SegmentedValue({len(self.segments)} segs, len={self.length})"
+
+
+def _value_len(v) -> int:
+    if isinstance(v, (SkipValue, SegmentedValue)):
+        return len(v)
+    if isinstance(v, np.ndarray):
+        return v.shape[0]
+    return len(v)
+
+
+class _Env:
+    """Immutable-ish environment frame with a unique token for memoisation."""
+
+    _tokens = iter(range(1, 1 << 62))
+
+    def __init__(self, bindings: dict[str, Any], parent: "_Env | None" = None):
+        self.bindings = bindings
+        self.parent = parent
+        self.token = next(self._tokens)
+
+    def lookup(self, name: str):
+        env: _Env | None = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise InterpError(f"unbound parameter {name!r}")
+
+    def int_bindings(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        env: _Env | None = self
+        while env is not None:
+            for k, v in env.bindings.items():
+                if k not in out and isinstance(v, (int, np.integer)):
+                    out[k] = int(v)
+            env = env.parent
+        return out
+
+
+class Zip3DValue:
+    """Lazy element-wise zip of same-shape 3-D (or windowed 6-D) arrays."""
+
+    __slots__ = ("arrays", "shape")
+
+    def __init__(self, arrays: tuple):
+        self.arrays = arrays
+        self.shape = arrays[0].shape[:3]
+        for a in arrays[1:]:
+            if a.shape[:3] != self.shape:
+                raise InterpError("Zip3D over different shapes")
+
+    def element(self, i: int, j: int, k: int) -> tuple:
+        out = []
+        for a in self.arrays:
+            if a.ndim == 3:
+                out.append(a[i, j, k])
+            else:  # windowed: [i,j,k] selects a size^3 neighbourhood
+                out.append(a[i, j, k])
+        return tuple(out)
+
+
+class Interp:
+    """LIFT reference interpreter.
+
+    Parameters
+    ----------
+    sizes:
+        Values for free symbolic size variables (``{"N": 1000, ...}``),
+        needed by ``Iota`` and ``Skip`` lengths that mention them.
+    """
+
+    def __init__(self, sizes: Mapping[str, int] | None = None):
+        self.sizes = dict(sizes or {})
+        self._memo: dict[tuple[int, int], Any] = {}
+
+    # -- public API ----------------------------------------------------------
+    def run(self, program: Lambda, *inputs) -> Any:
+        """Apply a top-level Lambda program to input values."""
+        if len(inputs) != len(program.params):
+            raise InterpError(
+                f"program expects {len(program.params)} inputs, got {len(inputs)}")
+        self._memo.clear()
+        env = _Env({p.name: v for p, v in zip(program.params, inputs)})
+        return self.eval(program.body, env)
+
+    # -- evaluation ------------------------------------------------------------
+    def eval(self, expr: Expr, env: _Env) -> Any:
+        if isinstance(expr, Param):
+            return env.lookup(expr.name)
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, BinOp):
+            return self._binop(expr, env)
+        if isinstance(expr, UnaryOp):
+            return self._unop(expr, env)
+        if isinstance(expr, Select):
+            cond = self.eval(expr.cond, env)
+            return self.eval(expr.if_true, env) if cond else self.eval(expr.if_false, env)
+        if isinstance(expr, Lambda):
+            raise InterpError("cannot evaluate a bare Lambda; apply it")
+        if isinstance(expr, FunCall):
+            key = (id(expr), env.token)
+            if key in self._memo:
+                return self._memo[key]
+            args = [self.eval(a, env) for a in expr.args]
+            result = self.apply(expr.fun, args, env, call=expr)
+            self._memo[key] = result
+            return result
+        raise InterpError(f"cannot evaluate {expr!r}")
+
+    def _binop(self, expr: BinOp, env: _Env):
+        a = self.eval(expr.lhs, env)
+        b = self.eval(expr.rhs, env)
+        op = expr.op
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return a / b
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        raise InterpError(f"unknown binop {op!r}")
+
+    def _unop(self, expr: UnaryOp, env: _Env):
+        v = self.eval(expr.operand, env)
+        if expr.op == "neg":
+            return -v
+        if expr.op == "sqrt":
+            return math.sqrt(v)
+        if expr.op == "abs":
+            return abs(v)
+        if expr.op == "toInt":
+            return int(v)
+        if expr.op == "toFloat":
+            return float(v)
+        raise InterpError(f"unknown unary op {expr.op!r}")
+
+    # -- application -------------------------------------------------------------
+    def apply(self, fun, args: list, env: _Env, call: FunCall | None = None):
+        if isinstance(fun, Lambda):
+            if len(fun.params) != len(args):
+                raise InterpError(
+                    f"lambda arity mismatch: {len(fun.params)} vs {len(args)}")
+            inner = _Env({p.name: v for p, v in zip(fun.params, args)}, parent=env)
+            return self.eval(fun.body, inner)
+        if isinstance(fun, UserFun):
+            return fun.impl(*args)
+        if isinstance(fun, Pattern):
+            return self._apply_pattern(fun, args, env, call)
+        raise InterpError(f"cannot apply {fun!r}")
+
+    def _arith(self, e: ArithExpr, env: _Env) -> int:
+        values = dict(self.sizes)
+        values.update(env.int_bindings())
+        return int(e.evaluate(values))
+
+    # -- pattern semantics ----------------------------------------------------------
+    def _apply_pattern(self, pat: Pattern, args: list, env: _Env,
+                       call: FunCall | None):
+        if isinstance(pat, (Map3D, MapGlb3D)):
+            vol = args[0]
+            if isinstance(vol, np.ndarray):
+                shape = vol.shape[:3]
+                elem = lambda i, j, k: vol[i, j, k]
+            elif isinstance(vol, Zip3DValue):
+                shape = vol.shape
+                elem = vol.element
+            else:
+                raise InterpError(f"Map3D over {type(vol).__name__}")
+            out = np.empty(shape, dtype=np.float64)
+            for i in range(shape[0]):
+                for j in range(shape[1]):
+                    for k in range(shape[2]):
+                        out[i, j, k] = self.apply(pat.f, [elem(i, j, k)], env)
+            return out
+
+        if isinstance(pat, AbstractMap):
+            xs = args[0]
+            results = [self.apply(pat.f, [x], env) for x in _iter_array(xs)]
+            if results and all(isinstance(r, (int, float, np.integer, np.floating))
+                               for r in results):
+                return np.asarray(results)
+            return results
+
+        if isinstance(pat, AbstractReduce):
+            acc = self.eval(pat.init, env)
+            for x in _iter_array(args[0]):
+                acc = self.apply(pat.f, [acc, x], env)
+            return acc
+
+        if isinstance(pat, Zip):
+            lists = [list(_iter_array(a)) for a in args]
+            n0 = len(lists[0])
+            for l in lists[1:]:
+                if len(l) != n0:
+                    raise InterpError("Zip over different lengths")
+            return [tuple(l[i] for l in lists) for i in range(n0)]
+
+        if isinstance(pat, Zip3D):
+            return Zip3DValue(tuple(np.asarray(a) if not isinstance(a, np.ndarray)
+                                    else a for a in args))
+
+        if isinstance(pat, Get):
+            return args[0][pat.i]
+
+        if isinstance(pat, TupleCons):
+            return tuple(args)
+
+        if isinstance(pat, Split):
+            n = self._arith(pat.n, env)
+            xs = args[0]
+            if isinstance(xs, np.ndarray):
+                if xs.shape[0] % n:
+                    raise InterpError(f"Split({n}) of length {xs.shape[0]}")
+                return xs.reshape(xs.shape[0] // n, n, *xs.shape[1:])
+            if len(xs) % n:
+                raise InterpError(f"Split({n}) of length {len(xs)}")
+            return [xs[i:i + n] for i in range(0, len(xs), n)]
+
+        if isinstance(pat, Join):
+            xs = args[0]
+            if isinstance(xs, np.ndarray):
+                return xs.reshape(xs.shape[0] * xs.shape[1], *xs.shape[2:])
+            out = []
+            for row in xs:
+                out.extend(list(_iter_array(row)))
+            if out and all(isinstance(r, (int, float, np.integer, np.floating))
+                           for r in out):
+                return np.asarray(out)
+            return out
+
+        if isinstance(pat, Transpose):
+            xs = args[0]
+            if isinstance(xs, np.ndarray):
+                return np.swapaxes(xs, 0, 1)
+            rows = [list(_iter_array(r)) for r in xs]
+            return [list(col) for col in zip(*rows)]
+
+        if isinstance(pat, Slide):
+            xs = np.asarray(args[0])
+            win = np.lib.stride_tricks.sliding_window_view(xs, pat.size, axis=0)
+            return win[::pat.step]
+
+        if isinstance(pat, Pad):
+            xs = np.asarray(args[0])
+            return np.pad(xs, (pat.left, pat.right), mode="constant",
+                          constant_values=pat.value.value)
+
+        if isinstance(pat, Slide3D):
+            xs = np.asarray(args[0])
+            win = np.lib.stride_tricks.sliding_window_view(
+                xs, (pat.size, pat.size, pat.size))
+            return win[::pat.step, ::pat.step, ::pat.step]
+
+        if isinstance(pat, Pad3D):
+            xs = np.asarray(args[0])
+            w = (pat.left, pat.right)
+            return np.pad(xs, (w, w, w), mode="constant",
+                          constant_values=pat.value.value)
+
+        if isinstance(pat, Iota):
+            return np.arange(self._arith(pat.n, env), dtype=np.int64)
+
+        if isinstance(pat, Id):
+            return args[0]
+
+        if isinstance(pat, ArrayAccess):
+            arr, idx = args
+            return arr[int(idx)]
+
+        if isinstance(pat, ArrayAccess3):
+            arr, z, y, x = args
+            return arr[int(z), int(y), int(x)]
+
+        if isinstance(pat, Iterate):
+            v = args[0]
+            for _ in range(pat.n):
+                v = self.apply(pat.f, [v], env)
+            return v
+
+        if isinstance(pat, WriteTo):
+            if call is None or len(call.args) != 2:
+                raise InterpError("WriteTo requires a syntactic call context")
+            value = args[1]
+            return self._write_to(call.args[0], value, env)
+
+        if isinstance(pat, Concat):
+            return _concat(args)
+
+        if isinstance(pat, Skip):
+            return SkipValue(self._arith(pat.length, env))
+
+        if isinstance(pat, ArrayCons):
+            return [args[0]] * pat.n
+
+        if isinstance(pat, (ToGPU, ToHost)):
+            return args[0]
+
+        if isinstance(pat, OclKernel):
+            return self.apply(pat.kernel, args, env)
+
+        raise InterpError(f"no interpreter semantics for {pat!r}")
+
+    # -- in-place writes ------------------------------------------------------------
+    def _resolve_ref(self, target: Expr, env: _Env):
+        """Resolve the *location* denoted by a WriteTo target expression.
+
+        Returns either ``("array", buffer)`` or ``("element", buffer, idx)``.
+        """
+        if isinstance(target, Param):
+            buf = env.lookup(target.name)
+            if not isinstance(buf, np.ndarray):
+                raise InterpError(
+                    f"WriteTo target {target.name!r} must be a NumPy buffer")
+            return ("array", buf)
+        if isinstance(target, FunCall):
+            if isinstance(target.fun, ArrayAccess):
+                buf = self.eval(target.args[0], env)
+                idx = int(self.eval(target.args[1], env))
+                if not isinstance(buf, np.ndarray):
+                    raise InterpError("WriteTo element target must be a NumPy buffer")
+                return ("element", buf, idx)
+            if isinstance(target.fun, (ToGPU, ToHost, Id)):
+                return self._resolve_ref(target.args[0], env)
+            if isinstance(target.fun, (OclKernel, WriteTo)):
+                # the target is itself a computed buffer (host DAG sharing)
+                buf = self.eval(target, env)
+                if not isinstance(buf, np.ndarray):
+                    raise InterpError("WriteTo target kernel must produce a buffer")
+                return ("array", buf)
+        raise InterpError(f"unsupported WriteTo target {target!r}")
+
+    def _write_to(self, target: Expr, value, env: _Env):
+        ref = self._resolve_ref(target, env)
+        if ref[0] == "element":
+            _, buf, idx = ref
+            if isinstance(value, (SegmentedValue, SkipValue, list, np.ndarray)):
+                raise InterpError("element WriteTo requires a scalar value")
+            buf[idx] = value
+            return value
+        _, buf = ref
+        if isinstance(value, SegmentedValue):
+            value.apply_to(buf)
+            return buf
+        if isinstance(value, list) and value and isinstance(value[0], (SegmentedValue, SkipValue)):
+            for row in value:
+                if isinstance(row, SegmentedValue):
+                    row.apply_to(buf)
+            return buf
+        if isinstance(value, list) and value and isinstance(value[0], tuple):
+            # effects form (FD-MM): the element writes already happened
+            # inside the kernel; the host-level WriteTo is a no-op alias
+            return buf
+        if isinstance(value, (list, np.ndarray)):
+            arr = np.asarray(value)
+            if arr.shape[0] != buf.shape[0]:
+                raise InterpError(
+                    f"WriteTo length mismatch: {arr.shape[0]} into {buf.shape[0]}")
+            buf[:] = arr
+            return buf
+        raise InterpError(f"cannot WriteTo value of type {type(value).__name__}")
+
+
+def _iter_array(xs):
+    if isinstance(xs, SegmentedValue):
+        raise InterpError("cannot iterate a segmented value")
+    if isinstance(xs, np.ndarray):
+        return iter(xs)
+    if isinstance(xs, (list, tuple)):
+        return iter(xs)
+    raise InterpError(f"not an array value: {type(xs).__name__}")
+
+
+def _concat(parts: list):
+    has_skip = any(isinstance(p, (SkipValue, SegmentedValue)) for p in parts)
+    if not has_skip:
+        if all(isinstance(p, np.ndarray) for p in parts):
+            return np.concatenate(parts)
+        out = []
+        for p in parts:
+            out.extend(list(_iter_array(p)))
+        return out
+    segments: list[tuple[int, Any]] = []
+    offset = 0
+    for p in parts:
+        if isinstance(p, SkipValue):
+            offset += p.length
+        elif isinstance(p, SegmentedValue):
+            for o, d in p.segments:
+                segments.append((offset + o, d))
+            offset += p.length
+        else:
+            n = _value_len(p)
+            segments.append((offset, p))
+            offset += n
+    return SegmentedValue(segments, offset)

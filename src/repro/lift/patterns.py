@@ -1,0 +1,451 @@
+"""LIFT algorithmic patterns, including the paper's new primitives.
+
+Patterns are *configured* at construction (nested functions, sizes) and
+*applied* to data via :class:`~repro.lift.ast.FunCall`.  Typing rules live in
+:mod:`repro.lift.type_inference`; execution semantics in
+:mod:`repro.lift.interp`; OpenCL emission in :mod:`repro.lift.codegen`.
+
+Two stencil formulations are supported, matching the paper:
+
+* the *pattern* formulation — ``Map(Reduce(add, 0)) o Slide(3,1) o Pad(1,1,c)``
+  (paper §III-B) and its 3-D variants ``Map3D/Slide3D/Pad3D/Zip3D``
+  (paper Listing 6);
+* the *gather/scatter* formulation over flat index arrays — ``Map(...) <<
+  Zip(boundaryIndices, nbrs, material)`` with ``ArrayAccess`` gathers and the
+  new in-place primitives ``WriteTo``/``Concat``/``Skip``/``ArrayCons``
+  (paper Listings 7–8; this is also the shape of the C code LIFT generates).
+
+Host-side orchestration uses ``OclKernel``, ``ToGPU``, ``ToHost`` and the
+host-level ``WriteTo`` (paper Table I, Listing 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .arith import ArithExpr, ArithLike, to_arith
+from .ast import Expr, FunDecl, Lambda, Literal, as_expr
+from .types import LiftType, ScalarType, TypeError_
+
+
+class Pattern(FunDecl):
+    """Base class for all patterns."""
+
+    def config_key(self):
+        """Hashable configuration (used for structural equality of programs)."""
+        return (type(self).__name__,)
+
+    def nested_exprs(self) -> tuple[Expr, ...]:
+        """Expressions held in the pattern's configuration (for traversal)."""
+        return ()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _nested_key(f) -> tuple:
+    """Structural key for a nested function held by a pattern."""
+    from .ast import UserFun
+    if isinstance(f, UserFun):
+        return ("userfun", f.name)
+    if isinstance(f, Lambda):
+        return ("lambda", dump(f))
+    if isinstance(f, Pattern):
+        return f.config_key()
+    raise TypeError_(f"unsupported nested function {f!r}")
+
+
+# --- maps -----------------------------------------------------------------------
+
+class AbstractMap(Pattern):
+    """Apply ``f`` to every element of an array."""
+
+    def __init__(self, f: FunDecl):
+        if not isinstance(f, FunDecl):
+            raise TypeError_(f"Map requires a function, got {f!r}")
+        self.f = f
+
+    def config_key(self):
+        return (type(self).__name__, _nested_key(self.f))
+
+    def nested_exprs(self):
+        return (self.f,) if isinstance(self.f, Lambda) else ()
+
+
+class Map(AbstractMap):
+    """High-level map (no execution strategy chosen yet)."""
+
+
+class MapSeq(AbstractMap):
+    """Sequential map (a plain C loop)."""
+
+
+class _DimMap(AbstractMap):
+    def __init__(self, f: FunDecl, dim: int = 0):
+        super().__init__(f)
+        if dim not in (0, 1, 2):
+            raise TypeError_(f"map dimension must be 0..2, got {dim}")
+        self.dim = dim
+
+    def config_key(self):
+        return (type(self).__name__, self.dim, _nested_key(self.f))
+
+
+class MapGlb(_DimMap):
+    """Map over OpenCL global ids in dimension ``dim``."""
+
+
+class MapWrg(_DimMap):
+    """Map over OpenCL work-groups in dimension ``dim``."""
+
+
+class MapLcl(_DimMap):
+    """Map over OpenCL local ids (within a work-group) in dimension ``dim``."""
+
+
+class Map3D(AbstractMap):
+    """Map ``f`` over every element of a 3-level nested array."""
+
+
+class MapGlb3D(AbstractMap):
+    """3-D map lowered onto global ids (gid2, gid1, gid0)."""
+
+
+# --- reductions -----------------------------------------------------------------
+
+class AbstractReduce(Pattern):
+    """Fold an array with binary ``f`` starting from ``init``.
+
+    Deviation from upstream LIFT: the result is the scalar accumulator type
+    rather than a 1-element array; this keeps the acoustics programs tidy and
+    is noted in DESIGN.md.
+    """
+
+    def __init__(self, f: FunDecl, init):
+        if not isinstance(f, FunDecl):
+            raise TypeError_(f"Reduce requires a function, got {f!r}")
+        self.f = f
+        self.init = as_expr(init)
+
+    def config_key(self):
+        return (type(self).__name__, _nested_key(self.f), dump(self.init))
+
+    def nested_exprs(self):
+        nested = (self.init,)
+        if isinstance(self.f, Lambda):
+            nested = (self.f,) + nested
+        return nested
+
+
+class Reduce(AbstractReduce):
+    """High-level reduction."""
+
+
+class ReduceSeq(AbstractReduce):
+    """Sequential reduction (accumulator loop)."""
+
+
+# --- reorganisation -------------------------------------------------------------
+
+class Zip(Pattern):
+    """Zip ``k`` same-length arrays into an array of tuples."""
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise TypeError_("Zip requires at least 2 arrays")
+        self.k = k
+
+    def config_key(self):
+        return ("Zip", self.k)
+
+
+class Zip3D(Pattern):
+    """Zip ``k`` same-shape 3-level nested arrays element-wise."""
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise TypeError_("Zip3D requires at least 2 arrays")
+        self.k = k
+
+    def config_key(self):
+        return ("Zip3D", self.k)
+
+
+class Get(Pattern):
+    """Project component ``i`` out of a tuple."""
+
+    def __init__(self, i: int):
+        if i < 0:
+            raise TypeError_("Get index must be non-negative")
+        self.i = i
+
+    def config_key(self):
+        return ("Get", self.i)
+
+
+class TupleCons(Pattern):
+    """Construct a tuple from ``k`` expressions (paper Listing 8's Tuple)."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise TypeError_("TupleCons requires at least 1 component")
+        self.k = k
+
+    def config_key(self):
+        return ("TupleCons", self.k)
+
+
+class Split(Pattern):
+    """Array(T, m) -> Array(Array(T, n), m/n)."""
+
+    def __init__(self, n: ArithLike):
+        self.n = to_arith(n)
+
+    def config_key(self):
+        return ("Split", self.n._key())
+
+
+class Join(Pattern):
+    """Array(Array(T, n), m) -> Array(T, m*n)."""
+
+
+class Transpose(Pattern):
+    """Array(Array(T, n), m) -> Array(Array(T, m), n)."""
+
+
+class Slide(Pattern):
+    """Sliding neighbourhoods: Array(T, n) -> Array(Array(T, size), count)."""
+
+    def __init__(self, size: int, step: int):
+        if size < 1 or step < 1:
+            raise TypeError_("Slide size and step must be >= 1")
+        self.size = size
+        self.step = step
+
+    def config_key(self):
+        return ("Slide", self.size, self.step)
+
+
+class Pad(Pattern):
+    """Enlarge an array by ``left``/``right`` constant elements (paper pad)."""
+
+    def __init__(self, left: int, right: int, value):
+        if left < 0 or right < 0:
+            raise TypeError_("Pad amounts must be >= 0")
+        self.left = left
+        self.right = right
+        self.value = as_expr(value)
+        if not isinstance(self.value, Literal):
+            raise TypeError_("Pad boundary value must be a literal constant")
+
+    def config_key(self):
+        return ("Pad", self.left, self.right, self.value.value)
+
+    def nested_exprs(self):
+        return (self.value,)
+
+
+class Slide3D(Pattern):
+    """3-D sliding neighbourhoods (cube of side ``size``) over a nested array."""
+
+    def __init__(self, size: int, step: int):
+        if size < 1 or step < 1:
+            raise TypeError_("Slide3D size and step must be >= 1")
+        self.size = size
+        self.step = step
+
+    def config_key(self):
+        return ("Slide3D", self.size, self.step)
+
+
+class Pad3D(Pattern):
+    """Pad all three dimensions of a nested array with a constant."""
+
+    def __init__(self, left: int, right: int, value):
+        if left < 0 or right < 0:
+            raise TypeError_("Pad3D amounts must be >= 0")
+        self.left = left
+        self.right = right
+        self.value = as_expr(value)
+        if not isinstance(self.value, Literal):
+            raise TypeError_("Pad3D boundary value must be a literal constant")
+
+    def config_key(self):
+        return ("Pad3D", self.left, self.right, self.value.value)
+
+    def nested_exprs(self):
+        return (self.value,)
+
+
+class Iota(Pattern):
+    """Nullary: the index array [0, 1, ..., n-1] of type Array(Int, n).
+
+    Generated code never materialises it — accesses collapse onto the loop
+    variable through the view system.
+    """
+
+    def __init__(self, n: ArithLike):
+        self.n = to_arith(n)
+
+    def config_key(self):
+        return ("Iota", self.n._key())
+
+
+class Id(Pattern):
+    """Identity."""
+
+
+class ArrayAccess(Pattern):
+    """Random access gather: (Array(T, n), Int) -> T (paper Listing 7)."""
+
+
+class ArrayAccess3(Pattern):
+    """3-D access: (Array^3(T), Int, Int, Int) -> T.
+
+    Used to address stencil neighbourhoods (``m.1[1][1][1]`` in paper
+    Listing 6); constant indices let the backends turn neighbourhood reads
+    into shifted slices / fixed index offsets.
+    """
+
+
+class Iterate(Pattern):
+    """Apply ``f`` (T -> T) ``n`` times."""
+
+    def __init__(self, n: int, f: FunDecl):
+        if n < 0:
+            raise TypeError_("Iterate count must be >= 0")
+        self.n = n
+        self.f = f
+
+    def config_key(self):
+        return ("Iterate", self.n, _nested_key(self.f))
+
+    def nested_exprs(self):
+        return (self.f,) if isinstance(self.f, Lambda) else ()
+
+
+# --- the paper's new device primitives (Table I) ----------------------------------
+
+class WriteTo(Pattern):
+    """(to: [T]N, in: [T]N) -> [T]N — write ``in`` into ``to``'s memory.
+
+    During view construction the output view of the second argument is set to
+    the input view of the first, so no output buffer is allocated and the
+    update happens in place.  Valid on both device and host (paper Table I).
+    """
+
+
+class Concat(Pattern):
+    """Concatenate ``k`` arrays; with ``Skip`` parts this realises offsets."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise TypeError_("Concat requires at least 1 array")
+        self.k = k
+
+    def config_key(self):
+        return ("Concat", self.k)
+
+
+class Skip(Pattern):
+    """Nullary no-op array of ``length`` elements of ``elem_type``.
+
+    Generates no code; it only offsets the view of subsequent ``Concat``
+    parts (paper Table I).  ``length`` may reference enclosing lambda
+    parameters via their :attr:`~repro.lift.ast.Param.arith` variable.
+    """
+
+    def __init__(self, elem_type: ScalarType, length: ArithLike):
+        if not isinstance(elem_type, ScalarType):
+            raise TypeError_("Skip element type must be scalar")
+        self.elem_type = elem_type
+        self.length = to_arith(length)
+
+    def config_key(self):
+        return ("Skip", self.elem_type.name, self.length._key())
+
+
+class ArrayCons(Pattern):
+    """(e: T) -> [T]n — an array repeating one element ``n`` times."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise TypeError_("ArrayCons repetition must be >= 1")
+        self.n = n
+
+    def config_key(self):
+        return ("ArrayCons", self.n)
+
+
+# --- host primitives (Table I) -----------------------------------------------------
+
+class ToGPU(Pattern):
+    """Identity that emits a host->device transfer (enqueueWriteBuffer)."""
+
+
+class ToHost(Pattern):
+    """Identity that emits a device->host transfer (enqueueReadBuffer)."""
+
+
+class OclKernel(Pattern):
+    """Wrap a kernel function; host codegen emits setArg + NDRange launch.
+
+    ``kernel`` is a Lambda whose parameters are the kernel arguments;
+    ``global_size`` is the launch size (symbolic; defaults to the length of
+    the first array argument).
+    """
+
+    def __init__(self, kernel: Lambda, name: str = "kernel",
+                 global_size: ArithLike | None = None,
+                 local_size: int | None = None):
+        if not isinstance(kernel, Lambda):
+            raise TypeError_("OclKernel requires a Lambda kernel function")
+        self.kernel = kernel
+        self.kernel_name = name
+        self.global_size = to_arith(global_size) if global_size is not None else None
+        self.local_size = local_size
+
+    def config_key(self):
+        return ("OclKernel", self.kernel_name, dump(self.kernel))
+
+    def nested_exprs(self):
+        return (self.kernel,)
+
+
+# --- serialisation (structural keys) -----------------------------------------------
+
+def dump(expr: Expr) -> str:
+    """Deterministic structural serialisation of an expression tree.
+
+    Used for structural program equality (rewrite engine tests) and for
+    pattern configuration keys.  Not a parseable format.
+    """
+    from .ast import BinOp, FunCall, Param, Select, UnaryOp, UserFun
+    if isinstance(expr, Param):
+        return f"P:{expr.name}"
+    if isinstance(expr, Literal):
+        return f"L:{expr.value!r}:{expr.declared_type.c_name()}"
+    if isinstance(expr, BinOp):
+        return f"({dump(expr.lhs)}{expr.op}{dump(expr.rhs)})"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}({dump(expr.operand)})"
+    if isinstance(expr, Select):
+        return f"sel({dump(expr.cond)},{dump(expr.if_true)},{dump(expr.if_false)})"
+    if isinstance(expr, Lambda):
+        ps = ",".join(p.name for p in expr.params)
+        return f"\\{ps}.{dump(expr.body)}"
+    if isinstance(expr, FunCall):
+        if isinstance(expr.fun, Lambda):
+            f = dump(expr.fun)
+        elif isinstance(expr.fun, UserFun):
+            f = f"UF:{expr.fun.name}"
+        elif isinstance(expr.fun, Pattern):
+            f = repr(expr.fun.config_key())
+        else:
+            f = expr.fun.name
+        return f"{f}({','.join(dump(a) for a in expr.args)})"
+    raise TypeError_(f"cannot dump {expr!r}")

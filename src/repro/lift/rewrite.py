@@ -1,0 +1,406 @@
+"""Rewrite rules and lowering for the LIFT IR.
+
+LIFT optimises by applying semantic-preserving rewrite rules to a single
+high-level program, then *lowering* algorithmic patterns onto OpenCL
+execution constructs (paper §III).  This module provides:
+
+* :func:`clone` / :func:`substitute_params` — capture-correct tree copying;
+* a small catalogue of classic LIFT rules (:data:`RULES`): map fusion,
+  split-join tiling, and the map → MapGlb / MapSeq / MapWrg∘MapLcl and
+  reduce → ReduceSeq lowerings;
+* a rewriting engine (:func:`rewrite_everywhere`, :func:`rewrite_first`);
+* :func:`lower_simple` — the default strategy used by
+  :func:`~repro.lift.codegen.opencl.compile_kernel`: the outermost map on
+  the program spine becomes the parallel dimension, everything nested runs
+  sequentially (registers/private memory).  This matches how the paper's
+  acoustics kernels are executed: one work-item per volume point or per
+  boundary point, ODE branches sequential within the work-item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
+                  UnaryOp, UserFun)
+from .patterns import (AbstractMap, AbstractReduce, ArrayAccess, ArrayCons,
+                       Concat, Get, Id, Iota, Iterate, Join, Map, Map3D,
+                       MapGlb, MapGlb3D, MapLcl, MapSeq, MapWrg, OclKernel,
+                       Pad, Pad3D, Pattern, Reduce, ReduceSeq, Skip, Slide,
+                       Slide3D, Split, ToGPU, ToHost, Transpose, TupleCons,
+                       WriteTo, Zip, Zip3D, dump)
+from .types import TypeError_
+
+
+class RewriteError(Exception):
+    """Raised when a rule is applied to a non-matching expression."""
+
+
+# --- tree copying ------------------------------------------------------------------
+
+def clone(expr: Expr, subst: dict[str, Expr] | None = None) -> Expr:
+    """Deep-copy an expression, substituting parameters by name.
+
+    Parameters bound by lambdas *inside* the copied tree shadow entries in
+    ``subst`` (capture-correct).
+    """
+    subst = subst or {}
+
+    def go(e: Expr, bound: frozenset[str]) -> Expr:
+        if isinstance(e, Param):
+            if e.name in subst and e.name not in bound:
+                return subst[e.name]
+            return Param(e.name, e.declared_type)
+        if isinstance(e, Literal):
+            return Literal(e.value, e.declared_type)
+        if isinstance(e, BinOp):
+            return BinOp(e.op, go(e.lhs, bound), go(e.rhs, bound))
+        if isinstance(e, UnaryOp):
+            return UnaryOp(e.op, go(e.operand, bound))
+        if isinstance(e, Select):
+            return Select(go(e.cond, bound), go(e.if_true, bound),
+                          go(e.if_false, bound))
+        if isinstance(e, Lambda):
+            inner = bound | {p.name for p in e.params}
+            params = [Param(p.name, p.declared_type) for p in e.params]
+            return Lambda(params, go(e.body, inner))
+        if isinstance(e, FunCall):
+            return FunCall(clone_fun(e.fun, subst, bound),
+                           *[go(a, bound) for a in e.args])
+        raise RewriteError(f"cannot clone {e!r}")
+
+    return go(expr, frozenset())
+
+
+def clone_fun(fun, subst: dict[str, Expr] | None = None,
+              bound: frozenset[str] = frozenset()):
+    """Deep-copy a FunDecl (lambda, user function, or configured pattern)."""
+    subst = subst or {}
+    if isinstance(fun, Lambda):
+        restricted = {k: v for k, v in subst.items() if k not in bound}
+        return clone(fun, restricted)
+    if isinstance(fun, UserFun):
+        return fun  # immutable, shareable
+    if isinstance(fun, AbstractMap):
+        cls = type(fun)
+        f2 = clone_fun(fun.f, subst, bound)
+        if isinstance(fun, (MapGlb, MapWrg, MapLcl)):
+            return cls(f2, fun.dim)
+        return cls(f2)
+    if isinstance(fun, AbstractReduce):
+        return type(fun)(clone_fun(fun.f, subst, bound),
+                         clone(fun.init, {k: v for k, v in subst.items()
+                                          if k not in bound}))
+    if isinstance(fun, Iterate):
+        return Iterate(fun.n, clone_fun(fun.f, subst, bound))
+    if isinstance(fun, OclKernel):
+        return OclKernel(clone_fun(fun.kernel, subst, bound),
+                         fun.kernel_name, fun.global_size, fun.local_size)
+    # Stateless / value-configured patterns are immutable: share them.
+    return fun
+
+
+def substitute_params(expr: Expr, subst: dict[str, Expr]) -> Expr:
+    """Alias of :func:`clone` with a substitution (beta-reduction helper)."""
+    return clone(expr, subst)
+
+
+def beta_reduce(fun, args: list[Expr]) -> Expr:
+    """Apply a function declaration to argument expressions by inlining."""
+    if isinstance(fun, Lambda):
+        if len(fun.params) != len(args):
+            raise RewriteError("beta_reduce arity mismatch")
+        return clone(fun.body, {p.name: a for p, a in zip(fun.params, args)})
+    return FunCall(clone_fun(fun), *args)
+
+
+# --- rules ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """A named local rewrite: ``matches(e)`` then ``apply(e)``."""
+
+    name: str
+    matches: Callable[[Expr], bool]
+    apply: Callable[[Expr], Expr]
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name})"
+
+
+def _is_call(e: Expr, pat_cls) -> bool:
+    return isinstance(e, FunCall) and isinstance(e.fun, pat_cls)
+
+
+# Map(f) o Map(g)  ==>  Map(f o g)
+def _map_fusion_matches(e: Expr) -> bool:
+    return (_is_call(e, Map) and len(e.args) == 1
+            and _is_call(e.args[0], Map))
+
+
+def _map_fusion_apply(e: Expr) -> Expr:
+    outer: Map = e.fun            # type: ignore[assignment]
+    inner_call: FunCall = e.args[0]   # type: ignore[assignment]
+    inner: Map = inner_call.fun   # type: ignore[assignment]
+    # fused = \x. f (g x)
+    g = inner.f
+    f = outer.f
+    if isinstance(g, Lambda) and len(g.params) == 1:
+        x = Param(g.params[0].name, g.params[0].declared_type)
+        gx = clone(g.body, {g.params[0].name: x})
+        fused_body = beta_reduce(clone_fun(f), [gx])
+        fused = Lambda([x], fused_body)
+    else:
+        # g is a UserFun or pattern: build \x. f(g(x)) with a synthetic
+        # param typed as the inner map's element type
+        from .type_inference import infer as _infer
+        from .types import ArrayType, Float
+        if isinstance(g, UserFun):
+            in_t = g.in_types[0]
+        else:
+            try:
+                arr_t = _infer(inner_call.args[0])
+                in_t = arr_t.elem if isinstance(arr_t, ArrayType) else Float
+            except TypeError_:
+                in_t = Float
+        x = Param(f"fuse_{id(e) & 0xffff}", in_t)
+        fused = Lambda([x], beta_reduce(clone_fun(f),
+                                        [FunCall(clone_fun(g), x)]))
+    return FunCall(Map(fused), *[clone(a) for a in inner_call.args])
+
+
+MAP_FUSION = Rule("mapFusion", _map_fusion_matches, _map_fusion_apply)
+
+
+# Map(f)  ==>  Join o Map(Map(f)) o Split(n)
+def split_join(n: int) -> Rule:
+    def matches(e: Expr) -> bool:
+        return _is_call(e, Map)
+
+    def apply(e: Expr) -> Expr:
+        m: Map = e.fun  # type: ignore[assignment]
+        split = FunCall(Split(n), clone(e.args[0]))
+        mapped = FunCall(Map(Map(clone_fun(m.f))), split)
+        return FunCall(Join(), mapped)
+
+    return Rule(f"splitJoin({n})", matches, apply)
+
+
+# Lowerings
+def _lower_map_rule(target_cls, name: str, **kw) -> Rule:
+    def matches(e: Expr) -> bool:
+        return _is_call(e, Map)
+
+    def apply(e: Expr) -> Expr:
+        m: Map = e.fun  # type: ignore[assignment]
+        return FunCall(target_cls(clone_fun(m.f), **kw),
+                       *[clone(a) for a in e.args])
+
+    return Rule(name, matches, apply)
+
+
+MAP_TO_MAPGLB = _lower_map_rule(MapGlb, "mapToMapGlb", dim=0)
+MAP_TO_MAPSEQ = _lower_map_rule(MapSeq, "mapToMapSeq")
+
+
+def _reduce_to_seq_matches(e: Expr) -> bool:
+    return _is_call(e, Reduce)
+
+
+def _reduce_to_seq_apply(e: Expr) -> Expr:
+    r: Reduce = e.fun  # type: ignore[assignment]
+    return FunCall(ReduceSeq(clone_fun(r.f), clone(r.init)),
+                   *[clone(a) for a in e.args])
+
+
+REDUCE_TO_REDUCESEQ = Rule("reduceToReduceSeq", _reduce_to_seq_matches,
+                           _reduce_to_seq_apply)
+
+
+# Map(f)  ==>  Join o MapWrg(MapLcl(f)) o Split(n)  (workgroup tiling)
+def map_to_wrg_lcl(n: int) -> Rule:
+    def matches(e: Expr) -> bool:
+        return _is_call(e, Map)
+
+    def apply(e: Expr) -> Expr:
+        m: Map = e.fun  # type: ignore[assignment]
+        split = FunCall(Split(n), clone(e.args[0]))
+        mapped = FunCall(MapWrg(MapLcl(clone_fun(m.f), 0), 0), split)
+        return FunCall(Join(), mapped)
+
+    return Rule(f"mapToWrgLcl({n})", matches, apply)
+
+
+RULES: dict[str, Rule] = {
+    r.name: r for r in (MAP_FUSION, MAP_TO_MAPGLB, MAP_TO_MAPSEQ,
+                        REDUCE_TO_REDUCESEQ)
+}
+
+
+# --- rewriting engine -----------------------------------------------------------------
+
+def _rebuild(e: Expr, rule: Rule, once: bool, state: dict) -> Expr:
+    """Bottom-up rewrite; ``state['done']`` stops after the first hit."""
+    if once and state["done"]:
+        return e
+    if isinstance(e, FunCall):
+        new_fun = _rebuild_fun(e.fun, rule, once, state)
+        new_args = [_rebuild(a, rule, once, state) for a in e.args]
+        e2 = FunCall(new_fun, *new_args)
+    elif isinstance(e, Lambda):
+        e2 = Lambda(list(e.params), _rebuild(e.body, rule, once, state))
+    elif isinstance(e, BinOp):
+        e2 = BinOp(e.op, _rebuild(e.lhs, rule, once, state),
+                   _rebuild(e.rhs, rule, once, state))
+    elif isinstance(e, UnaryOp):
+        e2 = UnaryOp(e.op, _rebuild(e.operand, rule, once, state))
+    elif isinstance(e, Select):
+        e2 = Select(_rebuild(e.cond, rule, once, state),
+                    _rebuild(e.if_true, rule, once, state),
+                    _rebuild(e.if_false, rule, once, state))
+    else:
+        e2 = e
+    if (not once or not state["done"]) and rule.matches(e2):
+        state["count"] += 1
+        state["done"] = True
+        return rule.apply(e2)
+    return e2
+
+
+def _rebuild_fun(fun, rule: Rule, once: bool, state: dict):
+    if isinstance(fun, Lambda):
+        return Lambda(list(fun.params), _rebuild(fun.body, rule, once, state))
+    if isinstance(fun, AbstractMap):
+        inner = _rebuild_fun(fun.f, rule, once, state)
+        if isinstance(fun, (MapGlb, MapWrg, MapLcl)):
+            return type(fun)(inner, fun.dim)
+        return type(fun)(inner)
+    if isinstance(fun, AbstractReduce):
+        return type(fun)(_rebuild_fun(fun.f, rule, once, state),
+                         _rebuild(fun.init, rule, once, state))
+    if isinstance(fun, Iterate):
+        return Iterate(fun.n, _rebuild_fun(fun.f, rule, once, state))
+    if isinstance(fun, OclKernel):
+        return OclKernel(_rebuild_fun(fun.kernel, rule, once, state),
+                         fun.kernel_name, fun.global_size, fun.local_size)
+    return fun
+
+
+def rewrite_everywhere(expr: Expr, rule: Rule) -> tuple[Expr, int]:
+    """Apply ``rule`` at every matching node (single bottom-up pass)."""
+    state = {"done": False, "count": 0}
+    out = _rebuild(expr, rule, once=False, state=state)
+    return out, state["count"]
+
+
+def rewrite_first(expr: Expr, rule: Rule) -> Expr:
+    """Apply ``rule`` at the first matching node (bottom-up order)."""
+    state = {"done": False, "count": 0}
+    out = _rebuild(expr, rule, once=True, state=state)
+    if state["count"] == 0:
+        raise RewriteError(f"rule {rule.name} matched nothing")
+    return out
+
+
+# --- default lowering strategy ------------------------------------------------------
+
+
+def lower_simple(program: Lambda) -> Lambda:
+    """Lower a high-level program for GPU execution.
+
+    The first ``Map`` (or ``Map3D``) on the program spine becomes the
+    parallel dimension (``MapGlb`` / ``MapGlb3D``); every other map becomes
+    ``MapSeq`` and every ``Reduce`` becomes ``ReduceSeq``.  Already-lowered
+    patterns are left untouched (and consume the parallel slot).
+
+    DAG sharing is preserved: a sub-expression referenced from several
+    places lowers to a single node, so the code generators' sharing
+    temporaries keep working.
+    """
+
+    memo: dict[tuple[int, bool], Expr] = {}
+
+    def lower_expr(e: Expr, par: bool) -> Expr:
+        key = (id(e), par)
+        if key in memo:
+            return memo[key]
+        out = _lower_expr_uncached(e, par)
+        memo[key] = out
+        return out
+
+    def _lower_expr_uncached(e: Expr, par: bool) -> Expr:
+        if isinstance(e, FunCall):
+            fun = e.fun
+            if isinstance(fun, Map):
+                new = (MapGlb(lower_fun(fun.f, False), 0) if par
+                       else MapSeq(lower_fun(fun.f, False)))
+                return FunCall(new, *[lower_expr(a, False) for a in e.args])
+            if isinstance(fun, Map3D):
+                if not par:
+                    raise RewriteError("nested Map3D cannot be lowered")
+                return FunCall(MapGlb3D(lower_fun(fun.f, False)),
+                               *[lower_expr(a, False) for a in e.args])
+            if isinstance(fun, (MapGlb, MapGlb3D, MapWrg)):
+                return FunCall(clone_fun_lowered(fun),
+                               *[lower_expr(a, False) for a in e.args])
+            if isinstance(fun, Reduce):
+                new_r = ReduceSeq(lower_fun(fun.f, False),
+                                  lower_expr(fun.init, False))
+                return FunCall(new_r, *[lower_expr(a, False) for a in e.args])
+            if isinstance(fun, WriteTo):
+                return FunCall(fun, lower_expr(e.args[0], False),
+                               lower_expr(e.args[1], par))
+            if isinstance(fun, TupleCons):
+                return FunCall(fun, *[lower_expr(a, par) for a in e.args])
+            if isinstance(fun, (ToGPU, ToHost, Id)):
+                return FunCall(fun, lower_expr(e.args[0], par))
+            if isinstance(fun, Concat):
+                return FunCall(fun, *[lower_expr(a, par) for a in e.args])
+            if isinstance(fun, Lambda):
+                return FunCall(lower_fun(fun, par),
+                               *[lower_expr(a, False) for a in e.args])
+            # configuration-carrying patterns with nested functions
+            new_fun = clone_fun_lowered(fun)
+            return FunCall(new_fun, *[lower_expr(a, False) for a in e.args])
+        if isinstance(e, Lambda):
+            return Lambda(list(e.params), lower_expr(e.body, par))
+        if isinstance(e, BinOp):
+            return BinOp(e.op, lower_expr(e.lhs, False),
+                         lower_expr(e.rhs, False))
+        if isinstance(e, UnaryOp):
+            return UnaryOp(e.op, lower_expr(e.operand, False))
+        if isinstance(e, Select):
+            return Select(lower_expr(e.cond, False),
+                          lower_expr(e.if_true, False),
+                          lower_expr(e.if_false, False))
+        return e
+
+    def lower_fun(f, par: bool):
+        if isinstance(f, Lambda):
+            return Lambda(list(f.params), lower_expr(f.body, par))
+        if isinstance(f, Map):
+            return MapSeq(lower_fun(f.f, False))
+        if isinstance(f, Reduce):
+            return ReduceSeq(lower_fun(f.f, False), lower_expr(f.init, False))
+        if isinstance(f, AbstractMap):
+            if isinstance(f, (MapGlb, MapWrg, MapLcl)):
+                return type(f)(lower_fun(f.f, False), f.dim)
+            return type(f)(lower_fun(f.f, False))
+        if isinstance(f, AbstractReduce):
+            return type(f)(lower_fun(f.f, False), lower_expr(f.init, False))
+        return f
+
+    def clone_fun_lowered(fun):
+        if isinstance(fun, AbstractMap):
+            if isinstance(fun, (MapGlb, MapWrg, MapLcl)):
+                return type(fun)(lower_fun(fun.f, False), fun.dim)
+            return type(fun)(lower_fun(fun.f, False))
+        if isinstance(fun, AbstractReduce):
+            return type(fun)(lower_fun(fun.f, False),
+                             lower_expr(fun.init, False))
+        if isinstance(fun, Iterate):
+            return Iterate(fun.n, lower_fun(fun.f, False))
+        return fun
+
+    return Lambda(list(program.params), lower_expr(program.body, True))

@@ -1,0 +1,325 @@
+"""Bottom-up type inference / checking for the LIFT IR.
+
+``infer(expr)`` computes and stores ``expr.type`` for every node, applying
+the per-pattern typing rules of the paper's Table I.  Array lengths are
+symbolic; two lengths are considered compatible when they are structurally
+equal or at least one contains free variables (value-dependent lengths, as
+produced by ``Skip`` with a runtime index, cannot be decided statically —
+the paper's type system makes the same concession: the in-place update
+"looks like it is producing an array of rows").
+"""
+
+from __future__ import annotations
+
+from .arith import ArithExpr
+from .ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
+                  UnaryOp, UserFun)
+from .patterns import (AbstractMap, AbstractReduce, ArrayAccess,
+                       ArrayAccess3, ArrayCons, Concat, Get, Id, Iota,
+                       Iterate, Join, Map3D, MapGlb3D, OclKernel, Pad, Pad3D,
+                       Pattern, Skip, Slide, Slide3D, Split, ToGPU, ToHost,
+                       Transpose, TupleCons, WriteTo, Zip, Zip3D)
+from .types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
+                    ScalarType, TupleType, TypeError_)
+
+_NUMERIC_RANK = {Int.name: 0, Long.name: 1, Float.name: 2, Double.name: 3}
+
+
+def promote(a: ScalarType, b: ScalarType, context: str = "") -> ScalarType:
+    """Usual arithmetic conversions over our scalar set."""
+    if a == b:
+        return a
+    if a.name in _NUMERIC_RANK and b.name in _NUMERIC_RANK:
+        return a if _NUMERIC_RANK[a.name] >= _NUMERIC_RANK[b.name] else b
+    raise TypeError_(f"cannot promote {a!r} and {b!r} {context}")
+
+
+def _lengths_compatible(a: ArithExpr, b: ArithExpr) -> bool:
+    if a == b:
+        return True
+    ca, cb = a.as_constant(), b.as_constant()
+    if ca is not None and cb is not None:
+        return ca == cb
+    return True  # symbolic: assume compatible (checked at runtime)
+
+
+def _same_array(a: LiftType, b: LiftType) -> bool:
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        return a.elem == b.elem and _lengths_compatible(a.size, b.size)
+    return a == b
+
+
+def infer(expr: Expr) -> LiftType:
+    """Infer (and store) the type of ``expr``; raises TypeError_ on error."""
+    if isinstance(expr, Param):
+        expr.type = expr.declared_type
+        return expr.type
+    if isinstance(expr, Literal):
+        return expr.type
+    if isinstance(expr, BinOp):
+        lt, rt = infer(expr.lhs), infer(expr.rhs)
+        if not isinstance(lt, ScalarType) or not isinstance(rt, ScalarType):
+            raise TypeError_(f"binary op {expr.op!r} on non-scalars: {lt!r}, {rt!r}")
+        expr.type = Bool if expr.is_comparison else promote(lt, rt, f"in {expr.op!r}")
+        return expr.type
+    if isinstance(expr, UnaryOp):
+        t = infer(expr.operand)
+        if not isinstance(t, ScalarType):
+            raise TypeError_(f"unary op {expr.op!r} on non-scalar {t!r}")
+        if expr.op == "toInt":
+            expr.type = Int
+        elif expr.op == "toFloat":
+            expr.type = Float
+        elif expr.op == "sqrt":
+            expr.type = t if t in (Float, Double) else Float
+        else:
+            expr.type = t
+        return expr.type
+    if isinstance(expr, Select):
+        ct = infer(expr.cond)
+        if ct not in (Bool, Int):
+            raise TypeError_(f"Select condition must be Bool/Int, got {ct!r}")
+        tt, ft = infer(expr.if_true), infer(expr.if_false)
+        if isinstance(tt, ScalarType) and isinstance(ft, ScalarType):
+            expr.type = promote(tt, ft, "in Select")
+        elif _same_array(tt, ft):
+            expr.type = tt
+        else:
+            raise TypeError_(f"Select branches differ: {tt!r} vs {ft!r}")
+        return expr.type
+    if isinstance(expr, Lambda):
+        expr.type = infer(expr.body)
+        return expr.type
+    if isinstance(expr, FunCall):
+        arg_types = [infer(a) for a in expr.args]
+        expr.type = _apply(expr.fun, arg_types)
+        return expr.type
+    raise TypeError_(f"cannot infer type of {expr!r}")
+
+
+def _apply(fun, arg_types: list[LiftType]) -> LiftType:
+    """Type of applying ``fun`` to arguments of the given types."""
+    if isinstance(fun, Lambda):
+        if len(fun.params) != len(arg_types):
+            raise TypeError_(
+                f"lambda expects {len(fun.params)} args, got {len(arg_types)}")
+        for p, t in zip(fun.params, arg_types):
+            if not _same_array(p.declared_type, t) and not _scalar_ok(p.declared_type, t):
+                raise TypeError_(
+                    f"lambda param {p.name}: declared {p.declared_type!r}, applied to {t!r}")
+        return infer(fun)
+    if isinstance(fun, UserFun):
+        return fun.check_type(arg_types)
+    if isinstance(fun, Pattern):
+        return _apply_pattern(fun, arg_types)
+    raise TypeError_(f"cannot apply {fun!r}")
+
+
+def _scalar_ok(declared: LiftType, actual: LiftType) -> bool:
+    """Permit implicit numeric widening when binding scalar params."""
+    if isinstance(declared, ScalarType) and isinstance(actual, ScalarType):
+        if declared.name in _NUMERIC_RANK and actual.name in _NUMERIC_RANK:
+            return _NUMERIC_RANK[declared.name] >= _NUMERIC_RANK[actual.name]
+    return False
+
+
+def _expect_array(t: LiftType, who: str) -> ArrayType:
+    if not isinstance(t, ArrayType):
+        raise TypeError_(f"{who} expects an array, got {t!r}")
+    return t
+
+
+def _expect_nested3(t: LiftType, who: str) -> tuple[ArithExpr, ArithExpr, ArithExpr, LiftType]:
+    a1 = _expect_array(t, who)
+    a2 = _expect_array(a1.elem, who)
+    a3 = _expect_array(a2.elem, who)
+    return a1.size, a2.size, a3.size, a3.elem
+
+
+def _arity(fun, arg_types, n, who):
+    if len(arg_types) != n:
+        raise TypeError_(f"{who} expects {n} argument(s), got {len(arg_types)}")
+
+
+def _apply_pattern(pat: Pattern, arg_types: list[LiftType]) -> LiftType:
+    name = type(pat).__name__
+
+    if isinstance(pat, (Map3D, MapGlb3D)):
+        _arity(pat, arg_types, 1, name)
+        n, m, o, elem = _expect_nested3(arg_types[0], name)
+        out = _apply(pat.f, [elem])
+        return ArrayType(ArrayType(ArrayType(out, o), m), n)
+
+    if isinstance(pat, AbstractMap):
+        _arity(pat, arg_types, 1, name)
+        arr = _expect_array(arg_types[0], name)
+        out = _apply(pat.f, [arr.elem])
+        return ArrayType(out, arr.size)
+
+    if isinstance(pat, AbstractReduce):
+        _arity(pat, arg_types, 1, name)
+        arr = _expect_array(arg_types[0], name)
+        init_t = infer(pat.init)
+        acc_t = _apply(pat.f, [init_t, arr.elem])
+        if not (_same_array(acc_t, init_t)
+                or (isinstance(acc_t, ScalarType) and isinstance(init_t, ScalarType)
+                    and promote(acc_t, init_t) == acc_t)):
+            raise TypeError_(f"{name}: accumulator type {acc_t!r} != init {init_t!r}")
+        return acc_t
+
+    if isinstance(pat, Zip):
+        _arity(pat, arg_types, pat.k, name)
+        arrays = [_expect_array(t, name) for t in arg_types]
+        n0 = arrays[0].size
+        for a in arrays[1:]:
+            if not _lengths_compatible(n0, a.size):
+                raise TypeError_(f"Zip over different lengths: {n0!r} vs {a.size!r}")
+        return ArrayType(TupleType(*(a.elem for a in arrays)), n0)
+
+    if isinstance(pat, Zip3D):
+        _arity(pat, arg_types, pat.k, name)
+        shapes = [_expect_nested3(t, name) for t in arg_types]
+        n, m, o, _ = shapes[0]
+        for (n2, m2, o2, _e) in shapes[1:]:
+            if not (_lengths_compatible(n, n2) and _lengths_compatible(m, m2)
+                    and _lengths_compatible(o, o2)):
+                raise TypeError_("Zip3D over different shapes")
+        elem = TupleType(*(s[3] for s in shapes))
+        return ArrayType(ArrayType(ArrayType(elem, o), m), n)
+
+    if isinstance(pat, Get):
+        _arity(pat, arg_types, 1, name)
+        t = arg_types[0]
+        if not isinstance(t, TupleType):
+            raise TypeError_(f"Get on non-tuple {t!r}")
+        if pat.i >= len(t.elems):
+            raise TypeError_(f"Get({pat.i}) out of range for {t!r}")
+        return t.elems[pat.i]
+
+    if isinstance(pat, TupleCons):
+        _arity(pat, arg_types, pat.k, name)
+        return TupleType(*arg_types)
+
+    if isinstance(pat, Split):
+        _arity(pat, arg_types, 1, name)
+        arr = _expect_array(arg_types[0], name)
+        return ArrayType(ArrayType(arr.elem, pat.n), arr.size // pat.n)
+
+    if isinstance(pat, Join):
+        _arity(pat, arg_types, 1, name)
+        outer = _expect_array(arg_types[0], name)
+        inner = _expect_array(outer.elem, name)
+        return ArrayType(inner.elem, outer.size * inner.size)
+
+    if isinstance(pat, Transpose):
+        _arity(pat, arg_types, 1, name)
+        outer = _expect_array(arg_types[0], name)
+        inner = _expect_array(outer.elem, name)
+        return ArrayType(ArrayType(inner.elem, outer.size), inner.size)
+
+    if isinstance(pat, Slide):
+        _arity(pat, arg_types, 1, name)
+        arr = _expect_array(arg_types[0], name)
+        count = (arr.size - pat.size) // pat.step + 1
+        return ArrayType(ArrayType(arr.elem, pat.size), count)
+
+    if isinstance(pat, Pad):
+        _arity(pat, arg_types, 1, name)
+        arr = _expect_array(arg_types[0], name)
+        vt = infer(pat.value)
+        if isinstance(arr.elem, ScalarType) and isinstance(vt, ScalarType):
+            promote(arr.elem, vt, "in Pad")
+        return ArrayType(arr.elem, arr.size + pat.left + pat.right)
+
+    if isinstance(pat, Slide3D):
+        _arity(pat, arg_types, 1, name)
+        n, m, o, elem = _expect_nested3(arg_types[0], name)
+        cnt = lambda d: (d - pat.size) // pat.step + 1
+        nb = ArrayType(ArrayType(ArrayType(elem, pat.size), pat.size), pat.size)
+        return ArrayType(ArrayType(ArrayType(nb, cnt(o)), cnt(m)), cnt(n))
+
+    if isinstance(pat, Pad3D):
+        _arity(pat, arg_types, 1, name)
+        n, m, o, elem = _expect_nested3(arg_types[0], name)
+        grow = pat.left + pat.right
+        return ArrayType(ArrayType(ArrayType(elem, o + grow), m + grow), n + grow)
+
+    if isinstance(pat, Iota):
+        _arity(pat, arg_types, 0, name)
+        return ArrayType(Int, pat.n)
+
+    if isinstance(pat, Id):
+        _arity(pat, arg_types, 1, name)
+        return arg_types[0]
+
+    if isinstance(pat, ArrayAccess):
+        _arity(pat, arg_types, 2, name)
+        arr = _expect_array(arg_types[0], name)
+        if arg_types[1] not in (Int, Long):
+            raise TypeError_(f"ArrayAccess index must be Int, got {arg_types[1]!r}")
+        return arr.elem
+
+    if isinstance(pat, ArrayAccess3):
+        _arity(pat, arg_types, 4, name)
+        t = arg_types[0]
+        for _ in range(3):
+            if not isinstance(t, ArrayType):
+                raise TypeError_(f"ArrayAccess3 over non-3-D array {arg_types[0]!r}")
+            t = t.elem
+        for it in arg_types[1:]:
+            if it not in (Int, Long):
+                raise TypeError_("ArrayAccess3 indices must be Int")
+        return t
+
+    if isinstance(pat, Iterate):
+        _arity(pat, arg_types, 1, name)
+        t = arg_types[0]
+        out = _apply(pat.f, [t])
+        if not _same_array(out, t):
+            raise TypeError_(f"Iterate function must be T->T, got {t!r}->{out!r}")
+        return t
+
+    if isinstance(pat, WriteTo):
+        _arity(pat, arg_types, 2, name)
+        to_t, in_t = arg_types
+        if _same_array(to_t, in_t):
+            return to_t
+        # rows form: writing Array(Array(T,N), m) into Array(T,N)
+        if isinstance(in_t, ArrayType) and _same_array(in_t.elem, to_t):
+            return to_t
+        # effects form: the value is an array of tuples of element writes
+        # (FD-MM); the in-place updates happen through the nested WriteTo
+        # expressions, so the host-level WriteTo is a no-op alias.
+        if isinstance(in_t, ArrayType) and isinstance(in_t.elem, TupleType):
+            return to_t
+        raise TypeError_(f"WriteTo: cannot write {in_t!r} into {to_t!r}")
+
+    if isinstance(pat, Concat):
+        _arity(pat, arg_types, pat.k, name)
+        arrays = [_expect_array(t, name) for t in arg_types]
+        elem = arrays[0].elem
+        total: ArithExpr = arrays[0].size
+        for a in arrays[1:]:
+            if isinstance(elem, ScalarType) and isinstance(a.elem, ScalarType):
+                elem = promote(elem, a.elem, "in Concat")
+            elif a.elem != elem:
+                raise TypeError_(f"Concat of different element types")
+            total = total + a.size
+        return ArrayType(elem, total)
+
+    if isinstance(pat, Skip):
+        _arity(pat, arg_types, 0, name)
+        return ArrayType(pat.elem_type, pat.length)
+
+    if isinstance(pat, ArrayCons):
+        _arity(pat, arg_types, 1, name)
+        return ArrayType(arg_types[0], pat.n)
+
+    if isinstance(pat, (ToGPU, ToHost)):
+        _arity(pat, arg_types, 1, name)
+        return arg_types[0]
+
+    if isinstance(pat, OclKernel):
+        return _apply(pat.kernel, arg_types)
+
+    raise TypeError_(f"no typing rule for pattern {name}")

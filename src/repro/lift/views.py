@@ -1,0 +1,341 @@
+"""LIFT view system.
+
+Views are compiler-intermediate data structures that capture *where* data
+lives so that a chain of reorganisation patterns (``Zip``, ``Slide``,
+``Pad``, ``Get`` ...) collapses into a single C index expression instead of
+materialised intermediate arrays (paper §III-A).
+
+Input views answer "give me the C expression for element *i*"; output views
+answer "emit the store of *value* at element *i*".  The paper's new
+primitives act purely on views: ``Concat`` introduces :class:`OutOffset`
+(the ``ViewOffset`` of the paper), ``Skip`` merely advances the offset, and
+``WriteTo`` swaps the output view for the input view of its first argument.
+
+Index expressions are plain C strings; symbolic :class:`~repro.lift.arith`
+expressions are rendered with ``to_c()`` before entering a view.
+"""
+
+from __future__ import annotations
+
+from .types import ScalarType, TypeError_
+
+
+def paren(e: str) -> str:
+    """Parenthesise a C sub-expression unless it is atomic."""
+    e = str(e)
+    if e and (e.isalnum() or e.replace("_", "").isalnum()):
+        return e
+    if e.startswith("(") and e.endswith(")") and _balanced(e):
+        return e
+    return f"({e})"
+
+
+def _balanced(e: str) -> bool:
+    depth = 0
+    for i, ch in enumerate(e):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0 and i != len(e) - 1:
+                return False
+    return depth == 0
+
+
+class ViewError(Exception):
+    """Raised when a view chain cannot be collapsed (unsupported access)."""
+
+
+# --- input views ------------------------------------------------------------------
+
+class InView:
+    """Base class of input views (reads)."""
+
+    def access(self, idx: str):
+        """Element at flat index ``idx``: a C expression string or a sub-view."""
+        raise ViewError(f"{type(self).__name__} cannot be indexed")
+
+
+class ViewMem(InView):
+    """A flat buffer in (global) memory."""
+
+    def __init__(self, name: str, scalar: ScalarType, length_c: str | None = None):
+        self.name = name
+        self.scalar = scalar
+        self.length_c = length_c
+
+    def access(self, idx: str) -> str:
+        return f"{self.name}[{idx}]"
+
+    def __repr__(self) -> str:
+        return f"ViewMem({self.name})"
+
+
+class ViewMem3D(InView):
+    """A 3-D grid stored flat, x fastest: ``buf[(z*Ny + y)*Nx + x]``."""
+
+    def __init__(self, name: str, scalar: ScalarType, nz: str, ny: str, nx: str):
+        self.name = name
+        self.scalar = scalar
+        self.nz, self.ny, self.nx = str(nz), str(ny), str(nx)
+
+    def access3(self, z: str, y: str, x: str) -> str:
+        return (f"{self.name}[({paren(z)}*{paren(self.ny)}+{paren(y)})"
+                f"*{paren(self.nx)}+{paren(x)}]")
+
+    def __repr__(self) -> str:
+        return f"ViewMem3D({self.name})"
+
+
+class ViewIota(InView):
+    """The virtual index array: element i *is* i — no memory access."""
+
+    def access(self, idx: str) -> str:
+        return paren(idx)
+
+
+class ViewConstant(InView):
+    """An array whose every element is the same C constant."""
+
+    def __init__(self, value_c: str):
+        self.value_c = value_c
+
+    def access(self, idx: str) -> str:
+        return self.value_c
+
+
+class ViewZip(InView):
+    """Zip of k views: element i is a tuple of the components' elements."""
+
+    def __init__(self, components: list[InView]):
+        self.components = components
+
+    def access(self, idx: str) -> "ViewTuple":
+        return ViewTuple([c.access(idx) for c in self.components])
+
+
+class ViewTuple:
+    """A tuple of already-accessed components (C expressions or sub-views)."""
+
+    def __init__(self, components: list):
+        self.components = components
+
+    def get(self, i: int):
+        if i >= len(self.components):
+            raise ViewError(f"tuple component {i} out of range")
+        return self.components[i]
+
+
+class ViewSlide(InView):
+    """Sliding windows over a parent view."""
+
+    def __init__(self, parent: InView, size: int, step: int):
+        self.parent = parent
+        self.size = size
+        self.step = step
+
+    def access(self, idx: str) -> "ViewWindow":
+        return ViewWindow(self.parent, f"{paren(idx)}*{self.step}")
+
+
+class ViewWindow(InView):
+    """One window: element j of the window is parent[offset + j]."""
+
+    def __init__(self, parent: InView, offset_c: str):
+        self.parent = parent
+        self.offset_c = offset_c
+
+    def access(self, idx: str):
+        return self.parent.access(f"{paren(self.offset_c)}+{paren(idx)}")
+
+
+class ViewPad(InView):
+    """Constant padding realised as a ternary on the index (no halo copy)."""
+
+    def __init__(self, parent: InView, left: int, size_c: str, value_c: str):
+        self.parent = parent
+        self.left = left
+        self.size_c = str(size_c)  # unpadded length
+        self.value_c = value_c
+
+    def access(self, idx: str) -> str:
+        i = paren(idx)
+        shifted = f"{i}-{self.left}" if self.left else str(idx)
+        inner = self.parent.access(paren(shifted))
+        if not isinstance(inner, str):
+            raise ViewError("Pad over non-scalar elements is not supported")
+        cond = f"({i} >= {self.left} && {i} < {paren(self.size_c)}+{self.left})"
+        return f"({cond} ? {inner} : {self.value_c})"
+
+
+class ViewSplit(InView):
+    """Split: element i is a window of n elements at offset i*n."""
+
+    def __init__(self, parent: InView, n_c: str):
+        self.parent = parent
+        self.n_c = str(n_c)
+
+    def access(self, idx: str) -> ViewWindow:
+        return ViewWindow(self.parent, f"{paren(idx)}*{paren(self.n_c)}")
+
+
+class ViewJoin(InView):
+    """Join: flat element i is parent[i / n][i % n]."""
+
+    def __init__(self, parent: InView, inner_n_c: str):
+        self.parent = parent
+        self.inner_n_c = str(inner_n_c)
+
+    def access(self, idx: str):
+        i = paren(idx)
+        n = paren(self.inner_n_c)
+        row = self.parent.access(f"({i}/{n})")
+        if isinstance(row, str):
+            raise ViewError("Join over scalar elements")
+        return row.access(f"({i}%{n})")
+
+
+# --- 3-D input views ------------------------------------------------------------------
+
+class View3D(InView):
+    """Base of 3-D views: indexed with (z, y, x)."""
+
+    def access3(self, z: str, y: str, x: str):
+        raise ViewError(f"{type(self).__name__} cannot be 3-D indexed")
+
+
+class ViewZip3D(View3D):
+    def __init__(self, components: list[View3D]):
+        self.components = components
+
+    def access3(self, z, y, x) -> ViewTuple:
+        return ViewTuple([c.access3(z, y, x) for c in self.components])
+
+
+class ViewSlide3D(View3D):
+    """3-D sliding windows; element (z,y,x) is a size^3 window view."""
+
+    def __init__(self, parent: View3D, size: int, step: int):
+        self.parent = parent
+        self.size = size
+        self.step = step
+
+    def access3(self, z, y, x) -> "ViewWindow3D":
+        s = self.step
+        off = lambda v: f"{paren(v)}*{s}" if s != 1 else str(v)
+        return ViewWindow3D(self.parent, off(z), off(y), off(x))
+
+
+class ViewWindow3D(View3D):
+    def __init__(self, parent: View3D, oz: str, oy: str, ox: str):
+        self.parent = parent
+        self.oz, self.oy, self.ox = oz, oy, ox
+
+    def access3(self, z, y, x):
+        return self.parent.access3(f"{paren(self.oz)}+{paren(z)}",
+                                   f"{paren(self.oy)}+{paren(y)}",
+                                   f"{paren(self.ox)}+{paren(x)}")
+
+
+class ViewPad3D(View3D):
+    """Constant 3-D padding as a guard ternary over all three axes."""
+
+    def __init__(self, parent: View3D, left: int,
+                 nz: str, ny: str, nx: str, value_c: str):
+        self.parent = parent
+        self.left = left
+        self.nz, self.ny, self.nx = str(nz), str(ny), str(nx)
+        self.value_c = value_c
+
+    def access3(self, z, y, x) -> str:
+        l = self.left
+        zz, yy, xx = paren(z), paren(y), paren(x)
+        sz = (f"{zz}-{l}", f"{yy}-{l}", f"{xx}-{l}") if l else (str(z), str(y), str(x))
+        inner = self.parent.access3(*(paren(s) for s in sz))
+        if not isinstance(inner, str):
+            raise ViewError("Pad3D over non-scalar elements is not supported")
+        conds = [f"{v} >= {l} && {v} < {paren(n)}+{l}"
+                 for v, n in ((zz, self.nz), (yy, self.ny), (xx, self.nx))]
+        return f"(({' && '.join(conds)}) ? {inner} : {self.value_c})"
+
+
+# --- output views ------------------------------------------------------------------
+
+class OutView:
+    """Base class of output views (writes)."""
+
+    def store(self, idx: str, value: str) -> str:
+        """Return the C statement storing ``value`` at flat index ``idx``."""
+        raise ViewError(f"{type(self).__name__} cannot be stored to")
+
+    def location(self, idx: str) -> str:
+        """The C lvalue for element ``idx`` (for in-place read-modify-write)."""
+        raise ViewError(f"{type(self).__name__} has no addressable location")
+
+
+class OutMem(OutView):
+    """Writes into a flat global buffer."""
+
+    def __init__(self, name: str, scalar: ScalarType):
+        self.name = name
+        self.scalar = scalar
+
+    def location(self, idx: str) -> str:
+        return f"{self.name}[{idx}]"
+
+    def store(self, idx: str, value: str) -> str:
+        return f"{self.location(idx)} = {value};"
+
+
+class OutOffset(OutView):
+    """The paper's ViewOffset: shift all stores by a constant/loop offset."""
+
+    def __init__(self, parent: OutView, offset_c: str):
+        self.parent = parent
+        self.offset_c = str(offset_c)
+
+    def location(self, idx: str) -> str:
+        return self.parent.location(f"{paren(self.offset_c)}+{paren(idx)}")
+
+    def store(self, idx: str, value: str) -> str:
+        return f"{self.location(idx)} = {value};"
+
+
+class OutElement(OutView):
+    """A single scalar location (WriteTo(ArrayAccess(buf, idx)) target)."""
+
+    def __init__(self, mem_name: str, idx_c: str, scalar: ScalarType):
+        self.mem_name = mem_name
+        self.idx_c = str(idx_c)
+        self.scalar = scalar
+
+    def location(self, idx: str = "0") -> str:
+        return f"{self.mem_name}[{self.idx_c}]"
+
+    def store_scalar(self, value: str) -> str:
+        return f"{self.location()} = {value};"
+
+
+class OutMem3D(OutView):
+    """Writes into a flat 3-D grid, x fastest."""
+
+    def __init__(self, name: str, scalar: ScalarType, nz: str, ny: str, nx: str):
+        self.name = name
+        self.scalar = scalar
+        self.nz, self.ny, self.nx = str(nz), str(ny), str(nx)
+
+    def location3(self, z: str, y: str, x: str) -> str:
+        return (f"{self.name}[({paren(z)}*{paren(self.ny)}+{paren(y)})"
+                f"*{paren(self.nx)}+{paren(x)}]")
+
+    def store3(self, z: str, y: str, x: str, value: str) -> str:
+        return f"{self.location3(z, y, x)} = {value};"
+
+
+def in_view_to_out(view: InView) -> OutView:
+    """Convert a WriteTo target's input view into the output view (paper §IV-B)."""
+    if isinstance(view, ViewMem):
+        return OutMem(view.name, view.scalar)
+    if isinstance(view, ViewMem3D):
+        return OutMem3D(view.name, view.scalar, view.nz, view.ny, view.nx)
+    raise ViewError(f"WriteTo target must be a memory view, got {view!r}")

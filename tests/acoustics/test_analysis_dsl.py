@@ -1,0 +1,138 @@
+"""Tests for acoustic analysis utilities and the front-end DSL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics import (BoxRoom, Grid3D, Room, RoomSimulation,
+                             SimConfig)
+from repro.acoustics.analysis import (energy_decay_curve, energy_decay_db,
+                                      impulse_response, rt60_from_decay)
+from repro.acoustics.dsl import AcousticsSpec, CompiledAcoustics
+from repro.acoustics.materials import FIMaterial
+
+signals = st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False),
+                   min_size=2, max_size=100)
+
+
+class TestEnergyDecay:
+    @given(signals)
+    def test_edc_monotone_nonincreasing(self, sig):
+        edc = energy_decay_curve(np.asarray(sig))
+        assert (np.diff(edc) <= 1e-12).all()
+
+    @given(signals)
+    def test_edc_normalised(self, sig):
+        arr = np.asarray(sig)
+        edc = energy_decay_curve(arr)
+        if float(np.sum(arr.astype(np.float64) ** 2)) > 0:
+            assert edc[0] == pytest.approx(1.0)
+        assert (edc >= 0).all()
+
+    def test_edc_zero_signal(self):
+        edc = energy_decay_curve(np.zeros(10))
+        assert (edc == 0).all()
+
+    def test_edc_db_clipped(self):
+        db = energy_decay_db(np.array([1.0] + [0.0] * 9))
+        assert db.min() >= -120.0
+        assert db[0] == pytest.approx(0.0)
+
+    def test_rt60_of_exponential(self):
+        """A known exponential decay has a closed-form RT60."""
+        dt = 1e-3
+        tau = 0.05  # amplitude decay constant [s]
+        t = np.arange(4000) * dt
+        sig = np.exp(-t / tau)
+        # energy decays at 20/tau/ln(10) dB per second -> RT60
+        expected = 60.0 * tau * np.log(10.0) / 20.0
+        rt = rt60_from_decay(sig, dt)
+        assert rt == pytest.approx(expected, rel=0.1)
+
+    def test_rt60_too_short_signal_is_inf(self):
+        # a 3-sample constant never enters the -5..-25 dB fit band
+        assert rt60_from_decay(np.ones(3), 1e-3) == float("inf")
+
+    def test_rt60_orders_decay_rates(self):
+        """Faster exponential decay gives shorter RT60."""
+        dt = 1e-3
+        t = np.arange(4000) * dt
+        slow = rt60_from_decay(np.exp(-t / 0.10), dt)
+        fast = rt60_from_decay(np.exp(-t / 0.02), dt)
+        assert fast < slow
+
+    def test_rt60_in_simulation_is_finite_for_soft_walls(self):
+        room = Room(Grid3D(16, 14, 12), BoxRoom())
+        sim = RoomSimulation(SimConfig(room=room, scheme="fi",
+                                       materials=[FIMaterial("m", 0.6)]))
+        ir = impulse_response(sim, steps=250)
+        assert np.isfinite(rt60_from_decay(ir, room.grid.dt))
+
+    def test_impulse_response_length(self):
+        room = Room(Grid3D(14, 12, 10), BoxRoom())
+        sim = RoomSimulation(SimConfig(room=room, scheme="fi_mm"))
+        ir = impulse_response(sim, steps=33)
+        assert ir.shape == (33,)
+
+
+class TestDSL:
+    def _spec(self, **kw):
+        base = dict(shape="box", size=(16, 14, 12), scheme="fi_mm",
+                    materials=("concrete", "carpet"), precision="single")
+        base.update(kw)
+        return AcousticsSpec(**base)
+
+    def test_compile_produces_kernels(self):
+        build = self._spec().compile()
+        assert isinstance(build, CompiledAcoustics)
+        assert set(build.programs) == {"volume", "boundary"}
+        assert "__kernel void" in build.kernel_sources["boundary"]
+        assert build.host_source and "clEnqueueNDRangeKernel" in build.host_source
+
+    def test_fi_scheme_single_kernel(self):
+        build = self._spec(scheme="fi", materials=("wood",)).compile()
+        assert set(build.programs) == {"fused"}
+        assert build.host is None
+
+    def test_fd_scheme(self):
+        build = self._spec(scheme="fd_mm",
+                           materials=("fd_concrete", "fd_curtain")).compile()
+        assert "boundary" in build.kernel_sources
+        assert "vel_next" in build.kernel_sources["boundary"]
+
+    def test_fd_rejects_fi_materials(self):
+        with pytest.raises(ValueError, match="frequency-dependent"):
+            self._spec(scheme="fd_mm").material_objects()
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            self._spec(scheme="bem").compile()
+
+    def test_simulation_runs(self):
+        build = self._spec().compile(emit_opencl=False)
+        sim = build.simulation(backend="lift")
+        sim.add_impulse("center")
+        sim.run(5)
+        assert np.isfinite(sim.curr).all()
+
+    def test_dsl_simulation_matches_direct(self):
+        build = self._spec().compile(emit_opencl=False)
+        sim_dsl = build.simulation(backend="numpy")
+        sim_dsl.add_impulse("center")
+        sim_dsl.run(5)
+
+        from repro.acoustics.geometry import shape_by_name
+        room = Room(Grid3D(16, 14, 12), shape_by_name("box"))
+        from repro.acoustics.materials import material_by_name
+        sim_direct = RoomSimulation(SimConfig(
+            room=room, scheme="fi_mm", backend="numpy", precision="single",
+            materials=[material_by_name("concrete"),
+                       material_by_name("carpet")]))
+        sim_direct.add_impulse("center")
+        sim_direct.run(5)
+        np.testing.assert_array_equal(sim_dsl.curr, sim_direct.curr)
+
+    def test_room_helper(self):
+        room = self._spec(shape="dome").room()
+        assert room.shape.name == "dome"
+        assert room.grid.nx == 16

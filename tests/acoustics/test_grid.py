@@ -1,0 +1,109 @@
+"""Tests for the FDTD grid (repro.acoustics.grid)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics.grid import (Grid3D, SPEED_OF_SOUND, courant_limit,
+                                  paper_room_grids)
+
+
+class TestConstruction:
+    def test_courant_limit_3d(self):
+        assert courant_limit() == pytest.approx(1 / math.sqrt(3))
+
+    def test_default_courant_is_stable(self):
+        g = Grid3D(10, 10, 10)
+        assert g.courant <= courant_limit() + 1e-12
+
+    def test_rejects_unstable_courant(self):
+        with pytest.raises(ValueError, match="stability"):
+            Grid3D(10, 10, 10, courant=0.7)
+
+    def test_rejects_zero_courant(self):
+        with pytest.raises(ValueError):
+            Grid3D(10, 10, 10, courant=0.0)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            Grid3D(2, 10, 10)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            Grid3D(10, 10, 10, spacing=-1.0)
+
+
+class TestSizes:
+    def test_num_points(self):
+        g = Grid3D(10, 8, 6)
+        assert g.num_points == 480
+        assert g.shape == (6, 8, 10)
+
+    def test_interior(self):
+        g = Grid3D(10, 8, 6)
+        assert g.interior_shape == (4, 6, 8)
+        assert g.num_interior == 192
+
+    def test_paper_rooms(self):
+        rooms = paper_room_grids()
+        assert rooms["602"].num_points == 602 * 402 * 302
+        assert rooms["336"].shape == (336, 336, 336)
+        assert rooms["302"].num_points == 302 * 202 * 152
+
+
+class TestTimeStep:
+    def test_dt_formula(self):
+        g = Grid3D(10, 10, 10, spacing=0.05)
+        assert g.dt == pytest.approx(g.courant * 0.05 / SPEED_OF_SOUND)
+
+    def test_sample_rate_inverse(self):
+        g = Grid3D(10, 10, 10)
+        assert g.sample_rate == pytest.approx(1.0 / g.dt)
+
+    def test_lam2(self):
+        g = Grid3D(10, 10, 10)
+        assert g.lam2 == pytest.approx(g.lam ** 2)
+
+
+class TestIndexing:
+    @given(st.integers(0, 9), st.integers(0, 7), st.integers(0, 5))
+    def test_roundtrip(self, x, y, z):
+        g = Grid3D(10, 8, 6)
+        idx = g.flat_index(x, y, z)
+        assert g.coords_of(idx) == (x, y, z)
+
+    def test_x_fastest(self):
+        g = Grid3D(10, 8, 6)
+        assert g.flat_index(1, 0, 0) - g.flat_index(0, 0, 0) == 1
+        assert g.flat_index(0, 1, 0) - g.flat_index(0, 0, 0) == 10
+        assert g.flat_index(0, 0, 1) - g.flat_index(0, 0, 0) == 80
+
+    def test_matches_paper_listing1(self):
+        # idx = z*Nx*Ny + (y*Nx + x)
+        g = Grid3D(7, 5, 3)
+        for (x, y, z) in [(0, 0, 0), (3, 2, 1), (6, 4, 2)]:
+            assert g.flat_index(x, y, z) == z * 7 * 5 + (y * 7 + x)
+
+    def test_vectorised_indexing(self):
+        g = Grid3D(10, 8, 6)
+        xs = np.array([0, 1, 2])
+        idx = g.flat_index(xs, 0, 0)
+        np.testing.assert_array_equal(idx, [0, 1, 2])
+
+    def test_neighbour_offsets(self):
+        g = Grid3D(10, 8, 6)
+        assert g.neighbour_offsets == (-1, 1, -10, 10, -80, 80)
+
+    def test_as_volume_aliases(self):
+        g = Grid3D(5, 4, 3)
+        flat = g.allocate()
+        vol = g.as_volume(flat)
+        vol[1, 2, 3] = 7.0
+        assert flat[g.flat_index(3, 2, 1)] == 7.0
+        assert vol.shape == g.shape
+
+    def test_allocate_dtype(self):
+        g = Grid3D(5, 4, 3)
+        assert g.allocate(np.float32).dtype == np.float32

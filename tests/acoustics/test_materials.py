@@ -1,0 +1,175 @@
+"""Tests for wall materials and the FD-MM coefficient derivation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics.materials import (Branch, FDMaterial, FIMaterial,
+                                       MaterialTable, default_fd_materials,
+                                       default_fi_materials,
+                                       material_by_name)
+
+pos = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+nonneg = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestFIMaterial:
+    def test_beta_stored(self):
+        assert FIMaterial("m", 0.3).beta == 0.3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FIMaterial("m", -0.1)
+
+    def test_rigid_is_zero(self):
+        assert material_by_name("rigid").beta == 0.0
+
+    def test_database_lookup(self):
+        m = material_by_name("carpet")
+        assert isinstance(m, FIMaterial)
+        with pytest.raises(KeyError):
+            material_by_name("unobtainium")
+
+
+class TestBranchCoefficients:
+    """The discrete-update coefficient identities from the derivation in
+    DESIGN.md §2: BI = 1/(m + r/2 + k/4), DI = m − r/2 − k/4, F = k/2,
+    D = m/2 — the exact algebra of paper Listing 4.
+    """
+
+    @given(pos, nonneg, nonneg)
+    def test_identities(self, m, r, k):
+        b = Branch(m, r, k)
+        A = m + r / 2 + k / 4
+        assert b.BI == pytest.approx(1.0 / A)
+        assert b.DI == pytest.approx(m - r / 2 - k / 4)
+        assert b.F == pytest.approx(k / 2)
+        assert b.D == pytest.approx(m / 2)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError):
+            Branch(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Branch(1.0, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            Branch(1.0, 0.0, -1.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Branch(0.0, 0.0, 0.0)
+
+    def test_resonance(self):
+        b = Branch(m=1.0, r=0.1, k=4.0)
+        assert b.resonance_normalised == pytest.approx(2.0)
+
+    def test_from_resonance(self):
+        dt = 1.0 / 48000.0
+        b = Branch.from_resonance(1000.0, damping=1.0, strength=0.5, dt=dt)
+        w0 = 2 * math.pi * 1000.0 * dt
+        assert b.resonance_normalised == pytest.approx(w0)
+        assert b.m == pytest.approx(2.0)
+
+    def test_from_resonance_validation(self):
+        with pytest.raises(ValueError):
+            Branch.from_resonance(-1.0, 1.0, 1.0, 1e-4)
+        with pytest.raises(ValueError):
+            Branch.from_resonance(100.0, 1.0, 0.0, 1e-4)
+
+
+class TestFDMaterial:
+    def _mat(self):
+        return FDMaterial("test", 0.05,
+                          (Branch(1.0, 0.5, 2.0), Branch(2.0, 1.0, 8.0)))
+
+    def test_beta_eff_combines_branches(self):
+        """beta_eff = β∞ + Σ BI — the pre-combined kernel coefficient."""
+        m = self._mat()
+        assert m.beta_eff == pytest.approx(
+            0.05 + sum(b.BI for b in m.branches))
+
+    def test_fi_limit(self):
+        m = FDMaterial("flat", 0.3, ())
+        assert m.beta_eff == 0.3
+
+    def test_as_fi(self):
+        fi = self._mat().as_fi()
+        assert isinstance(fi, FIMaterial)
+        assert fi.beta == pytest.approx(self._mat().beta_eff)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            FDMaterial("bad", -0.1)
+
+    def test_admittance_positive_real_part(self):
+        """Passive material: Re Y(ω) >= 0 for all real frequencies."""
+        m = self._mat()
+        w = np.linspace(1e-3, math.pi, 300)
+        assert (m.admittance(w).real >= -1e-12).all()
+
+    def test_absorption_in_unit_interval(self):
+        m = self._mat()
+        w = np.linspace(1e-3, math.pi, 300)
+        a = m.absorption_coefficient(w)
+        assert (a >= -1e-9).all() and (a <= 1.0 + 1e-9).all()
+
+    def test_absorption_peaks_near_resonance(self):
+        dt = 1.0 / 44100.0
+        m = FDMaterial("peaky", 0.001,
+                       (Branch.from_resonance(1000.0, 0.3, 0.5, dt),))
+        w = np.linspace(1e-3, math.pi / 4, 2000)
+        a = m.absorption_coefficient(w)
+        w_peak = w[np.argmax(a)]
+        w0 = 2 * math.pi * 1000.0 * dt
+        assert abs(w_peak - w0) / w0 < 0.25
+
+    def test_rigid_reflects_everything(self):
+        m = FDMaterial("rigid", 0.0, ())
+        w = np.linspace(1e-3, math.pi, 50)
+        np.testing.assert_allclose(np.abs(m.reflection_coefficient(w)), 1.0)
+
+    def test_database_fd_materials(self):
+        m = material_by_name("fd_curtain")
+        assert isinstance(m, FDMaterial)
+        assert len(m.branches) == 3
+
+
+class TestMaterialTable:
+    def test_from_fi(self):
+        t = MaterialTable.from_fi(default_fi_materials(3))
+        assert t.num_materials == 3
+        assert t.num_branches == 0
+
+    def test_from_fd_shapes(self):
+        t = MaterialTable.from_fd(default_fd_materials(4), num_branches=3)
+        assert t.beta.shape == (4,)
+        assert t.BI.shape == (4, 3)
+        assert t.DI.shape == t.F.shape == t.D.shape == (4, 3)
+
+    def test_beta_is_beta_eff(self):
+        mats = default_fd_materials(2)
+        t = MaterialTable.from_fd(mats)
+        for i, m in enumerate(mats):
+            assert t.beta[i] == pytest.approx(m.beta_eff)
+
+    def test_padding_is_inert(self):
+        """Materials with fewer branches pad with zero rows (exact no-ops)."""
+        mats = [FDMaterial("one", 0.1, (Branch(1.0, 0.5, 2.0),))]
+        t = MaterialTable.from_fd(mats, num_branches=3)
+        assert (t.BI[0, 1:] == 0).all()
+        assert (t.F[0, 1:] == 0).all()
+
+    def test_too_many_branches_rejected(self):
+        mats = [FDMaterial("m", 0.1, (Branch(1, 0, 1), Branch(1, 0, 2)))]
+        with pytest.raises(ValueError):
+            MaterialTable.from_fd(mats, num_branches=1)
+
+    def test_astype(self):
+        t = MaterialTable.from_fd(default_fd_materials(2)).astype(np.float32)
+        assert t.beta.dtype == np.float32
+        assert t.BI.dtype == np.float32
+
+    def test_dtype_at_construction(self):
+        t = MaterialTable.from_fd(default_fd_materials(2), dtype=np.float32)
+        assert t.beta.dtype == np.float32

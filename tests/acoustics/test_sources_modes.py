@@ -1,0 +1,115 @@
+"""Tests for excitation signals and a modal-frequency validation.
+
+The mode test is the strongest physics check in the suite: the lowest
+axial mode of a rigid box room must appear at the frequency predicted by
+the *discrete* dispersion relation of the SLF scheme.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (BoxRoom, Grid3D, Room, RoomSimulation,
+                             SimConfig)
+from repro.acoustics.materials import FIMaterial
+from repro.acoustics.sources import (SignalSource, attach_source,
+                                     gaussian_pulse, ricker_wavelet,
+                                     signal_samples, tone_burst)
+
+
+class TestSignals:
+    def test_gaussian_peak_at_delay(self):
+        s = signal_samples(gaussian_pulse(5.0, delay_steps=30.0), 100)
+        assert np.argmax(s) == 30
+        assert s.max() == pytest.approx(1.0)
+
+    def test_gaussian_default_delay(self):
+        s = signal_samples(gaussian_pulse(5.0), 100)
+        assert np.argmax(s) == 20  # 4 sigma
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_pulse(0.0)
+
+    def test_ricker_zero_mean(self):
+        s = signal_samples(ricker_wavelet(60.0, 8.0), 200)
+        assert abs(s.sum()) < 1e-6 * np.abs(s).sum()
+
+    def test_ricker_peak(self):
+        s = signal_samples(ricker_wavelet(60.0, 8.0), 200)
+        assert np.argmax(s) == 60
+
+    def test_tone_burst_windowed(self):
+        dt = 1e-4
+        s = signal_samples(tone_burst(500.0, dt, cycles=4), 200)
+        total = int(4 / (500.0 * dt))
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert abs(s[total - 1]) < 0.1
+        assert np.abs(s).max() > 0.5
+
+    def test_tone_burst_validation(self):
+        with pytest.raises(ValueError):
+            tone_burst(-1.0, 1e-4)
+
+    def test_signal_source_inject(self):
+        state = np.zeros(10)
+        src = SignalSource(index=3, signal=lambda n: float(n), amplitude=2.0)
+        src.inject(state, 5)
+        assert state[3] == 10.0
+
+
+class TestAttachedSource:
+    def test_source_drives_simulation(self):
+        room = Room(Grid3D(16, 14, 12), BoxRoom())
+        sim = RoomSimulation(SimConfig(room=room, scheme="fi_mm"))
+        attach_source(sim, ricker_wavelet(20.0, 5.0), "center")
+        sim.run(60)
+        assert np.abs(sim.curr[:sim._N]).max() > 0
+
+    def test_ricker_avoids_dc_growth(self):
+        """The zero-mean wavelet must not excite the secular DC mode that a
+        bare impulse does (rigid box)."""
+        from repro.acoustics.analysis import total_field_energy
+        room = Room(Grid3D(16, 14, 12), BoxRoom())
+        sim = RoomSimulation(SimConfig(room=room, scheme="fi",
+                                       materials=[FIMaterial("rigid", 0.0)]))
+        attach_source(sim, ricker_wavelet(20.0, 5.0), "center")
+        sim.run(80)  # source has fully played out
+        e0 = total_field_energy(sim)
+        sim.run(300)
+        assert total_field_energy(sim) < 2.5 * e0  # bounded, no secular growth
+
+
+class TestAxialMode:
+    def test_lowest_axial_mode_frequency(self):
+        """Drive a rigid box broadband and locate the lowest x-axial mode.
+
+        For the SLF scheme at Courant number λ, a plane wave along an axis
+        obeys sin(ω·dt/2) = λ·sin(k·h/2).  The lowest axial mode has
+        k = π/Lx (pressure antinodes at rigid walls, Lx the interior
+        length), so f = arcsin(λ·sin(k·h/2))/(π·dt).
+        """
+        nx, ny, nz = 64, 12, 12
+        grid = Grid3D(nx, ny, nz, spacing=0.05)
+        room = Room(grid, BoxRoom())
+        sim = RoomSimulation(SimConfig(room=room, scheme="fi",
+                                       materials=[FIMaterial("hard", 1e-4)]))
+        # off-centre source and receiver so the axial mode is excited/seen
+        attach_source(sim, ricker_wavelet(25.0, 6.0), (5, ny // 2, nz // 2))
+        sim.add_receiver("mic", (nx - 6, ny // 2, nz // 2))
+        steps = 4096
+        sim.run(steps)
+        sig = sim.receiver_signal("mic") - np.mean(sim.receiver_signal("mic"))
+        spectrum = np.abs(np.fft.rfft(sig * np.hanning(steps)))
+        freqs = np.fft.rfftfreq(steps, d=grid.dt)
+
+        lx = (nx - 2) * grid.spacing          # interior length
+        k = math.pi / lx
+        arg = grid.courant * math.sin(k * grid.spacing / 2.0)
+        f_expected = math.asin(arg) / (math.pi * grid.dt)
+
+        # find the strongest peak below 1.5x the expected mode
+        band = freqs < 1.5 * f_expected
+        f_peak = freqs[band][np.argmax(spectrum[band][1:]) + 1]
+        assert f_peak == pytest.approx(f_expected, rel=0.08)

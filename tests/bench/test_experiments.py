@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and its consistency with the repo."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, Experiment, render_index
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        ids = set(EXPERIMENTS)
+        assert {"table2", "table3", "fig2", "fig4", "fig5", "fig6",
+                "counts"} <= ids
+
+    def test_bench_targets_exist(self):
+        for e in EXPERIMENTS.values():
+            path = e.bench_target.split("::")[0]
+            assert (REPO / path).exists(), f"{e.id}: missing {path}"
+
+    def test_modules_importable(self):
+        import importlib
+        for e in EXPERIMENTS.values():
+            for mod in e.modules:
+                # entries may name module.attribute
+                parts = mod.split(".")
+                for cut in range(len(parts), 1, -1):
+                    try:
+                        m = importlib.import_module(".".join(parts[:cut]))
+                        break
+                    except ModuleNotFoundError:
+                        continue
+                else:
+                    pytest.fail(f"{e.id}: cannot import {mod}")
+                rest = parts[cut:]
+                obj = m
+                for attr in rest:
+                    obj = getattr(obj, attr)
+
+    def test_cli_names_valid(self):
+        from repro.bench.report import RENDERERS
+        for e in EXPERIMENTS.values():
+            if e.cli.startswith("python -m repro.bench "):
+                name = e.cli.split()[-1]
+                assert name in RENDERERS
+
+    def test_render_index(self):
+        text = render_index()
+        for e in EXPERIMENTS.values():
+            assert e.id in text
+            assert e.paper_artifact in text
+
+    def test_frozen(self):
+        e = next(iter(EXPERIMENTS.values()))
+        with pytest.raises(Exception):
+            e.id = "changed"  # type: ignore[misc]

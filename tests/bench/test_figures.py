@@ -1,0 +1,278 @@
+"""Tests for the table/figure regeneration harness.
+
+Run at scale 1/4 (fast); the assertions target the paper's *qualitative*
+claims, which must hold at any scale: LIFT ≈ handwritten, box ≥ dome,
+the uniform room dips, FD-MM ≪ FI-MM throughput, boundary share FD > FI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures, harness, paper_data, report
+from repro.bench.rooms import (PAPER_SHAPES, PAPER_SIZES, room_bundle,
+                               scaled_dims)
+
+SCALE = 4
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    return figures.fig5_rows(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return figures.fig6_rows(scale=SCALE)
+
+
+def cell(rows, **match):
+    out = [r for r in rows
+           if all(r[k] == v for k, v in match.items())]
+    assert len(out) == 1, f"ambiguous match {match}"
+    return out[0]
+
+
+class TestRooms:
+    def test_scaled_dims(self):
+        assert scaled_dims("602", 1) == (602, 402, 302)
+        assert scaled_dims("602", 2) == (301, 201, 151)
+
+    def test_scaled_dims_floor(self):
+        assert min(scaled_dims("302", 100)) >= 8
+
+    def test_bundle_cached(self):
+        a = room_bundle("302", "box", SCALE)
+        b = room_bundle("302", "box", SCALE)
+        assert a is b
+
+    def test_unknown_size(self):
+        with pytest.raises(ValueError):
+            room_bundle("999", "box", SCALE)
+
+    def test_bundle_fields(self):
+        b = room_bundle("302", "dome", SCALE)
+        assert b.num_boundary_points == b.boundary_indices.size
+        assert 0 <= b.contiguity <= 1
+        assert b.name == f"dome-302/{SCALE}"
+
+
+class TestTable2:
+    def test_full_row_set(self):
+        rows = figures.table2_rows(scale=SCALE)
+        assert [r["size"] for r in rows] == ["602", "336", "302"]
+
+    def test_box_has_more_boundary_points_than_dome(self):
+        for r in figures.table2_rows(scale=SCALE):
+            assert r["box_bpts"] > r["dome_bpts"]
+
+    def test_paper_counts_attached(self):
+        rows = figures.table2_rows(scale=SCALE)
+        assert rows[0]["box_paper_bpts"] == 1_085_208
+        assert rows[0]["dome_paper_bpts"] == 690_624
+
+    def test_box_more_contiguous(self):
+        for r in figures.table2_rows(scale=SCALE):
+            assert r["box_contiguity"] > r["dome_contiguity"]
+
+
+class TestTable3:
+    def test_identical_to_paper(self):
+        for r in figures.table3_rows():
+            assert r["bandwidth_gbs"] == r["paper_bandwidth_gbs"]
+            assert r["sp_gflops"] == r["paper_sp_gflops"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig4_rows(scale=SCALE)
+
+    def test_cell_count(self, rows):
+        # 4 devices x 3 sizes x 2 impls x 2 precisions
+        assert len(rows) == 48
+
+    def test_single_faster_than_double(self, rows):
+        for device in ("TitanBlack", "GTX780", "AMD7970", "RadeonR9"):
+            for size in PAPER_SIZES:
+                s = cell(rows, device=device, size=size, impl="LIFT",
+                         precision="single")
+                d = cell(rows, device=device, size=size, impl="LIFT",
+                         precision="double")
+                assert s["time_ms"] < d["time_ms"]
+
+    def test_lift_on_par_with_handwritten(self, rows):
+        """The paper's headline: comparable performance (within ~35 %)."""
+        for device in ("TitanBlack", "GTX780", "AMD7970", "RadeonR9"):
+            for precision in ("single", "double"):
+                l = cell(rows, device=device, size="602", impl="LIFT",
+                         precision=precision)
+                o = cell(rows, device=device, size="602", impl="OpenCL",
+                         precision=precision)
+                assert 0.65 <= l["time_ms"] / o["time_ms"] <= 1.35
+
+    def test_throughput_consistency(self, rows):
+        for r in rows:
+            b = room_bundle(r["size"], "box", SCALE)
+            expected = b.num_points / (r["time_ms"] * 1e-3) / 1e9
+            assert r["gelems"] == pytest.approx(expected)
+
+
+class TestFig5:
+    def test_cell_count(self, fig5_rows):
+        # 4 devices x 2 shapes x 3 sizes x 2 impls x 2 precisions
+        assert len(fig5_rows) == 96
+
+    def test_box_beats_dome(self, fig5_rows):
+        for device in ("TitanBlack", "AMD7970"):
+            for size in PAPER_SIZES:
+                box = cell(fig5_rows, device=device, size=size, shape="box",
+                           impl="LIFT", precision="single")
+                dome = cell(fig5_rows, device=device, size=size,
+                            shape="dome", impl="LIFT", precision="single")
+                assert box["gelems"] > dome["gelems"]
+
+    def test_uniform_336_dips(self, fig5_rows):
+        """§VII-B1: the uniform 336³ room has lower throughput than the
+        elongated 602 cuboid.  (At full scale it also dips below the 302
+        room — see EXPERIMENTS.md; at test scale the 302 room is small
+        enough for launch overhead to dominate its throughput, so only the
+        602 comparison is scale-invariant.)"""
+        for device in ("TitanBlack", "GTX780"):
+            g336 = cell(fig5_rows, device=device, size="336", shape="box",
+                        impl="LIFT", precision="single")["gelems"]
+            g602 = cell(fig5_rows, device=device, size="602", shape="box",
+                        impl="LIFT", precision="single")["gelems"]
+            assert g336 < g602
+
+    def test_uniform_336_less_contiguous(self):
+        """The mechanism behind the dip: shorter unit-stride runs."""
+        b336 = room_bundle("336", "box", SCALE)
+        b602 = room_bundle("602", "box", SCALE)
+        assert b336.contiguity < b602.contiguity
+
+    def test_nvidia_double_lift_slower(self, fig5_rows):
+        """§VII-B1: the constant-memory beta table makes the handwritten
+        version faster in double precision on NVIDIA."""
+        for device in ("TitanBlack", "GTX780"):
+            l = cell(fig5_rows, device=device, size="602", shape="box",
+                     impl="LIFT", precision="double")
+            o = cell(fig5_rows, device=device, size="602", shape="box",
+                     impl="OpenCL", precision="double")
+            assert l["time_ms"] > o["time_ms"]
+
+    def test_amd_parity(self, fig5_rows):
+        for size in PAPER_SIZES:
+            l = cell(fig5_rows, device="AMD7970", size=size, shape="box",
+                     impl="LIFT", precision="double")
+            o = cell(fig5_rows, device="AMD7970", size=size, shape="box",
+                     impl="OpenCL", precision="double")
+            assert l["time_ms"] == pytest.approx(o["time_ms"])
+
+    def test_small_single_double_gap(self, fig5_rows):
+        """Boundary kernels are sector-dominated: double costs far less
+        than 2x single (Tables V–VI show near-parity)."""
+        l_s = cell(fig5_rows, device="TitanBlack", size="602", shape="box",
+                   impl="OpenCL", precision="single")
+        l_d = cell(fig5_rows, device="TitanBlack", size="602", shape="box",
+                   impl="OpenCL", precision="double")
+        assert l_d["time_ms"] / l_s["time_ms"] < 1.8
+
+
+class TestFig6:
+    def test_cell_count(self, fig6_rows):
+        assert len(fig6_rows) == 96
+
+    def test_fd_mm_slower_than_fi_mm(self, fig5_rows, fig6_rows):
+        """FD-MM does ~5x the memory work: throughput must drop."""
+        for device in ("TitanBlack", "AMD7970"):
+            fi = cell(fig5_rows, device=device, size="602", shape="box",
+                      impl="LIFT", precision="double")
+            fd = cell(fig6_rows, device=device, size="602", shape="box",
+                      impl="LIFT", precision="double")
+            assert fd["gelems"] < fi["gelems"]
+
+    def test_fd_larger_precision_gap_than_fi(self, fig5_rows, fig6_rows):
+        """§VII-B2: FD-MM shows a much bigger single/double difference."""
+        def gap(rows):
+            s = cell(rows, device="TitanBlack", size="602", shape="box",
+                     impl="OpenCL", precision="single")["time_ms"]
+            d = cell(rows, device="TitanBlack", size="602", shape="box",
+                     impl="OpenCL", precision="double")["time_ms"]
+            return d / s
+        assert gap(fig6_rows) > gap(fig5_rows)
+
+    def test_box_beats_dome(self, fig6_rows):
+        for size in PAPER_SIZES:
+            box = cell(fig6_rows, device="RadeonR9", size=size, shape="box",
+                       impl="LIFT", precision="double")
+            dome = cell(fig6_rows, device="RadeonR9", size=size,
+                        shape="dome", impl="LIFT", precision="double")
+            assert box["gelems"] > dome["gelems"]
+
+
+class TestFig2:
+    def test_rows(self):
+        rows = figures.fig2_rows(scale=SCALE)
+        assert len(rows) == 4
+        keys = {(r["shape"], r["scheme"]) for r in rows}
+        assert keys == {("box", "FI-MM"), ("box", "FD-MM"),
+                        ("dome", "FI-MM"), ("dome", "FD-MM")}
+
+    def test_fd_share_exceeds_fi(self):
+        rows = figures.fig2_rows(scale=SCALE)
+        by = {(r["shape"], r["scheme"]): r for r in rows}
+        for shape in PAPER_SHAPES:
+            assert by[(shape, "FD-MM")]["share_pct_max"] \
+                > by[(shape, "FI-MM")]["share_pct_max"]
+
+    def test_share_is_significant(self):
+        """§II-F: boundary handling accounts for a significant share
+        (paper: ~20 % for FD-MM)."""
+        rows = figures.fig2_rows(scale=SCALE)
+        fd_box = [r for r in rows if r["scheme"] == "FD-MM"
+                  and r["shape"] == "box"][0]
+        assert fd_box["share_pct_max"] > 10.0
+
+    def test_shares_bounded(self):
+        for r in figures.fig2_rows(scale=SCALE):
+            for v in r["share_pct_by_size"].values():
+                assert 0 < v < 100
+
+
+class TestPaperData:
+    def test_table4_complete(self):
+        assert len(paper_data.TABLE4_FI) == 24  # 4 dev x 2 impl x 3 sizes
+
+    def test_table5_complete(self):
+        assert len(paper_data.TABLE5_FIMM) == 48
+
+    def test_table6_complete(self):
+        assert len(paper_data.TABLE6_FDMM) == 48
+
+    def test_all_times_positive(self):
+        for table in (paper_data.TABLE4_FI, paper_data.TABLE5_FIMM,
+                      paper_data.TABLE6_FDMM):
+            for s, d in table.values():
+                assert s > 0 and d > 0
+
+    def test_fi_throughput_helper(self):
+        g = paper_data.fi_throughput_gelems("TitanBlack", "OpenCL", "602",
+                                            "single")
+        assert g == pytest.approx(602 * 402 * 302 / 8.19e-3 / 1e9, rel=1e-6)
+
+    def test_boundary_throughput_helper(self):
+        g = paper_data.boundary_throughput_gelems(
+            paper_data.TABLE5_FIMM, "TitanBlack", "OpenCL", "602", "box",
+            "single")
+        assert g == pytest.approx(1_085_208 / 0.29e-3 / 1e9, rel=1e-6)
+
+
+class TestReport:
+    def test_renderers_produce_text(self):
+        for name in ("table2", "fig2", "fig4", "fig5", "fig6"):
+            out = report.RENDERERS[name](SCALE)
+            assert len(out.splitlines()) > 3
+
+    def test_table3_renderer(self):
+        out = report.render_table3()
+        assert "TitanBlack" in out and "337" in out

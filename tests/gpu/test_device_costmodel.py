@@ -1,0 +1,203 @@
+"""Tests for the virtual device table and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.paper_data import TABLE3_PLATFORMS
+from repro.gpu.autotune import CANDIDATE_WORKGROUPS, autotune_workgroup
+from repro.gpu.costmodel import (HANDWRITTEN_TRAITS, LIFT_TRAITS,
+                                 kernel_time, sector_bytes_per_item)
+from repro.gpu.device import (AMD_HD7970, DeviceSpec, NVIDIA_GTX780,
+                              NVIDIA_TITAN_BLACK, PAPER_DEVICES,
+                              device_by_name)
+from repro.lift.analysis import Resources
+
+
+class TestDeviceTable:
+    def test_matches_paper_table3(self):
+        for name, spec in PAPER_DEVICES.items():
+            paper = TABLE3_PLATFORMS[name]
+            assert spec.mem_bandwidth_gbs == paper["bandwidth_gbs"]
+            assert spec.sp_gflops == paper["sp_gflops"]
+
+    def test_four_devices(self):
+        assert len(PAPER_DEVICES) == 4
+
+    def test_lookup(self):
+        assert device_by_name("GTX780") is NVIDIA_GTX780
+        with pytest.raises(ValueError):
+            device_by_name("H100")
+
+    def test_dp_rates(self):
+        assert NVIDIA_TITAN_BLACK.dp_gflops == pytest.approx(5120 / 3)
+        assert NVIDIA_GTX780.dp_gflops == pytest.approx(3977 / 24)
+        assert AMD_HD7970.dp_gflops == pytest.approx(4096 / 4)
+
+    def test_flops_rate(self):
+        assert NVIDIA_TITAN_BLACK.flops_rate("single") == 5120e9
+        assert NVIDIA_TITAN_BLACK.flops_rate("double") \
+            == pytest.approx(5120e9 / 3)
+        with pytest.raises(ValueError):
+            NVIDIA_TITAN_BLACK.flops_rate("half")
+
+    def test_vendor_sector_sizes(self):
+        for spec in PAPER_DEVICES.values():
+            assert spec.sector_bytes == (32 if spec.vendor == "nvidia"
+                                         else 64)
+
+
+class TestSectorModel:
+    def test_contiguous_indices_cost_width(self):
+        idx = np.arange(1024)
+        assert sector_bytes_per_item(idx, 8, 32) == pytest.approx(8.0)
+        assert sector_bytes_per_item(idx, 4, 32) == pytest.approx(4.0)
+
+    def test_fully_scattered_cost_sector(self):
+        idx = np.arange(0, 1024 * 8, 8)  # one 8-byte element per 64B
+        assert sector_bytes_per_item(idx, 8, 32) == pytest.approx(32.0)
+
+    def test_width_independence_when_scattered(self):
+        """The paper's observation: boundary kernels gain little from
+        single precision because isolated accesses move whole sectors."""
+        idx = np.arange(0, 512 * 16, 16)
+        c4 = sector_bytes_per_item(idx, 4, 32)
+        c8 = sector_bytes_per_item(idx, 8, 32)
+        assert c8 / c4 < 1.3  # nowhere near the 2x of contiguous streams
+
+    def test_empty_indices(self):
+        assert sector_bytes_per_item(np.array([], dtype=np.int64), 8, 32) == 8.0
+
+    @given(st.lists(st.integers(0, 10000), min_size=1, max_size=400,
+                    unique=True))
+    def test_bounds(self, idx):
+        c = sector_bytes_per_item(np.asarray(idx), 8, 32)
+        assert 8.0 - 1e-9 <= c <= 32.0 + 1e-9
+
+    @given(st.lists(st.integers(0, 10000), min_size=1, max_size=400,
+                    unique=True))
+    def test_monotone_in_width(self, idx):
+        arr = np.asarray(idx)
+        assert sector_bytes_per_item(arr, 4, 32) \
+            <= sector_bytes_per_item(arr, 8, 32) + 1e-9
+
+
+def _gather_resources():
+    r = Resources()
+    r.load(4, 1, array="idx", access_class="contiguous")
+    r.load(8, 2, array="data", access_class="gathered")
+    r.store(8, 1, array="out", access_class="gathered")
+    r.flops = 10
+    return r
+
+
+def _stream_resources():
+    r = Resources()
+    r.load(8, 7, array="curr", access_class="contiguous")
+    r.load(8, 1, array="prev", access_class="contiguous")
+    r.store(8, 1, array="out", access_class="contiguous")
+    r.flops = 20
+    return r
+
+
+class TestKernelTime:
+    def test_more_items_takes_longer(self):
+        r = _stream_resources()
+        t1 = kernel_time(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double")
+        t2 = kernel_time(r, 10 ** 6, NVIDIA_TITAN_BLACK, "double")
+        assert t2.time_ms > t1.time_ms
+
+    def test_higher_bandwidth_is_faster(self):
+        r = _stream_resources()
+        t_titan = kernel_time(r, 10 ** 6, NVIDIA_TITAN_BLACK, "double")
+        t_780 = kernel_time(r, 10 ** 6, NVIDIA_GTX780, "double")
+        assert t_titan.time_ms < t_780.time_ms
+
+    def test_contiguity_speeds_up_gathers(self):
+        r = _gather_resources()
+        contiguous = np.arange(10 ** 5)
+        scattered = np.arange(10 ** 5) * 7
+        t_c = kernel_time(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double",
+                          gather_index=contiguous)
+        t_s = kernel_time(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double",
+                          gather_index=scattered)
+        assert t_c.time_ms < t_s.time_ms
+
+    def test_unknown_gathers_priced_at_sector(self):
+        r = _gather_resources()
+        t = kernel_time(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double",
+                        gather_index=None)
+        # 3 gathered accesses x 32B sector + 4B contiguous
+        assert t.bytes_per_item == pytest.approx(3 * 32 + 4)
+
+    def test_table_penalty_only_lift_nvidia_double(self):
+        r = _gather_resources()
+        r.load(8, 2, array="beta", access_class="table")
+        idx = np.arange(10 ** 5)
+        args = (r, 10 ** 5, NVIDIA_TITAN_BLACK)
+        t_hand = kernel_time(*args, "double", HANDWRITTEN_TRAITS, idx)
+        t_lift = kernel_time(*args, "double", LIFT_TRAITS, idx)
+        assert t_lift.time_ms > t_hand.time_ms
+        # no penalty in single precision
+        t_hand_s = kernel_time(*args, "single", HANDWRITTEN_TRAITS, idx)
+        t_lift_s = kernel_time(*args, "single", LIFT_TRAITS, idx)
+        assert t_lift_s.time_ms == pytest.approx(t_hand_s.time_ms)
+        # no penalty on AMD
+        t_hand_a = kernel_time(r, 10 ** 5, AMD_HD7970, "double",
+                               HANDWRITTEN_TRAITS, idx)
+        t_lift_a = kernel_time(r, 10 ** 5, AMD_HD7970, "double",
+                               LIFT_TRAITS, idx)
+        assert t_lift_a.time_ms == pytest.approx(t_hand_a.time_ms)
+
+    def test_stencil_reuse_collapses_loads(self):
+        r = _stream_resources()
+        t = kernel_time(r, 10 ** 6, NVIDIA_TITAN_BLACK, "double")
+        # curr: 7 loads collapse to ~1.7 fetches, not 7
+        assert t.bytes_per_item < 7 * 8
+
+    def test_divergence_penalty(self):
+        r = _stream_resources()
+        r.flops = 10 ** 4  # force compute-bound
+        t_plain = kernel_time(r, 10 ** 6, NVIDIA_TITAN_BLACK, "double")
+        r.divergent = True
+        t_div = kernel_time(r, 10 ** 6, NVIDIA_TITAN_BLACK, "double")
+        assert t_div.time_ms > t_plain.time_ms
+
+    def test_launch_overhead_floor(self):
+        r = _stream_resources()
+        t = kernel_time(r, 1, NVIDIA_TITAN_BLACK, "double")
+        assert t.time_ms >= NVIDIA_TITAN_BLACK.launch_overhead_us * 1e-3
+
+    def test_compute_bound_kernel(self):
+        r = Resources()
+        r.load(8, 1, array="a", access_class="contiguous")
+        r.flops = 10 ** 3
+        t = kernel_time(r, 10 ** 6, NVIDIA_GTX780, "double")
+        assert t.compute_time_ms > t.mem_time_ms
+
+
+class TestAutotune:
+    def test_best_not_worse_than_any_candidate(self):
+        r = _gather_resources()
+        idx = np.arange(10 ** 5) * 3
+        best = autotune_workgroup(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double",
+                                  LIFT_TRAITS, idx)
+        for wg in CANDIDATE_WORKGROUPS:
+            t = kernel_time(r, 10 ** 5, NVIDIA_TITAN_BLACK, "double",
+                            LIFT_TRAITS, idx, workgroup=wg)
+            assert best.time_ms <= t.time_ms + 1e-12
+
+    def test_deterministic(self):
+        r = _stream_resources()
+        a = autotune_workgroup(r, 10 ** 6, AMD_HD7970, "single")
+        b = autotune_workgroup(r, 10 ** 6, AMD_HD7970, "single")
+        assert a.time_ms == b.time_ms and a.workgroup == b.workgroup
+
+    def test_respects_device_max(self):
+        small = DeviceSpec(name="tiny", vendor="nvidia",
+                           mem_bandwidth_gbs=100, sp_gflops=1000,
+                           dp_ratio=0.5, sector_bytes=32, compute_units=4,
+                           warp_size=32, max_workgroup=128)
+        r = _stream_resources()
+        best = autotune_workgroup(r, 10 ** 5, small, "single")
+        assert best.workgroup <= 128

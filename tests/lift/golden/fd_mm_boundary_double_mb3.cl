@@ -1,0 +1,52 @@
+__kernel void fd_mm_boundary(__global int* boundaryIndices, __global int* material, __global int* nbrs, __global double* beta, __global double* BI, __global double* DI, __global double* F, __global double* D, __global double* next, __global double* prev, __global double* g1, __global double* vel_prev, __global double* vel_next, double l, int K, int M, int N) {
+  for (int gid_0 = get_global_id(0); gid_0 < K; gid_0 += get_global_size(0)) {
+    int tmp_0 = boundaryIndices[gid_0];
+    int tmp_1 = material[gid_0];
+    int tmp_2 = nbrs[tmp_0];
+    double tmp_3 = next[tmp_0];
+    double tmp_4 = prev[tmp_0];
+    double priv_0[3];
+    for (int i_0 = 0; i_0 < 3; i_0++) {
+      double tmp_5 = g1[((i_0 * K) + gid_0)];
+      priv_0[i_0] = tmp_5;
+    }
+    double priv_1[3];
+    for (int i_1 = 0; i_1 < 3; i_1++) {
+      double tmp_6 = vel_prev[((i_1 * K) + gid_0)];
+      priv_1[i_1] = tmp_6;
+    }
+    double cf1_0 = (l * (6 - tmp_2));
+    double tmp_7 = beta[tmp_1];
+    double cf_0 = ((0.5 * cf1_0) * tmp_7);
+    double priv_2[3];
+    for (int i_2 = 0; i_2 < 3; i_2++) {
+      double tmp_8 = BI[((tmp_1 * 3) + i_2)];
+      double tmp_9 = D[((tmp_1 * 3) + i_2)];
+      double tmp_10 = priv_1[i_2];
+      double tmp_11 = F[((tmp_1 * 3) + i_2)];
+      double tmp_12 = priv_0[i_2];
+      priv_2[i_2] = (tmp_8 * (((2.0 * tmp_9) * tmp_10) - (tmp_11 * tmp_12)));
+    }
+    double acc_0 = 0.0;
+    double x_0 = priv_2[0];
+    acc_0 = (acc_0 + x_0);
+    double x_1 = priv_2[1];
+    acc_0 = (acc_0 + x_1);
+    double x_2 = priv_2[2];
+    acc_0 = (acc_0 + x_2);
+    double newNext_0 = (((tmp_3 - (cf1_0 * acc_0)) + (cf_0 * tmp_4)) / (1.0 + cf_0));
+    next[tmp_0] = newNext_0;
+    for (int b_0 = 0; b_0 < 3; b_0++) {
+      double tmp_13 = BI[((tmp_1 * 3) + b_0)];
+      double tmp_14 = DI[((tmp_1 * 3) + b_0)];
+      double tmp_15 = priv_1[b_0];
+      double tmp_16 = F[((tmp_1 * 3) + b_0)];
+      double tmp_17 = priv_0[b_0];
+      double v1val_0 = (tmp_13 * (((newNext_0 - tmp_4) + (tmp_14 * tmp_15)) - ((2.0 * tmp_16) * tmp_17)));
+      vel_next[((b_0 * K) + gid_0)] = v1val_0;
+      double tmp_18 = priv_0[b_0];
+      double tmp_19 = priv_1[b_0];
+      g1[((b_0 * K) + gid_0)] = (tmp_18 + (0.5 * (v1val_0 + tmp_19)));
+    }
+  }
+}

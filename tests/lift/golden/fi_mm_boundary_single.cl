@@ -1,0 +1,13 @@
+__kernel void fi_mm_boundary(__global int* boundaryIndices, __global int* material, __global int* nbrs, __global float* beta, __global float* next, __global float* prev, float l, int K, int M, int N) {
+  for (int gid_0 = get_global_id(0); gid_0 < K; gid_0 += get_global_size(0)) {
+    int tmp_0 = boundaryIndices[gid_0];
+    int tmp_1 = material[gid_0];
+    int tmp_2 = nbrs[tmp_0];
+    float tmp_3 = beta[tmp_1];
+    float cf_0 = (((0.5f * l) * (6 - tmp_2)) * tmp_3);
+    float tmp_4 = next[tmp_0];
+    float tmp_5 = prev[tmp_0];
+    float eta_0_0 = ((tmp_4 + (cf_0 * tmp_5)) / (1.0f + cf_0));
+    next[tmp_0+0] = eta_0_0;
+  }
+}

@@ -1,0 +1,171 @@
+"""Tests for the expression AST and builders (repro.lift.ast)."""
+
+import pytest
+
+from repro.lift.arith import Var
+from repro.lift.ast import (BinOp, FunCall, Lambda, Literal, Param, Select,
+                            UnaryOp, UserFun, as_expr, lam, lit, pre_order,
+                            structurally_equal)
+from repro.lift.patterns import Get, Map, Zip, dump
+from repro.lift.types import ArrayType, Double, Float, Int, TupleType, TypeError_
+
+
+class TestNodes:
+    def test_param_arith(self):
+        p = Param("idx", Int)
+        assert p.arith == Var("idx")
+
+    def test_literal_requires_scalar(self):
+        with pytest.raises(TypeError_):
+            Literal(1.0, ArrayType(Float, 3))  # type: ignore[arg-type]
+
+    def test_lit_builder(self):
+        l = lit(2.0, Double)
+        assert l.value == 2.0 and l.type is Double
+
+    def test_as_expr_int(self):
+        e = as_expr(3)
+        assert isinstance(e, Literal) and e.type is Int
+
+    def test_as_expr_float(self):
+        e = as_expr(1.5)
+        assert isinstance(e, Literal) and e.type is Float
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            as_expr(True)
+
+    def test_as_expr_rejects_other(self):
+        with pytest.raises(TypeError_):
+            as_expr("hello")
+
+    def test_binop_unknown_op(self):
+        with pytest.raises(TypeError_):
+            BinOp("**", as_expr(1), as_expr(2))
+
+    def test_unary_unknown_op(self):
+        with pytest.raises(TypeError_):
+            UnaryOp("sin", as_expr(1.0))
+
+    def test_funcall_requires_fundecl(self):
+        with pytest.raises(TypeError_):
+            FunCall("not a function", as_expr(1))  # type: ignore[arg-type]
+
+    def test_binop_flops(self):
+        assert BinOp("+", as_expr(1.0), as_expr(2.0)).flops == 1
+        assert BinOp("<", as_expr(1.0), as_expr(2.0)).flops == 0
+        assert BinOp("<", as_expr(1.0), as_expr(2.0)).is_comparison
+
+
+class TestBuilders:
+    def test_lam_single_type(self):
+        f = lam(Float, lambda x: BinOp("*", x, x))
+        assert len(f.params) == 1
+        assert f.params[0].declared_type is Float
+
+    def test_lam_multi(self):
+        f = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        assert len(f.params) == 2
+
+    def test_lam_names(self):
+        f = lam([Int], lambda i: i, names=["idx"])
+        assert f.params[0].name == "idx"
+
+    def test_lam_fresh_names_unique(self):
+        f = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        g = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        assert {p.name for p in f.params} != {p.name for p in g.params}
+
+    def test_lshift_application(self):
+        m = Map(lam(Float, lambda x: x))
+        p = Param("A", ArrayType(Float, 4))
+        call = m << p
+        assert isinstance(call, FunCall)
+        assert call.args == (p,)
+
+    def test_lshift_tuple(self):
+        z = Zip(2)
+        a = Param("A", ArrayType(Float, 4))
+        b = Param("B", ArrayType(Float, 4))
+        call = z << (a, b)
+        assert len(call.args) == 2
+
+
+class TestTraversal:
+    def test_pre_order_counts(self):
+        f = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        a = Param("A", ArrayType(Float, 4))
+        call = FunCall(Map(f), a)
+        nodes = list(pre_order(call))
+        kinds = [type(n).__name__ for n in nodes]
+        assert kinds[0] == "FunCall"
+        assert "Lambda" in kinds       # Map's nested lambda is traversed
+        assert "Param" in kinds
+
+    def test_pre_order_parent_first(self):
+        b = BinOp("+", as_expr(1.0), as_expr(2.0))
+        nodes = list(pre_order(b))
+        assert nodes[0] is b
+
+
+class TestStructuralEquality:
+    def _prog(self):
+        a = Param("A", ArrayType(Float, Var("N")))
+        p = Param("p", Float)
+        return Lambda([a], FunCall(Map(Lambda([p], BinOp("*", p, 2.0))), a))
+
+    def test_identical_structures(self):
+        assert structurally_equal(self._prog(), self._prog())
+
+    def test_dump_equality(self):
+        assert dump(self._prog()) == dump(self._prog())
+
+    def test_different_literal(self):
+        a = Param("A", ArrayType(Float, Var("N")))
+        p = Param("p", Float)
+        other = Lambda([a], FunCall(Map(Lambda([p], BinOp("*", p, 3.0))), a))
+        assert not structurally_equal(self._prog(), other)
+
+    def test_different_op(self):
+        a = Param("A", ArrayType(Float, Var("N")))
+        p = Param("p", Float)
+        other = Lambda([a], FunCall(Map(Lambda([p], BinOp("+", p, 2.0))), a))
+        assert not structurally_equal(self._prog(), other)
+
+    def test_param_name_matters(self):
+        assert not structurally_equal(Param("x", Float), Param("y", Float))
+
+    def test_select_equality(self):
+        s1 = Select(BinOp("<", as_expr(1), as_expr(2)), as_expr(1.0), as_expr(0.0))
+        s2 = Select(BinOp("<", as_expr(1), as_expr(2)), as_expr(1.0), as_expr(0.0))
+        assert structurally_equal(s1, s2)
+
+    def test_userfun_by_name(self):
+        uf1 = UserFun("sq", ("x",), "return x * x;", (Float,), Float,
+                      lambda x: x * x)
+        uf2 = UserFun("sq", ("x",), "return x * x;", (Float,), Float,
+                      lambda x: x * x)
+        a = Param("a", Float)
+        assert structurally_equal(FunCall(uf1, a), FunCall(uf2, a))
+
+
+class TestUserFun:
+    def test_arity_check_at_construction(self):
+        with pytest.raises(TypeError_):
+            UserFun("bad", ("x", "y"), "return x;", (Float,), Float,
+                    lambda x: x)
+
+    def test_check_type(self):
+        uf = UserFun("add", ("a", "b"), "return a + b;", (Float, Float),
+                     Float, lambda a, b: a + b)
+        assert uf.check_type([Float, Float]) is Float
+
+    def test_check_type_wrong_arity(self):
+        uf = UserFun("id", ("x",), "return x;", (Float,), Float, lambda x: x)
+        with pytest.raises(TypeError_):
+            uf.check_type([Float, Float])
+
+    def test_check_type_wrong_type(self):
+        uf = UserFun("id", ("x",), "return x;", (Float,), Float, lambda x: x)
+        with pytest.raises(TypeError_):
+            uf.check_type([Int])

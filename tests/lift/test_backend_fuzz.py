@@ -1,0 +1,151 @@
+"""Differential fuzzing of the code-generation backends.
+
+Hypothesis builds random scalar expression trees over zipped input
+arrays; each generated program must produce identical results through the
+reference interpreter and through the generated-and-exec'd NumPy kernel.
+A second suite checks structural sanity of the OpenCL text for every LIFT
+program shipped in the repository.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lift.arith import Var
+from repro.lift.ast import (BinOp, FunCall, Lambda, Param, Select, UnaryOp,
+                            lit)
+from repro.lift.codegen.numpy_backend import compile_numpy
+from repro.lift.codegen.opencl import compile_kernel
+from repro.lift.interp import Interp
+from repro.lift.patterns import ArrayAccess, Get, Iota, Map, Zip
+from repro.lift.types import ArrayType, Double, Int, TupleType
+
+N = Var("N")
+
+
+@st.composite
+def scalar_exprs(draw, leaves, depth=0):
+    """A random scalar expression tree over the given leaf expressions."""
+    if depth >= 4 or draw(st.booleans()):
+        choice = draw(st.integers(0, len(leaves)))
+        if choice == len(leaves):
+            return lit(draw(st.floats(min_value=-4, max_value=4,
+                                      allow_nan=False)), Double)
+        return leaves[choice]
+    kind = draw(st.integers(0, 2))
+    a = draw(scalar_exprs(leaves, depth + 1))
+    b = draw(scalar_exprs(leaves, depth + 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*", "min", "max"]))
+        return BinOp(op, a, b)
+    if kind == 1:
+        return UnaryOp(draw(st.sampled_from(["neg", "abs"])), a)
+    cond = BinOp(draw(st.sampled_from(["<", ">", "<=", ">="])), a, b)
+    c = draw(scalar_exprs(leaves, depth + 1))
+    return Select(cond, draw(scalar_exprs(leaves, depth + 1)), c)
+
+
+@st.composite
+def map_programs(draw):
+    """Lambda([A, B], Map(f) << Zip(A, B)) with a random scalar body."""
+    A = Param("A", ArrayType(Double, N))
+    B = Param("B", ArrayType(Double, N))
+    p = Param("p", TupleType(Double, Double))
+    leaves = [FunCall(Get(0), p), FunCall(Get(1), p)]
+    body = draw(scalar_exprs(leaves))
+    return Lambda([A, B], FunCall(Map(Lambda([p], body)),
+                                  FunCall(Zip(2), A, B)))
+
+
+arrays = st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                  min_size=1, max_size=10)
+
+
+class TestDifferentialFuzz:
+    @given(map_programs(), arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_interp_equals_numpy_backend(self, prog, xs):
+        a = np.asarray(xs)
+        b = np.cos(a) * 3.0  # deterministic second input
+        ref = Interp(sizes={"N": a.size}).run(prog, a, b)
+        ref = np.asarray([float(v) for v in ref])
+        nk = compile_numpy(prog, "fuzz")
+        out = np.zeros_like(a)
+        nk.fn(a, b, N=a.size, out=out)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    @given(map_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_opencl_text_is_well_formed(self, prog):
+        src = compile_kernel(prog, "fuzz").source
+        assert src.count("{") == src.count("}")
+        assert "__kernel void fuzz" in src
+        assert "get_global_id(0)" in src
+
+    @given(arrays, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_gather_program_parity(self, xs, data):
+        """Map over Iota with data-dependent gathers."""
+        a = np.asarray(xs)
+        idx = np.asarray(data.draw(st.lists(
+            st.integers(0, a.size - 1), min_size=1, max_size=8)))
+        A = Param("A", ArrayType(Double, N))
+        I = Param("I", ArrayType(Int, Var("K")))
+        i = Param("i", Int)
+        body = BinOp("*", FunCall(ArrayAccess(), A,
+                                  FunCall(ArrayAccess(), I, i)), 2.0)
+        prog = Lambda([A, I], FunCall(Map(Lambda([i], body)),
+                                      FunCall(Iota(Var("K")))))
+        ref = np.asarray(Interp(sizes={"N": a.size, "K": idx.size})
+                         .run(prog, a, idx))
+        nk = compile_numpy(prog, "gather")
+        out = np.zeros(idx.size)
+        nk.fn(a, idx, N=a.size, K=idx.size, out=out)
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+
+def _all_repo_programs():
+    from repro.acoustics.lift_programs import (fd_mm_boundary, fi_fused_3d,
+                                               fi_fused_flat,
+                                               fi_mm_boundary,
+                                               volume_kernel)
+    from repro.geowaves.lift_programs import (e_update_program,
+                                              h_update_program)
+    return [
+        ("fi_fused_flat", fi_fused_flat("double").kernel),
+        ("fi_fused_flat_sp", fi_fused_flat("single").kernel),
+        ("fi_fused_3d", fi_fused_3d("double").kernel),
+        ("volume_kernel", volume_kernel("double").kernel),
+        ("fi_mm_boundary", fi_mm_boundary("double").kernel),
+        ("fi_mm_boundary_sp", fi_mm_boundary("single").kernel),
+        ("fd_mm_boundary", fd_mm_boundary("double", 3).kernel),
+        ("fd_mm_boundary_mb6", fd_mm_boundary("double", 6).kernel),
+        ("gpr_h_update", h_update_program().kernel),
+        ("gpr_e_update", e_update_program().kernel),
+    ]
+
+
+class TestAllRepoProgramsGenerate:
+    @pytest.mark.parametrize("name,kernel", _all_repo_programs(),
+                             ids=[n for n, _ in _all_repo_programs()])
+    def test_opencl_structural_sanity(self, name, kernel):
+        src = compile_kernel(kernel, name).source
+        assert src.count("{") == src.count("}"), name
+        assert "None" not in src
+        assert f"__kernel void {name}(" in src
+        # every array (__global) parameter appears in the body; scalar size
+        # arguments may be unused (Skip lengths generate no code)
+        sig = src.split("{")[0]
+        body = src[len(sig):]
+        for decl in sig.split("(", 1)[1].split(","):
+            if "__global" not in decl:
+                continue
+            pname = decl.replace(")", "").split()[-1].lstrip("*")
+            assert pname in body, f"{name}: unused parameter {pname}"
+
+    @pytest.mark.parametrize("name,kernel", _all_repo_programs(),
+                             ids=[n for n, _ in _all_repo_programs()])
+    def test_numpy_backend_compiles(self, name, kernel):
+        nk = compile_numpy(kernel, name.replace("-", "_"))
+        compile(nk.source, "<sanity>", "exec")
+        assert callable(nk.fn)

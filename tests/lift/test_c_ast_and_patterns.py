@@ -1,0 +1,132 @@
+"""Tests for the C source builder and pattern constructor validation."""
+
+import pytest
+
+from repro.lift.ast import lam
+from repro.lift.codegen.c_ast import CBlock, NameGen
+from repro.lift.patterns import (ArrayCons, Concat, Get, Iterate, Map, Pad,
+                                 Pad3D, Skip, Slide, Slide3D, TupleCons,
+                                 Zip, Zip3D, dump)
+from repro.lift.types import Float, Int, TypeError_
+
+
+class TestCBlock:
+    def test_statements_render_in_order(self):
+        b = CBlock()
+        b.stmt("int a = 1;")
+        b.stmt("int b = 2;")
+        assert b.render() == "int a = 1;\nint b = 2;"
+
+    def test_indentation(self):
+        b = CBlock(indent=2)
+        b.stmt("x;")
+        assert b.render() == "    x;"
+
+    def test_nested_blocks_auto_close(self):
+        b = CBlock()
+        inner = b.for_loop("i", "0", "N")
+        inner.stmt("work(i);")
+        text = b.render()
+        assert text.count("{") == text.count("}")
+        assert text.index("work(i);") < text.index("}")
+
+    def test_statements_after_open_land_inside(self):
+        b = CBlock()
+        inner = b.if_block("cond")
+        inner.stmt("then();")
+        lines = b.render().splitlines()
+        assert lines[0] == "if (cond) {"
+        assert lines[1].strip() == "then();"
+        assert lines[2] == "}"
+
+    def test_for_loop_step(self):
+        b = CBlock()
+        b.for_loop("i", "0", "N", step="4")
+        assert "i += 4" in b.render()
+
+    def test_declare(self):
+        b = CBlock()
+        b.declare("float", "x", "1.0f")
+        b.declare("int", "y")
+        out = b.render()
+        assert "float x = 1.0f;" in out and "int y;" in out
+
+    def test_comment_and_blank(self):
+        b = CBlock()
+        b.comment("hello")
+        b.blank()
+        assert "// hello" in b.render()
+
+    def test_namegen_unique_per_prefix(self):
+        n = NameGen()
+        assert n.fresh("t") == "t_0"
+        assert n.fresh("t") == "t_1"
+        assert n.fresh("u") == "u_0"
+
+
+class TestPatternValidation:
+    def test_zip_needs_two(self):
+        with pytest.raises(TypeError_):
+            Zip(1)
+        with pytest.raises(TypeError_):
+            Zip3D(1)
+
+    def test_slide_positive(self):
+        with pytest.raises(TypeError_):
+            Slide(0, 1)
+        with pytest.raises(TypeError_):
+            Slide(3, 0)
+        with pytest.raises(TypeError_):
+            Slide3D(0, 1)
+
+    def test_pad_nonnegative(self):
+        with pytest.raises(TypeError_):
+            Pad(-1, 0, 0.0)
+        with pytest.raises(TypeError_):
+            Pad3D(-1, 0, 0.0)
+
+    def test_pad_requires_literal(self):
+        from repro.lift.ast import Param
+        with pytest.raises(TypeError_):
+            Pad(1, 1, Param("v", Float))
+
+    def test_get_nonnegative(self):
+        with pytest.raises(TypeError_):
+            Get(-1)
+
+    def test_tuple_cons_arity(self):
+        with pytest.raises(TypeError_):
+            TupleCons(0)
+
+    def test_concat_arity(self):
+        with pytest.raises(TypeError_):
+            Concat(0)
+
+    def test_skip_scalar_only(self):
+        from repro.lift.types import ArrayType
+        with pytest.raises(TypeError_):
+            Skip(ArrayType(Float, 3), 1)
+
+    def test_array_cons_positive(self):
+        with pytest.raises(TypeError_):
+            ArrayCons(0)
+
+    def test_iterate_nonnegative(self):
+        with pytest.raises(TypeError_):
+            Iterate(-1, lam(Float, lambda x: x))
+
+    def test_map_requires_function(self):
+        with pytest.raises(TypeError_):
+            Map("not a function")  # type: ignore[arg-type]
+
+    def test_config_keys_distinguish(self):
+        assert Slide(3, 1).config_key() != Slide(3, 2).config_key()
+        assert Zip(2).config_key() != Zip(3).config_key()
+        f = lam(Float, lambda x: x)
+        g = lam(Float, lambda x: x)
+        # structurally equal lambdas give equal keys (names differ though)
+        assert Map(f).config_key() == Map(f).config_key()
+
+    def test_dump_rejects_non_expr(self):
+        with pytest.raises(TypeError_):
+            dump("not an expression")  # type: ignore[arg-type]

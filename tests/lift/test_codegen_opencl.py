@@ -1,0 +1,180 @@
+"""Golden-structure tests for the OpenCL C generator.
+
+These assert the *load-bearing* lines of the generated kernels (signature,
+loop structure, in-place stores, private arrays) rather than full golden
+files, so cosmetic changes to temporaries don't break them.
+"""
+
+import pytest
+
+from repro.lift.arith import Var
+from repro.lift.ast import BinOp, FunCall, Lambda, Param, lam, lit
+from repro.lift.codegen.opencl import CodegenError, compile_kernel
+from repro.lift.patterns import (ArrayAccess, ArrayCons, Concat, Get, Id,
+                                 Iota, Map, Pad, Reduce, Skip, Slide,
+                                 Transpose, WriteTo, Zip)
+from repro.lift.types import ArrayType, Double, Float, Int, TupleType
+
+from repro.acoustics.lift_programs import (fd_mm_boundary, fi_fused_3d,
+                                           fi_mm_boundary, volume_kernel)
+
+N = Var("N")
+
+
+def vecadd_prog():
+    A = Param("A", ArrayType(Float, N))
+    B = Param("B", ArrayType(Float, N))
+    p = Param("p", TupleType(Float, Float))
+    body = FunCall(Map(Lambda([p], BinOp("+", FunCall(Get(0), p),
+                                         FunCall(Get(1), p)))),
+                   FunCall(Zip(2), A, B))
+    return Lambda([A, B], body)
+
+
+class TestVecadd:
+    def test_signature(self):
+        src = compile_kernel(vecadd_prog(), "vecadd").source
+        assert "__kernel void vecadd(__global float* A, __global float* B, " \
+               "int N, __global float* out)" in src
+
+    def test_gid_loop(self):
+        src = compile_kernel(vecadd_prog(), "vecadd").source
+        assert "get_global_id(0)" in src
+        assert "get_global_size(0)" in src
+
+    def test_loads_into_temporaries(self):
+        # the paper's §III-A example: tmp = A[i]; tmp2 = B[i]; out[i] = ...
+        src = compile_kernel(vecadd_prog(), "vecadd").source
+        assert "= A[" in src and "= B[" in src
+        assert "out[" in src
+
+    def test_global_size_metadata(self):
+        ks = compile_kernel(vecadd_prog(), "vecadd")
+        assert ks.global_size == N
+
+    def test_balanced_braces(self):
+        src = compile_kernel(vecadd_prog(), "vecadd").source
+        assert src.count("{") == src.count("}")
+
+
+class TestStencil1D:
+    def _src(self):
+        A = Param("A", ArrayType(Float, N))
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        prog = Lambda([A], FunCall(Map(Reduce(add, 0.0)),
+                                   FunCall(Slide(3, 1),
+                                           FunCall(Pad(1, 1, 0.0), A))))
+        return compile_kernel(prog, "stencil1d").source
+
+    def test_accumulator(self):
+        src = self._src()
+        assert "float acc_0 = 0.0f;" in src
+
+    def test_pad_becomes_guard(self):
+        src = self._src()
+        assert "?" in src and "0.0f" in src  # no halo copy, just a select
+
+    def test_unrolled_window(self):
+        # constant window of 3 -> unrolled, no inner loop
+        src = self._src()
+        assert src.count("acc_0 = ") >= 3
+
+
+class TestInPlace:
+    def _prog(self):
+        M, K = Var("M"), Var("K")
+        inp = Param("input", ArrayType(Float, M))
+        idxs = Param("indices", ArrayType(Int, K))
+        i = Param("i", Int)
+        newv = BinOp("*", FunCall(ArrayAccess(), inp, i), 2.0)
+        row = FunCall(Concat(3), FunCall(Skip(Float, i.arith)),
+                      FunCall(Map(Id()), FunCall(ArrayCons(1), newv)),
+                      FunCall(Skip(Float, M - 1 - i.arith)))
+        return Lambda([inp, idxs],
+                      FunCall(WriteTo(), inp,
+                              FunCall(Map(Lambda([i], row)), idxs)))
+
+    def test_no_out_parameter(self):
+        ks = compile_kernel(self._prog(), "inplace")
+        assert not any(p.name == "out" for p in ks.params)
+        assert not ks.allocation.allocates_output
+
+    def test_writes_back_to_input(self):
+        src = compile_kernel(self._prog(), "inplace").source
+        assert "input[" in src.split("=")[0] or "input[i_0" in src
+
+    def test_skip_generates_no_code(self):
+        src = compile_kernel(self._prog(), "inplace").source
+        # exactly one store per iteration: the single data element
+        stores = [l for l in src.splitlines() if "input[" in l and "=" in l
+                  and "float" not in l and "int" not in l]
+        assert len(stores) == 1
+
+
+class TestAcousticsKernels:
+    def test_fi_mm_signature_matches_listing7(self):
+        src = compile_kernel(fi_mm_boundary("single").kernel,
+                             "fi_mm_boundary").source
+        assert "__global int* boundaryIndices" in src
+        assert "__global int* material" in src
+        assert "__global float* beta" in src
+        assert "__global float* next" in src
+        # in place: writes to next, no out buffer
+        assert "__global float* out" not in src
+
+    def test_fi_mm_boundary_update_expression(self):
+        src = compile_kernel(fi_mm_boundary("double").kernel, "k").source
+        # the (next + cf*prev) / (1 + cf) update of Listing 3
+        assert "/ (1.0 + cf" in src
+
+    def test_fd_mm_private_branch_arrays(self):
+        src = compile_kernel(fd_mm_boundary("double", 3).kernel, "k").source
+        # the paper's _g1[MB] / _v2[MB] local temporaries
+        assert "double priv_0[3];" in src
+        assert "double priv_1[3];" in src
+
+    def test_fd_mm_three_inplace_arrays(self):
+        src = compile_kernel(fd_mm_boundary("double", 3).kernel, "k").source
+        assert "next[" in src
+        assert "vel_next[" in src
+        assert "g1[" in src
+
+    def test_fd_mm_branch_loops(self):
+        src = compile_kernel(fd_mm_boundary("double", 4).kernel, "k").source
+        assert "< 4" in src  # MB-branch loops
+
+    def test_volume_kernel_gathers(self):
+        src = compile_kernel(volume_kernel("single").kernel, "vol").source
+        for pat in ("curr[", "prev[", "nbrs["):
+            assert pat in src
+        assert "? " in src  # the nbr > 0 select
+
+    def test_fused_3d_uses_3d_ids(self):
+        src = compile_kernel(fi_fused_3d("double").kernel, "fi3d").source
+        assert "get_global_id(0)" in src
+        assert "get_global_id(1)" in src
+        assert "get_global_id(2)" in src
+
+    def test_fused_3d_seven_point_stencil(self):
+        src = compile_kernel(fi_fused_3d("double").kernel, "fi3d").source
+        assert src.count("curr[") == 7  # centre + 6 neighbours, each once
+
+    def test_precision_threading(self):
+        s1 = compile_kernel(fi_mm_boundary("single").kernel, "k").source
+        s2 = compile_kernel(fi_mm_boundary("double").kernel, "k").source
+        assert "float" in s1 and "__global double* beta" in s2
+
+
+class TestErrors:
+    def test_unsupported_pattern(self):
+        from repro.lift.types import array
+        A = Param("A", array(Float, 3, 4))
+        prog = Lambda([A], FunCall(Transpose(), A))
+        with pytest.raises(CodegenError):
+            compile_kernel(prog, "bad")
+
+    def test_tuple_param_rejected(self):
+        t = Param("t", TupleType(Float, Float))
+        prog = Lambda([t], FunCall(Get(0), t))
+        with pytest.raises(CodegenError):
+            compile_kernel(prog, "bad")

@@ -1,0 +1,53 @@
+"""Golden-file snapshots of generated code.
+
+These pin the exact text of the flagship kernels (paper Listings 3/4
+counterparts) so unintended code-generation changes are caught.  To
+refresh after an *intentional* change:
+
+    python tests/lift/test_golden_snapshots.py --regen
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.acoustics.lift_programs import fd_mm_boundary, fi_mm_boundary
+from repro.lift.codegen.numpy_backend import compile_numpy
+from repro.lift.codegen.opencl import compile_kernel
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _artefacts():
+    return {
+        "fi_mm_boundary_single.cl":
+            compile_kernel(fi_mm_boundary("single").kernel,
+                           "fi_mm_boundary").source + "\n",
+        "fd_mm_boundary_double_mb3.cl":
+            compile_kernel(fd_mm_boundary("double", 3).kernel,
+                           "fd_mm_boundary").source + "\n",
+        "fi_mm_boundary_double.py.txt":
+            compile_numpy(fi_mm_boundary("double").kernel,
+                          "fi_mm_boundary").source + "\n",
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_artefacts()))
+def test_generated_code_matches_snapshot(name):
+    expected = (GOLDEN / name).read_text()
+    actual = _artefacts()[name]
+    assert actual == expected, (
+        f"generated code for {name} changed; if intentional, regenerate "
+        f"with `python {__file__} --regen`")
+
+
+def test_snapshots_are_deterministic():
+    assert _artefacts() == _artefacts()
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        for name, text in _artefacts().items():
+            (GOLDEN / name).write_text(text)
+            print(f"regenerated {GOLDEN / name}")

@@ -1,0 +1,313 @@
+"""Tests for the reference interpreter (repro.lift.interp).
+
+The interpreter is the semantic oracle, so it is validated directly
+against NumPy formulations of every pattern, with hypothesis generating
+array contents and sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lift.arith import Var
+from repro.lift.ast import (BinOp, FunCall, Lambda, Param, Select, UnaryOp,
+                            lam, lit)
+from repro.lift.interp import (Interp, InterpError, SegmentedValue,
+                               SkipValue)
+from repro.lift.patterns import (ArrayAccess, ArrayAccess3, ArrayCons,
+                                 Concat, Get, Id, Iota, Iterate, Join, Map,
+                                 Map3D, Pad, Pad3D, Reduce, Skip, Slide,
+                                 Slide3D, Split, ToGPU, ToHost, Transpose,
+                                 TupleCons, WriteTo, Zip, Zip3D)
+from repro.lift.types import ArrayType, Float, Int, TupleType, array
+
+N = Var("N")
+
+floats = st.lists(st.floats(min_value=-100, max_value=100,
+                            allow_nan=False, width=32),
+                  min_size=1, max_size=12)
+
+
+def run1(body_fn, xs, elem_t=Float):
+    """Helper: run Lambda([A], body_fn(A)) on a 1-D array."""
+    A = Param("A", ArrayType(elem_t, N))
+    prog = Lambda([A], body_fn(A))
+    return Interp(sizes={"N": len(xs)}).run(prog, np.asarray(xs))
+
+
+class TestScalarOps:
+    def test_all_binops(self):
+        a, b = lit(7.0, Float), lit(2.0, Float)
+        interp = Interp()
+        cases = {"+": 9.0, "-": 5.0, "*": 14.0, "/": 3.5,
+                 "min": 2.0, "max": 7.0}
+        for op, expected in cases.items():
+            prog = Lambda([], BinOp(op, a, b))
+            # evaluate via a 0-arg run
+            assert interp.run(prog) == expected
+
+    def test_comparisons(self):
+        interp = Interp()
+        assert interp.run(Lambda([], BinOp("<", lit(1, Int), lit(2, Int))))
+        assert not interp.run(Lambda([], BinOp(">", lit(1, Int), lit(2, Int))))
+        assert interp.run(Lambda([], BinOp("==", lit(2, Int), lit(2, Int))))
+        assert interp.run(Lambda([], BinOp("!=", lit(1, Int), lit(2, Int))))
+        assert interp.run(Lambda([], BinOp("<=", lit(2, Int), lit(2, Int))))
+        assert interp.run(Lambda([], BinOp(">=", lit(2, Int), lit(2, Int))))
+
+    def test_unary(self):
+        interp = Interp()
+        assert interp.run(Lambda([], UnaryOp("neg", lit(3.0, Float)))) == -3.0
+        assert interp.run(Lambda([], UnaryOp("sqrt", lit(9.0, Float)))) == 3.0
+        assert interp.run(Lambda([], UnaryOp("abs", lit(-2.0, Float)))) == 2.0
+        assert interp.run(Lambda([], UnaryOp("toInt", lit(2.7, Float)))) == 2
+
+    def test_select(self):
+        interp = Interp()
+        e = Select(BinOp("<", lit(1, Int), lit(2, Int)), lit(10.0, Float),
+                   lit(20.0, Float))
+        assert interp.run(Lambda([], e)) == 10.0
+
+
+class TestMapsAndReduce:
+    @given(floats)
+    def test_map_square(self, xs):
+        out = run1(lambda A: FunCall(Map(lam(Float, lambda x: BinOp("*", x, x))), A), xs)
+        np.testing.assert_allclose(out, np.asarray(xs) ** 2, rtol=1e-6)
+
+    @given(floats)
+    def test_reduce_sum(self, xs):
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        out = run1(lambda A: FunCall(Reduce(add, 0.0), A), xs)
+        assert out == pytest.approx(float(np.sum(np.asarray(xs, np.float64))),
+                                    rel=1e-9, abs=1e-9)
+
+    @given(floats)
+    def test_reduce_max(self, xs):
+        mx = lam([Float, Float], lambda a, b: BinOp("max", a, b))
+        out = run1(lambda A: FunCall(Reduce(mx, -1e30), A), xs)
+        assert out == max(xs)
+
+    def test_map_over_iota(self):
+        i = Param("i", Int)
+        prog = Lambda([], FunCall(Map(Lambda([i], BinOp("*", i, 3))),
+                                  FunCall(Iota(Var("K")))))
+        out = Interp(sizes={"K": 5}).run(prog)
+        np.testing.assert_array_equal(out, [0, 3, 6, 9, 12])
+
+    def test_iterate(self):
+        double = Map(lam(Float, lambda x: BinOp("*", x, 2.0)))
+        out = run1(lambda A: FunCall(Iterate(3, double), A), [1.0, 2.0])
+        np.testing.assert_allclose(out, [8.0, 16.0])
+
+
+class TestReorganisation:
+    @given(floats)
+    def test_zip_get(self, xs):
+        A = Param("A", ArrayType(Float, N))
+        B = Param("B", ArrayType(Float, N))
+        p = Param("p", TupleType(Float, Float))
+        f = Lambda([p], BinOp("-", FunCall(Get(0), p), FunCall(Get(1), p)))
+        prog = Lambda([A, B], FunCall(Map(f), FunCall(Zip(2), A, B)))
+        a = np.asarray(xs)
+        out = Interp(sizes={"N": len(xs)}).run(prog, a, 2 * a)
+        np.testing.assert_allclose(out, -a, rtol=1e-6)
+
+    def test_zip_length_mismatch(self):
+        A = Param("A", ArrayType(Float, Var("N")))
+        B = Param("B", ArrayType(Float, Var("M")))
+        prog = Lambda([A, B], FunCall(Zip(2), A, B))
+        with pytest.raises(InterpError):
+            Interp(sizes={"N": 2, "M": 3}).run(prog, np.zeros(2), np.zeros(3))
+
+    @given(st.integers(1, 4), st.integers(1, 5))
+    def test_split_join_roundtrip(self, n, m):
+        xs = np.arange(float(n * m))
+        A = Param("A", ArrayType(Float, N))
+        prog = Lambda([A], FunCall(Join(), FunCall(Split(n), A)))
+        out = Interp(sizes={"N": n * m}).run(prog, xs)
+        np.testing.assert_array_equal(out, xs)
+
+    def test_split_non_divisible(self):
+        with pytest.raises(InterpError):
+            run1(lambda A: FunCall(Split(3), A), [1.0, 2.0, 3.0, 4.0])
+
+    def test_transpose(self):
+        g = Param("G", array(Float, 2, 3))
+        prog = Lambda([g], FunCall(Transpose(), g))
+        out = Interp().run(prog, np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(out, np.arange(6.0).reshape(2, 3).T)
+
+    @given(floats, st.integers(2, 4))
+    def test_slide_windows(self, xs, size):
+        if len(xs) < size:
+            return
+        out = run1(lambda A: FunCall(Slide(size, 1), A), xs)
+        expected = np.lib.stride_tricks.sliding_window_view(
+            np.asarray(xs), size)
+        np.testing.assert_array_equal(np.asarray(out), expected)
+
+    @given(floats, st.integers(0, 3), st.integers(0, 3))
+    def test_pad(self, xs, l, r):
+        out = run1(lambda A: FunCall(Pad(l, r, 0.0), A), xs)
+        expected = np.pad(np.asarray(xs), (l, r))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_stencil_composition(self):
+        # map(reduce(add, 0)) o slide(3,1) o pad(1,1,0)  ==  3-point sum
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        out = run1(lambda A: FunCall(Map(Reduce(add, 0.0)),
+                                     FunCall(Slide(3, 1),
+                                             FunCall(Pad(1, 1, 0.0), A))), xs)
+        np.testing.assert_allclose(out, [3, 6, 9, 12, 9])
+
+
+class Test3D:
+    def test_slide3d_window(self):
+        g = Param("G", array(Float, 4, 4, 4))
+        win = Param("w", array(Float, 3, 3, 3))
+        f = Lambda([win], FunCall(ArrayAccess3(), win, lit(1, Int),
+                                  lit(1, Int), lit(1, Int)))
+        prog = Lambda([g], FunCall(Map3D(f), FunCall(Slide3D(3, 1), g)))
+        vol = np.arange(64.0).reshape(4, 4, 4)
+        out = Interp().run(prog, vol)
+        np.testing.assert_array_equal(out, vol[1:-1, 1:-1, 1:-1])
+
+    def test_pad3d(self):
+        g = Param("G", array(Float, 2, 2, 2))
+        win = Param("w", array(Float, 3, 3, 3))
+        f = Lambda([win], FunCall(ArrayAccess3(), win, lit(0, Int),
+                                  lit(0, Int), lit(0, Int)))
+        prog = Lambda([g], FunCall(Map3D(f), FunCall(Slide3D(3, 1),
+                                                     FunCall(Pad3D(1, 1, 0.0), g))))
+        vol = np.ones((2, 2, 2))
+        out = Interp().run(prog, vol)
+        # window corner (0,0,0) at output (0,0,0) is the padded corner = 0
+        assert out[0, 0, 0] == 0.0
+
+    def test_zip3d_map3d(self):
+        a = Param("A", array(Float, 2, 2, 2))
+        b = Param("B", array(Float, 2, 2, 2))
+        p = Param("p", TupleType(Float, Float))
+        f = Lambda([p], BinOp("+", FunCall(Get(0), p), FunCall(Get(1), p)))
+        prog = Lambda([a, b], FunCall(Map3D(f), FunCall(Zip3D(2), a, b)))
+        va = np.arange(8.0).reshape(2, 2, 2)
+        out = Interp().run(prog, va, va)
+        np.testing.assert_array_equal(out, 2 * va)
+
+
+class TestInPlacePrimitives:
+    def test_skip_value(self):
+        out = Interp(sizes={"K": 4}).run(
+            Lambda([], FunCall(Skip(Float, Var("K")))))
+        assert isinstance(out, SkipValue) and len(out) == 4
+
+    def test_array_cons(self):
+        out = Interp().run(Lambda([], FunCall(ArrayCons(3), lit(6.0, Float))))
+        assert out == [6.0, 6.0, 6.0]
+
+    def test_concat_plain(self):
+        A = Param("A", ArrayType(Float, 2))
+        B = Param("B", ArrayType(Float, 3))
+        prog = Lambda([A, B], FunCall(Concat(2), A, B))
+        out = Interp().run(prog, np.array([1.0, 2.0]), np.array([3.0, 4.0, 5.0]))
+        np.testing.assert_array_equal(np.asarray(out), [1, 2, 3, 4, 5])
+
+    def test_concat_with_skips_is_segmented(self):
+        prog = Lambda([], FunCall(Concat(3), FunCall(Skip(Float, 2)),
+                                  FunCall(ArrayCons(1), lit(9.0, Float)),
+                                  FunCall(Skip(Float, 3))))
+        out = Interp().run(prog)
+        assert isinstance(out, SegmentedValue)
+        assert len(out) == 6
+        buf = np.zeros(6)
+        out.apply_to(buf)
+        np.testing.assert_array_equal(buf, [0, 0, 9, 0, 0, 0])
+
+    def test_writeto_whole_array(self):
+        A = Param("A", ArrayType(Float, N))
+        B = Param("B", ArrayType(Float, N))
+        prog = Lambda([A, B], FunCall(WriteTo(), A, B))
+        a = np.zeros(3)
+        b = np.array([1.0, 2.0, 3.0])
+        out = Interp(sizes={"N": 3}).run(prog, a, b)
+        np.testing.assert_array_equal(a, b)
+        assert out is a
+
+    def test_writeto_element(self):
+        A = Param("A", ArrayType(Float, N))
+        target = FunCall(ArrayAccess(), A, lit(1, Int))
+        prog = Lambda([A], FunCall(WriteTo(), target, lit(42.0, Float)))
+        a = np.zeros(3)
+        Interp(sizes={"N": 3}).run(prog, a)
+        np.testing.assert_array_equal(a, [0, 42, 0])
+
+    def test_paper_inplace_idiom(self):
+        """Map(idx => WriteTo(input, Concat(Skip(idx), f(x), Skip(...))))."""
+        M, K = Var("M"), Var("K")
+        inp = Param("input", ArrayType(Float, M))
+        idxs = Param("indices", ArrayType(Int, K))
+        i = Param("i", Int)
+        newv = BinOp("*", FunCall(ArrayAccess(), inp, i), 10.0)
+        row = FunCall(Concat(3), FunCall(Skip(Float, i.arith)),
+                      FunCall(Map(Id()), FunCall(ArrayCons(1), newv)),
+                      FunCall(Skip(Float, M - 1 - i.arith)))
+        prog = Lambda([inp, idxs],
+                      FunCall(WriteTo(), inp, FunCall(Map(Lambda([i], row)), idxs)))
+        buf = np.array([1.0, 2.0, 3.0, 4.0])
+        Interp(sizes={"M": 4, "K": 2}).run(prog, buf, np.array([0, 2]))
+        np.testing.assert_array_equal(buf, [10, 2, 30, 4])
+
+    def test_writeto_length_mismatch(self):
+        A = Param("A", ArrayType(Float, Var("N")))
+        B = Param("B", ArrayType(Float, Var("M")))
+        prog = Lambda([A, B], FunCall(WriteTo(), A, B))
+        with pytest.raises(InterpError):
+            Interp(sizes={"N": 3, "M": 2}).run(prog, np.zeros(3), np.zeros(2))
+
+    def test_tuple_of_writes(self):
+        A = Param("A", ArrayType(Float, N))
+        B = Param("B", ArrayType(Float, N))
+        w1 = FunCall(WriteTo(), FunCall(ArrayAccess(), A, lit(0, Int)),
+                     lit(1.0, Float))
+        w2 = FunCall(WriteTo(), FunCall(ArrayAccess(), B, lit(1, Int)),
+                     lit(2.0, Float))
+        prog = Lambda([A, B], FunCall(TupleCons(2), w1, w2))
+        a, b = np.zeros(2), np.zeros(2)
+        Interp(sizes={"N": 2}).run(prog, a, b)
+        np.testing.assert_array_equal(a, [1, 0])
+        np.testing.assert_array_equal(b, [0, 2])
+
+
+class TestSharingAndTransfers:
+    def test_togpu_tohost_identity(self):
+        A = Param("A", ArrayType(Float, N))
+        prog = Lambda([A], FunCall(ToHost(), FunCall(ToGPU(), A)))
+        a = np.array([1.0, 2.0])
+        out = Interp(sizes={"N": 2}).run(prog, a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_dag_sharing_evaluates_once(self):
+        """A shared FunCall with a side effect must run exactly once."""
+        A = Param("A", ArrayType(Float, N))
+        bump = FunCall(WriteTo(), FunCall(ArrayAccess(), A, lit(0, Int)),
+                       BinOp("+", FunCall(ArrayAccess(), A, lit(0, Int)),
+                             1.0))
+        # same node used twice in a tuple
+        prog = Lambda([A], FunCall(TupleCons(2), bump, bump))
+        a = np.zeros(1)
+        Interp(sizes={"N": 1}).run(prog, a)
+        assert a[0] == 1.0  # once, not twice
+
+    def test_arity_mismatch(self):
+        A = Param("A", ArrayType(Float, N))
+        prog = Lambda([A], A)
+        with pytest.raises(InterpError):
+            Interp().run(prog, np.zeros(1), np.zeros(1))
+
+    def test_unbound_param(self):
+        ghost = Param("ghost", Float)
+        prog = Lambda([], ghost)
+        with pytest.raises(InterpError):
+            Interp().run(prog)

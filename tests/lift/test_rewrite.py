@@ -1,0 +1,240 @@
+"""Tests for rewrite rules and lowering (repro.lift.rewrite).
+
+The essential invariant: every rule is semantics-preserving, verified by
+running the program through the reference interpreter before and after.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lift.arith import Var
+from repro.lift.ast import (BinOp, FunCall, Lambda, Param, lam,
+                            structurally_equal)
+from repro.lift.interp import Interp
+from repro.lift.patterns import (Join, Map, MapGlb, MapLcl, MapSeq, MapWrg,
+                                 Reduce, ReduceSeq, Slide, Split, Zip, dump)
+from repro.lift.rewrite import (MAP_FUSION, MAP_TO_MAPGLB, MAP_TO_MAPSEQ,
+                                REDUCE_TO_REDUCESEQ, RewriteError, Rule,
+                                beta_reduce, clone, lower_simple,
+                                map_to_wrg_lcl, rewrite_everywhere,
+                                rewrite_first, split_join)
+from repro.lift.types import ArrayType, Float
+
+N = Var("N")
+
+floats = st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False,
+                            width=32), min_size=1, max_size=12)
+
+
+def square_map_prog():
+    A = Param("A", ArrayType(Float, N))
+    return Lambda([A], FunCall(Map(lam(Float, lambda x: BinOp("*", x, x))), A))
+
+
+def double_map_prog():
+    """map(+1) o map(*2)"""
+    A = Param("A", ArrayType(Float, N))
+    inner = FunCall(Map(lam(Float, lambda x: BinOp("*", x, 2.0))), A)
+    return Lambda([A], FunCall(Map(lam(Float, lambda x: BinOp("+", x, 1.0))),
+                               inner))
+
+
+def run(prog, xs):
+    return np.asarray(Interp(sizes={"N": len(xs)}).run(prog, np.asarray(xs)))
+
+
+class TestClone:
+    def test_clone_is_structurally_equal(self):
+        p = square_map_prog()
+        assert structurally_equal(p, clone(p))
+
+    def test_clone_is_fresh_objects(self):
+        p = square_map_prog()
+        c = clone(p)
+        assert c is not p and c.body is not p.body
+
+    def test_substitution(self):
+        x = Param("x", Float)
+        e = BinOp("+", x, x)
+        e2 = clone(e, {"x": BinOp("*", Param("y", Float), 2.0)})
+        out = dump(e2)
+        assert "y" in out and "x" not in out
+
+    def test_capture_correctness(self):
+        """Substituting under a binder of the same name must not capture."""
+        x_outer = Param("x", Float)
+        inner_lam = lam(Float, lambda v: v, names=["x"])  # binds its own x
+        A = Param("A", ArrayType(Float, N))
+        e = FunCall(Map(inner_lam), A)
+        c = clone(e, {"x": x_outer})
+        # the inner lambda still refers to its own parameter
+        assert structurally_equal(c, e)
+
+    def test_beta_reduce(self):
+        f = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        out = beta_reduce(f, [Param("u", Float), Param("v", Float)])
+        assert dump(out) == "(P:u+P:v)"
+
+    def test_beta_reduce_arity(self):
+        f = lam(Float, lambda x: x)
+        with pytest.raises(RewriteError):
+            beta_reduce(f, [])
+
+
+class TestRulesPreserveSemantics:
+    @given(floats)
+    def test_map_fusion(self, xs):
+        p = double_map_prog()
+        fused = rewrite_first(p.body, MAP_FUSION)
+        p2 = Lambda(list(p.params), fused)
+        np.testing.assert_allclose(run(p, xs), run(p2, xs), rtol=1e-6)
+
+    def test_map_fusion_removes_intermediate(self):
+        p = double_map_prog()
+        fused = rewrite_first(p.body, MAP_FUSION)
+        # exactly one Map remains
+        assert dump(fused).count("'Map'") < dump(p.body).count("'Map'")
+
+    @given(floats)
+    def test_map_to_mapglb(self, xs):
+        p = square_map_prog()
+        p2 = Lambda(list(p.params), rewrite_first(p.body, MAP_TO_MAPGLB))
+        np.testing.assert_allclose(run(p, xs), run(p2, xs), rtol=1e-6)
+
+    @given(floats)
+    def test_map_to_mapseq(self, xs):
+        p = square_map_prog()
+        p2 = Lambda(list(p.params), rewrite_first(p.body, MAP_TO_MAPSEQ))
+        np.testing.assert_allclose(run(p, xs), run(p2, xs), rtol=1e-6)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_split_join(self, n, m):
+        xs = np.arange(float(n * m))
+        p = square_map_prog()
+        p2 = Lambda(list(p.params), rewrite_first(p.body, split_join(n)))
+        np.testing.assert_allclose(run(p, xs), run(p2, xs), rtol=1e-6)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_map_to_wrg_lcl(self, n, m):
+        xs = np.arange(float(n * m))
+        p = square_map_prog()
+        p2 = Lambda(list(p.params), rewrite_first(p.body, map_to_wrg_lcl(n)))
+        np.testing.assert_allclose(run(p, xs), run(p2, xs), rtol=1e-6)
+
+    @given(floats)
+    def test_reduce_to_reduceseq(self, xs):
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        A = Param("A", ArrayType(Float, N))
+        p = Lambda([A], FunCall(Reduce(add, 0.0), A))
+        p2 = Lambda(list(p.params),
+                    rewrite_first(p.body, REDUCE_TO_REDUCESEQ))
+        a = Interp(sizes={"N": len(xs)}).run(p, np.asarray(xs))
+        b = Interp(sizes={"N": len(xs)}).run(p2, np.asarray(xs))
+        assert a == pytest.approx(b)
+
+
+class TestEngine:
+    def test_rewrite_first_raises_when_no_match(self):
+        p = square_map_prog()
+        with pytest.raises(RewriteError):
+            rewrite_first(p.body, MAP_FUSION)  # single map: nothing to fuse
+
+    def test_rewrite_everywhere_counts(self):
+        p = double_map_prog()
+        _, count = rewrite_everywhere(p.body, MAP_TO_MAPSEQ)
+        assert count == 2
+
+    def test_rewrite_everywhere_zero(self):
+        p = square_map_prog()
+        _, count = rewrite_everywhere(p.body, MAP_FUSION)
+        assert count == 0
+
+
+class TestLowerSimple:
+    def test_outer_map_becomes_glb(self):
+        p = lower_simple(square_map_prog())
+        assert isinstance(p.body.fun, MapGlb)
+
+    def test_nested_map_becomes_seq(self):
+        A = Param("A", ArrayType(Float, N))
+        inner_f = lam(Float, lambda x: BinOp("*", x, 2.0))
+        win = Param("w", ArrayType(Float, 3))
+        outer_f = Lambda([win], FunCall(Reduce(
+            lam([Float, Float], lambda a, b: BinOp("+", a, b)), 0.0),
+            FunCall(Map(inner_f), win)))
+        prog = Lambda([A], FunCall(Map(outer_f), FunCall(Slide(3, 1), A)))
+        low = lower_simple(prog)
+        assert isinstance(low.body.fun, MapGlb)
+        d = dump(low.body)
+        assert "MapSeq" in d and "ReduceSeq" in d
+        assert "'Map'" not in d and "'Reduce'" not in d
+
+    @given(floats)
+    def test_lowering_preserves_semantics(self, xs):
+        p = double_map_prog()
+        low = lower_simple(p)
+        np.testing.assert_allclose(run(p, xs), run(low, xs), rtol=1e-6)
+
+    def test_lowering_preserves_sharing(self):
+        """A shared sub-expression must lower to a single shared node."""
+        A = Param("A", ArrayType(Float, N))
+        x = Param("x", Float)
+        shared = BinOp("*", x, x)
+        body = BinOp("+", shared, shared)
+        prog = Lambda([A], FunCall(Map(Lambda([x], body)), A))
+        low = lower_simple(prog)
+        inner = low.body.fun.f.body
+        assert inner.lhs is inner.rhs  # sharing survived
+
+    def test_already_lowered_stays(self):
+        A = Param("A", ArrayType(Float, N))
+        prog = Lambda([A], FunCall(MapGlb(lam(Float, lambda v: v), 0), A))
+        low = lower_simple(prog)
+        assert isinstance(low.body.fun, MapGlb)
+
+
+class TestFusionWithPatternFunction:
+    def test_fuse_map_over_map_of_reduce(self):
+        """Fusing when the inner map's function is a Reduce pattern: the
+        synthetic parameter must get the window element type."""
+        A = Param("A", ArrayType(Float, N))
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        stencil = FunCall(Map(Reduce(add, 0.0)), FunCall(Slide(3, 1), A))
+        prog = Lambda([A], FunCall(
+            Map(lam(Float, lambda x: BinOp("*", x, 2.0))), stencil))
+        fused = Lambda(list(prog.params),
+                       rewrite_first(prog.body, MAP_FUSION))
+        xs = np.arange(1.0, 9.0)
+        np.testing.assert_allclose(run(fused, xs), run(prog, xs))
+
+    def test_fused_program_analysable(self):
+        from repro.lift.analysis import analyse_kernel
+        A = Param("A", ArrayType(Float, N))
+        add = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        stencil = FunCall(Map(Reduce(add, 0.0)), FunCall(Slide(3, 1), A))
+        prog = Lambda([A], FunCall(
+            Map(lam(Float, lambda x: BinOp("*", x, 2.0))), stencil))
+        fused = Lambda(list(prog.params),
+                       rewrite_first(prog.body, MAP_FUSION))
+        r = analyse_kernel(lower_simple(fused))
+        assert r.loads == 3 and r.stores == 1
+
+
+class TestUnfusedProducerAccounting:
+    def test_intermediate_materialisation_counted(self):
+        """A symbolic-length producer map charges one intermediate
+        store+load per consumer work item — the cost fusion removes."""
+        from repro.lift.analysis import analyse_kernel
+        A = Param("A", ArrayType(Float, N))
+        doubled = FunCall(Map(lam(Float, lambda x: BinOp("*", x, 2.0))), A)
+        prog = Lambda([A], FunCall(
+            Map(lam(Float, lambda x: BinOp("+", x, 1.0))), doubled))
+        r = analyse_kernel(lower_simple(prog))
+        assert ("__intermediate__", "contiguous", 4) in r.stores_detail
+        assert ("__intermediate__", "contiguous", 4) in r.loads_detail
+        # fused equivalent has strictly less traffic
+        fused = Lambda(list(prog.params),
+                       rewrite_first(prog.body, MAP_FUSION))
+        rf = analyse_kernel(lower_simple(fused))
+        assert rf.memory_accesses < r.memory_accesses

@@ -1,0 +1,279 @@
+"""Tests for the typing rules of every pattern (repro.lift.type_inference)."""
+
+import pytest
+
+from repro.lift.arith import Var
+from repro.lift.ast import BinOp, FunCall, Lambda, Param, Select, UnaryOp, lam, lit
+from repro.lift.patterns import (ArrayAccess, ArrayAccess3, ArrayCons,
+                                 Concat, Get, Id, Iota, Iterate, Join, Map,
+                                 Map3D, Pad, Pad3D, Reduce, Skip, Slide,
+                                 Slide3D, Split, ToGPU, ToHost, Transpose,
+                                 TupleCons, WriteTo, Zip, Zip3D)
+from repro.lift.type_inference import infer, promote
+from repro.lift.types import (ArrayType, Bool, Double, Float, Int, Long,
+                              TupleType, TypeError_, array)
+
+N = Var("N")
+
+
+def arr(t=Float, n=N):
+    return Param("A", ArrayType(t, n))
+
+
+class TestScalarRules:
+    def test_promote(self):
+        assert promote(Float, Int) is Float
+        assert promote(Int, Double) is Double
+        assert promote(Float, Float) is Float
+
+    def test_binop_promotion(self):
+        e = BinOp("*", lit(2, Int), lit(3.0, Double))
+        assert infer(e) is Double
+
+    def test_comparison_is_bool(self):
+        e = BinOp("<", lit(1, Int), lit(2, Int))
+        assert infer(e) is Bool
+
+    def test_select(self):
+        e = Select(BinOp(">", lit(1, Int), lit(0, Int)), lit(1.0, Float),
+                   lit(0, Int))
+        assert infer(e) is Float
+
+    def test_select_requires_bool_cond(self):
+        with pytest.raises(TypeError_):
+            infer(Select(lit(1.5, Float), lit(1, Int), lit(0, Int)))
+
+    def test_unary(self):
+        assert infer(UnaryOp("sqrt", lit(2.0, Double))) is Double
+        assert infer(UnaryOp("sqrt", lit(2, Int))) is Float
+        assert infer(UnaryOp("toInt", lit(2.0, Float))) is Int
+        assert infer(UnaryOp("neg", lit(2.0, Float))) is Float
+
+    def test_binop_on_array_rejected(self):
+        a = arr()
+        with pytest.raises(TypeError_):
+            infer(BinOp("+", a, a))
+
+
+class TestMapReduce:
+    def test_map(self):
+        a = arr()
+        f = lam(Float, lambda x: BinOp("*", x, x))
+        t = infer(FunCall(Map(f), a))
+        assert t == ArrayType(Float, N)
+
+    def test_map_narrowing_rejected(self):
+        a = arr(Double)
+        f = lam(Int, lambda x: x)  # double elements cannot narrow to int
+        with pytest.raises(TypeError_):
+            infer(FunCall(Map(f), a))
+
+    def test_map_over_non_array(self):
+        with pytest.raises(TypeError_):
+            infer(FunCall(Map(lam(Float, lambda x: x)), lit(1.0, Float)))
+
+    def test_map_allows_widening(self):
+        a = arr(Int)
+        f = lam(Double, lambda x: x)  # int elements widen to double
+        t = infer(FunCall(Map(f), a))
+        assert t == ArrayType(Double, N)
+
+    def test_reduce(self):
+        a = arr()
+        f = lam([Float, Float], lambda acc, x: BinOp("+", acc, x))
+        t = infer(FunCall(Reduce(f, 0.0), a))
+        assert t is Float
+
+    def test_map3d(self):
+        a = Param("G", array(Float, Var("a"), Var("b"), Var("c")))
+        f = lam(Float, lambda x: x)
+        t = infer(FunCall(Map3D(f), a))
+        assert t == array(Float, Var("a"), Var("b"), Var("c"))
+
+    def test_map3d_requires_rank3(self):
+        with pytest.raises(TypeError_):
+            infer(FunCall(Map3D(lam(Float, lambda x: x)), arr()))
+
+
+class TestReorganisation:
+    def test_zip(self):
+        a, b = arr(), Param("B", ArrayType(Int, N))
+        t = infer(FunCall(Zip(2), a, b))
+        assert t == ArrayType(TupleType(Float, Int), N)
+
+    def test_zip_mismatched_constant_lengths(self):
+        a = Param("A", ArrayType(Float, 4))
+        b = Param("B", ArrayType(Float, 5))
+        with pytest.raises(TypeError_):
+            infer(FunCall(Zip(2), a, b))
+
+    def test_get(self):
+        a, b = arr(), Param("B", ArrayType(Int, N))
+        z = FunCall(Zip(2), a, b)
+        p = Param("p", TupleType(Float, Int))
+        f = Lambda([p], FunCall(Get(1), p))
+        t = infer(FunCall(Map(f), z))
+        assert t == ArrayType(Int, N)
+
+    def test_get_out_of_range(self):
+        p = Param("p", TupleType(Float, Int))
+        with pytest.raises(TypeError_):
+            infer(FunCall(Get(5), p))
+
+    def test_tuple_cons(self):
+        t = infer(FunCall(TupleCons(2), lit(1.0, Float), lit(2, Int)))
+        assert t == TupleType(Float, Int)
+
+    def test_split(self):
+        a = Param("A", ArrayType(Float, 12))
+        t = infer(FunCall(Split(4), a))
+        assert t == ArrayType(ArrayType(Float, 4), 3)
+
+    def test_join(self):
+        a = Param("A", array(Float, 3, 4))
+        t = infer(FunCall(Join(), a))
+        assert t == ArrayType(Float, 12)
+
+    def test_split_join_roundtrip_type(self):
+        a = Param("A", ArrayType(Float, 12))
+        t = infer(FunCall(Join(), FunCall(Split(4), a)))
+        assert t == ArrayType(Float, 12)
+
+    def test_transpose(self):
+        a = Param("A", array(Float, 3, 4))
+        t = infer(FunCall(Transpose(), a))
+        assert t == array(Float, 4, 3)
+
+    def test_slide(self):
+        a = Param("A", ArrayType(Float, 10))
+        t = infer(FunCall(Slide(3, 1), a))
+        assert t == ArrayType(ArrayType(Float, 3), 8)
+
+    def test_slide_with_step(self):
+        a = Param("A", ArrayType(Float, 10))
+        t = infer(FunCall(Slide(4, 2), a))
+        assert t == ArrayType(ArrayType(Float, 4), 4)
+
+    def test_pad(self):
+        a = Param("A", ArrayType(Float, N))
+        t = infer(FunCall(Pad(1, 2, 0.0), a))
+        assert t.size == N + 3
+
+    def test_slide3d(self):
+        a = Param("G", array(Float, 5, 6, 7))
+        t = infer(FunCall(Slide3D(3, 1), a))
+        assert t.shape()[:3] == (Var("x") * 0 + 3, Var("x") * 0 + 4,
+                                 Var("x") * 0 + 5)
+        inner = t.elem.elem.elem
+        assert inner == array(Float, 3, 3, 3)
+
+    def test_pad3d(self):
+        a = Param("G", array(Float, 5, 6, 7))
+        t = infer(FunCall(Pad3D(1, 1, 0.0), a))
+        assert t.shape() == (Var("x") * 0 + 7, Var("x") * 0 + 8,
+                             Var("x") * 0 + 9)
+
+    def test_iota(self):
+        t = infer(FunCall(Iota(N)))
+        assert t == ArrayType(Int, N)
+
+    def test_id(self):
+        a = arr()
+        assert infer(FunCall(Id(), a)) == ArrayType(Float, N)
+
+    def test_iterate(self):
+        a = arr()
+        f = Lambda([Param("x", ArrayType(Float, N))],
+                   FunCall(Map(lam(Float, lambda v: v)),
+                           Param("x", ArrayType(Float, N))))
+        # simpler: identity via Id
+        t = infer(FunCall(Iterate(3, Id()), a))
+        assert t == ArrayType(Float, N)
+
+
+class TestAccess:
+    def test_array_access(self):
+        a = arr()
+        t = infer(FunCall(ArrayAccess(), a, lit(2, Int)))
+        assert t is Float
+
+    def test_array_access_requires_int(self):
+        a = arr()
+        with pytest.raises(TypeError_):
+            infer(FunCall(ArrayAccess(), a, lit(2.0, Float)))
+
+    def test_array_access3(self):
+        g = Param("G", array(Float, 3, 3, 3))
+        t = infer(FunCall(ArrayAccess3(), g, lit(1, Int), lit(1, Int),
+                          lit(1, Int)))
+        assert t is Float
+
+    def test_array_access3_requires_rank3(self):
+        with pytest.raises(TypeError_):
+            infer(FunCall(ArrayAccess3(), arr(), lit(0, Int), lit(0, Int),
+                          lit(0, Int)))
+
+
+class TestNewPrimitives:
+    def test_writeto_same(self):
+        a, b = arr(), Param("B", ArrayType(Float, N))
+        assert infer(FunCall(WriteTo(), a, b)) == ArrayType(Float, N)
+
+    def test_writeto_rows(self):
+        a = arr()
+        rows = Param("R", ArrayType(ArrayType(Float, N), Var("K")))
+        assert infer(FunCall(WriteTo(), a, rows)) == ArrayType(Float, N)
+
+    def test_writeto_effects(self):
+        a = arr()
+        eff = Param("E", ArrayType(TupleType(Float, Float), Var("K")))
+        assert infer(FunCall(WriteTo(), a, eff)) == ArrayType(Float, N)
+
+    def test_writeto_rejects_mismatch(self):
+        a = arr()
+        with pytest.raises(TypeError_):
+            infer(FunCall(WriteTo(), a, Param("B", ArrayType(Int, N))))
+
+    def test_concat(self):
+        a = Param("A", ArrayType(Float, 3))
+        b = Param("B", ArrayType(Float, 4))
+        t = infer(FunCall(Concat(2), a, b))
+        assert t.size.as_constant() == 7
+
+    def test_concat_symbolic_sum(self):
+        i = Var("idx")
+        parts = FunCall(Concat(3), FunCall(Skip(Float, i)),
+                        FunCall(ArrayCons(1), lit(1.0, Float)),
+                        FunCall(Skip(Float, N - 1 - i)))
+        t = infer(parts)
+        # idx + 1 + (N - 1 - idx) simplifies to N
+        assert t.size == N
+
+    def test_skip(self):
+        t = infer(FunCall(Skip(Float, 5)))
+        assert t == ArrayType(Float, 5)
+
+    def test_array_cons(self):
+        t = infer(FunCall(ArrayCons(3), lit(6, Int)))
+        assert t == ArrayType(Int, 3)
+
+    def test_togpu_tohost_identity(self):
+        a = arr()
+        assert infer(FunCall(ToGPU(), a)) == ArrayType(Float, N)
+        assert infer(FunCall(ToHost(), a)) == ArrayType(Float, N)
+
+
+class TestLambdaApplication:
+    def test_arity_mismatch(self):
+        f = lam([Float, Float], lambda a, b: BinOp("+", a, b))
+        with pytest.raises(TypeError_):
+            infer(FunCall(f, lit(1.0, Float)))
+
+    def test_param_type_mismatch(self):
+        f = lam([ArrayType(Float, N)], lambda a: a)
+        with pytest.raises(TypeError_):
+            infer(FunCall(f, lit(1.0, Float)))
+
+    def test_scalar_widening_allowed(self):
+        f = lam([Double], lambda a: a)
+        assert infer(FunCall(f, lit(1.0, Float))) is Double

@@ -1,0 +1,141 @@
+"""Tests for the view system (repro.lift.views)."""
+
+import pytest
+
+from repro.lift.types import Double, Float
+from repro.lift.views import (InView, OutElement, OutMem, OutMem3D,
+                              OutOffset, ViewConstant, ViewError, ViewIota,
+                              ViewJoin, ViewMem, ViewMem3D, ViewPad,
+                              ViewPad3D, ViewSlide, ViewSlide3D, ViewSplit,
+                              ViewTuple, ViewWindow, ViewZip, ViewZip3D,
+                              in_view_to_out, paren)
+
+
+class TestParen:
+    def test_atomic_identifier(self):
+        assert paren("gid") == "gid"
+
+    def test_number(self):
+        assert paren("42") == "42"
+
+    def test_compound(self):
+        assert paren("a+b") == "(a+b)"
+
+    def test_already_wrapped(self):
+        assert paren("(a+b)") == "(a+b)"
+
+    def test_two_groups_not_merged(self):
+        assert paren("(a)+(b)") == "((a)+(b))"
+
+
+class TestInputViews:
+    def test_mem(self):
+        assert ViewMem("A", Float).access("i") == "A[i]"
+
+    def test_iota_is_free(self):
+        assert ViewIota().access("gid") == "gid"
+
+    def test_constant(self):
+        assert ViewConstant("7.0f").access("anything") == "7.0f"
+
+    def test_zip_produces_tuple(self):
+        v = ViewZip([ViewMem("A", Float), ViewMem("B", Float)])
+        t = v.access("i")
+        assert isinstance(t, ViewTuple)
+        assert t.get(0) == "A[i]"
+        assert t.get(1) == "B[i]"
+
+    def test_tuple_out_of_range(self):
+        with pytest.raises(ViewError):
+            ViewTuple(["x"]).get(3)
+
+    def test_slide_window_collapse(self):
+        v = ViewSlide(ViewMem("A", Float), 3, 1)
+        w = v.access("gid")
+        assert isinstance(w, ViewWindow)
+        assert w.access("2") == "A[(gid*1)+2]"
+
+    def test_slide_step(self):
+        v = ViewSlide(ViewMem("A", Float), 3, 2)
+        assert v.access("g").access("0") == "A[(g*2)+0]"
+
+    def test_pad_guard(self):
+        v = ViewPad(ViewMem("A", Float), 1, "N", "0.0f")
+        s = v.access("j")
+        assert "?" in s and "0.0f" in s and "A[(j-1)]" in s
+
+    def test_pad_zero_left(self):
+        v = ViewPad(ViewMem("A", Float), 0, "N", "0.0f")
+        s = v.access("j")
+        assert "A[j]" in s
+
+    def test_split(self):
+        v = ViewSplit(ViewMem("A", Float), "4")
+        assert v.access("r").access("c") == "A[(r*4)+c]"
+
+    def test_join(self):
+        inner = ViewSplit(ViewMem("A", Float), "4")
+        v = ViewJoin(inner, "4")
+        assert v.access("i") == "A[((i/4)*4)+(i%4)]"
+
+    def test_mem3d_x_fastest(self):
+        v = ViewMem3D("G", Float, "NZ", "NY", "NX")
+        assert v.access3("z", "y", "x") == "G[(z*NY+y)*NX+x]"
+
+    def test_slide3d_window(self):
+        v = ViewSlide3D(ViewMem3D("G", Float, "NZ", "NY", "NX"), 3, 1)
+        w = v.access3("z", "y", "x")
+        s = w.access3("1", "1", "2")
+        assert s == "G[((z+1)*NY+(y+1))*NX+(x+2)]"
+
+    def test_pad3d_guard(self):
+        v = ViewPad3D(ViewMem3D("G", Float, "a", "b", "c"), 1,
+                      "a", "b", "c", "0.0")
+        s = v.access3("z", "y", "x")
+        assert "?" in s and "&&" in s
+
+    def test_zip3d(self):
+        v = ViewZip3D([ViewMem3D("A", Float, "n", "n", "n"),
+                       ViewMem3D("B", Float, "n", "n", "n")])
+        t = v.access3("i", "j", "k")
+        assert t.get(0) == "A[(i*n+j)*n+k]"
+
+    def test_base_view_cannot_be_indexed(self):
+        with pytest.raises(ViewError):
+            InView().access("i")
+
+
+class TestOutputViews:
+    def test_out_mem(self):
+        o = OutMem("out", Float)
+        assert o.store("i", "v") == "out[i] = v;"
+        assert o.location("i") == "out[i]"
+
+    def test_out_offset(self):
+        o = OutOffset(OutMem("out", Float), "idx")
+        assert o.store("0", "v") == "out[idx+0] = v;"
+
+    def test_nested_offsets(self):
+        o = OutOffset(OutOffset(OutMem("out", Float), "a"), "b")
+        assert "a" in o.store("0", "v") and "b" in o.store("0", "v")
+
+    def test_out_element(self):
+        o = OutElement("next", "idx_0", Double)
+        assert o.store_scalar("v") == "next[idx_0] = v;"
+
+    def test_out_mem3d(self):
+        o = OutMem3D("out", Float, "NZ", "NY", "NX")
+        assert o.store3("z", "y", "x", "v") == "out[(z*NY+y)*NX+x] = v;"
+
+    def test_in_view_to_out_mem(self):
+        o = in_view_to_out(ViewMem("next", Double))
+        assert isinstance(o, OutMem)
+        assert o.name == "next"
+
+    def test_in_view_to_out_mem3d(self):
+        o = in_view_to_out(ViewMem3D("g", Float, "a", "b", "c"))
+        assert isinstance(o, OutMem3D)
+
+    def test_in_view_to_out_rejects_others(self):
+        with pytest.raises(ViewError):
+            in_view_to_out(ViewIota())
