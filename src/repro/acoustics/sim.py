@@ -27,6 +27,7 @@ like the paper's multi-GPU driver.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -43,10 +44,108 @@ from .topology import RoomTopology, build_topology
 SCHEMES = ("fi", "fi_mm", "fd_mm")
 BACKENDS = ("numpy", "scalar", "lift", "lift_interp", "virtual_gpu")
 
+#: checkpoint container-format version (see docs/resilience.md)
+CHECKPOINT_VERSION = 1
+
+
+class SimulationDiverged(Exception):
+    """The numerical-health monitor detected NaN/Inf or runaway energy.
+
+    Carries the failing ``step``, a human-readable ``reason``, and the
+    ``checkpoint`` of the last known-good state (None when checkpointing
+    is off) so callers can restart below the point of divergence.
+    """
+
+    def __init__(self, step: int, reason: str,
+                 checkpoint: "Checkpoint | None" = None):
+        self.step = step
+        self.reason = reason
+        self.checkpoint = checkpoint
+        tail = (f"; last good checkpoint at step {checkpoint.time_step}"
+                if checkpoint is not None else "; no checkpoint available")
+        super().__init__(f"simulation diverged at step {step}: {reason}{tail}")
+
+
+@dataclass
+class Checkpoint:
+    """A restartable snapshot of a :class:`RoomSimulation`.
+
+    Holds copies of everything the time-stepper mutates: the three
+    rotating pressure levels, the FD-MM branch state (g1/v1/v2), the step
+    counter, accumulated receiver signals, and the modelled GPU time.
+    ``scheme``/``precision``/``grid_shape`` stamp the config it belongs
+    to; :meth:`RoomSimulation.restore` refuses a mismatched checkpoint.
+    """
+
+    time_step: int
+    scheme: str
+    precision: str
+    grid_shape: tuple[int, int, int]
+    prev: np.ndarray
+    curr: np.ndarray
+    nxt: np.ndarray
+    g1: np.ndarray
+    v1: np.ndarray
+    v2: np.ndarray
+    receivers: dict[str, tuple[int, list[float]]]
+    modelled_gpu_time_ms: float = 0.0
+
+    def save(self, path) -> None:
+        """Write the checkpoint as a ``.npz`` archive (format v1)."""
+        meta = dict(version=CHECKPOINT_VERSION, time_step=self.time_step,
+                    scheme=self.scheme, precision=self.precision,
+                    grid_shape=list(self.grid_shape),
+                    modelled_gpu_time_ms=self.modelled_gpu_time_ms,
+                    receivers={k: [int(i), list(map(float, s))]
+                               for k, (i, s) in self.receivers.items()})
+        np.savez(path, prev=self.prev, curr=self.curr, nxt=self.nxt,
+                 g1=self.g1, v1=self.v1, v2=self.v2,
+                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8))
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        with np.load(path) as z:
+            meta = json.loads(bytes(z["meta"]).decode())
+            if meta.get("version") != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {meta.get('version')!r} "
+                    f"(this build reads v{CHECKPOINT_VERSION})")
+            return cls(
+                time_step=int(meta["time_step"]), scheme=meta["scheme"],
+                precision=meta["precision"],
+                grid_shape=tuple(meta["grid_shape"]),
+                prev=z["prev"].copy(), curr=z["curr"].copy(),
+                nxt=z["nxt"].copy(), g1=z["g1"].copy(), v1=z["v1"].copy(),
+                v2=z["v2"].copy(),
+                receivers={k: (int(i), list(s))
+                           for k, (i, s) in meta["receivers"].items()},
+                modelled_gpu_time_ms=float(meta["modelled_gpu_time_ms"]))
+
 
 @dataclass
 class SimConfig:
-    """Configuration of a room simulation."""
+    """Configuration of a room simulation.
+
+    The resilience knobs are strictly opt-in — with their defaults
+    (0 / None / False) behaviour and modelled times are unchanged:
+
+    ``checkpoint_interval``
+        take a :class:`Checkpoint` every k steps during :meth:`run`
+        (kept in ``RoomSimulation.last_checkpoint``);
+    ``health_interval``
+        run the NaN/Inf + energy-growth monitor every k steps, raising
+        :class:`SimulationDiverged` (with the last good checkpoint);
+    ``energy_growth_factor``
+        divergence threshold: field energy above this multiple of the
+        reference energy (first non-zero reading) trips the monitor;
+    ``faults``
+        a :class:`repro.gpu.faults.FaultPlan` injected into the
+        ``virtual_gpu`` backend;
+    ``resilient``
+        wrap the virtual GPU in a
+        :class:`repro.gpu.resilient.ResilientGPU` (retry/degrade/fallback;
+        policy log at ``RoomSimulation.policy_log``).
+    """
 
     room: Room
     scheme: str = "fi_mm"
@@ -54,6 +153,11 @@ class SimConfig:
     precision: str = "double"
     materials: Sequence[FIMaterial | FDMaterial] | None = None
     num_branches: int = 3
+    checkpoint_interval: int = 0
+    health_interval: int = 0
+    energy_growth_factor: float = 100.0
+    faults: object | None = None          # FaultPlan, opt-in
+    resilient: bool = False
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -62,6 +166,8 @@ class SimConfig:
             raise ValueError(f"unknown backend {self.backend!r}; one of {BACKENDS}")
         if self.precision not in ("single", "double"):
             raise ValueError("precision must be 'single' or 'double'")
+        if self.checkpoint_interval < 0 or self.health_interval < 0:
+            raise ValueError("intervals must be >= 0 (0 disables)")
 
     @property
     def dtype(self):
@@ -113,6 +219,8 @@ class RoomSimulation:
         self.receivers: dict[str, tuple[int, list[float]]] = {}
 
         self.modelled_gpu_time_ms = 0.0
+        self.last_checkpoint: Checkpoint | None = None
+        self._energy_ref: float | None = None
         if config.backend == "lift":
             self._compile_lift()
         elif config.backend == "lift_interp":
@@ -148,7 +256,6 @@ class RoomSimulation:
     def _setup_virtual_gpu(self, device=None):
         from ..lift.codegen.host import compile_host
         from ..gpu.device import NVIDIA_TITAN_BLACK
-        from ..gpu.runtime import VirtualGPU
         from .lift_programs import two_kernel_host
         scheme = self.config.scheme
         if scheme == "fi":
@@ -158,12 +265,26 @@ class RoomSimulation:
         hp = two_kernel_host(scheme, self.config.precision,
                              self.table.num_branches or 3)
         self._host_program = compile_host(hp.program, hp.name)
-        self._gpu = VirtualGPU(device or NVIDIA_TITAN_BLACK)
+        self._gpu = self._make_gpu(device or NVIDIA_TITAN_BLACK)
+
+    def _make_gpu(self, device):
+        """Build the executor: a plain VirtualGPU, optionally carrying a
+        fault plan, optionally wrapped in the resilient policy layer."""
+        from ..gpu.runtime import VirtualGPU
+        gpu = VirtualGPU(device, faults=self.config.faults)
+        if self.config.resilient:
+            from ..gpu.resilient import ResilientGPU
+            gpu = ResilientGPU(gpu)
+        return gpu
+
+    @property
+    def policy_log(self):
+        """Recovery-policy log of the resilient executor ([] otherwise)."""
+        return getattr(getattr(self, "_gpu", None), "log", [])
 
     def set_virtual_device(self, device) -> None:
         """Re-target the virtual_gpu backend at another device spec."""
-        from ..gpu.runtime import VirtualGPU
-        self._gpu = VirtualGPU(device)
+        self._gpu = self._make_gpu(device)
 
     def _setup_interp(self):
         from ..lift.interp import Interp
@@ -226,10 +347,91 @@ class RoomSimulation:
         self.time_step += 1
         for name, (idx, sig) in self.receivers.items():
             sig.append(float(self.curr[idx]))
+        cfg = self.config
+        if cfg.health_interval and self.time_step % cfg.health_interval == 0:
+            self._check_health()
+        if (cfg.checkpoint_interval
+                and self.time_step % cfg.checkpoint_interval == 0):
+            self.last_checkpoint = self.checkpoint()
 
     def run(self, steps: int) -> None:
         for _ in range(steps):
             self.step()
+
+    # -- checkpoint / restart ---------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot everything the stepper mutates (deep copies)."""
+        return Checkpoint(
+            time_step=self.time_step, scheme=self.config.scheme,
+            precision=self.config.precision, grid_shape=self.grid.shape,
+            prev=self.prev.copy(), curr=self.curr.copy(),
+            nxt=self.nxt.copy(), g1=self.g1.copy(), v1=self.v1.copy(),
+            v2=self.v2.copy(),
+            receivers={k: (i, list(s)) for k, (i, s) in
+                       self.receivers.items()},
+            modelled_gpu_time_ms=self.modelled_gpu_time_ms)
+
+    def restore(self, cp: Checkpoint) -> None:
+        """Resume from a checkpoint: continuing reproduces an
+        uninterrupted run bit-identically (the stepper is deterministic
+        and the snapshot holds every mutated array)."""
+        if (cp.scheme != self.config.scheme
+                or cp.precision != self.config.precision
+                or tuple(cp.grid_shape) != tuple(self.grid.shape)):
+            raise ValueError(
+                f"checkpoint mismatch: snapshot is scheme={cp.scheme!r} "
+                f"precision={cp.precision!r} grid={tuple(cp.grid_shape)}, "
+                f"simulation is scheme={self.config.scheme!r} "
+                f"precision={self.config.precision!r} "
+                f"grid={tuple(self.grid.shape)}")
+        self.prev[:] = cp.prev
+        self.curr[:] = cp.curr
+        self.nxt[:] = cp.nxt
+        self.g1[:] = cp.g1
+        self.v1[:] = cp.v1
+        self.v2[:] = cp.v2
+        self.time_step = cp.time_step
+        self.receivers = {k: (i, list(s)) for k, (i, s) in
+                          cp.receivers.items()}
+        self.modelled_gpu_time_ms = cp.modelled_gpu_time_ms
+        self.last_checkpoint = cp
+
+    def save_checkpoint(self, path) -> None:
+        self.checkpoint().save(path)
+
+    def load_checkpoint(self, path) -> None:
+        self.restore(Checkpoint.load(path))
+
+    # -- numerical health --------------------------------------------------------------
+    def _check_health(self) -> None:
+        """NaN/Inf and energy-growth detection (the FDTD schemes are
+        energy-stable below the Courant limit, so runaway energy means
+        divergence)."""
+        state = self.curr[:self._N]
+        bad = ~np.isfinite(state)
+        if bad.any():
+            idx = int(np.flatnonzero(bad)[0])
+            raise SimulationDiverged(
+                self.time_step,
+                f"non-finite pressure at flat index {idx} "
+                f"({int(bad.sum())} bad points)", self.last_checkpoint)
+        if self.config.scheme == "fd_mm" and not (
+                np.isfinite(self.v1).all() and np.isfinite(self.g1).all()):
+            raise SimulationDiverged(
+                self.time_step, "non-finite FD-MM branch state",
+                self.last_checkpoint)
+        e = self.energy()
+        if self._energy_ref is None:
+            if e > 0.0:
+                self._energy_ref = e
+            return
+        if (self.config.energy_growth_factor > 0
+                and e > self.config.energy_growth_factor * self._energy_ref):
+            raise SimulationDiverged(
+                self.time_step,
+                f"field energy {e:.3e} exceeds "
+                f"{self.config.energy_growth_factor:g}x the reference "
+                f"{self._energy_ref:.3e}", self.last_checkpoint)
 
     # -- backend steps ------------------------------------------------------------------------
     def _lam(self):
@@ -327,7 +529,8 @@ class RoomSimulation:
                           D_h=self.table.D.reshape(-1),
                           g1_h=self.g1, v2_h=self.v2, v1_h=self.v1,
                           K=sizes["K"])
-        res = self._gpu.execute(self._host_program, inputs, sizes)
+        res = self._gpu.execute(self._host_program, inputs, sizes,
+                                fault_step=self.time_step)
         self.nxt[:self._N] = np.asarray(res.result)[:self._N]
         if self.config.scheme == "fd_mm":
             # read the branch-state device buffers back

@@ -103,3 +103,49 @@ def throughput_gelems(kind: str, timing: KernelTiming,
     n = (bundle.num_points if kind in ("fi_fused", "volume")
          else bundle.num_boundary_points)
     return n / (timing.time_ms * 1e-3) / 1e9
+
+
+# -- fault-tolerant sweeps -----------------------------------------------------------
+
+@dataclass
+class SweepCell:
+    """Outcome of one sweep cell: a result, or a typed failure record."""
+
+    key: tuple
+    value: object | None
+    error: str | None = None        # OpenCL status name / exception class
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def fault_tolerant_sweep(keys, compute, max_attempts: int = 3) -> list[SweepCell]:
+    """Evaluate ``compute(key)`` for every sweep key, surviving failures.
+
+    The paper's evaluation sweeps hundreds of (kernel, precision, device,
+    room) cells; on real hardware a single lost device or failed
+    allocation used to abort the whole campaign.  Here each cell retries
+    transient :class:`~repro.gpu.errors.ClError` failures up to
+    ``max_attempts`` times and a persistently failing cell is recorded as
+    a failed :class:`SweepCell` (with its OpenCL status name) instead of
+    propagating — the sweep always completes and reports which cells
+    need re-running.  Non-``ClError`` exceptions still propagate: those
+    are bugs, not operational faults.
+    """
+    from ..gpu.errors import ClError
+    out: list[SweepCell] = []
+    for key in keys:
+        cell = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                cell = SweepCell(key, compute(key), attempts=attempt)
+                break
+            except ClError as err:
+                cell = SweepCell(key, None, error=err.status_name,
+                                 attempts=attempt)
+                if not err.transient:
+                    break
+        out.append(cell)
+    return out

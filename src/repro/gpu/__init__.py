@@ -13,14 +13,25 @@ substitutes them with an analytic model so the reproduction runs anywhere:
 * :mod:`.runtime` — virtual platform/queue/buffer/kernel/event objects
   that execute LIFT host plans bit-correctly through the NumPy backend
   while reporting modelled OpenCL profiling times;
-* :mod:`.autotune` — the "hand-tuned by workgroup size" emulation.
+* :mod:`.autotune` — the "hand-tuned by workgroup size" emulation;
+* :mod:`.errors` — the typed OpenCL-status error hierarchy;
+* :mod:`.faults` — opt-in, seeded fault injection;
+* :mod:`.resilient` — retry/degrade/fallback recovery policies.
 """
 
 from .device import (AMD_HD7970, AMD_R9_295X2, DeviceSpec, NVIDIA_GTX780,
                      NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name)
 from .costmodel import (ImplTraits, KernelTiming, LIFT_TRAITS,
                         HANDWRITTEN_TRAITS, kernel_time, sector_bytes_per_item)
+from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
+                     ClDeviceNotAvailable, ClError, ClInvalidBufferSize,
+                     ClInvalidGlobalWorkSize, ClInvalidKernelArgs,
+                     ClInvalidValue, ClInvalidWorkGroupSize,
+                     ClMemAllocationFailure, ClOutOfHostMemory,
+                     ClOutOfResources, ClTransferCorrupted)
+from .faults import FAULT_KINDS, FaultPlan, FaultRecord, FaultSpec
 from .runtime import VirtualGPU, ProfilingEvent, RunResult
+from .resilient import PolicyOutcome, ResilientGPU, RetryPolicy
 from .autotune import autotune_workgroup
 
 __all__ = [
@@ -28,5 +39,12 @@ __all__ = [
     "NVIDIA_TITAN_BLACK", "PAPER_DEVICES", "device_by_name",
     "ImplTraits", "KernelTiming", "LIFT_TRAITS", "HANDWRITTEN_TRAITS",
     "kernel_time", "sector_bytes_per_item",
+    "CL_STATUS_TABLE", "TRANSIENT_ERRORS", "ClDeviceLost",
+    "ClDeviceNotAvailable", "ClError", "ClInvalidBufferSize",
+    "ClInvalidGlobalWorkSize", "ClInvalidKernelArgs", "ClInvalidValue",
+    "ClInvalidWorkGroupSize", "ClMemAllocationFailure", "ClOutOfHostMemory",
+    "ClOutOfResources", "ClTransferCorrupted",
+    "FAULT_KINDS", "FaultPlan", "FaultRecord", "FaultSpec",
+    "PolicyOutcome", "ResilientGPU", "RetryPolicy",
     "VirtualGPU", "ProfilingEvent", "RunResult", "autotune_workgroup",
 ]

@@ -35,5 +35,12 @@ def autotune_workgroup(resources: Resources, n_items: int,
                         gather_index, workgroup=wg)
         if best is None or t.time_ms < best.time_ms:
             best = t
-    assert best is not None
+    if best is None:
+        from .errors import ClInvalidWorkGroupSize
+        raise ClInvalidWorkGroupSize(
+            f"no candidate workgroup size fits device {device.name!r}: "
+            f"candidates {tuple(candidates)} all exceed max_workgroup="
+            f"{device.max_workgroup}", device=device.name,
+            candidates=tuple(candidates),
+            max_workgroup=device.max_workgroup)
     return best

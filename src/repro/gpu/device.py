@@ -39,6 +39,8 @@ class DeviceSpec:
     mem_efficiency: float = 0.65
     #: fixed per-launch overhead [µs]
     launch_overhead_us: float = 5.0
+    #: device global memory [bytes]; 0 disables capacity enforcement
+    global_mem_bytes: int = 0
 
     @property
     def dp_gflops(self) -> float:
@@ -57,26 +59,36 @@ class DeviceSpec:
         """Achievable bandwidth [B/s]."""
         return self.mem_bandwidth_gbs * 1e9 * self.mem_efficiency
 
+    @property
+    def max_alloc_bytes(self) -> int:
+        """Largest single buffer (OpenCL's ``CL_DEVICE_MAX_MEM_ALLOC_SIZE``,
+        conventionally 1/4 of global memory); 0 = unlimited."""
+        return self.global_mem_bytes // 4
+
 
 NVIDIA_GTX780 = DeviceSpec(
     name="GTX780", vendor="nvidia", mem_bandwidth_gbs=288.0,
     sp_gflops=3977.0, dp_ratio=1.0 / 24.0, sector_bytes=32,
-    compute_units=12, warp_size=32, mem_efficiency=0.62)
+    compute_units=12, warp_size=32, mem_efficiency=0.62,
+    global_mem_bytes=3 * 1024**3)
 
 AMD_HD7970 = DeviceSpec(
     name="AMD7970", vendor="amd", mem_bandwidth_gbs=288.0,
     sp_gflops=4096.0, dp_ratio=1.0 / 4.0, sector_bytes=64,
-    compute_units=32, warp_size=64, mem_efficiency=0.70)
+    compute_units=32, warp_size=64, mem_efficiency=0.70,
+    global_mem_bytes=3 * 1024**3)
 
 NVIDIA_TITAN_BLACK = DeviceSpec(
     name="TitanBlack", vendor="nvidia", mem_bandwidth_gbs=337.0,
     sp_gflops=5120.0, dp_ratio=1.0 / 3.0, sector_bytes=32,
-    compute_units=15, warp_size=32, mem_efficiency=0.62)
+    compute_units=15, warp_size=32, mem_efficiency=0.62,
+    global_mem_bytes=6 * 1024**3)
 
 AMD_R9_295X2 = DeviceSpec(
     name="RadeonR9", vendor="amd", mem_bandwidth_gbs=320.0,
     sp_gflops=5733.0, dp_ratio=1.0 / 8.0, sector_bytes=64,
-    compute_units=44, warp_size=64, mem_efficiency=0.70)
+    compute_units=44, warp_size=64, mem_efficiency=0.70,
+    global_mem_bytes=4 * 1024**3)
 
 #: the paper's evaluation devices, keyed as the figures label them
 PAPER_DEVICES: dict[str, DeviceSpec] = {

@@ -1,0 +1,158 @@
+"""Typed OpenCL-faithful error model for the virtual runtime.
+
+The paper's host code ran on real OpenCL 1.2 devices where every API call
+returns a ``cl_int`` status; production FDTD runs see allocation failures,
+aborted launches, and lost devices.  This module gives the virtual runtime
+the same error *surface*: one exception class per relevant OpenCL status
+code, each carrying the numeric code, the status name, and a structured
+context dict so recovery policies (:mod:`.resilient`) can pattern-match
+without string parsing.
+
+The table of modelled status codes (see ``docs/resilience.md``):
+
+====================================  =====  ====================================
+exception                             code   OpenCL status
+====================================  =====  ====================================
+:class:`ClDeviceNotAvailable`           -2   ``CL_DEVICE_NOT_AVAILABLE``
+:class:`ClMemAllocationFailure`         -4   ``CL_MEM_OBJECT_ALLOCATION_FAILURE``
+:class:`ClOutOfResources`               -5   ``CL_OUT_OF_RESOURCES``
+:class:`ClOutOfHostMemory`              -6   ``CL_OUT_OF_HOST_MEMORY``
+:class:`ClInvalidValue`                -30   ``CL_INVALID_VALUE``
+:class:`ClInvalidKernelArgs`           -52   ``CL_INVALID_KERNEL_ARGS``
+:class:`ClInvalidWorkGroupSize`        -54   ``CL_INVALID_WORK_GROUP_SIZE``
+:class:`ClInvalidBufferSize`           -61   ``CL_INVALID_BUFFER_SIZE``
+:class:`ClInvalidGlobalWorkSize`       -63   ``CL_INVALID_GLOBAL_WORK_SIZE``
+:class:`ClDeviceLost`                -9999   vendor extension (NVIDIA-style)
+:class:`ClTransferCorrupted`         -9998   virtual (host-side CRC mismatch)
+====================================  =====  ====================================
+
+``transient`` marks the classes a retry may plausibly clear on real
+hardware (the default retry set of
+:class:`repro.gpu.resilient.RetryPolicy`).  ``injected=True`` in the
+context dict marks errors raised by fault injection rather than by real
+resource accounting — tests use it to tell the two apart.
+"""
+
+from __future__ import annotations
+
+
+class ClError(Exception):
+    """Base of the virtual OpenCL error hierarchy.
+
+    Every subclass mirrors one OpenCL status code.  ``context`` holds
+    machine-readable details (buffer name, host param, requested bytes,
+    step index, ...) used by recovery policies and error messages.
+    """
+
+    status_code: int = -9997
+    status_name: str = "CL_VIRTUAL_RUNTIME_ERROR"
+    #: whether a retry on the same device may plausibly succeed
+    transient: bool = False
+
+    def __init__(self, message: str = "", **context):
+        self.context = context
+        text = f"[{self.status_name} ({self.status_code})] {message}"
+        if context.get("injected"):
+            text += " (injected fault)"
+        super().__init__(text)
+
+    @property
+    def injected(self) -> bool:
+        """True when this error came from a fault plan, not real accounting."""
+        return bool(self.context.get("injected"))
+
+
+class ClDeviceNotAvailable(ClError):
+    """The device refused the command queue (powered down, exclusive use)."""
+
+    status_code = -2
+    status_name = "CL_DEVICE_NOT_AVAILABLE"
+    transient = True
+
+
+class ClMemAllocationFailure(ClError):
+    """Device memory exhausted: ``CL_MEM_OBJECT_ALLOCATION_FAILURE``."""
+
+    status_code = -4
+    status_name = "CL_MEM_OBJECT_ALLOCATION_FAILURE"
+    transient = True          # other contexts may free memory between tries
+
+
+class ClOutOfResources(ClError):
+    """Launch aborted / transfer failed: ``CL_OUT_OF_RESOURCES``."""
+
+    status_code = -5
+    status_name = "CL_OUT_OF_RESOURCES"
+    transient = True
+
+
+class ClOutOfHostMemory(ClError):
+    status_code = -6
+    status_name = "CL_OUT_OF_HOST_MEMORY"
+
+
+class ClInvalidValue(ClError):
+    """Malformed host-side argument (bad rotation name, missing size, ...)."""
+
+    status_code = -30
+    status_name = "CL_INVALID_VALUE"
+
+
+class ClInvalidKernelArgs(ClError):
+    """An argument the kernel needs was never bound: missing host input."""
+
+    status_code = -52
+    status_name = "CL_INVALID_KERNEL_ARGS"
+
+
+class ClInvalidWorkGroupSize(ClError):
+    status_code = -54
+    status_name = "CL_INVALID_WORK_GROUP_SIZE"
+
+
+class ClInvalidBufferSize(ClError):
+    """Buffer size invalid: zero, over the per-allocation cap, or a host
+    transfer whose element count disagrees with the device buffer."""
+
+    status_code = -61
+    status_name = "CL_INVALID_BUFFER_SIZE"
+
+
+class ClInvalidGlobalWorkSize(ClError):
+    status_code = -63
+    status_name = "CL_INVALID_GLOBAL_WORK_SIZE"
+
+
+class ClDeviceLost(ClError):
+    """The device dropped off the bus mid-command (vendor-extension style;
+    NVIDIA reports these as ``-9999``).  Transient in this model: the
+    driver resets and a clean re-submission can succeed."""
+
+    status_code = -9999
+    status_name = "CL_DEVICE_LOST"
+    transient = True
+
+
+class ClTransferCorrupted(ClError):
+    """Host-side integrity check (modelled DMA CRC) caught a corrupted
+    transfer.  Virtual status: real OpenCL has no corruption code — a real
+    host would detect this exactly as we model it, by checksumming."""
+
+    status_code = -9998
+    status_name = "CL_VIRTUAL_TRANSFER_CORRUPTED"
+    transient = True
+
+
+#: status-name -> exception class, for docs/tests and log rendering
+CL_STATUS_TABLE: dict[str, type[ClError]] = {
+    cls.status_name: cls
+    for cls in (ClDeviceNotAvailable, ClMemAllocationFailure,
+                ClOutOfResources, ClOutOfHostMemory, ClInvalidValue,
+                ClInvalidKernelArgs, ClInvalidWorkGroupSize,
+                ClInvalidBufferSize, ClInvalidGlobalWorkSize,
+                ClDeviceLost, ClTransferCorrupted)
+}
+
+#: the subset a retry on the same device may clear
+TRANSIENT_ERRORS: tuple[type[ClError], ...] = tuple(
+    cls for cls in CL_STATUS_TABLE.values() if cls.transient)

@@ -1,0 +1,144 @@
+"""Deterministic fault injection for the virtual OpenCL runtime.
+
+A :class:`FaultPlan` decides, at each *fault site* the runtime exposes,
+whether to inject a failure.  Sites correspond to the places a real
+OpenCL 1.2 deployment fails:
+
+``alloc``
+    ``clCreateBuffer`` returns ``CL_MEM_OBJECT_ALLOCATION_FAILURE``.
+``transfer_fail``
+    ``clEnqueueWriteBuffer`` aborts with ``CL_OUT_OF_RESOURCES`` before
+    any data moves.
+``transfer_corrupt``
+    the DMA completes but the payload is corrupted; the runtime's
+    modelled host-side CRC catches it (:class:`~.errors.ClTransferCorrupted`)
+    and rolls the buffer back, so corrupted data never reaches a kernel.
+``launch_abort``
+    ``clEnqueueNDRangeKernel`` aborts with ``CL_OUT_OF_RESOURCES`` before
+    the kernel runs (no partial writes).
+``device_lost``
+    the device drops off the bus (:class:`~.errors.ClDeviceLost`).
+
+Decisions are driven by a seeded :class:`numpy.random.Generator`, so a
+plan with a given seed replays identically; explicit ``steps`` indices
+fire deterministically at those iteration steps of
+:meth:`~repro.gpu.runtime.VirtualGPU.execute_many` (or per ``execute``
+call when the runtime is stepped externally).  A step-triggered fault is
+*transient* by default — it fires once per (kind, site, step) so a retry
+succeeds, modelling a glitch rather than broken hardware; set
+``persistent=True`` to make it refire on every attempt (the
+unrecoverable case, which must surface as a typed exception).
+
+Fault injection is strictly opt-in: a :class:`VirtualGPU` constructed
+without a plan never consults this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FAULT_KINDS = ("alloc", "transfer_fail", "transfer_corrupt",
+               "launch_abort", "device_lost")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injection rule for one fault kind."""
+
+    kind: str
+    #: per-opportunity probability (seeded RNG draw)
+    rate: float = 0.0
+    #: step indices at which the fault always fires (once per site/step
+    #: unless ``persistent``)
+    steps: tuple[int, ...] = ()
+    #: stop injecting after this many firings (None = unlimited)
+    max_count: int | None = None
+    #: refire on retries of the same (site, step) — unrecoverable fault
+    persistent: bool = False
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"one of {FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for campaign assertions and the policy log."""
+
+    kind: str
+    site: str                 # e.g. "alloc:d_out_3", "launch:volume_..."
+    step: int | None
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    >>> plan = FaultPlan([FaultSpec("launch_abort", steps=(3,))], seed=7)
+
+    Pass it to ``VirtualGPU(device, faults=plan)``.  ``plan.records``
+    accumulates every injected fault; :meth:`reset` rewinds the RNG and
+    the records so the same plan object can replay a campaign.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0,
+                 corruption_magnitude: float = 1e6):
+        self.specs: dict[str, FaultSpec] = {}
+        for s in specs or []:
+            if s.kind in self.specs:
+                raise ValueError(f"duplicate FaultSpec for kind {s.kind!r}")
+            self.specs[s.kind] = s
+        self.seed = seed
+        self.corruption_magnitude = corruption_magnitude
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind to the initial seeded state (deterministic replay)."""
+        self._rng = np.random.default_rng(self.seed)
+        self.records: list[FaultRecord] = []
+        self._counts: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        self._fired: set[tuple[str, str, int | None]] = set()
+
+    # -- decision ---------------------------------------------------------------
+    def should_inject(self, kind: str, site: str,
+                      step: int | None = None) -> bool:
+        """Decide (and record) whether to inject ``kind`` at this site."""
+        spec = self.specs.get(kind)
+        if spec is None:
+            return False
+        if spec.max_count is not None and self._counts[kind] >= spec.max_count:
+            return False
+        fire = False
+        if step is not None and step in spec.steps:
+            key = (kind, site, step)
+            if spec.persistent or key not in self._fired:
+                fire = True
+                self._fired.add(key)
+        if not fire and spec.rate > 0.0:
+            fire = bool(self._rng.random() < spec.rate)
+        if fire:
+            self._counts[kind] += 1
+            self.records.append(FaultRecord(kind, site, step))
+        return fire
+
+    def corrupt(self, buf: np.ndarray) -> None:
+        """Flip one element of a freshly-transferred buffer in place."""
+        if buf.size == 0:
+            return
+        idx = int(self._rng.integers(buf.size))
+        if np.issubdtype(buf.dtype, np.floating):
+            buf[idx] = buf.dtype.type(self.corruption_magnitude)
+        else:
+            buf[idx] = buf.dtype.type(-1)
+
+    # -- reporting --------------------------------------------------------------
+    def injected_kinds(self) -> set[str]:
+        return {r.kind for r in self.records}
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, specs={sorted(self.specs)}, "
+                f"injected={len(self.records)})")

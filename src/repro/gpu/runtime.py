@@ -15,6 +15,14 @@ host-code generator:
 
 The runtime's kernel-time path is shared with the benchmark harness, so
 table/figure regeneration and actual execution agree by construction.
+
+Failure semantics mirror OpenCL 1.2 (see ``docs/resilience.md``): inputs
+and symbolic sizes are validated up front, transfers whose element counts
+disagree with the device buffer raise :class:`~.errors.ClInvalidBufferSize`
+instead of silently truncating, device-memory capacity is enforced when
+the :class:`~.device.DeviceSpec` declares ``global_mem_bytes``, and an
+opt-in :class:`~.faults.FaultPlan` injects allocation/transfer/launch/
+device failures for resilience testing.
 """
 
 from __future__ import annotations
@@ -30,20 +38,25 @@ from ..lift.codegen.numpy_backend import NumpyKernel, compile_numpy
 from .autotune import autotune_workgroup
 from .costmodel import ImplTraits, KernelTiming, LIFT_TRAITS
 from .device import DeviceSpec
+from .errors import (ClError, ClInvalidBufferSize, ClInvalidKernelArgs,
+                     ClInvalidValue, ClDeviceLost, ClMemAllocationFailure,
+                     ClOutOfResources, ClTransferCorrupted)
+from .faults import FaultPlan
 
 #: modelled PCIe 3.0 x16 effective bandwidth [B/s]
 _PCIE_BANDWIDTH = 12e9
 
-
-class RuntimeError_(Exception):
-    """Virtual runtime errors (underscore avoids shadowing the builtin)."""
+#: Backwards-compatible alias: the untyped ``RuntimeError_`` of earlier
+#: revisions is now the root of the typed OpenCL error hierarchy, so
+#: ``except RuntimeError_`` keeps catching every runtime failure.
+RuntimeError_ = ClError
 
 
 @dataclass
 class ProfilingEvent:
     """One profiled command, times in milliseconds (modelled)."""
 
-    kind: str                 # "kernel" | "h2d" | "d2h"
+    kind: str                 # "kernel" | "h2d" | "d2h" | "backoff" | "host_*"
     name: str
     duration_ms: float
     timing: KernelTiming | None = None
@@ -64,18 +77,25 @@ class RunResult:
                    and (name_prefix is None or e.name.startswith(name_prefix)))
 
     def transfer_time_ms(self) -> float:
-        return sum(e.duration_ms for e in self.events if e.kind != "kernel")
+        return sum(e.duration_ms for e in self.events
+                   if e.kind in ("h2d", "d2h"))
+
+    def overhead_time_ms(self) -> float:
+        """Modelled recovery overhead (retry backoff) added by policies."""
+        return sum(e.duration_ms for e in self.events if e.kind == "backoff")
 
 
 class VirtualGPU:
     """A virtual OpenCL device + queue executing LIFT host programs."""
 
     def __init__(self, device: DeviceSpec, traits: ImplTraits = LIFT_TRAITS,
-                 autotune: bool = True, workgroup: int = 256):
+                 autotune: bool = True, workgroup: int = 256,
+                 faults: FaultPlan | None = None):
         self.device = device
         self.traits = traits
         self.autotune = autotune
         self.workgroup = workgroup
+        self.faults = faults
         self._np_kernels: dict[str, NumpyKernel] = {}
         self._resources: dict[str, Resources] = {}
 
@@ -84,7 +104,12 @@ class VirtualGPU:
         ks = launch.kernel
         if ks.name not in self._np_kernels:
             if ks.kernel_lambda is None:
-                raise RuntimeError_(f"kernel {ks.name} lost its Lambda")
+                raise ClInvalidValue(
+                    f"kernel {ks.name!r} carries no kernel_lambda, so the "
+                    f"virtual runtime cannot compile its NumPy realisation; "
+                    f"build KernelSource through compile_kernel()/compile_host() "
+                    f"(which attach the Lambda) instead of constructing it by "
+                    f"hand", kernel=ks.name)
             self._np_kernels[ks.name] = compile_numpy(
                 ks.kernel_lambda, ks.name, lower=False)
         return self._np_kernels[ks.name]
@@ -95,39 +120,166 @@ class VirtualGPU:
             self._resources[ks.name] = analyse_kernel(ks.kernel_lambda)
         return self._resources[ks.name]
 
+    # -- validation --------------------------------------------------------------------
+    @staticmethod
+    def _validate(plan: HostPlan, inputs: dict, sizes: dict[str, int]) -> None:
+        """Check host inputs and symbolic sizes before touching the device.
+
+        A missing size used to surface as a bare ``KeyError`` deep inside
+        ``arith.evaluate``; now every missing binding is reported with the
+        buffer/launch that needs it.
+        """
+        missing_sizes = plan.missing_sizes(sizes)
+        if missing_sizes:
+            detail = "; ".join(
+                f"size {var!r} needed by {', '.join(consumers)}"
+                for var, consumers in sorted(missing_sizes.items()))
+            raise ClInvalidValue(
+                f"missing symbolic size(s) {sorted(missing_sizes)} in "
+                f"`sizes` (got {sorted(sizes)}): {detail}",
+                missing=sorted(missing_sizes))
+        missing_inputs = plan.missing_inputs(inputs)
+        if missing_inputs:
+            detail = "; ".join(
+                f"host param {name!r} needed by {', '.join(consumers)}"
+                for name, consumers in sorted(missing_inputs.items()))
+            raise ClInvalidKernelArgs(
+                f"missing host input(s) {sorted(missing_inputs)}: {detail}",
+                missing=sorted(missing_inputs))
+
+    @staticmethod
+    def _guard_elems(sizes: dict[str, int]) -> int:
+        """The documented guard plane: state buffers are padded to
+        ``NP = N + Nx*Ny`` elements (see ``acoustics.lift_programs``), so a
+        host array may legitimately be up to ``NP - N`` elements shorter
+        than its device buffer."""
+        if "NP" in sizes and "N" in sizes:
+            return max(0, int(sizes["NP"]) - int(sizes["N"]))
+        return 0
+
+    # -- buffers / transfers ------------------------------------------------------------
+    def _allocate_buffers(self, plan: HostPlan,
+                          sizes: dict[str, int]) -> dict[str, np.ndarray]:
+        """``clCreateBuffer`` for every declared buffer, with device-memory
+        capacity enforcement when the DeviceSpec declares a capacity."""
+        buffers: dict[str, np.ndarray] = {}
+        cap = self.device.global_mem_bytes
+        max_alloc = self.device.max_alloc_bytes
+        used = 0
+        for decl in plan.buffers:
+            count = int(decl.count.evaluate(sizes))
+            if count <= 0:
+                raise ClInvalidBufferSize(
+                    f"buffer {decl.name!r} has non-positive element count "
+                    f"{count} (symbolic count {decl.count!r} under sizes "
+                    f"{sizes})", buffer=decl.name, count=count)
+            dtype = np.dtype(decl.scalar.np_dtype)
+            nbytes = count * dtype.itemsize
+            if self.faults is not None and self.faults.should_inject(
+                    "alloc", f"alloc:{decl.name}"):
+                raise ClMemAllocationFailure(
+                    f"clCreateBuffer failed for {decl.name!r} "
+                    f"({nbytes} B) on {self.device.name}",
+                    buffer=decl.name, requested_bytes=nbytes, injected=True)
+            if cap and nbytes > max_alloc:
+                raise ClInvalidBufferSize(
+                    f"buffer {decl.name!r} needs {nbytes} B but "
+                    f"{self.device.name} caps single allocations at "
+                    f"{max_alloc} B (CL_DEVICE_MAX_MEM_ALLOC_SIZE = 1/4 of "
+                    f"{cap} B global memory)",
+                    buffer=decl.name, requested_bytes=nbytes,
+                    max_alloc_bytes=max_alloc)
+            if cap and used + nbytes > cap:
+                raise ClMemAllocationFailure(
+                    f"allocating {decl.name!r} ({nbytes} B) exceeds "
+                    f"{self.device.name} global memory: {used} B of {cap} B "
+                    f"already in use", buffer=decl.name,
+                    requested_bytes=nbytes, in_use_bytes=used,
+                    capacity_bytes=cap)
+            used += nbytes
+            buffers[decl.name] = np.zeros(count, dtype=dtype)
+        return buffers
+
+    def _copy_in(self, op: CopyIn, inputs: dict,
+                 buffers: dict[str, np.ndarray],
+                 decls: dict[str, BufferDecl], sizes: dict[str, int],
+                 events: list[ProfilingEvent],
+                 step: int | None = None) -> None:
+        """``clEnqueueWriteBuffer`` with strict size validation.
+
+        Earlier revisions copied ``min(src.size, buf.size)`` elements and
+        silently dropped the rest; any mismatch beyond the guard-plane
+        shortfall is now a typed error naming the host param and the
+        buffer's symbolic count.
+        """
+        src = np.asarray(inputs[op.host_name])
+        flat = src.reshape(-1)
+        buf = buffers[op.buffer]
+        guard = self._guard_elems(sizes)
+        if flat.size > buf.size or buf.size - flat.size > guard:
+            decl = decls[op.buffer]
+            raise ClInvalidBufferSize(
+                f"transfer size mismatch: host param {op.host_name!r} has "
+                f"{flat.size} elements but device buffer {op.buffer!r} "
+                f"holds {buf.size} (symbolic count {decl.count!r} under "
+                f"sizes {sizes}); only a shortfall of up to the guard "
+                f"plane ({guard} elements) is tolerated",
+                host_param=op.host_name, buffer=op.buffer,
+                host_elems=int(flat.size), buffer_elems=int(buf.size),
+                guard_elems=guard)
+        if self.faults is not None and self.faults.should_inject(
+                "transfer_fail", f"h2d:{op.host_name}", step):
+            raise ClOutOfResources(
+                f"clEnqueueWriteBuffer aborted for host param "
+                f"{op.host_name!r} -> {op.buffer!r}",
+                host_param=op.host_name, buffer=op.buffer, injected=True)
+        buf[:flat.size] = flat
+        if flat.size < buf.size:
+            buf[flat.size:] = 0
+        if self.faults is not None and self.faults.should_inject(
+                "transfer_corrupt", f"h2d:{op.host_name}", step):
+            self.faults.corrupt(buf[:flat.size])
+            # modelled host-side CRC over the DMA payload: detect, roll the
+            # buffer back, and surface a typed error — corrupted data never
+            # reaches a kernel silently
+            if not np.array_equal(buf[:flat.size], flat):
+                buf[:] = 0
+                raise ClTransferCorrupted(
+                    f"integrity check failed for transfer of host param "
+                    f"{op.host_name!r} -> {op.buffer!r}; buffer rolled back",
+                    host_param=op.host_name, buffer=op.buffer, injected=True)
+        events.append(ProfilingEvent(
+            "h2d", op.host_name,
+            duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+
     # -- execution --------------------------------------------------------------------
     def execute(self, program: HostProgram,
                 inputs: dict[str, np.ndarray | float | int],
                 sizes: dict[str, int],
-                gather_index_param: str = "boundaryIndices") -> RunResult:
+                gather_index_param: str = "boundaryIndices",
+                fault_step: int | None = None) -> RunResult:
         """Run a compiled host program on this virtual device.
 
         ``inputs`` maps host parameter names to NumPy arrays / scalars;
         ``sizes`` binds the symbolic size variables (N, K, M, ...).
+        ``fault_step`` threads an external step index (e.g. the simulation
+        time step) into the fault plan so step-targeted faults can hit
+        per-step ``execute`` calls.
         """
         plan: HostPlan = program.plan
-        buffers: dict[str, np.ndarray] = {}
+        self._validate(plan, inputs, sizes)
         events: list[ProfilingEvent] = []
-
-        for decl in plan.buffers:
-            count = int(decl.count.evaluate(sizes))
-            dtype = np.dtype(decl.scalar.np_dtype)
-            buffers[decl.name] = np.zeros(count, dtype=dtype)
+        buffers = self._allocate_buffers(plan, sizes)
+        decls = {d.name: d for d in plan.buffers}
 
         result: np.ndarray | None = None
         for op in plan.ops:
             if isinstance(op, CopyIn):
-                src = np.asarray(inputs[op.host_name])
-                buf = buffers[op.buffer]
-                flat = src.reshape(-1)
-                n = min(flat.size, buf.size)
-                buf[:n] = flat[:n]
-                events.append(ProfilingEvent(
-                    "h2d", op.host_name,
-                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+                self._copy_in(op, inputs, buffers, decls, sizes, events,
+                              fault_step)
             elif isinstance(op, Launch):
                 result = self._launch(op, buffers, inputs, sizes, events,
-                                      gather_index_param)
+                                      gather_index_param, fault_step)
             elif isinstance(op, CopyOut):
                 buf = buffers[op.buffer]
                 result = buf
@@ -135,7 +287,10 @@ class VirtualGPU:
                     "d2h", op.buffer,
                     duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
             else:
-                raise RuntimeError_(f"unknown plan op {op!r}")
+                raise ClInvalidValue(
+                    f"unknown plan op {op!r}; the virtual runtime executes "
+                    f"CopyIn/Launch/CopyOut plans from compile_host()",
+                    op=repr(op))
 
         if plan.result_buffer is not None:
             result = buffers.get(plan.result_buffer, result)
@@ -159,28 +314,23 @@ class VirtualGPU:
         ``("v2_h", "v1_h")``.  Only kernel launches run per step; host
         transfers happen once at the start/end, so the profiled kernel
         time reflects steady-state operation.
+
+        Step-targeted faults from the plan hit the launches of that step
+        index; transfer/allocation faults hit the one-off setup phase.
         """
         plan: HostPlan = program.plan
-        buffers: dict[str, np.ndarray] = {}
+        self._validate(plan, inputs, sizes)
         events: list[ProfilingEvent] = []
-        for decl in plan.buffers:
-            count = int(decl.count.evaluate(sizes))
-            buffers[decl.name] = np.zeros(count,
-                                          dtype=np.dtype(decl.scalar.np_dtype))
+        buffers = self._allocate_buffers(plan, sizes)
+        decls = {d.name: d for d in plan.buffers}
 
         host_to_buffer: dict[str, str] = {}
         launches: list[Launch] = []
         out_buffer: str | None = None
         for op in plan.ops:
             if isinstance(op, CopyIn):
-                src = np.asarray(inputs[op.host_name]).reshape(-1)
-                buf = buffers[op.buffer]
-                n = min(src.size, buf.size)
-                buf[:n] = src[:n]
+                self._copy_in(op, inputs, buffers, decls, sizes, events)
                 host_to_buffer[op.host_name] = op.buffer
-                events.append(ProfilingEvent(
-                    "h2d", op.host_name,
-                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
             elif isinstance(op, Launch):
                 launches.append(op)
                 if op.out_buffer is not None:
@@ -190,6 +340,16 @@ class VirtualGPU:
         binding: dict[str, str] = dict(host_to_buffer)
         if out_buffer is not None:
             binding["__out__"] = out_buffer
+        rotatable = sorted(binding)
+        for cycle in rotations or []:
+            for n in cycle:
+                if n not in binding:
+                    raise ClInvalidValue(
+                        f"rotation name {n!r} (in cycle {tuple(cycle)!r}) "
+                        f"is not a transferred host parameter or the "
+                        f"'__out__' sentinel; rotatable names: {rotatable}",
+                        rotation=tuple(cycle), available=rotatable)
+        if out_buffer is not None:
             # a rotating output buffer must be as large as its cycle peers
             # (state buffers carry the guard plane; see lift_programs)
             for cycle in rotations or []:
@@ -200,7 +360,7 @@ class VirtualGPU:
                         buffers[out_buffer] = np.zeros(
                             peer, dtype=buffers[out_buffer].dtype)
 
-        for _ in range(steps):
+        for step in range(steps):
             # rebind the launch arguments through the current rotation
             view = {orig: buffers[binding[h]]
                     for h, orig in host_to_buffer.items()}
@@ -208,7 +368,7 @@ class VirtualGPU:
                 view[out_buffer] = buffers[binding["__out__"]]
             for op in launches:
                 result = self._launch(op, view, inputs, sizes, events,
-                                      gather_index_param)
+                                      gather_index_param, step)
             if rotations:
                 # each name takes over the buffer of the NEXT name in the
                 # cycle: ("prev2_h", "prev1_h", "__out__") realises the
@@ -232,8 +392,23 @@ class VirtualGPU:
     def _launch(self, op: Launch, buffers: dict[str, np.ndarray],
                 inputs: dict, sizes: dict[str, int],
                 events: list[ProfilingEvent],
-                gather_index_param: str) -> np.ndarray | None:
+                gather_index_param: str,
+                step: int | None = None) -> np.ndarray | None:
         nk = self._np_kernel(op)
+        if self.faults is not None:
+            site = f"launch:{op.kernel.name}"
+            if self.faults.should_inject("device_lost", site, step):
+                raise ClDeviceLost(
+                    f"device {self.device.name} lost while enqueueing "
+                    f"kernel {op.kernel.name!r}"
+                    + (f" at step {step}" if step is not None else ""),
+                    kernel=op.kernel.name, step=step, injected=True)
+            if self.faults.should_inject("launch_abort", site, step):
+                raise ClOutOfResources(
+                    f"clEnqueueNDRangeKernel aborted for kernel "
+                    f"{op.kernel.name!r}"
+                    + (f" at step {step}" if step is not None else ""),
+                    kernel=op.kernel.name, step=step, injected=True)
         args: list = []
         size_kwargs: dict[str, int] = {}
         out_array: np.ndarray | None = None
@@ -254,7 +429,14 @@ class VirtualGPU:
                 name = binding.param_name
                 size_kwargs[name] = int(sizes[name])
             else:
-                raise RuntimeError_(f"unknown binding kind {binding.kind!r}")
+                raise ClInvalidKernelArgs(
+                    f"launch of kernel {op.kernel.name!r}: argument "
+                    f"{binding.param_name!r} has unknown binding kind "
+                    f"{binding.kind!r} (expected 'buffer', 'scalar' or "
+                    f"'size'); HostPlans built by compile_host() only emit "
+                    f"those three — was this plan edited by hand?",
+                    kernel=op.kernel.name, param=binding.param_name,
+                    kind=binding.kind)
 
         for s in nk.size_params:
             if s not in size_kwargs:
@@ -262,7 +444,11 @@ class VirtualGPU:
 
         if nk.returns_out:
             if out_array is None:
-                raise RuntimeError_(f"kernel {op.kernel.name} needs an out buffer")
+                raise ClInvalidKernelArgs(
+                    f"kernel {op.kernel.name!r} allocates a fresh output "
+                    f"but its launch has no 'out' buffer binding; "
+                    f"compile_host() normally adds one — check the plan's "
+                    f"Launch.args", kernel=op.kernel.name)
             ret = nk.fn(*args, **size_kwargs, out=out_array)
         else:
             ret = nk.fn(*args, **size_kwargs)

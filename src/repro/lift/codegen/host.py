@@ -85,6 +85,59 @@ class HostPlan:
     ops: list[object] = field(default_factory=list)
     result_buffer: str | None = None
 
+    def required_sizes(self) -> dict[str, list[str]]:
+        """Every symbolic size variable the plan needs, mapped to the
+        consumers (buffer decls / launches) that need it — the basis for
+        up-front validation instead of a bare ``KeyError`` deep inside
+        ``arith.evaluate``."""
+        needed: dict[str, list[str]] = {}
+
+        def need(var: str, consumer: str) -> None:
+            needed.setdefault(var, []).append(consumer)
+
+        for decl in self.buffers:
+            for v in decl.count.free_vars():
+                need(str(v), f"buffer {decl.name!r} (count {decl.count!r})")
+        for op in self.ops:
+            if not isinstance(op, Launch):
+                continue
+            where = f"launch {op.kernel.name!r}"
+            if op.global_size is not None:
+                for v in op.global_size.free_vars():
+                    need(str(v), f"{where} (global size {op.global_size!r})")
+            for b in op.args:
+                if b.kind == "size" and isinstance(b.source, ArithExpr):
+                    for v in b.source.free_vars():
+                        need(str(v), f"{where} (size arg {b.param_name!r})")
+            for s in op.kernel.size_params:
+                need(s, f"{where} (kernel size param {s!r})")
+        return needed
+
+    def missing_sizes(self, sizes: dict) -> dict[str, list[str]]:
+        """The subset of :meth:`required_sizes` absent from ``sizes``."""
+        return {v: c for v, c in self.required_sizes().items()
+                if v not in sizes}
+
+    def required_inputs(self) -> dict[str, list[str]]:
+        """Host parameter names the plan reads, mapped to their consumers."""
+        needed: dict[str, list[str]] = {}
+        for op in self.ops:
+            if isinstance(op, CopyIn):
+                needed.setdefault(op.host_name, []).append(
+                    f"transfer to buffer {op.buffer!r}")
+            elif isinstance(op, Launch):
+                for b in op.args:
+                    if b.kind == "scalar":
+                        needed.setdefault(str(b.source), []).append(
+                            f"scalar arg {b.param_name!r} of launch "
+                            f"{op.kernel.name!r}")
+        return needed
+
+    def missing_inputs(self, inputs: dict) -> dict[str, list[str]]:
+        """The subset of :meth:`required_inputs` absent from ``inputs``."""
+        return {n: c for n, c in self.required_inputs().items()
+                if n not in inputs}
+
 
 @dataclass
 class HostProgram:

@@ -1,0 +1,141 @@
+"""Checkpoint/restart and the numerical-health monitor."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import RoomSimulation, SimConfig
+from repro.acoustics.geometry import DomeRoom, Room
+from repro.acoustics.grid import Grid3D
+from repro.acoustics.materials import (default_fd_materials,
+                                       default_fi_materials)
+from repro.acoustics.sim import Checkpoint, SimulationDiverged
+
+
+def make_sim(scheme="fi_mm", backend="numpy", **cfg):
+    mats = (default_fd_materials(4) if scheme == "fd_mm"
+            else default_fi_materials(4))
+    sim = RoomSimulation(SimConfig(room=Room(Grid3D(12, 10, 9), DomeRoom()),
+                                   scheme=scheme, backend=backend,
+                                   materials=mats, **cfg))
+    sim.add_impulse("center")
+    sim.add_receiver("mic", "center")
+    return sim
+
+
+class TestCheckpointRestart:
+    @pytest.mark.parametrize("scheme", ["fi", "fi_mm", "fd_mm"])
+    def test_resume_is_bit_identical(self, scheme):
+        steps, cut = 12, 7
+        ref = make_sim(scheme)
+        ref.run(steps)
+
+        first = make_sim(scheme)
+        first.run(cut)
+        cp = first.checkpoint()
+
+        resumed = make_sim(scheme)
+        resumed.restore(cp)
+        assert resumed.time_step == cut
+        resumed.run(steps - cut)
+
+        np.testing.assert_array_equal(resumed.curr, ref.curr)
+        np.testing.assert_array_equal(resumed.prev, ref.prev)
+        np.testing.assert_array_equal(resumed.g1, ref.g1)
+        np.testing.assert_array_equal(resumed.v1, ref.v1)
+        np.testing.assert_array_equal(resumed.receiver_signal("mic"),
+                                      ref.receiver_signal("mic"))
+
+    @pytest.mark.parametrize("scheme", ["fi_mm", "fd_mm"])
+    def test_resume_virtual_gpu_backend(self, scheme):
+        steps, cut = 8, 5
+        ref = make_sim(scheme, backend="virtual_gpu")
+        ref.run(steps)
+        first = make_sim(scheme, backend="virtual_gpu")
+        first.run(cut)
+        resumed = make_sim(scheme, backend="virtual_gpu")
+        resumed.restore(first.checkpoint())
+        resumed.run(steps - cut)
+        np.testing.assert_array_equal(resumed.curr, ref.curr)
+        # modelled time also resumes, so profiling stays comparable
+        assert resumed.modelled_gpu_time_ms == pytest.approx(
+            ref.modelled_gpu_time_ms)
+
+    def test_periodic_checkpoints_during_run(self):
+        sim = make_sim(checkpoint_interval=4)
+        sim.run(10)
+        assert sim.last_checkpoint is not None
+        assert sim.last_checkpoint.time_step == 8
+
+    def test_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        sim = make_sim("fd_mm")
+        sim.run(6)
+        sim.save_checkpoint(path)
+
+        ref = make_sim("fd_mm")
+        ref.run(11)
+
+        resumed = make_sim("fd_mm")
+        resumed.load_checkpoint(path)
+        resumed.run(5)
+        np.testing.assert_array_equal(resumed.curr, ref.curr)
+        np.testing.assert_array_equal(resumed.g1, ref.g1)
+        np.testing.assert_array_equal(resumed.receiver_signal("mic"),
+                                      ref.receiver_signal("mic"))
+
+    def test_mismatched_checkpoint_refused(self):
+        cp = make_sim("fi_mm").checkpoint()
+        other = make_sim("fd_mm")
+        with pytest.raises(ValueError, match="checkpoint mismatch"):
+            other.restore(cp)
+
+    def test_unsupported_version_refused(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        sim = make_sim()
+        sim.save_checkpoint(path)
+        import json
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 99
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            Checkpoint.load(path)
+
+
+class TestHealthMonitor:
+    def test_nan_detected_with_last_good_checkpoint(self):
+        sim = make_sim(checkpoint_interval=2, health_interval=1)
+        sim.run(4)
+        sim.curr[sim.point_index("center")] = np.nan
+        with pytest.raises(SimulationDiverged) as ei:
+            sim.run(3)
+        assert "non-finite" in ei.value.reason
+        assert ei.value.checkpoint is not None
+        assert ei.value.checkpoint.time_step == 4
+        # the checkpoint it hands back really is restartable
+        fresh = make_sim()
+        fresh.restore(ei.value.checkpoint)
+        fresh.run(2)
+        assert np.isfinite(fresh.curr).all()
+
+    def test_energy_growth_detected(self):
+        # a threshold below 1 treats steady energy as runaway: the monitor
+        # trips at the second reading (the first sets the reference)
+        sim = make_sim(health_interval=1, energy_growth_factor=0.5)
+        with pytest.raises(SimulationDiverged, match="energy"):
+            sim.run(4)
+
+    def test_healthy_run_passes_monitoring(self):
+        sim = make_sim(health_interval=1, checkpoint_interval=3)
+        ref = make_sim()
+        sim.run(10)
+        ref.run(10)
+        np.testing.assert_array_equal(sim.curr, ref.curr)
+
+    def test_monitoring_off_by_default(self):
+        sim = make_sim()
+        sim.curr[sim.point_index("center")] = np.nan
+        sim.run(2)          # no monitor, no exception
+        assert sim.last_checkpoint is None

@@ -1,0 +1,70 @@
+"""Fault-tolerant benchmark sweeps: one bad cell no longer kills a campaign."""
+
+import pytest
+
+from repro.bench.harness import (SweepCell, fault_tolerant_sweep,
+                                 modelled_time)
+from repro.bench.rooms import room_bundle
+from repro.gpu.errors import ClDeviceLost, ClInvalidValue
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return room_bundle("302", "box", scale=16)
+
+
+class TestFaultTolerantSweep:
+    def test_all_cells_complete_despite_failures(self, bundle):
+        keys = [("fi_mm", "single"), ("fi_mm", "double"),
+                ("fd_mm", "single"), ("fd_mm", "double")]
+        flaky_calls = {"n": 0}
+
+        def compute(key):
+            kind, precision = key
+            if key == ("fd_mm", "single"):
+                flaky_calls["n"] += 1
+                if flaky_calls["n"] < 2:       # transient: first try fails
+                    raise ClDeviceLost("device dropped mid-cell",
+                                       injected=True)
+            return modelled_time(kind, precision, "LIFT", "TitanBlack",
+                                 bundle)
+
+        cells = fault_tolerant_sweep(keys, compute)
+        assert [c.key for c in cells] == keys
+        assert all(c.ok for c in cells)
+        flaky = next(c for c in cells if c.key == ("fd_mm", "single"))
+        assert flaky.attempts == 2
+
+    def test_persistent_failure_recorded_not_raised(self, bundle):
+        def compute(key):
+            if key == "bad":
+                raise ClDeviceLost("gone for good")
+            return modelled_time("fi_mm", "double", "LIFT", "TitanBlack",
+                                 bundle)
+
+        cells = fault_tolerant_sweep(["ok", "bad", "ok2"], compute,
+                                     max_attempts=2)
+        by_key = {c.key: c for c in cells}
+        assert by_key["ok"].ok and by_key["ok2"].ok
+        bad = by_key["bad"]
+        assert not bad.ok
+        assert bad.error == "CL_DEVICE_LOST"
+        assert bad.attempts == 2
+
+    def test_non_transient_error_not_retried(self, bundle):
+        calls = {"n": 0}
+
+        def compute(key):
+            calls["n"] += 1
+            raise ClInvalidValue("bad argument")     # programming error
+
+        cells = fault_tolerant_sweep(["x"], compute, max_attempts=3)
+        assert cells[0].error == "CL_INVALID_VALUE"
+        assert calls["n"] == 1
+
+    def test_real_bugs_still_propagate(self, bundle):
+        def compute(key):
+            raise TypeError("not an operational fault")
+
+        with pytest.raises(TypeError):
+            fault_tolerant_sweep(["x"], compute)

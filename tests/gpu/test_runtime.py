@@ -234,6 +234,62 @@ class TestIterativeExecution:
         np.testing.assert_allclose(res.buffers["final:g1_h"], ref.g1,
                                    atol=1e-15)
 
+    def test_single_name_cycle_is_identity(self, problem):
+        """A one-element rotation cycle must behave exactly like no
+        rotation for that name."""
+        from repro.acoustics import RoomSimulation, SimConfig
+        from repro.acoustics.geometry import DomeRoom, Room
+        sim = RoomSimulation(SimConfig(room=Room(problem["g"], DomeRoom()),
+                                       scheme="fi_mm", backend="numpy",
+                                       materials=default_fi_materials(4)))
+        g = sim.grid
+        host = compile_host(two_kernel_host("fi_mm", "double").program, "ac")
+        inputs = dict(boundaries=sim.topology.boundary_indices,
+                      materialIdx=sim.topology.material,
+                      neighbors=sim._nbrs_guarded,
+                      betaTable=sim.table.beta, prev1_h=sim.curr,
+                      prev2_h=sim.prev, lambda_h=g.courant, Nx_h=g.nx,
+                      NxNy_h=g.nx * g.ny)
+        a = VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+            host, inputs, sim._size_env(), 3, rotations=[("prev1_h",)])
+        b = VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+            host, inputs, sim._size_env(), 3, rotations=None)
+        np.testing.assert_array_equal(np.asarray(a.result),
+                                      np.asarray(b.result))
+        np.testing.assert_array_equal(a.buffers["final:prev1_h"],
+                                      b.buffers["final:prev1_h"])
+
+    def test_unknown_rotation_name_is_typed_error(self, problem):
+        from repro.gpu import ClInvalidValue
+        table = MaterialTable.from_fi(default_fi_materials(4))
+        host = compile_host(two_kernel_host("fi_mm", "double").program, "ac")
+        gpu = VirtualGPU(NVIDIA_TITAN_BLACK)
+        with pytest.raises(ClInvalidValue) as ei:
+            gpu.execute_many(host, fi_mm_inputs(problem, table),
+                             fi_mm_sizes(problem, table), steps=2,
+                             rotations=[("prev2_h", "not_a_param")])
+        msg = str(ei.value)
+        assert "not_a_param" in msg
+        assert "prev1_h" in msg      # the rotatable names are listed
+        assert "__out__" in ei.value.context["available"]
+
+    def test_final_bindings_deterministic_across_runs(self, problem):
+        table = MaterialTable.from_fi(default_fi_materials(4))
+        host = compile_host(two_kernel_host("fi_mm", "double").program, "ac")
+        rot = [("prev2_h", "prev1_h", "__out__")]
+        runs = []
+        for _ in range(2):
+            res = VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+                host, fi_mm_inputs(problem, table),
+                fi_mm_sizes(problem, table), steps=5, rotations=rot)
+            runs.append(res)
+        a, b = runs
+        finals_a = sorted(n for n in a.buffers if n.startswith("final:"))
+        finals_b = sorted(n for n in b.buffers if n.startswith("final:"))
+        assert finals_a == finals_b
+        for n in finals_a:
+            np.testing.assert_array_equal(a.buffers[n], b.buffers[n])
+
     def test_transfers_amortised(self, problem):
         """Iterative execution uploads once: transfer events do not scale
         with the number of steps, kernel events do."""
