@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from . import kernels_numpy as kn
 from . import kernels_scalar as ks
 from .geometry import Room
@@ -329,6 +330,24 @@ class RoomSimulation:
 
     # -- stepping ---------------------------------------------------------------------------
     def step(self) -> None:
+        o = _obs.get()
+        if o is None:
+            self._step_impl()
+            return
+        cfg = self.config
+        with o.tracer.span("sim.step", "sim", step=self.time_step,
+                           scheme=cfg.scheme, backend=cfg.backend):
+            self._step_impl()
+        o.metrics.counter(
+            "repro_sim_steps_total", "Completed simulation time steps",
+            ("scheme", "backend")).inc(scheme=cfg.scheme, backend=cfg.backend)
+        if self.receivers:
+            o.metrics.counter(
+                "repro_sim_receiver_samples_total",
+                "Pressure samples captured at receiver points").inc(
+                    len(self.receivers))
+
+    def _step_impl(self) -> None:
         backend = self.config.backend
         if backend == "numpy":
             self._step_numpy()
@@ -355,8 +374,16 @@ class RoomSimulation:
             self.last_checkpoint = self.checkpoint()
 
     def run(self, steps: int) -> None:
-        for _ in range(steps):
-            self.step()
+        o = _obs.get()
+        if o is None:
+            for _ in range(steps):
+                self.step()
+            return
+        cfg = self.config
+        with o.tracer.span("sim.run", "sim", steps=steps, scheme=cfg.scheme,
+                           backend=cfg.backend, grid=str(self.grid.shape)):
+            for _ in range(steps):
+                self.step()
 
     # -- checkpoint / restart ---------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
@@ -407,31 +434,51 @@ class RoomSimulation:
         """NaN/Inf and energy-growth detection (the FDTD schemes are
         energy-stable below the Courant limit, so runaway energy means
         divergence)."""
-        state = self.curr[:self._N]
-        bad = ~np.isfinite(state)
-        if bad.any():
-            idx = int(np.flatnonzero(bad)[0])
-            raise SimulationDiverged(
-                self.time_step,
-                f"non-finite pressure at flat index {idx} "
-                f"({int(bad.sum())} bad points)", self.last_checkpoint)
-        if self.config.scheme == "fd_mm" and not (
-                np.isfinite(self.v1).all() and np.isfinite(self.g1).all()):
-            raise SimulationDiverged(
-                self.time_step, "non-finite FD-MM branch state",
-                self.last_checkpoint)
-        e = self.energy()
-        if self._energy_ref is None:
-            if e > 0.0:
-                self._energy_ref = e
-            return
-        if (self.config.energy_growth_factor > 0
-                and e > self.config.energy_growth_factor * self._energy_ref):
-            raise SimulationDiverged(
-                self.time_step,
-                f"field energy {e:.3e} exceeds "
-                f"{self.config.energy_growth_factor:g}x the reference "
-                f"{self._energy_ref:.3e}", self.last_checkpoint)
+        o = _obs.get()
+        if o is not None:
+            o.metrics.counter(
+                "repro_sim_health_checks_total",
+                "Numerical-health monitor invocations").inc()
+        try:
+            state = self.curr[:self._N]
+            bad = ~np.isfinite(state)
+            if bad.any():
+                idx = int(np.flatnonzero(bad)[0])
+                raise SimulationDiverged(
+                    self.time_step,
+                    f"non-finite pressure at flat index {idx} "
+                    f"({int(bad.sum())} bad points)", self.last_checkpoint)
+            if self.config.scheme == "fd_mm" and not (
+                    np.isfinite(self.v1).all() and np.isfinite(self.g1).all()):
+                raise SimulationDiverged(
+                    self.time_step, "non-finite FD-MM branch state",
+                    self.last_checkpoint)
+            e = self.energy()
+            if o is not None:
+                o.metrics.gauge(
+                    "repro_sim_field_energy",
+                    "Field-energy proxy (sum of squared pressure)",
+                    ("scheme",)).set(e, scheme=self.config.scheme)
+            if self._energy_ref is None:
+                if e > 0.0:
+                    self._energy_ref = e
+                return
+            if (self.config.energy_growth_factor > 0
+                    and e > self.config.energy_growth_factor
+                    * self._energy_ref):
+                raise SimulationDiverged(
+                    self.time_step,
+                    f"field energy {e:.3e} exceeds "
+                    f"{self.config.energy_growth_factor:g}x the reference "
+                    f"{self._energy_ref:.3e}", self.last_checkpoint)
+        except SimulationDiverged as diverged:
+            if o is not None:
+                o.metrics.counter(
+                    "repro_sim_divergence_total",
+                    "Simulations stopped by the health monitor").inc()
+                o.tracer.event("sim.diverged", "sim", 0.0,
+                               step=diverged.step, reason=diverged.reason)
+            raise
 
     # -- backend steps ------------------------------------------------------------------------
     def _lam(self):

@@ -21,6 +21,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .. import obs as _obs
 from ..acoustics.lift_programs import (fd_mm_boundary, fi_fused_flat,
                                        fi_mm_boundary, volume_kernel)
 from ..lift.analysis import Resources, analyse_kernel
@@ -93,8 +94,23 @@ def modelled_time(kind: str, precision: str, impl: str,
     else:
         n_items = bundle.num_boundary_points
         gather = bundle.boundary_indices
-    return autotune_workgroup(res, n_items, device, precision, traits,
-                              gather)
+    timing = autotune_workgroup(res, n_items, device, precision, traits,
+                                gather)
+    o = _obs.get()
+    if o is not None:
+        o.tracer.event(
+            f"bench:{kind}", "bench", timing.time_ms, device=device.name,
+            precision=precision, impl=impl, room=bundle.name,
+            n_items=n_items, occupancy=timing.occupancy,
+            workgroup=timing.workgroup)
+        o.metrics.counter(
+            "repro_bench_cells_total", "Modelled benchmark cells evaluated",
+            ("kind", "impl")).inc(kind=kind, impl=impl)
+        o.metrics.histogram(
+            "repro_bench_cell_time_ms", "Modelled kernel time per bench cell",
+            ("device", "precision")).observe(
+                timing.time_ms, device=device.name, precision=precision)
+    return timing
 
 
 def throughput_gelems(kind: str, timing: KernelTiming,
@@ -135,17 +151,33 @@ def fault_tolerant_sweep(keys, compute, max_attempts: int = 3) -> list[SweepCell
     are bugs, not operational faults.
     """
     from ..gpu.errors import ClError
+    from contextlib import nullcontext
+    keys = list(keys)
     out: list[SweepCell] = []
-    for key in keys:
-        cell = None
-        for attempt in range(1, max_attempts + 1):
-            try:
-                cell = SweepCell(key, compute(key), attempts=attempt)
-                break
-            except ClError as err:
-                cell = SweepCell(key, None, error=err.status_name,
-                                 attempts=attempt)
-                if not err.transient:
+    o = _obs.get()
+    with (o.tracer.span("bench.sweep", "bench", cells=len(keys))
+          if o is not None else nullcontext()):
+        for key in keys:
+            cell = None
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    cell = SweepCell(key, compute(key), attempts=attempt)
                     break
-        out.append(cell)
+                except ClError as err:
+                    cell = SweepCell(key, None, error=err.status_name,
+                                     attempts=attempt)
+                    if not err.transient:
+                        break
+            if o is not None and not cell.ok:
+                o.metrics.counter(
+                    "repro_bench_cell_failures_total",
+                    "Sweep cells that exhausted their retries",
+                    ("error",)).inc(error=cell.error)
+            out.append(cell)
+    if o is not None:
+        failed = sum(1 for c in out if not c.ok)
+        g = o.metrics.gauge("repro_bench_sweep_cells",
+                            "Cell counts of the last sweep", ("status",))
+        g.set(len(out) - failed, status="ok")
+        g.set(failed, status="failed")
     return out

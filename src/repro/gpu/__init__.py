@@ -22,7 +22,8 @@ substitutes them with an analytic model so the reproduction runs anywhere:
 from .device import (AMD_HD7970, AMD_R9_295X2, DeviceSpec, NVIDIA_GTX780,
                      NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name)
 from .costmodel import (ImplTraits, KernelTiming, LIFT_TRAITS,
-                        HANDWRITTEN_TRAITS, kernel_time, sector_bytes_per_item)
+                        HANDWRITTEN_TRAITS, kernel_time,
+                        sector_bytes_per_item, transfer_time_ms)
 from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
                      ClDeviceNotAvailable, ClError, ClInvalidBufferSize,
                      ClInvalidGlobalWorkSize, ClInvalidKernelArgs,
@@ -38,7 +39,7 @@ __all__ = [
     "AMD_HD7970", "AMD_R9_295X2", "DeviceSpec", "NVIDIA_GTX780",
     "NVIDIA_TITAN_BLACK", "PAPER_DEVICES", "device_by_name",
     "ImplTraits", "KernelTiming", "LIFT_TRAITS", "HANDWRITTEN_TRAITS",
-    "kernel_time", "sector_bytes_per_item",
+    "kernel_time", "sector_bytes_per_item", "transfer_time_ms",
     "CL_STATUS_TABLE", "TRANSIENT_ERRORS", "ClDeviceLost",
     "ClDeviceNotAvailable", "ClError", "ClInvalidBufferSize",
     "ClInvalidGlobalWorkSize", "ClInvalidKernelArgs", "ClInvalidValue",

@@ -99,6 +99,16 @@ class KernelTiming:
                 f"{self.bytes_per_item:.1f}, wg={self.workgroup})")
 
 
+def transfer_time_ms(nbytes: float, device: DeviceSpec) -> float:
+    """Modelled host<->device transfer time [ms] for ``nbytes``.
+
+    Prices transfers at :attr:`DeviceSpec.pcie_bandwidth`, the one place
+    the interconnect bandwidth lives (the runtime's H2D/D2H profiling
+    events use this same function).
+    """
+    return float(nbytes) / device.pcie_bandwidth * 1e3
+
+
 _SECTOR_CACHE: dict[tuple[int, int, int, int], float] = {}
 
 

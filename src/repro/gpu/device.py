@@ -41,6 +41,12 @@ class DeviceSpec:
     launch_overhead_us: float = 5.0
     #: device global memory [bytes]; 0 disables capacity enforcement
     global_mem_bytes: int = 0
+    #: modelled host<->device interconnect effective bandwidth [GB/s]
+    #: (PCIe 3.0 x16 for the paper's era of devices).  The single source
+    #: of truth for transfer pricing: both the runtime's H2D/D2H events
+    #: and the cost model's :func:`repro.gpu.costmodel.transfer_time_ms`
+    #: read it from here, so the two cannot drift apart.
+    pcie_bandwidth_gbs: float = 12.0
 
     @property
     def dp_gflops(self) -> float:
@@ -58,6 +64,11 @@ class DeviceSpec:
     def effective_bandwidth(self) -> float:
         """Achievable bandwidth [B/s]."""
         return self.mem_bandwidth_gbs * 1e9 * self.mem_efficiency
+
+    @property
+    def pcie_bandwidth(self) -> float:
+        """Host<->device bandwidth [B/s]."""
+        return self.pcie_bandwidth_gbs * 1e9
 
     @property
     def max_alloc_bytes(self) -> int:

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from .. import obs as _obs
 from .device import DeviceSpec
 from .errors import (ClError, ClOutOfResources, TRANSIENT_ERRORS)
 from .runtime import ProfilingEvent, RunResult, VirtualGPU
@@ -107,6 +108,23 @@ class ResilientGPU:
                    if o.action in ("retry", "degrade_launch",
                                    "fallback_device", "host_fallback"))
 
+    def _note(self, outcome: PolicyOutcome) -> None:
+        """Append to the policy log and mirror the decision as metrics."""
+        self.log.append(outcome)
+        o = _obs.get()
+        if o is None:
+            return
+        o.metrics.counter(
+            "repro_gpu_recovery_actions_total",
+            "Recovery-policy decisions by action and error",
+            ("action", "error")).inc(
+                action=outcome.action, error=outcome.error or "none")
+        if outcome.action == "retry":
+            o.metrics.counter(
+                "repro_gpu_retries_total",
+                "Same-device retry attempts by OpenCL status",
+                ("error",)).inc(error=outcome.error)
+
     # -- the degradation ladder -------------------------------------------------------
     def _attempt_plan(self) -> list[tuple[str, VirtualGPU, str]]:
         """(stage-name, executor, detail) in escalation order."""
@@ -134,13 +152,35 @@ class ResilientGPU:
                            VirtualGPU(host_dev, g.traits, autotune=False,
                                       workgroup=g.device.warp_size),
                            "plain NumPy backend on the host"))
+        for _, gpu, _ in stages[1:]:
+            # every stage stamps ProfilingEvents on the primary's clock so
+            # the recovered timeline stays monotonic across escalations
+            gpu.clock = g.clock
         return stages
+
+    @staticmethod
+    def _keep_failed_events(recovery_events: list[ProfilingEvent],
+                            err: ClError, attempt: int) -> None:
+        """Preserve the partial timeline of a failed attempt.
+
+        The runtime attaches its ProfilingEvents to the raised
+        :class:`ClError`; they are re-recorded with a ``failed_`` kind
+        prefix and ``attemptN:``-prefixed names so the discarded work is
+        auditable without double-counting — ``RunResult.kernel_time_ms``
+        only sums kind ``"kernel"``, and name-prefix filters keep
+        matching the real kernel names of the winning attempt only.
+        """
+        for e in getattr(err, "events", None) or []:
+            recovery_events.append(ProfilingEvent(
+                f"failed_{e.kind}", f"attempt{attempt}:{e.name}",
+                e.duration_ms, e.timing, start_ms=e.start_ms))
 
     def _run(self, method: str, program, inputs, sizes, *a, **kw) -> RunResult:
         recovery_events: list[ProfilingEvent] = []
         recovering_from: PolicyOutcome | None = None
         last_error: ClError | None = None
         stages = self._attempt_plan()
+        o = _obs.get()
         for si, (stage, gpu, detail) in enumerate(stages):
             # only re-enter the degrade stage for the failure mode it
             # actually mitigates
@@ -148,11 +188,26 @@ class ResilientGPU:
                     last_error, ClOutOfResources):
                 continue
             for attempt in range(1, self.retry.max_attempts + 1):
+                span = (o.tracer.start("resilient.attempt", "resilient",
+                                       stage=stage, attempt=attempt,
+                                       device=gpu.device.name, method=method)
+                        if o is not None else None)
                 try:
                     res: RunResult = getattr(gpu, method)(
                         program, inputs, sizes, *a, **kw)
                 except ClError as err:
+                    if span is not None:
+                        span.attrs.update(outcome="failed",
+                                          error=err.status_name,
+                                          injected=err.injected)
+                        o.tracer.end(span)
+                        # keep the discarded launches on the timeline but
+                        # out of the kernel report / Table-IV aggregation
+                        for s in o.tracer.descendants_of(span):
+                            if s.cat == "kernel":
+                                s.cat = "failed_kernel"
                     last_error = err
+                    self._keep_failed_events(recovery_events, err, attempt)
                     retryable = isinstance(err, self.retry.retry_on)
                     # a buffer over the device's per-allocation cap can
                     # still fit a larger fallback device / the host
@@ -160,20 +215,29 @@ class ResilientGPU:
                     if not escalatable:
                         # programming errors (invalid args/sizes) are not
                         # recoverable — surface them immediately
-                        self.log.append(PolicyOutcome(
+                        self._note(PolicyOutcome(
                             method, gpu.device.name, attempt,
                             err.status_name, "raise", err.injected,
                             detail=str(err)))
                         raise
                     if retryable and attempt < self.retry.max_attempts:
                         delay = self.retry.delay_ms(attempt - 1)
+                        if o is not None:
+                            start = o.tracer.event(
+                                f"retry:{err.status_name}", "backoff", delay,
+                                error=err.status_name, attempt=attempt,
+                                injected=err.injected).start_ms
+                        else:
+                            start = gpu.clock.now_ms
+                            gpu.clock.advance(delay)
                         recovery_events.append(ProfilingEvent(
-                            "backoff", f"retry:{err.status_name}", delay))
+                            "backoff", f"retry:{err.status_name}", delay,
+                            start_ms=start))
                         recovering_from = PolicyOutcome(
                             method, gpu.device.name, attempt,
                             err.status_name, "retry", err.injected,
                             backoff_ms=delay, detail=str(err))
-                        self.log.append(recovering_from)
+                        self._note(recovering_from)
                         continue
                     # retry budget spent on this stage: escalate
                     next_stage = next(
@@ -181,7 +245,7 @@ class ResilientGPU:
                          if s[0] != "degrade_launch"
                          or isinstance(err, ClOutOfResources)), None)
                     if next_stage is None:
-                        self.log.append(PolicyOutcome(
+                        self._note(PolicyOutcome(
                             method, gpu.device.name, attempt,
                             err.status_name, "raise", err.injected,
                             detail="degradation ladder exhausted"))
@@ -190,13 +254,16 @@ class ResilientGPU:
                         method, gpu.device.name, attempt, err.status_name,
                         next_stage[0], err.injected,
                         detail=f"escalating to {next_stage[2]}")
-                    self.log.append(recovering_from)
+                    self._note(recovering_from)
                     break
                 else:
+                    if span is not None:
+                        span.attrs["outcome"] = "ok"
+                        o.tracer.end(span)
                     if stage == "host_fallback":
                         self._relabel_host_events(res)
                     if recovering_from is not None:
-                        self.log.append(PolicyOutcome(
+                        self._note(PolicyOutcome(
                             method, gpu.device.name, attempt, "", "recovered",
                             detail=f"after {recovering_from.error} via "
                                    f"{recovering_from.action}"))

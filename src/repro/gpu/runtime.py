@@ -27,24 +27,30 @@ device failures for resilience testing.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs as _obs
+from ..obs.tracer import ModelClock
 from ..lift.analysis import Resources, analyse_kernel
 from ..lift.codegen.host import (ArgBinding, BufferDecl, CopyIn, CopyOut,
                                  HostPlan, HostProgram, Launch)
 from ..lift.codegen.numpy_backend import NumpyKernel, compile_numpy
 from .autotune import autotune_workgroup
-from .costmodel import ImplTraits, KernelTiming, LIFT_TRAITS
+from .costmodel import ImplTraits, KernelTiming, LIFT_TRAITS, transfer_time_ms
 from .device import DeviceSpec
 from .errors import (ClError, ClInvalidBufferSize, ClInvalidKernelArgs,
                      ClInvalidValue, ClDeviceLost, ClMemAllocationFailure,
                      ClOutOfResources, ClTransferCorrupted)
 from .faults import FaultPlan
 
-#: modelled PCIe 3.0 x16 effective bandwidth [B/s]
-_PCIE_BANDWIDTH = 12e9
+#: Backwards-compatible alias: the interconnect bandwidth now lives on
+#: :attr:`DeviceSpec.pcie_bandwidth_gbs` (so the runtime's transfer events
+#: and :func:`repro.gpu.costmodel.transfer_time_ms` share one constant);
+#: this module-level number is only kept for old readers.
+_PCIE_BANDWIDTH = DeviceSpec.pcie_bandwidth_gbs * 1e9
 
 #: Backwards-compatible alias: the untyped ``RuntimeError_`` of earlier
 #: revisions is now the root of the typed OpenCL error hierarchy, so
@@ -54,12 +60,31 @@ RuntimeError_ = ClError
 
 @dataclass
 class ProfilingEvent:
-    """One profiled command, times in milliseconds (modelled)."""
+    """One profiled command, times in milliseconds (modelled).
 
-    kind: str                 # "kernel" | "h2d" | "d2h" | "backoff" | "host_*"
+    Mirrors an OpenCL profiling event: besides the duration it carries
+    modelled ``start_ms``/``end_ms`` timestamps on the executing GPU's
+    :class:`~repro.obs.tracer.ModelClock` (or, when an observability
+    session is active, on the shared session clock — which is what makes
+    the event list map 1:1 onto trace spans).
+    """
+
+    kind: str                 # "kernel" | "h2d" | "d2h" | "backoff" |
+    #                           "host_*" | "failed_*" (discarded attempts)
     name: str
     duration_ms: float
     timing: KernelTiming | None = None
+    start_ms: float = 0.0     # modelled CL_PROFILING_COMMAND_START
+
+    @property
+    def end_ms(self) -> float:
+        """Modelled ``CL_PROFILING_COMMAND_END`` timestamp."""
+        return self.start_ms + self.duration_ms
+
+    @property
+    def ms(self) -> float:
+        """Backwards-compatible alias for :attr:`duration_ms`."""
+        return self.duration_ms
 
 
 @dataclass
@@ -71,7 +96,18 @@ class RunResult:
     events: list[ProfilingEvent]
 
     def kernel_time_ms(self, name_prefix: str | None = None) -> float:
-        """Total modelled kernel time (only kernels, like the paper)."""
+        """Total modelled kernel time (only kernels, like the paper).
+
+        ``name_prefix`` filters launches by kernel-name prefix (e.g.
+        ``"volume"`` selects ``volume_kernel`` launches only).  Only
+        *successful* launches count: work from attempts that a recovery
+        policy discarded and re-ran is recorded under kind
+        ``"failed_kernel"`` with names prefixed ``attemptN:`` (see
+        :class:`repro.gpu.resilient.ResilientGPU`), so retried launches
+        are never double-counted here — use :meth:`failed_time_ms` to
+        audit the discarded work.  Host-fallback launches are relabelled
+        ``host_kernel`` and charge no GPU time either.
+        """
         return sum(e.duration_ms for e in self.events
                    if e.kind == "kernel"
                    and (name_prefix is None or e.name.startswith(name_prefix)))
@@ -83,6 +119,13 @@ class RunResult:
     def overhead_time_ms(self) -> float:
         """Modelled recovery overhead (retry backoff) added by policies."""
         return sum(e.duration_ms for e in self.events if e.kind == "backoff")
+
+    def failed_time_ms(self) -> float:
+        """Modelled time of discarded (failed-attempt) commands; their
+        kinds carry a ``failed_`` prefix and never count as kernel or
+        transfer time."""
+        return sum(e.duration_ms for e in self.events
+                   if e.kind.startswith("failed_"))
 
 
 class VirtualGPU:
@@ -98,6 +141,40 @@ class VirtualGPU:
         self.faults = faults
         self._np_kernels: dict[str, NumpyKernel] = {}
         self._resources: dict[str, Resources] = {}
+        #: modelled device clock stamping ProfilingEvent start/end times;
+        #: when an observability session is active the session's shared
+        #: clock is used instead, so all devices land on one timeline
+        self.clock = ModelClock()
+
+    # -- profiling -----------------------------------------------------------------
+    def _record(self, events: list[ProfilingEvent], kind: str, name: str,
+                duration_ms: float, timing: KernelTiming | None = None,
+                **attrs) -> ProfilingEvent:
+        """Record one profiled command: stamp it on the modelled clock,
+        mirror it as a trace span, and feed the metrics registry."""
+        o = _obs.get()
+        if o is None:
+            start = self.clock.now_ms
+            self.clock.advance(duration_ms)
+        else:
+            sp = o.tracer.event(name, kind, duration_ms,
+                                device=self.device.name, **attrs)
+            start = sp.start_ms
+            if kind == "kernel":
+                o.metrics.histogram(
+                    "repro_gpu_kernel_time_ms",
+                    "Modelled kernel launch time",
+                    ("kernel", "device")).observe(
+                        duration_ms, kernel=name, device=self.device.name)
+            elif kind in ("h2d", "d2h"):
+                o.metrics.counter(
+                    "repro_gpu_transfer_bytes_total",
+                    "Bytes over the modelled host<->device interconnect",
+                    ("direction",)).inc(
+                        float(attrs.get("bytes", 0.0)), direction=kind)
+        ev = ProfilingEvent(kind, name, duration_ms, timing, start_ms=start)
+        events.append(ev)
+        return ev
 
     # -- kernel caches -------------------------------------------------------------
     def _np_kernel(self, launch: Launch) -> NumpyKernel:
@@ -166,6 +243,7 @@ class VirtualGPU:
         cap = self.device.global_mem_bytes
         max_alloc = self.device.max_alloc_bytes
         used = 0
+        o = _obs.get()
         for decl in plan.buffers:
             count = int(decl.count.evaluate(sizes))
             if count <= 0:
@@ -198,6 +276,17 @@ class VirtualGPU:
                     capacity_bytes=cap)
             used += nbytes
             buffers[decl.name] = np.zeros(count, dtype=dtype)
+            if o is not None:
+                # instantaneous on the modelled timeline; the span exists
+                # so per-buffer sizes show up in the trace
+                o.tracer.event(f"alloc:{decl.name}", "alloc", 0.0,
+                               device=self.device.name, bytes=nbytes,
+                               elems=count)
+        if o is not None:
+            o.metrics.gauge(
+                "repro_gpu_mem_in_use_bytes",
+                "Device memory held by the last allocated plan",
+                ("device",)).set(used, device=self.device.name)
         return buffers
 
     def _copy_in(self, op: CopyIn, inputs: dict,
@@ -248,9 +337,9 @@ class VirtualGPU:
                     f"integrity check failed for transfer of host param "
                     f"{op.host_name!r} -> {op.buffer!r}; buffer rolled back",
                     host_param=op.host_name, buffer=op.buffer, injected=True)
-        events.append(ProfilingEvent(
-            "h2d", op.host_name,
-            duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
+        self._record(events, "h2d", op.host_name,
+                     transfer_time_ms(buf.nbytes, self.device),
+                     bytes=buf.nbytes, buffer=op.buffer)
 
     # -- execution --------------------------------------------------------------------
     def execute(self, program: HostProgram,
@@ -269,28 +358,39 @@ class VirtualGPU:
         plan: HostPlan = program.plan
         self._validate(plan, inputs, sizes)
         events: list[ProfilingEvent] = []
-        buffers = self._allocate_buffers(plan, sizes)
-        decls = {d.name: d for d in plan.buffers}
+        o = _obs.get()
+        cm = (o.tracer.span("gpu.execute", "gpu", device=self.device.name)
+              if o is not None else nullcontext())
+        with cm:
+            try:
+                buffers = self._allocate_buffers(plan, sizes)
+                decls = {d.name: d for d in plan.buffers}
 
-        result: np.ndarray | None = None
-        for op in plan.ops:
-            if isinstance(op, CopyIn):
-                self._copy_in(op, inputs, buffers, decls, sizes, events,
-                              fault_step)
-            elif isinstance(op, Launch):
-                result = self._launch(op, buffers, inputs, sizes, events,
-                                      gather_index_param, fault_step)
-            elif isinstance(op, CopyOut):
-                buf = buffers[op.buffer]
-                result = buf
-                events.append(ProfilingEvent(
-                    "d2h", op.buffer,
-                    duration_ms=buf.nbytes / _PCIE_BANDWIDTH * 1e3))
-            else:
-                raise ClInvalidValue(
-                    f"unknown plan op {op!r}; the virtual runtime executes "
-                    f"CopyIn/Launch/CopyOut plans from compile_host()",
-                    op=repr(op))
+                result: np.ndarray | None = None
+                for op in plan.ops:
+                    if isinstance(op, CopyIn):
+                        self._copy_in(op, inputs, buffers, decls, sizes,
+                                      events, fault_step)
+                    elif isinstance(op, Launch):
+                        result = self._launch(op, buffers, inputs, sizes,
+                                              events, gather_index_param,
+                                              fault_step)
+                    elif isinstance(op, CopyOut):
+                        buf = buffers[op.buffer]
+                        result = buf
+                        self._record(events, "d2h", op.buffer,
+                                     transfer_time_ms(buf.nbytes, self.device),
+                                     bytes=buf.nbytes)
+                    else:
+                        raise ClInvalidValue(
+                            f"unknown plan op {op!r}; the virtual runtime "
+                            f"executes CopyIn/Launch/CopyOut plans from "
+                            f"compile_host()", op=repr(op))
+            except ClError as err:
+                # expose the partial timeline of the failed run so recovery
+                # policies can preserve it (as failed_* events / spans)
+                err.events = events
+                raise
 
         if plan.result_buffer is not None:
             result = buffers.get(plan.result_buffer, result)
@@ -321,6 +421,21 @@ class VirtualGPU:
         plan: HostPlan = program.plan
         self._validate(plan, inputs, sizes)
         events: list[ProfilingEvent] = []
+        o = _obs.get()
+        cm = (o.tracer.span("gpu.execute_many", "gpu",
+                            device=self.device.name, steps=steps)
+              if o is not None else nullcontext())
+        with cm:
+            try:
+                return self._execute_many(plan, inputs, sizes, steps,
+                                          rotations, gather_index_param,
+                                          events, o)
+            except ClError as err:
+                err.events = events
+                raise
+
+    def _execute_many(self, plan, inputs, sizes, steps, rotations,
+                      gather_index_param, events, o) -> RunResult:
         buffers = self._allocate_buffers(plan, sizes)
         decls = {d.name: d for d in plan.buffers}
 
@@ -361,14 +476,20 @@ class VirtualGPU:
                             peer, dtype=buffers[out_buffer].dtype)
 
         for step in range(steps):
+            step_span = (o.tracer.start("gpu.step", "step", step=step)
+                         if o is not None else None)
             # rebind the launch arguments through the current rotation
             view = {orig: buffers[binding[h]]
                     for h, orig in host_to_buffer.items()}
             if out_buffer is not None:
                 view[out_buffer] = buffers[binding["__out__"]]
-            for op in launches:
-                result = self._launch(op, view, inputs, sizes, events,
-                                      gather_index_param, step)
+            try:
+                for op in launches:
+                    result = self._launch(op, view, inputs, sizes, events,
+                                          gather_index_param, step)
+            finally:
+                if step_span is not None:
+                    o.tracer.end(step_span)
             if rotations:
                 # each name takes over the buffer of the NEXT name in the
                 # cycle: ("prev2_h", "prev1_h", "__out__") realises the
@@ -381,9 +502,9 @@ class VirtualGPU:
 
         final = buffers[binding.get("__out__", plan.result_buffer)]             if (out_buffer or plan.result_buffer) else None
         if final is not None:
-            events.append(ProfilingEvent(
-                "d2h", "result",
-                duration_ms=final.nbytes / _PCIE_BANDWIDTH * 1e3))
+            self._record(events, "d2h", "result",
+                         transfer_time_ms(final.nbytes, self.device),
+                         bytes=final.nbytes)
         # expose buffers under their rotated bindings for inspection
         exposed = {f"final:{h}": buffers[b] for h, b in binding.items()}
         exposed.update(buffers)
@@ -465,9 +586,24 @@ class VirtualGPU:
             timing = kernel_time(res, n_items, self.device, precision,
                                  self.traits, gather_index,
                                  workgroup=self.workgroup)
-        events.append(ProfilingEvent("kernel", op.kernel.name,
-                                     duration_ms=timing.time_ms,
-                                     timing=timing))
+        attrs: dict = {}
+        if _obs.get() is not None:
+            # achieved-vs-roofline figures for the trace span / report
+            secs = timing.time_ms * 1e-3
+            total_bytes = timing.bytes_per_item * n_items
+            total_flops = timing.flops_per_item * n_items
+            attrs = dict(
+                precision=precision, n_items=n_items,
+                occupancy=timing.occupancy, workgroup=timing.workgroup,
+                bytes=total_bytes, flops=total_flops,
+                achieved_gbs=total_bytes / secs / 1e9 if secs > 0 else 0.0,
+                roofline_gbs=self.device.effective_bandwidth / 1e9,
+                achieved_gflops=total_flops / secs / 1e9 if secs > 0 else 0.0,
+                peak_gflops=self.device.flops_rate(precision) / 1e9)
+            if step is not None:
+                attrs["step"] = step
+        self._record(events, "kernel", op.kernel.name, timing.time_ms,
+                     timing, **attrs)
         return ret if isinstance(ret, np.ndarray) else None
 
     @staticmethod

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ... import obs as _obs
 from ..arith import ArithExpr, Var
 from ..ast import Expr, FunCall, Lambda, Literal, Param
 from ..patterns import Id, OclKernel, ToGPU, ToHost, TupleCons, WriteTo
@@ -153,8 +154,23 @@ class HostProgram:
 
 
 def compile_host(program: Lambda, name: str = "host") -> HostProgram:
-    """Compile a host-orchestration Lambda into source text + a HostPlan."""
-    infer(program)
+    """Compile a host-orchestration Lambda into source text + a HostPlan.
+
+    Traced as a ``lift.compile_host`` span when observability is active;
+    the per-kernel :func:`compile_kernel` calls nest under it."""
+    o = _obs.get()
+    if o is None:
+        return _compile_host(program, name, None)
+    with o.tracer.span("lift.compile_host", "compile", host=name):
+        return _compile_host(program, name, o)
+
+
+def _compile_host(program: Lambda, name: str, o) -> HostProgram:
+    if o is not None:
+        with o.tracer.span("lift.type_inference", "compile", wall=True):
+            infer(program)
+    else:
+        infer(program)
     plan = HostPlan()
     kernels: dict[str, KernelSource] = {}
     lines: list[str] = [f"// host program: {name}"]

@@ -22,10 +22,12 @@ well-formed programs.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import re
 
+from ... import obs as _obs
 from ..arith import ArithExpr, Var
 from ..ast import (BinOp, Expr, FunCall, Lambda, Literal, Param, Select,
                    UnaryOp, UserFun)
@@ -139,12 +141,45 @@ def compile_kernel(kernel: Lambda, name: str = "lift_kernel",
     ``lower=True`` first applies the default lowering strategy
     (:func:`repro.lift.rewrite.lower_simple`): outermost Map → MapGlb,
     inner maps/reductions sequential.
+
+    When an observability session is active the compilation phases
+    (rewrite, type inference, memory allocation, emission) are traced as
+    child spans of ``lift.compile_kernel``, each advancing the modelled
+    clock by its real host wall time.
     """
+    o = _obs.get()
+    if o is None:
+        return _compile_kernel(kernel, name, lower, None)
+    with o.tracer.span("lift.compile_kernel", "compile", kernel=name):
+        return _compile_kernel(kernel, name, lower, o)
+
+
+def _compile_kernel(kernel: Lambda, name: str, lower: bool,
+                    o) -> KernelSource:
     if lower:
         from ..rewrite import lower_simple
-        kernel = lower_simple(kernel)
-    alloc = allocate(kernel)  # also type-checks
+        if o is not None:
+            with o.tracer.span("lift.rewrite", "compile", wall=True):
+                kernel = lower_simple(kernel)
+        else:
+            kernel = lower_simple(kernel)
+    if o is not None:
+        # explicit (idempotent) type-inference pass so its cost shows up
+        # as its own phase; allocate() re-checks below either way
+        from ..type_inference import infer
+        with o.tracer.span("lift.type_inference", "compile", wall=True):
+            infer(kernel)
+        with o.tracer.span("lift.memory_alloc", "compile", wall=True):
+            alloc = allocate(kernel)
+    else:
+        alloc = allocate(kernel)  # also type-checks
+    with (o.tracer.span("lift.emit", "compile", wall=True)
+          if o is not None else nullcontext()):
+        return _emit_kernel(kernel, name, alloc)
 
+
+def _emit_kernel(kernel: Lambda, name: str,
+                 alloc: KernelAllocation) -> KernelSource:
     names = NameGen()
     body_block = CBlock(indent=1)
     ctx = _Ctx(body_block, names)

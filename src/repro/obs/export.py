@@ -1,0 +1,263 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+*Chrome trace-event JSON* (:func:`chrome_trace`) emits complete events
+(``"ph": "X"``) in the JSON-object format, loadable in ``chrome://tracing``
+and in Perfetto (ui.perfetto.dev → *Open trace file*).  Timestamps are
+microseconds on the modelled clock; every span's attributes land in
+``args``, so a kernel slice shows its occupancy and achieved GB/s in the
+Perfetto details pane.
+
+*Prometheus text format* (:func:`prometheus_text`) renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the version-0.0.4 text
+exposition format (``# HELP``/``# TYPE`` headers, cumulative histogram
+buckets with an ``+Inf`` bucket, ``_sum``/``_count`` series).
+
+Both formats have a matching ``validate_*`` checker returning a list of
+problems (empty = valid); CI runs them against the fault-injection smoke
+artifacts so a malformed export fails the build rather than Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Span, Tracer
+
+#: synthetic process/thread ids for the single modelled timeline
+_PID, _TID = 1, 1
+
+
+def _json_safe(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        if isinstance(value, float) and not math.isfinite(value):
+            return repr(value)
+        return value
+    return repr(value)
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro virtual GPU") -> dict:
+    """Render finished spans as a Chrome trace-event JSON object."""
+    events: list[dict] = [
+        {"ph": "M", "pid": _PID, "tid": _TID, "name": "process_name",
+         "args": {"name": process_name}},
+        {"ph": "M", "pid": _PID, "tid": _TID, "name": "thread_name",
+         "args": {"name": "modelled timeline"}},
+    ]
+    for s in tracer.finished():
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.cat,
+            "ts": s.start_ms * 1e3,          # trace-event unit: microseconds
+            "dur": s.duration_ms * 1e3,
+            "pid": _PID,
+            "tid": _TID,
+            "args": {**{k: _json_safe(v) for k, v in s.attrs.items()},
+                     "span_id": s.span_id,
+                     **({"parent_id": s.parent_id}
+                        if s.parent_id is not None else {})},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> dict:
+    doc = chrome_trace(tracer)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Structural validation: required keys, units, and proper nesting.
+
+    Nesting check: on one (pid, tid) track, complete events must form a
+    stack — each event lies entirely inside the enclosing open event —
+    which is exactly what Perfetto needs to render slices without
+    overlap artefacts.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    slices = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            problems.append(f"event {i} has unsupported phase {ph!r}")
+            continue
+        if "name" not in ev or "pid" not in ev:
+            problems.append(f"event {i} lacks required name/pid fields")
+        if ph != "X":
+            continue
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            problems.append(f"event {i} ({ev.get('name')!r}) needs numeric "
+                            f"ts/dur, got {ts!r}/{dur!r}")
+            continue
+        if ts < 0 or dur < 0:
+            problems.append(f"event {i} ({ev.get('name')!r}) has negative "
+                            f"ts/dur")
+            continue
+        slices.append((float(ts), float(ts) + float(dur), ev.get("name")))
+    # stack discipline per track (single track in our exports)
+    eps = 1e-6
+    stack: list[tuple[float, float, str]] = []
+    for start, end, name in sorted(slices, key=lambda s: (s[0], -(s[1] - s[0]))):
+        while stack and start >= stack[-1][1] - eps:
+            stack.pop()
+        if stack and end > stack[-1][1] + eps:
+            problems.append(
+                f"slice {name!r} [{start}, {end}] overlaps the end of "
+                f"enclosing slice {stack[-1][2]!r} [{stack[-1][0]}, "
+                f"{stack[-1][1]}] — spans do not nest")
+        stack.append((start, end, name))
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as err:
+        problems.append(f"document is not JSON-serialisable: {err}")
+    return problems
+
+
+# -- Prometheus ------------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$")
+
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    f = float(v)
+    return str(int(f)) if f == int(f) and abs(f) < 1e15 else repr(f)
+
+
+def _escape(v: str) -> str:
+    return v.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...],
+            extra: list[tuple[str, str]] = ()) -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{_escape(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for m in registry:
+        lines.append(f"# HELP {m.name} {m.help or m.name}")
+        lines.append(f"# TYPE {m.name} {m.typ}")
+        if isinstance(m, (Counter, Gauge)):
+            values = m.values or {(): 0.0} if not m.labelnames else m.values
+            for key in sorted(values):
+                lines.append(f"{m.name}{_labels(m.labelnames, key)} "
+                             f"{_fmt_value(values[key])}")
+        elif isinstance(m, Histogram):
+            for key in sorted(m.series):
+                s = m.series[key]
+                for le, c in zip(m.buckets, s.bucket_counts):
+                    lines.append(
+                        f"{m.name}_bucket"
+                        f"{_labels(m.labelnames, key, [('le', _fmt_value(le))])}"
+                        f" {c}")
+                lines.append(
+                    f"{m.name}_bucket"
+                    f"{_labels(m.labelnames, key, [('le', '+Inf')])} {s.count}")
+                lines.append(f"{m.name}_sum{_labels(m.labelnames, key)} "
+                             f"{_fmt_value(s.sum)}")
+                lines.append(f"{m.name}_count{_labels(m.labelnames, key)} "
+                             f"{s.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> str:
+    text = prometheus_text(registry)
+    with open(path, "w") as f:
+        f.write(text)
+    return text
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check the text exposition format: line grammar, HELP/TYPE headers,
+    and histogram invariants (cumulative buckets, +Inf bucket == count)."""
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    samples: dict[str, list[tuple[str, float]]] = {}
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                problems.append(f"line {ln}: malformed HELP line")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if (len(parts) != 4 or not _NAME_RE.match(parts[2])
+                    or parts[3] not in ("counter", "gauge", "histogram",
+                                        "summary", "untyped")):
+                problems.append(f"line {ln}: malformed TYPE line")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {ln}: malformed sample {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, 1)[0]
+        labels = line[len(name):line.rfind(" ")]
+        samples.setdefault(name, []).append(
+            (labels, float(line.rsplit(" ", 1)[1].replace("Inf", "inf"))))
+    for name, typ in typed.items():
+        if name not in helped:
+            problems.append(f"metric {name} has TYPE but no HELP")
+        if typ == "counter":
+            for labels, v in samples.get(name, []):
+                if v < 0:
+                    problems.append(f"counter {name}{labels} is negative")
+        if typ == "histogram":
+            buckets = samples.get(f"{name}_bucket", [])
+            counts = dict(samples.get(f"{name}_count", []))
+            if not buckets:
+                problems.append(f"histogram {name} has no _bucket samples")
+            # group buckets by their non-le labels and check cumulativity
+            series: dict[str, list[tuple[float, float]]] = {}
+            for labels, v in buckets:
+                le = re.search(r'le="([^"]*)"', labels)
+                if le is None:
+                    problems.append(f"histogram {name} bucket without le")
+                    continue
+                rest = re.sub(r',?le="[^"]*"', "", labels).replace("{,", "{")
+                rest = "" if rest in ("{}",) else rest
+                series.setdefault(rest, []).append(
+                    (float(le.group(1).replace("+Inf", "inf")), v))
+            for rest, pts in series.items():
+                pts.sort()
+                vals = [v for _, v in pts]
+                if vals != sorted(vals):
+                    problems.append(
+                        f"histogram {name}{rest} buckets not cumulative")
+                if pts and pts[-1][0] != math.inf:
+                    problems.append(f"histogram {name}{rest} lacks +Inf bucket")
+                cnt = counts.get(rest if rest else "")
+                if cnt is not None and pts and pts[-1][1] != cnt:
+                    problems.append(
+                        f"histogram {name}{rest}: +Inf bucket {pts[-1][1]} "
+                        f"!= _count {cnt}")
+    return problems

@@ -1,0 +1,156 @@
+"""A small labelled-metrics registry (counters, gauges, histograms).
+
+Follows Prometheus conventions so :func:`repro.obs.export.prometheus_text`
+can emit the standard text exposition format directly:
+
+* metric names are ``snake_case`` with a ``repro_`` prefix and a unit
+  suffix (``_total`` for counters, ``_ms`` for millisecond histograms);
+* label *names* are fixed per metric at declaration; label *values* are
+  bound per observation (``counter.inc(error="CL_DEVICE_LOST")``);
+* histograms record cumulative buckets plus ``_sum``/``_count``.
+
+The registry is get-or-create: instrumentation sites declare the metric
+they need inline and repeated declarations return the same object (a
+conflicting redeclaration — different type or label names — raises,
+catching drift between call sites).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: default buckets for modelled-millisecond histograms
+DEFAULT_MS_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                      10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+def _labelkey(labelnames: tuple[str, ...], labels: dict) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"metric declared with labels {labelnames}, observation "
+            f"supplied {tuple(sorted(labels))}")
+    return tuple(str(labels[n]) for n in labelnames)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value per label set."""
+
+    name: str
+    help: str
+    labelnames: tuple[str, ...] = ()
+    values: dict[tuple[str, ...], float] = field(default_factory=dict)
+    typ: str = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _labelkey(self.labelnames, labels)
+        self.values[key] = self.values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self.values.get(_labelkey(self.labelnames, labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down, per label set."""
+
+    name: str
+    help: str
+    labelnames: tuple[str, ...] = ()
+    values: dict[tuple[str, ...], float] = field(default_factory=dict)
+    typ: str = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.values[_labelkey(self.labelnames, labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        return self.values.get(_labelkey(self.labelnames, labels), 0.0)
+
+
+@dataclass
+class _HistogramSeries:
+    bucket_counts: list[int]
+    sum: float = 0.0
+    count: int = 0
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram per label set (Prometheus semantics:
+    ``le`` buckets are cumulative and a ``+Inf`` bucket equals count)."""
+
+    name: str
+    help: str
+    labelnames: tuple[str, ...] = ()
+    buckets: tuple[float, ...] = DEFAULT_MS_BUCKETS
+    series: dict[tuple[str, ...], _HistogramSeries] = field(default_factory=dict)
+    typ: str = "histogram"
+
+    def observe(self, value: float, **labels) -> None:
+        key = _labelkey(self.labelnames, labels)
+        s = self.series.get(key)
+        if s is None:
+            s = self.series[key] = _HistogramSeries([0] * len(self.buckets))
+        v = float(value)
+        for i, le in enumerate(self.buckets):
+            if v <= le:
+                s.bucket_counts[i] += 1
+        s.sum += v
+        s.count += 1
+
+    def count(self, **labels) -> int:
+        s = self.series.get(_labelkey(self.labelnames, labels))
+        return s.count if s is not None else 0
+
+    def total_count(self) -> int:
+        return sum(s.count for s in self.series.values())
+
+    def total_sum(self) -> float:
+        return sum(s.sum for s in self.series.values())
+
+
+class MetricsRegistry:
+    """Holds every metric of one observability session, by name."""
+
+    def __init__(self):
+        self.metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: tuple[str, ...], **kw):
+        m = self.metrics.get(name)
+        if m is not None:
+            if not isinstance(m, cls) or m.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} redeclared as {cls.__name__} with "
+                    f"labels {tuple(labelnames)}; registered as "
+                    f"{type(m).__name__} with labels {m.labelnames}")
+            return m
+        m = cls(name=name, help=help, labelnames=tuple(labelnames), **kw)
+        self.metrics[name] = m
+        return m
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_MS_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=tuple(buckets))
+
+    def get(self, name: str):
+        return self.metrics.get(name)
+
+    def __iter__(self):
+        return iter(sorted(self.metrics.values(), key=lambda m: m.name))

@@ -1,0 +1,187 @@
+"""Span-based tracer over a modelled clock.
+
+The paper's evaluation is built on the OpenCL profiling API: every kernel
+launch carries ``CL_PROFILING_COMMAND_START``/``_END`` timestamps on the
+device's own clock.  The virtual runtime has no device clock, so the
+tracer supplies one — a :class:`ModelClock` that only advances when an
+instrumented layer spends modelled time on it (cost-model kernel
+durations, PCIe transfer times, retry backoffs) or real host time
+(compilation phases, which genuinely run on the host and are measured
+with ``time.perf_counter``).  Because every duration passes through the
+one clock, spans from different layers interleave into a single coherent
+timeline: a ``sim.step`` span contains a ``gpu.execute`` span contains
+``h2d``/``kernel`` events, exactly like a Chrome/Perfetto trace of a real
+host process.
+
+Context propagation is a span stack: :meth:`Tracer.span` pushes on entry
+and pops on exit, so instrumentation in a callee (the runtime) nests
+under the span opened by its caller (the simulation driver) without
+either knowing about the other.  The tracer is intentionally
+single-threaded, like the sequential host programs it observes.
+
+Nothing in this module imports from the rest of :mod:`repro` — the
+instrumented layers import *us*, never the other way around.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ModelClock:
+    """A monotonic modelled timeline, in milliseconds."""
+
+    __slots__ = ("now_ms",)
+
+    def __init__(self, start_ms: float = 0.0):
+        self.now_ms = float(start_ms)
+
+    def advance(self, ms: float) -> float:
+        """Move time forward by ``ms`` (negative deltas are clamped)."""
+        self.now_ms += max(0.0, float(ms))
+        return self.now_ms
+
+    def __repr__(self) -> str:
+        return f"ModelClock({self.now_ms:.4f} ms)"
+
+
+@dataclass
+class Span:
+    """One traced operation on the modelled timeline.
+
+    ``cat`` is a coarse grouping used by the exporters and the report
+    ("compile", "gpu", "kernel", "h2d", "sim", ...); ``attrs`` carries
+    machine-readable details (device, occupancy, achieved GB/s, error
+    status, ...) that become Chrome-trace ``args``.
+    """
+
+    name: str
+    cat: str
+    start_ms: float
+    end_ms: float | None = None
+    attrs: dict = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int | None = None
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_ms or self.start_ms) - self.start_ms
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    def __repr__(self) -> str:
+        end = f"{self.end_ms:.4f}" if self.end_ms is not None else "…"
+        return (f"Span({self.name!r}, cat={self.cat!r}, "
+                f"[{self.start_ms:.4f}, {end}] ms)")
+
+
+class Tracer:
+    """Collects :class:`Span` objects over one :class:`ModelClock`.
+
+    Spans are recorded in start order in :attr:`spans`.  Two entry
+    points:
+
+    * :meth:`span` — a context manager for operations that *contain*
+      other instrumented work; its duration is whatever the clock
+      advanced while it was open (plus its own wall time if
+      ``wall=True``);
+    * :meth:`event` — a leaf operation with a known modelled duration
+      (one kernel launch, one transfer); the clock advances by exactly
+      that duration, which is what stitches the cost model's numbers
+      into the timeline.
+    """
+
+    def __init__(self, clock: ModelClock | None = None):
+        self.clock = clock if clock is not None else ModelClock()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------------------
+    def _open(self, name: str, cat: str, attrs: dict) -> Span:
+        s = Span(name=name, cat=cat, start_ms=self.clock.now_ms,
+                 attrs=attrs, span_id=self._next_id,
+                 parent_id=self._stack[-1].span_id if self._stack else None)
+        self._next_id += 1
+        self.spans.append(s)
+        return s
+
+    @contextmanager
+    def span(self, name: str, cat: str = "phase", wall: bool = False,
+             **attrs) -> Iterator[Span]:
+        """Open a span around a block; ``wall=True`` additionally advances
+        the clock by the block's real elapsed host time (used for
+        compilation, which has no cost-model duration)."""
+        s = self._open(name, cat, dict(attrs))
+        self._stack.append(s)
+        t0 = time.perf_counter() if wall else None
+        try:
+            yield s
+        finally:
+            if t0 is not None:
+                self.clock.advance((time.perf_counter() - t0) * 1e3)
+            self._close(s)
+
+    def start(self, name: str, cat: str = "phase", **attrs) -> Span:
+        """Manually open a span (for call sites where a ``with`` block
+        does not fit the control flow); close it with :meth:`end`."""
+        s = self._open(name, cat, dict(attrs))
+        self._stack.append(s)
+        return s
+
+    def end(self, span: Span) -> None:
+        """Close a manually-opened span (and any dangling children)."""
+        self._close(span)
+
+    def _close(self, span: Span) -> None:
+        """Pop (and finish) stack entries up to and including ``span`` —
+        robust against children left open by exceptional control flow."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end_ms = max(self.clock.now_ms, top.start_ms)
+            if top is span:
+                return
+        if span.end_ms is None:
+            span.end_ms = max(self.clock.now_ms, span.start_ms)
+
+    def event(self, name: str, cat: str, duration_ms: float,
+              **attrs) -> Span:
+        """Record a leaf span of a known modelled duration and advance
+        the clock by it."""
+        s = self._open(name, cat, dict(attrs))
+        self.clock.advance(duration_ms)
+        s.end_ms = s.start_ms + max(0.0, float(duration_ms))
+        return s
+
+    # -- inspection ----------------------------------------------------------------
+    def current(self) -> Span | None:
+        """The innermost open span (context propagation read point)."""
+        return self._stack[-1] if self._stack else None
+
+    def finished(self) -> list[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def find(self, name_prefix: str = "", cat: str | None = None) -> list[Span]:
+        """Spans whose name starts with ``name_prefix`` (and match ``cat``)."""
+        return [s for s in self.spans
+                if s.name.startswith(name_prefix)
+                and (cat is None or s.cat == cat)]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def descendants_of(self, span: Span) -> list[Span]:
+        out: list[Span] = []
+        frontier = [span.span_id]
+        while frontier:
+            pid = frontier.pop()
+            for s in self.spans:
+                if s.parent_id == pid:
+                    out.append(s)
+                    frontier.append(s.span_id)
+        return out

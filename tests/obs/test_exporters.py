@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text, + validators."""
+
+import json
+
+import pytest
+
+from repro.obs import (MetricsRegistry, Tracer, chrome_trace, prometheus_text,
+                       validate_chrome_trace, validate_prometheus_text,
+                       write_chrome_trace, write_prometheus)
+
+
+@pytest.fixture()
+def traced():
+    t = Tracer()
+    with t.span("outer", "gpu", device="TitanBlack"):
+        t.event("kern", "kernel", 2.0, occupancy=0.8)
+        t.event("d2h", "d2h", 0.5, bytes=1024)
+    return t
+
+
+class TestChromeTrace:
+    def test_shape_and_units(self, traced):
+        doc = chrome_trace(traced)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["outer", "kern", "d2h"]
+        kern = xs[1]
+        assert kern["ts"] == 0.0 and kern["dur"] == 2000.0  # microseconds
+        assert kern["args"]["occupancy"] == 0.8
+        assert "parent_id" in kern["args"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+    def test_validator_accepts_own_output(self, traced):
+        assert validate_chrome_trace(chrome_trace(traced)) == []
+
+    def test_validator_catches_bad_nesting(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 5, "dur": 10},
+        ]}
+        assert any("nest" in p for p in validate_chrome_trace(doc))
+
+    def test_validator_catches_missing_fields(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "a", "pid": 1,
+                              "ts": "oops", "dur": 1}]}) != []
+
+    def test_write_round_trips(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced, path)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_gpu_retries_total", "retries", ("error",)).inc(
+        error="CL_DEVICE_LOST")
+    reg.gauge("repro_gpu_mem_in_use_bytes", "mem", ("device",)).set(
+        2048, device="TitanBlack")
+    h = reg.histogram("repro_gpu_kernel_time_ms", "t", ("kernel",),
+                      buckets=(0.1, 1.0, 10.0))
+    h.observe(0.05, kernel="volume")
+    h.observe(5.0, kernel="volume")
+    return reg
+
+
+class TestPrometheus:
+    def test_exposition_format(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE repro_gpu_retries_total counter" in text
+        assert 'repro_gpu_retries_total{error="CL_DEVICE_LOST"} 1' in text
+        assert 'repro_gpu_mem_in_use_bytes{device="TitanBlack"} 2048' in text
+        assert ('repro_gpu_kernel_time_ms_bucket{kernel="volume",le="+Inf"} 2'
+                in text)
+        assert 'repro_gpu_kernel_time_ms_count{kernel="volume"} 2' in text
+
+    def test_validator_accepts_own_output(self, registry):
+        assert validate_prometheus_text(prometheus_text(registry)) == []
+
+    def test_validator_catches_problems(self):
+        assert any("malformed sample" in p for p in validate_prometheus_text(
+            "this is not a metric line\n"))
+        bad_hist = ("# HELP h h\n# TYPE h histogram\n"
+                    'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                    "h_sum 1\nh_count 3\n")
+        assert any("cumulative" in p
+                   for p in validate_prometheus_text(bad_hist))
+        no_inf = ("# HELP h h\n# TYPE h histogram\n"
+                  'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n')
+        assert any("+Inf" in p for p in validate_prometheus_text(no_inf))
+
+    def test_write_round_trips(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(registry, path)
+        assert validate_prometheus_text(path.read_text()) == []
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "x", ("detail",)).inc(
+            detail='quote " back \\ newline \n end')
+        text = prometheus_text(reg)
+        assert validate_prometheus_text(text) == []
+        assert r'\"' in text and r'\\' in text and r'\n' in text

@@ -1,0 +1,71 @@
+"""Metrics registry: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_labels(self, reg):
+        c = reg.counter("repro_x_total", "x", ("error",))
+        c.inc(error="A")
+        c.inc(2.0, error="A")
+        c.inc(error="B")
+        assert c.value(error="A") == 3.0
+        assert c.value(error="missing") == 0.0
+        assert c.total() == 4.0
+
+    def test_cannot_decrease(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total").inc(-1.0)
+
+    def test_wrong_labels_rejected(self, reg):
+        c = reg.counter("repro_x_total", "x", ("error",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="A")
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_overwrites(self, reg):
+        g = reg.gauge("repro_mem_bytes", "m", ("device",))
+        g.set(10.0, device="d0")
+        g.set(4.0, device="d0")
+        assert g.value(device="d0") == 4.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, reg):
+        h = reg.histogram("repro_t_ms", "t", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        s = h.series[()]
+        assert s.bucket_counts == [2, 3]   # cumulative: le=1 has 2, le=10 has 3
+        assert s.count == 4
+        assert s.sum == pytest.approx(56.2)
+        assert h.count() == 4
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, reg):
+        a = reg.counter("repro_x_total", "x", ("k",))
+        b = reg.counter("repro_x_total", "ignored", ("k",))
+        assert a is b
+
+    def test_conflicting_redeclaration_raises(self, reg):
+        reg.counter("repro_x_total", "x", ("k",))
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total", "x", ("other",))
+
+    def test_iteration_sorted_by_name(self, reg):
+        reg.gauge("repro_b")
+        reg.counter("repro_a_total")
+        assert [m.name for m in reg] == ["repro_a_total", "repro_b"]

@@ -1,0 +1,72 @@
+"""Tracer: modelled clock, span nesting, context propagation."""
+
+import pytest
+
+from repro.obs import ModelClock, Tracer
+
+
+class TestModelClock:
+    def test_advances_and_clamps_negative(self):
+        c = ModelClock()
+        assert c.now_ms == 0.0
+        c.advance(1.5)
+        c.advance(-3.0)
+        assert c.now_ms == 1.5
+
+    def test_custom_start(self):
+        assert ModelClock(7.0).now_ms == 7.0
+
+
+class TestSpans:
+    def test_event_advances_clock_and_finishes(self):
+        t = Tracer()
+        s = t.event("k", "kernel", 2.5, device="X")
+        assert (s.start_ms, s.end_ms) == (0.0, 2.5)
+        assert t.clock.now_ms == 2.5
+        assert s.finished and s.duration_ms == 2.5
+        assert s.attrs["device"] == "X"
+
+    def test_nesting_via_stack(self):
+        t = Tracer()
+        with t.span("outer", "gpu") as outer:
+            inner = t.event("inner", "kernel", 1.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # the outer span covers the clock time its children spent
+        assert outer.start_ms == 0.0 and outer.end_ms == 1.0
+        assert t.children_of(outer) == [inner]
+
+    def test_manual_start_end(self):
+        t = Tracer()
+        s = t.start("step", "step", step=3)
+        t.event("k", "kernel", 1.0)
+        t.end(s)
+        assert s.finished and s.duration_ms == 1.0
+        assert t.current() is None
+
+    def test_exception_closes_dangling_children(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer", "gpu"):
+                t.start("child", "step")   # never explicitly ended
+                raise RuntimeError("boom")
+        assert all(s.finished for s in t.spans)
+        assert t.current() is None
+        # a fresh root span is again parentless: the stack is clean
+        assert t.event("next", "kernel", 0.0).parent_id is None
+
+    def test_wall_span_advances_clock(self):
+        t = Tracer()
+        with t.span("compile", "compile", wall=True):
+            pass
+        assert t.clock.now_ms > 0.0
+
+    def test_descendants_and_find(self):
+        t = Tracer()
+        with t.span("a", "gpu") as a:
+            with t.span("b", "step") as b:
+                c = t.event("kern:x", "kernel", 1.0)
+        assert set(s.span_id for s in t.descendants_of(a)) == {
+            b.span_id, c.span_id}
+        assert t.find("kern", cat="kernel") == [c]
+        assert t.finished() == t.spans
