@@ -18,11 +18,23 @@ Subpackages
     workgroup-size autotuner.
 ``repro.bench``
     Regeneration harnesses for every table and figure in the paper's
-    evaluation (Tables II-VI, Figures 2, 4, 5, 6).
+    evaluation (Tables II-VI, Figures 2, 4, 5, 6), plus strong/weak
+    multi-device scaling sweeps.
+``repro.api``
+    The unified front door: ``Session(devices=..., resilient=...)``
+    owning the device pool, fault policy, and observability sink, with
+    ``session.simulate(...)`` / ``session.bench(...)`` returning typed
+    results.  Start here::
+
+        from repro import api
+        session = api.Session(devices="RadeonR9:2")
+        result = session.simulate(room, steps=100)
 """
 
 __version__ = "1.0.0"
 
 from . import lift
+from .api import BenchResult, Session, SimulationResult
 
-__all__ = ["lift", "__version__"]
+__all__ = ["BenchResult", "Session", "SimulationResult", "api", "lift",
+           "__version__"]

@@ -1,0 +1,30 @@
+"""Once-per-process deprecation warnings for API-migration shims.
+
+Old call forms kept alive during the :mod:`repro.api` migration route
+through :func:`warn_once`, so a loop calling a shimmed function hundreds
+of times produces exactly one :class:`DeprecationWarning` instead of a
+flood (the tests pin this behaviour).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller of
+    the shim*, not the shim itself.
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget which warnings fired (test isolation only)."""
+    _warned.clear()

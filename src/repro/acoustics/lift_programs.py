@@ -435,6 +435,39 @@ class LiftHostProgram:
     scheme: str
 
 
+def fused_host(dtype="double") -> LiftHostProgram:
+    """Host orchestration of the fused FI scheme (Listing 1 kernel).
+
+    One launch per step — volume update and lossy boundary handling fused
+    in :func:`fi_fused_flat` — with the single scalar boundary admittance
+    ``beta_h`` (FI has one material by construction).  Shares the host
+    parameter conventions of :func:`two_kernel_host` (``prev1_h`` /
+    ``prev2_h`` / ``neighbors`` padded to ``NP``), so the virtual GPU,
+    the multi-device decomposition, and the leapfrog rotation treat all
+    three schemes uniformly.
+    """
+    T = _T(dtype)
+    fused = fi_fused_flat(T)
+    NP = Var("NP")
+
+    nbrs_h = Param("neighbors", ArrayType(Int, NP))
+    prev1_h = Param("prev1_h", ArrayType(T, NP))  # state at t   (curr)
+    prev2_h = Param("prev2_h", ArrayType(T, NP))  # state at t-1 (prev)
+    l_h = Param("lambda_h", T)
+    beta_h = Param("beta_h", T)
+    Nx_h = Param("Nx_h", Int)
+    NxNy_h = Param("NxNy_h", Int)
+
+    next_g = FunCall(OclKernel(fused.kernel, "fused_handling_kernel"),
+                     FunCall(ToGPU(), prev2_h), FunCall(ToGPU(), prev1_h),
+                     FunCall(ToGPU(), nbrs_h), l_h, beta_h, Nx_h, NxNy_h)
+    body = FunCall(ToHost(), next_g)
+    program = Lambda([nbrs_h, prev1_h, prev2_h, l_h, beta_h, Nx_h, NxNy_h],
+                     body)
+    return LiftHostProgram(name="host_fi", program=program, dtype=T,
+                           scheme="fi")
+
+
 def two_kernel_host(scheme: str = "fi_mm", dtype="double",
                     num_branches: int = 3) -> LiftHostProgram:
     """Listing 5: orchestrate the volume kernel and a boundary kernel.

@@ -145,7 +145,16 @@ class SimConfig:
     ``resilient``
         wrap the virtual GPU in a
         :class:`repro.gpu.resilient.ResilientGPU` (retry/degrade/fallback;
-        policy log at ``RoomSimulation.policy_log``).
+        policy log at ``RoomSimulation.policy_log``); with multiple
+        devices each shard gets its own wrapper and a lost device is
+        recovered by re-shard-and-replay (see :meth:`RoomSimulation.run`);
+    ``devices``
+        device selection for the ``virtual_gpu`` backend — anything
+        :func:`repro.gpu.resolve_device` accepts (``None`` = the default
+        TitanBlack, a :class:`DeviceSpec`, a paper name, ``"name:k"``
+        shard syntax, or a list).  More than one resolved device selects
+        Z-slab domain decomposition (:class:`repro.gpu.multi.MultiGPU`),
+        bit-identical to single-device execution.
     """
 
     room: Room
@@ -159,6 +168,8 @@ class SimConfig:
     energy_growth_factor: float = 100.0
     faults: object | None = None          # FaultPlan, opt-in
     resilient: bool = False
+    retry: object | None = None           # RetryPolicy for the resilient path
+    devices: object | None = None         # resolve_device() designation
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -220,6 +231,7 @@ class RoomSimulation:
         self.receivers: dict[str, tuple[int, list[float]]] = {}
 
         self.modelled_gpu_time_ms = 0.0
+        self.modelled_halo_time_ms = 0.0
         self.last_checkpoint: Checkpoint | None = None
         self._energy_ref: float | None = None
         if config.backend == "lift":
@@ -256,36 +268,74 @@ class RoomSimulation:
 
     def _setup_virtual_gpu(self, device=None):
         from ..lift.codegen.host import compile_host
-        from ..gpu.device import NVIDIA_TITAN_BLACK
-        from .lift_programs import two_kernel_host
+        from ..gpu.device import resolve_device
         scheme = self.config.scheme
         if scheme == "fi":
-            raise ValueError(
-                "the virtual_gpu backend runs the two-kernel host program; "
-                "use scheme 'fi_mm' or 'fd_mm'")
-        hp = two_kernel_host(scheme, self.config.precision,
-                             self.table.num_branches or 3)
+            from .lift_programs import fused_host
+            hp = fused_host(self.config.precision)
+        else:
+            from .lift_programs import two_kernel_host
+            hp = two_kernel_host(scheme, self.config.precision,
+                                 self.table.num_branches or 3)
         self._host_program = compile_host(hp.program, hp.name)
-        self._gpu = self._make_gpu(device or NVIDIA_TITAN_BLACK)
+        self._gpu = self._make_gpu(resolve_device(
+            device if device is not None else self.config.devices))
 
-    def _make_gpu(self, device):
-        """Build the executor: a plain VirtualGPU, optionally carrying a
-        fault plan, optionally wrapped in the resilient policy layer."""
+    def _make_gpu(self, devices):
+        """Build the executor for a resolved device tuple: one spec gives
+        a plain VirtualGPU (optionally fault-carrying / resilient); more
+        than one gives the Z-slab decomposition across the pool."""
+        if len(devices) > 1:
+            from ..gpu.multi import MultiGPU
+            return MultiGPU(devices, faults=self.config.faults,
+                            resilient=self.config.resilient,
+                            retry=self.config.retry)
         from ..gpu.runtime import VirtualGPU
-        gpu = VirtualGPU(device, faults=self.config.faults)
+        gpu = VirtualGPU(devices[0], faults=self.config.faults)
         if self.config.resilient:
             from ..gpu.resilient import ResilientGPU
-            gpu = ResilientGPU(gpu)
+            gpu = ResilientGPU(gpu, retry=self.config.retry)
         return gpu
 
     @property
+    def devices(self):
+        """Device pool currently executing (virtual_gpu backend only,
+        ``()`` otherwise).  After a shard-loss recovery this reflects the
+        surviving pool, not the one the simulation was configured with."""
+        gpu = getattr(self, "_gpu", None)
+        if gpu is None:
+            return ()
+        if hasattr(gpu, "devices"):
+            return tuple(gpu.devices)
+        return (gpu.device,)
+
+    @property
     def policy_log(self):
-        """Recovery-policy log of the resilient executor ([] otherwise)."""
-        return getattr(getattr(self, "_gpu", None), "log", [])
+        """Recovery-policy log of the resilient executor ([] otherwise);
+        for a multi-device pool, the concatenated per-shard logs."""
+        gpu = getattr(self, "_gpu", None)
+        if gpu is None:
+            return []
+        if hasattr(gpu, "policy_logs"):
+            return gpu.policy_logs()
+        return getattr(gpu, "log", [])
+
+    def set_devices(self, devices) -> None:
+        """Re-target the virtual_gpu backend: accepts anything
+        :func:`repro.gpu.resolve_device` does (a spec, a paper name,
+        ``"name:k"`` shard syntax, or a list of those)."""
+        from ..gpu.device import resolve_device
+        self._gpu = self._make_gpu(resolve_device(devices))
 
     def set_virtual_device(self, device) -> None:
-        """Re-target the virtual_gpu backend at another device spec."""
-        self._gpu = self._make_gpu(device)
+        """Deprecated alias of :meth:`set_devices` (pre-multi-device
+        API); warns once per process."""
+        from .._deprecation import warn_once
+        warn_once("RoomSimulation.set_virtual_device",
+                  "RoomSimulation.set_virtual_device() is deprecated; use "
+                  "set_devices(), which also accepts paper-name strings, "
+                  "'name:k' shard syntax, and device lists")
+        self.set_devices(device)
 
     def _setup_interp(self):
         from ..lift.interp import Interp
@@ -376,14 +426,58 @@ class RoomSimulation:
     def run(self, steps: int) -> None:
         o = _obs.get()
         if o is None:
-            for _ in range(steps):
-                self.step()
+            self._run_impl(steps)
             return
         cfg = self.config
         with o.tracer.span("sim.run", "sim", steps=steps, scheme=cfg.scheme,
                            backend=cfg.backend, grid=str(self.grid.shape)):
-            for _ in range(steps):
+            self._run_impl(steps)
+
+    def _run_impl(self, steps: int) -> None:
+        """Step to ``time_step + steps``, recovering lost shards.
+
+        On a multi-device pool a :class:`repro.gpu.multi.ShardLost`
+        (a device dropped off the bus and per-shard policies escalated)
+        is recovered globally: re-shard across the surviving devices,
+        restore the last checkpoint, and replay — bit-identical to an
+        uninterrupted run because the decomposition is exact and the
+        stepper is deterministic.  An initial checkpoint is taken up
+        front so there is always a restore point."""
+        target = self.time_step + steps
+        multi = hasattr(getattr(self, "_gpu", None), "without_device")
+        if multi and self.last_checkpoint is None:
+            self.last_checkpoint = self.checkpoint()
+        while self.time_step < target:
+            if not multi:
                 self.step()
+                continue
+            from ..gpu.multi import ShardLost
+            try:
+                self.step()
+            except ShardLost as lost:
+                self._recover_shard_loss(lost)
+
+    def _recover_shard_loss(self, lost) -> None:
+        """Drop the dead device, re-shard, and rewind to the checkpoint.
+
+        The surviving pool reuses the same fault plan instance, so
+        one-shot injected faults that already fired do not re-fire
+        during the replay."""
+        if self.last_checkpoint is None or lost.shard is None:
+            raise lost
+        survivors = self._gpu.without_device(lost.shard)
+        o = _obs.get()
+        if o is not None:
+            o.tracer.event("sim.reshard", "sim", 0.0,
+                           lost_shard=lost.shard,
+                           lost_device=lost.context.get("device", ""),
+                           survivors=len(survivors.devices),
+                           replay_from=self.last_checkpoint.time_step)
+            o.metrics.counter(
+                "repro_sim_reshards_total",
+                "Shard-loss recoveries (re-shard and replay)").inc()
+        self._gpu = survivors
+        self.restore(self.last_checkpoint)
 
     # -- checkpoint / restart ---------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
@@ -564,6 +658,18 @@ class RoomSimulation:
         g = self.grid
         t = self.topology
         sizes = self._size_env()
+        if self.config.scheme == "fi":
+            inputs = dict(neighbors=self._nbrs_guarded, prev1_h=self.curr,
+                          prev2_h=self.prev, lambda_h=self._lam(),
+                          beta_h=self.table.beta[0],
+                          Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+            res = self._gpu.execute(self._host_program, inputs, sizes,
+                                    fault_step=self.time_step)
+            self.nxt[:self._N] = np.asarray(res.result)[:self._N]
+            self.modelled_gpu_time_ms += res.kernel_time_ms()
+            self.modelled_halo_time_ms += getattr(
+                res, "halo_time_ms", lambda: 0.0)()
+            return
         inputs = dict(boundaries=t.boundary_indices, materialIdx=t.material,
                       neighbors=self._nbrs_guarded,
                       betaTable=self.table.beta, prev1_h=self.curr,
@@ -587,6 +693,8 @@ class RoomSimulation:
                        if n.startswith(f"d_{host_name}")][0]
                 target[:] = buf
         self.modelled_gpu_time_ms += res.kernel_time_ms()
+        self.modelled_halo_time_ms += getattr(
+            res, "halo_time_ms", lambda: 0.0)()
 
     def _step_lift_interp(self):
         g = self.grid

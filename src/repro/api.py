@@ -1,0 +1,210 @@
+"""repro.api — the unified session facade.
+
+One object, :class:`Session`, owns everything that used to be wired by
+hand across three subpackages: the virtual device pool
+(:func:`repro.gpu.resolve_device` designations, including ``"name:k"``
+shard pools), the fault/recovery policy (:class:`~repro.gpu.faults.FaultPlan`
++ :class:`~repro.gpu.resilient.RetryPolicy`), and the observability sink
+(:class:`~repro.obs.Observability`).  Its two verbs return typed results:
+
+>>> from repro import api
+>>> from repro.acoustics import BoxRoom, Grid3D, Room
+>>> s = api.Session(devices="RadeonR9:2")
+>>> r = s.simulate(Room(Grid3D(20, 16, 12), BoxRoom()), steps=10)
+>>> r.time_step, r.halo_time_ms > 0
+(10, True)
+>>> b = s.bench(kind="fi_mm", size="302", scale=16)
+>>> b.time_ms > 0
+True
+
+All constructor and verb arguments are keyword-only (except the obvious
+positional ``room``/``steps``), so call sites read as configuration and
+stay source-compatible as knobs are added.
+
+Old call forms remain available (``RoomSimulation`` + ``SimConfig``
+directly, ``modelled_time`` in the bench harness); see ``docs/api.md``
+for the migration table.  The facade adds no behaviour of its own —
+:meth:`Session.simulate` with default arguments is bit-identical to
+driving :class:`~repro.acoustics.sim.RoomSimulation` by hand (the tests
+pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import obs as _obs
+from .acoustics.geometry import Room
+from .acoustics.sim import RoomSimulation, SimConfig
+from .gpu.device import DeviceSpec, resolve_device
+
+__all__ = ["BenchResult", "Session", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one :meth:`Session.simulate` call."""
+
+    #: final pressure field (guard plane stripped, copy)
+    field: np.ndarray
+    #: completed time steps
+    time_step: int
+    scheme: str
+    precision: str
+    #: names of the devices that executed the run; after a shard-loss
+    #: recovery these are the survivors, not the configured pool
+    devices: tuple[str, ...]
+    #: modelled kernel time (multi-device: parallel critical path)
+    kernel_time_ms: float
+    #: modelled inter-device halo-exchange time (0.0 on one device)
+    halo_time_ms: float
+    #: per-receiver pressure signals
+    receivers: dict[str, np.ndarray] = field(default_factory=dict)
+    #: recovery-policy decisions taken during the run
+    policy_log: tuple = ()
+    #: the underlying simulation, for checkpoints / further stepping
+    simulation: RoomSimulation | None = None
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one :meth:`Session.bench` cell (paper-table semantics)."""
+
+    kind: str
+    impl: str
+    precision: str
+    device: str
+    room: str
+    #: modelled kernel time of one launch [ms]
+    time_ms: float
+    #: the paper's throughput metric [Gelem/s]
+    gelems: float
+    occupancy: float
+    workgroup: int
+
+
+class Session:
+    """A configured context for running simulations and benchmarks.
+
+    All arguments are keyword-only:
+
+    ``devices``
+        anything :func:`repro.gpu.resolve_device` accepts — ``None``
+        (default TITAN Black), a :class:`~repro.gpu.device.DeviceSpec`,
+        a paper name (``"AMD7970"``), shard syntax (``"RadeonR9:2"``,
+        modelling e.g. the R9 295X2's two on-board GPUs), or a list.
+        More than one device runs every simulation Z-slab-decomposed,
+        bit-identical to a single device.
+    ``resilient``
+        run the executor(s) under the retry/degrade/fallback policy;
+        on a multi-device pool a lost device is recovered by
+        re-shard-and-replay.
+    ``faults`` / ``retry``
+        an opt-in :class:`~repro.gpu.faults.FaultPlan` and an optional
+        :class:`~repro.gpu.resilient.RetryPolicy` override.
+    ``observability``
+        ``True`` allocates an :class:`repro.obs.Observability` session
+        (exposed as :attr:`obs`) that is active for the duration of
+        every verb; an existing ``Observability`` instance is also
+        accepted.
+    """
+
+    def __init__(self, *, devices=None, resilient: bool = False,
+                 faults=None, retry=None,
+                 observability: bool | _obs.Observability = False):
+        self.devices: tuple[DeviceSpec, ...] = resolve_device(devices)
+        self.resilient = resilient
+        self.faults = faults
+        self.retry = retry
+        if observability is True:
+            self.obs: _obs.Observability | None = _obs.Observability()
+        elif observability is False:
+            self.obs = None
+        else:
+            self.obs = observability
+
+    def _observed(self):
+        """Context installing this session's obs sink (no-op when off)."""
+        if self.obs is None:
+            from contextlib import nullcontext
+            return nullcontext()
+        return _obs.observe(self.obs)
+
+    # -- verbs -------------------------------------------------------------------
+    def simulate(self, room: Room, steps: int, *, scheme: str = "fi_mm",
+                 precision: str = "double", backend: str = "virtual_gpu",
+                 impulse="center", receivers: dict | None = None,
+                 materials=None, num_branches: int = 3,
+                 checkpoint_interval: int = 0,
+                 health_interval: int = 0) -> SimulationResult:
+        """Run a room simulation for ``steps`` steps on this session's pool.
+
+        ``impulse`` is a grid position (or ``"center"``; ``None`` for no
+        source); ``receivers`` maps names to positions.  Returns a
+        :class:`SimulationResult`; the live :class:`RoomSimulation` is
+        attached for checkpointing or continued stepping.
+        """
+        cfg = SimConfig(
+            room=room, scheme=scheme, backend=backend, precision=precision,
+            materials=materials, num_branches=num_branches,
+            checkpoint_interval=checkpoint_interval,
+            health_interval=health_interval, faults=self.faults,
+            resilient=self.resilient, retry=self.retry, devices=self.devices)
+        with self._observed():
+            sim = RoomSimulation(cfg)
+            if impulse is not None:
+                sim.add_impulse(impulse)
+            for name, pos in (receivers or {}).items():
+                sim.add_receiver(name, pos)
+            sim.run(steps)
+        return SimulationResult(
+            field=sim.curr[:sim._N].copy(), time_step=sim.time_step,
+            scheme=scheme, precision=precision,
+            devices=tuple(d.name for d in (sim.devices or self.devices)),
+            kernel_time_ms=sim.modelled_gpu_time_ms,
+            halo_time_ms=sim.modelled_halo_time_ms,
+            receivers={k: sim.receiver_signal(k) for k in sim.receivers},
+            policy_log=tuple(sim.policy_log), simulation=sim)
+
+    def bench(self, *, kind: str = "fi_mm", precision: str = "double",
+              impl: str = "LIFT", size: str = "302", shape: str = "box",
+              scale: int = 1, num_branches: int = 3) -> BenchResult:
+        """Model one benchmark cell (paper Figures 4–6 semantics) on the
+        first device of this session's pool."""
+        from .bench.harness import modelled_time, throughput_gelems
+        from .bench.rooms import room_bundle
+        bundle = room_bundle(size, shape, scale)
+        with self._observed():
+            timing = modelled_time(kind, precision, impl, self.devices[0],
+                                   bundle, num_branches)
+        return BenchResult(
+            kind=kind, impl=impl, precision=precision,
+            device=self.devices[0].name, room=bundle.name,
+            time_ms=timing.time_ms,
+            gelems=throughput_gelems(kind, timing, bundle),
+            occupancy=timing.occupancy, workgroup=timing.workgroup)
+
+    def scaling(self, *, mode: str = "strong", shard_counts=(1, 2, 4),
+                scheme: str = "fi_mm", size: str = "302",
+                shape: str = "box", scale: int = 4, steps: int = 4,
+                precision: str = "double"):
+        """Strong/weak-scaling sweep over shard pools built from this
+        session's first device; returns the harness's ``ScalingCell``
+        rows (see :mod:`repro.bench.harness`)."""
+        from .bench.harness import strong_scaling_sweep, weak_scaling_sweep
+        sweep = {"strong": strong_scaling_sweep,
+                 "weak": weak_scaling_sweep}.get(mode)
+        if sweep is None:
+            raise ValueError(f"unknown scaling mode {mode!r}; "
+                             "'strong' or 'weak'")
+        with self._observed():
+            return sweep(device=self.devices[0], shard_counts=shard_counts,
+                         scheme=scheme, size=size, shape=shape, scale=scale,
+                         steps=steps, precision=precision)
+
+    def __repr__(self) -> str:
+        names = ",".join(d.name for d in self.devices)
+        return (f"Session(devices=({names}), resilient={self.resilient}, "
+                f"obs={'on' if self.obs is not None else 'off'})")

@@ -19,12 +19,22 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=int, default=1,
                         help="divide room dimensions by this factor "
                              "(1 = full paper sizes; larger = faster)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="additionally write the 'scaling' artefact's "
+                             "rows as a JSON file (CI artifact)")
     args = parser.parse_args(argv)
     artefacts = args.artefacts or ["all"]
     if artefacts == ["list"]:
         from .experiments import render_index
         print(render_index())
         return 0
+    if args.json is not None:
+        import json
+        from .report import scaling_rows
+        with open(args.json, "w") as f:
+            json.dump([c.as_dict() for c in scaling_rows(args.scale)], f,
+                      indent=2)
+        print(f"wrote {args.json}")
     if artefacts == ["all"]:
         print(render_all(args.scale))
         return 0

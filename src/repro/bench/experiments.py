@@ -80,6 +80,16 @@ EXPERIMENTS: dict[str, Experiment] = {e.id: e for e in [
         bench_target="benchmarks/test_fig6_fdmm.py",
         cli="python -m repro.bench fig6"),
     Experiment(
+        id="scaling",
+        paper_artifact="§VIII outlook (multi-GPU; R9 295X2 dual-die board)",
+        what="Strong/weak scaling of the Z-slab domain decomposition with "
+             "modelled halo exchange (p2p vs staged)",
+        workload="fi_mm resident run, 1/2/4 shards, box room",
+        modules=("repro.gpu.multi", "repro.gpu.costmodel",
+                 "repro.bench.harness"),
+        bench_target="tests/gpu/test_multi.py",
+        cli="python -m repro.bench scaling"),
+    Experiment(
         id="counts",
         paper_artifact="§VII-B2 resource counts",
         what="FD-MM: 45 accesses / 98 ops; FI-MM: 6 / 7 per update",

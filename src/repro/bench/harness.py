@@ -28,7 +28,7 @@ from ..lift.analysis import Resources, analyse_kernel
 from ..gpu.autotune import autotune_workgroup
 from ..gpu.costmodel import (HANDWRITTEN_TRAITS, ImplTraits, KernelTiming,
                              LIFT_TRAITS)
-from ..gpu.device import DeviceSpec, device_by_name
+from ..gpu.device import DeviceSpec, resolve_device
 from .rooms import RoomBundle
 
 KERNEL_KINDS = ("fi_fused", "volume", "fi_mm", "fd_mm")
@@ -82,8 +82,7 @@ def modelled_time(kind: str, precision: str, impl: str,
                   device: DeviceSpec | str, bundle: RoomBundle,
                   num_branches: int = 3) -> KernelTiming:
     """Modelled kernel time [ms] for one (kernel, precision, impl, room)."""
-    if isinstance(device, str):
-        device = device_by_name(device)
+    device = resolve_device(device)[0]
     res = kernel_resources(kind, precision, num_branches)
     if kind == "fi_fused":
         res = _naive_fi_resources(res)
@@ -181,3 +180,168 @@ def fault_tolerant_sweep(keys, compute, max_attempts: int = 3) -> list[SweepCell
         g.set(len(out) - failed, status="ok")
         g.set(failed, status="failed")
     return out
+
+
+# -- multi-device scaling sweeps ----------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalingCell:
+    """One point of a strong/weak-scaling sweep.
+
+    ``kernel_time_ms`` is the parallel critical path (slowest shard);
+    ``per_shard_kernel_ms`` exposes the per-shard breakdown and
+    ``halo_time_ms`` the synchronising inter-device exchange phase — the
+    two components the sweep exists to separate.
+    """
+
+    mode: str                           # "strong" | "weak"
+    shards: int
+    devices: tuple[str, ...]
+    n_points: int                       # grid points of this cell's room
+    steps: int
+    kernel_time_ms: float
+    per_shard_kernel_ms: tuple[float, ...]
+    halo_time_ms: float
+    halo_bytes: int
+    total_time_ms: float                # kernel critical path + halo
+    speedup: float
+    efficiency: float
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable row (the CI scaling artifact)."""
+        return {
+            "mode": self.mode, "shards": self.shards,
+            "devices": list(self.devices), "n_points": self.n_points,
+            "steps": self.steps, "kernel_time_ms": self.kernel_time_ms,
+            "per_shard_kernel_ms": list(self.per_shard_kernel_ms),
+            "halo_time_ms": self.halo_time_ms,
+            "halo_bytes": self.halo_bytes,
+            "total_time_ms": self.total_time_ms,
+            "speedup": self.speedup, "efficiency": self.efficiency,
+        }
+
+
+def _decomposition_problem(scheme: str, topo, precision: str = "double",
+                           num_branches: int = 3):
+    """Host program + inputs/sizes/rotations for a resident multi-step
+    run of the two-kernel scheme on one topology (seeded random state so
+    boundary kernels do real work)."""
+    from ..acoustics.lift_programs import two_kernel_host
+    from ..acoustics.materials import (MaterialTable, default_fd_materials,
+                                       default_fi_materials)
+    from ..lift.codegen.host import compile_host
+    g = topo.grid
+    N = g.num_points
+    guard = g.nx * g.ny
+    dtype = np.float32 if precision == "single" else np.float64
+    rng = np.random.default_rng(42)
+    inside = topo.inside.reshape(-1)
+
+    def state():
+        a = np.zeros(N + guard, dtype)
+        a[:N][inside] = rng.standard_normal(int(inside.sum()))
+        return a
+
+    K = topo.num_boundary_points
+    if scheme == "fd_mm":
+        table = MaterialTable.from_fd(default_fd_materials(4), num_branches,
+                                      dtype=dtype)
+    else:
+        table = MaterialTable.from_fi(default_fi_materials(4), dtype=dtype)
+    inputs = dict(
+        boundaries=topo.boundary_indices, materialIdx=topo.material,
+        neighbors=np.concatenate([topo.nbrs, np.zeros(guard, np.int32)]),
+        betaTable=table.beta, prev1_h=state(), prev2_h=state(),
+        lambda_h=dtype(g.courant), Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+    rotations = [("prev2_h", "prev1_h", "__out__")]
+    if scheme == "fd_mm":
+        inputs.update(BI_h=table.BI.reshape(-1), DI_h=table.DI.reshape(-1),
+                      F_h=table.F.reshape(-1), D_h=table.D.reshape(-1),
+                      g1_h=np.zeros(num_branches * K, dtype),
+                      v2_h=np.zeros(num_branches * K, dtype),
+                      v1_h=np.zeros(num_branches * K, dtype), K=K)
+        rotations.append(("v2_h", "v1_h"))
+    sizes = dict(N=N, NP=N + guard, K=K, M=table.num_materials)
+    host = compile_host(two_kernel_host(scheme, precision,
+                                        num_branches).program, "scaling")
+    return host, inputs, sizes, rotations
+
+
+def _scaling_cell(mode: str, k: int, base: DeviceSpec, topo, scheme: str,
+                  steps: int, precision: str) -> ScalingCell:
+    from ..gpu.device import _shard_pool
+    from ..gpu.multi import MultiGPU
+    host, inputs, sizes, rot = _decomposition_problem(scheme, topo, precision)
+    pool = _shard_pool(base, k)
+    res = MultiGPU(pool).execute_many(host, inputs, sizes, steps,
+                                      rotations=rot)
+    kernel = res.kernel_time_ms()
+    halo = res.halo_time_ms()
+    return ScalingCell(
+        mode=mode, shards=k, devices=res.devices,
+        n_points=topo.grid.num_points, steps=steps,
+        kernel_time_ms=kernel,
+        per_shard_kernel_ms=tuple(res.per_shard_kernel_time_ms()),
+        halo_time_ms=halo, halo_bytes=res.halo_bytes,
+        total_time_ms=kernel + halo, speedup=1.0, efficiency=1.0)
+
+
+def _with_speedups(mode: str, cells: list[ScalingCell]) -> list[ScalingCell]:
+    """Fill speedup/efficiency relative to the first (reference) cell."""
+    import dataclasses
+    ref = cells[0]
+    out = []
+    for c in cells:
+        if mode == "strong":
+            speedup = ref.total_time_ms / c.total_time_ms
+            eff = speedup * ref.shards / c.shards
+        else:   # weak: ideal is constant total time at constant per-shard work
+            eff = ref.total_time_ms / c.total_time_ms
+            speedup = eff * c.shards / ref.shards
+        out.append(dataclasses.replace(c, speedup=speedup, efficiency=eff))
+    return out
+
+
+def _scaling_base_device(device) -> DeviceSpec:
+    base = resolve_device(device)[0]
+    if "#" in base.name:        # already a shard of a pool: use its family
+        from dataclasses import replace
+        base = replace(base, name=base.name.split("#")[0])
+    return base
+
+
+def strong_scaling_sweep(device="RadeonR9", shard_counts=(1, 2, 4),
+                         scheme: str = "fi_mm", size: str = "302",
+                         shape: str = "box", scale: int = 4,
+                         steps: int = 4,
+                         precision: str = "double") -> list[ScalingCell]:
+    """Fixed problem, growing pool: 1/2/4-way Z-slab decomposition of one
+    paper room, reporting modelled speedup and the halo-overhead share."""
+    from .rooms import room_topology
+    base = _scaling_base_device(device)
+    topo = room_topology(size, shape, scale)
+    cells = [_scaling_cell("strong", k, base, topo, scheme, steps, precision)
+             for k in shard_counts]
+    return _with_speedups("strong", cells)
+
+
+def weak_scaling_sweep(device="RadeonR9", shard_counts=(1, 2, 4),
+                       scheme: str = "fi_mm", size: str = "302",
+                       shape: str = "box", scale: int = 4,
+                       steps: int = 4,
+                       precision: str = "double") -> list[ScalingCell]:
+    """Constant work per shard: the Z extent grows with the pool, so
+    ideal scaling is a flat total time (efficiency = T_ref / T_k)."""
+    from ..acoustics.geometry import Room, shape_by_name
+    from ..acoustics.grid import Grid3D
+    from ..acoustics.topology import build_topology
+    from .rooms import scaled_dims
+    base = _scaling_base_device(device)
+    nx, ny, nz = scaled_dims(size, scale)
+    cells = []
+    for k in shard_counts:
+        room = Room(Grid3D(nx, ny, nz * k), shape_by_name(shape))
+        topo = build_topology(room, num_materials=4)
+        cells.append(_scaling_cell("weak", k, base, topo, scheme, steps,
+                                   precision))
+    return _with_speedups("weak", cells)

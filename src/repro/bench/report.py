@@ -181,6 +181,34 @@ def render_counts(scale: int = 1) -> str:
     return out.getvalue()
 
 
+def scaling_rows(scale: int = 1) -> list:
+    """Strong + weak scaling cells (JSON-able via ``as_dict``).
+
+    ``--scale`` semantics match the figures: it further divides the room
+    on top of the sweep's own default reduction.
+    """
+    from .harness import strong_scaling_sweep, weak_scaling_sweep
+    eff_scale = max(4, 4 * scale)
+    return (strong_scaling_sweep(scale=eff_scale)
+            + weak_scaling_sweep(scale=eff_scale))
+
+
+def render_scaling(scale: int = 1) -> str:
+    out = io.StringIO()
+    print("Scaling — Z-slab domain decomposition (RadeonR9 pool, fi_mm, "
+          "modelled)", file=out)
+    print(f"{'mode':>6} {'shards':>6} {'points':>8} {'kernel ms':>10} "
+          f"{'halo ms':>8} {'halo B':>8} {'speedup':>8} {'eff':>5}  "
+          f"per-shard kernel ms", file=out)
+    for c in scaling_rows(scale):
+        per = " ".join(f"{v:.4f}" for v in c.per_shard_kernel_ms)
+        print(f"{c.mode:>6} {c.shards:>6} {c.n_points:>8,} "
+              f"{c.kernel_time_ms:>10.4f} {c.halo_time_ms:>8.4f} "
+              f"{c.halo_bytes:>8,} {c.speedup:>8.2f} {c.efficiency:>5.2f}  "
+              f"{per}", file=out)
+    return out.getvalue()
+
+
 RENDERERS = {
     "table2": render_table2,
     "table3": lambda scale=1: render_table3(),
@@ -189,10 +217,12 @@ RENDERERS = {
     "fig5": render_fig5,
     "fig6": render_fig6,
     "counts": render_counts,
+    "scaling": render_scaling,
 }
 
 
 def render_all(scale: int = 1) -> str:
     parts = [RENDERERS[k](scale) for k in
-             ("table2", "table3", "counts", "fig2", "fig4", "fig5", "fig6")]
+             ("table2", "table3", "counts", "fig2", "fig4", "fig5", "fig6",
+              "scaling")]
     return "\n".join(parts)

@@ -16,13 +16,23 @@ substitutes them with an analytic model so the reproduction runs anywhere:
 * :mod:`.autotune` — the "hand-tuned by workgroup size" emulation;
 * :mod:`.errors` — the typed OpenCL-status error hierarchy;
 * :mod:`.faults` — opt-in, seeded fault injection;
-* :mod:`.resilient` — retry/degrade/fallback recovery policies.
+* :mod:`.resilient` — retry/degrade/fallback recovery policies;
+* :mod:`.multi` — 1-D domain decomposition across a device pool with
+  cost-modelled halo exchange (p2p over an on-board bridge, e.g. the
+  R9 295X2, or staged through host PCIe otherwise).
+
+Device selection everywhere in the package goes through
+:func:`resolve_device`, which accepts a :class:`DeviceSpec`, a paper
+device name (``"TitanBlack"``), a shard-pool string (``"RadeonR9:2"``)
+or a sequence of any of those, and always returns a tuple of specs.
 """
 
 from .device import (AMD_HD7970, AMD_R9_295X2, DeviceSpec, NVIDIA_GTX780,
-                     NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name)
+                     NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name,
+                     resolve_device)
 from .costmodel import (ImplTraits, KernelTiming, LIFT_TRAITS,
-                        HANDWRITTEN_TRAITS, kernel_time,
+                        HANDWRITTEN_TRAITS, halo_exchange_time_ms,
+                        kernel_time, peer_connected,
                         sector_bytes_per_item, transfer_time_ms)
 from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
                      ClDeviceNotAvailable, ClError, ClInvalidBufferSize,
@@ -32,20 +42,25 @@ from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
                      ClOutOfResources, ClTransferCorrupted)
 from .faults import FAULT_KINDS, FaultPlan, FaultRecord, FaultSpec
 from .runtime import VirtualGPU, ProfilingEvent, RunResult
-from .resilient import PolicyOutcome, ResilientGPU, RetryPolicy
+from .resilient import (PolicyOutcome, ResilientGPU, RetryPolicy,
+                        shard_retry_policy)
+from .multi import MultiGPU, MultiRunResult, Shard, ShardLost, decompose
 from .autotune import autotune_workgroup
 
 __all__ = [
     "AMD_HD7970", "AMD_R9_295X2", "DeviceSpec", "NVIDIA_GTX780",
     "NVIDIA_TITAN_BLACK", "PAPER_DEVICES", "device_by_name",
+    "resolve_device",
     "ImplTraits", "KernelTiming", "LIFT_TRAITS", "HANDWRITTEN_TRAITS",
-    "kernel_time", "sector_bytes_per_item", "transfer_time_ms",
+    "halo_exchange_time_ms", "kernel_time", "peer_connected",
+    "sector_bytes_per_item", "transfer_time_ms",
     "CL_STATUS_TABLE", "TRANSIENT_ERRORS", "ClDeviceLost",
     "ClDeviceNotAvailable", "ClError", "ClInvalidBufferSize",
     "ClInvalidGlobalWorkSize", "ClInvalidKernelArgs", "ClInvalidValue",
     "ClInvalidWorkGroupSize", "ClMemAllocationFailure", "ClOutOfHostMemory",
     "ClOutOfResources", "ClTransferCorrupted",
     "FAULT_KINDS", "FaultPlan", "FaultRecord", "FaultSpec",
-    "PolicyOutcome", "ResilientGPU", "RetryPolicy",
+    "PolicyOutcome", "ResilientGPU", "RetryPolicy", "shard_retry_policy",
+    "MultiGPU", "MultiRunResult", "Shard", "ShardLost", "decompose",
     "VirtualGPU", "ProfilingEvent", "RunResult", "autotune_workgroup",
 ]

@@ -109,6 +109,31 @@ def transfer_time_ms(nbytes: float, device: DeviceSpec) -> float:
     return float(nbytes) / device.pcie_bandwidth * 1e3
 
 
+def peer_connected(src: DeviceSpec, dst: DeviceSpec) -> bool:
+    """True when two devices have a direct peer path: both sit on the
+    same (non-empty) board and both advertise an interconnect (the
+    295X2's on-board PLX bridge)."""
+    return bool(src.board and src.board == dst.board
+                and src.interconnect_bandwidth_gbs > 0
+                and dst.interconnect_bandwidth_gbs > 0)
+
+
+def halo_exchange_time_ms(nbytes: float, src: DeviceSpec,
+                          dst: DeviceSpec) -> float:
+    """Modelled device->device halo-transfer time [ms] for ``nbytes``.
+
+    Peer-to-peer when :func:`peer_connected` — one hop at the slower of
+    the two link rates.  Otherwise the payload stages through host
+    memory: a D2H on the source plus an H2D on the destination, each
+    priced by :func:`transfer_time_ms`.
+    """
+    if peer_connected(src, dst):
+        link = min(src.interconnect_bandwidth_gbs,
+                   dst.interconnect_bandwidth_gbs) * 1e9
+        return float(nbytes) / link * 1e3
+    return transfer_time_ms(nbytes, src) + transfer_time_ms(nbytes, dst)
+
+
 _SECTOR_CACHE: dict[tuple[int, int, int, int], float] = {}
 
 

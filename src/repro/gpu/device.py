@@ -19,7 +19,8 @@ bandwidth/GFLOPS here are per die, matching Table III.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,15 @@ class DeviceSpec:
     #: and the cost model's :func:`repro.gpu.costmodel.transfer_time_ms`
     #: read it from here, so the two cannot drift apart.
     pcie_bandwidth_gbs: float = 12.0
+    #: device-to-device interconnect bandwidth [GB/s] for peers on the
+    #: same ``board``; 0 means no peer path (transfers stage through the
+    #: host).  Only the R9 295X2 advertises one: its two dies share an
+    #: on-board PLX PCIe bridge, so peer transfers skip the host hop.
+    interconnect_bandwidth_gbs: float = 0.0
+    #: physical board identity; two DeviceSpecs with the same non-empty
+    #: board are dies of one card (set by :func:`resolve_device` for
+    #: ``"name:k"`` shard pools)
+    board: str = ""
 
     @property
     def dp_gflops(self) -> float:
@@ -99,7 +109,11 @@ AMD_R9_295X2 = DeviceSpec(
     name="RadeonR9", vendor="amd", mem_bandwidth_gbs=320.0,
     sp_gflops=5733.0, dp_ratio=1.0 / 8.0, sector_bytes=64,
     compute_units=44, warp_size=64, mem_efficiency=0.70,
-    global_mem_bytes=4 * 1024**3)
+    global_mem_bytes=4 * 1024**3,
+    # dual-GPU board: the two Hawaii dies talk over an on-board PLX
+    # PCIe 3.0 x16 bridge (~16 GB/s effective), so peer halo exchange
+    # avoids the host round-trip
+    interconnect_bandwidth_gbs=16.0, board="R9-295X2")
 
 #: the paper's evaluation devices, keyed as the figures label them
 PAPER_DEVICES: dict[str, DeviceSpec] = {
@@ -116,3 +130,63 @@ def device_by_name(name: str) -> DeviceSpec:
     except KeyError:
         raise ValueError(f"unknown device {name!r}; "
                          f"available: {sorted(PAPER_DEVICES)}") from None
+
+
+def _shard_pool(base: DeviceSpec, count: int) -> tuple[DeviceSpec, ...]:
+    """``count`` same-board copies of ``base``, named ``Name#i``.
+
+    The copies share a board identity, so devices that advertise an
+    interconnect (the 295X2) get peer-to-peer halo pricing; others stage
+    through the host even though they sit in one pool.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    board = base.board or f"{base.name}-board"
+    return tuple(replace(base, name=f"{base.name}#{i}", board=board)
+                 for i in range(count))
+
+
+def resolve_device(spec=None, *,
+                   default: DeviceSpec | None = None
+                   ) -> tuple[DeviceSpec, ...]:
+    """Normalise every accepted device designation to a tuple of specs.
+
+    The one entry point for device selection (callers stop re-implementing
+    string/spec branching).  Accepts:
+
+    * ``None`` — the default device (``TitanBlack`` unless overridden);
+    * a :class:`DeviceSpec` — used as-is;
+    * a paper name string, e.g. ``"RadeonR9"`` (see ``PAPER_DEVICES``);
+    * shard-count syntax ``"name:k"``, e.g. ``"RadeonR9:2"`` — ``k``
+      same-board copies named ``RadeonR9#0`` … for multi-device runs;
+    * a sequence of any of the above, flattened in order.
+
+    A single-element result means single-device execution; more than one
+    selects domain decomposition (:class:`repro.gpu.multi.MultiGPU`).
+    """
+    if spec is None:
+        return (default if default is not None else NVIDIA_TITAN_BLACK,)
+    if isinstance(spec, DeviceSpec):
+        return (spec,)
+    if isinstance(spec, str):
+        if ":" in spec:
+            name, _, count_s = spec.partition(":")
+            try:
+                count = int(count_s)
+            except ValueError:
+                raise ValueError(
+                    f"bad shard-count syntax {spec!r}; expected "
+                    f"'name:k' with integer k (e.g. 'RadeonR9:2')") from None
+            return _shard_pool(device_by_name(name), count)
+        return (device_by_name(spec),)
+    if isinstance(spec, Sequence):
+        out: list[DeviceSpec] = []
+        for item in spec:
+            out.extend(resolve_device(item, default=default))
+        if not out:
+            raise ValueError("empty device sequence")
+        return tuple(out)
+    raise TypeError(
+        f"cannot resolve device designation {spec!r}; expected a "
+        f"DeviceSpec, a paper name, 'name:k' shard syntax, or a "
+        f"sequence of those")

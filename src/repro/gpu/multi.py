@@ -1,0 +1,682 @@
+"""Multi-device execution: 1-D domain decomposition with halo exchange.
+
+:class:`MultiGPU` shards the acoustics volume along the Z axis of the
+flattened FDTD grid (``idx = z*Nx*Ny + y*Nx + x``) across a pool of
+virtual devices and presents the same ``execute``/``execute_many``
+interface as a single :class:`~.runtime.VirtualGPU`, so
+:class:`repro.acoustics.sim.RoomSimulation` and the benchmark harness
+drive it unchanged.
+
+**Shard layout.** Each shard owns a contiguous slab of ``z`` planes
+(``plane = Nx*Ny`` elements each) and stores its state arrays as::
+
+    [ own N_s elements ][ halo_hi r*plane ][ halo_lo r*plane ]
+
+with ``r`` = :data:`STENCIL_RADIUS` (the 7-point SLF stencil reads one
+plane in each direction).  This ordering is what makes the decomposition
+*bit-identical by construction*: the generated kernels index neighbours
+as ``i +- 1/Nx/NxNy`` over ``i in [0, N)`` with NumPy wraparound for
+negative indices, so on a shard run with local sizes ``N = N_s`` and
+``NP = N_s + 2*r*plane``
+
+* a positive overflow (``i + NxNy`` past the top plane) lands in
+  ``halo_hi`` at exactly the offset of the neighbour's value, and
+* a negative wrap (``i - NxNy`` below plane 0) wraps to the *end* of the
+  array — ``halo_lo`` — again at the right offset,
+
+precisely as the single-device layout wraps into its zero guard plane at
+the domain faces.  The first shard's ``halo_lo`` and the last shard's
+``halo_hi`` are zeros, reproducing the guard plane; interior halos carry
+the neighbouring shard's boundary planes.  Kernels run unmodified.
+
+**Boundary work** (FI-MM / FD-MM) is partitioned by owner: the flat
+boundary-index array is split by which slab each index falls in,
+re-based to shard-local coordinates, and the per-boundary-point arrays
+(material ids, ODE branch states of shape ``[branches, K]``) follow the
+same mask.  A shard with no boundary points drops the boundary launch
+and its empty buffers from its plan instead of allocating zero-size
+buffers.
+
+**Halo exchange** (:class:`~repro.lift.codegen.host.HaloExchange` ops)
+moves the freshly computed field's edge planes between neighbouring
+shards after each step's launches and before the leapfrog rotation —
+only the ``__out__`` buffer needs exchanging, since the next step gathers
+neighbours from it while all other reads are at the work item's own
+index.  Transfers are priced by
+:func:`~.costmodel.halo_exchange_time_ms`: peer-to-peer over a
+same-board interconnect (the R9 295X2's on-board bridge, see
+``resolve_device("RadeonR9:2")``), staged through host PCIe otherwise.
+
+**Timing semantics** (:class:`MultiRunResult`): shards run concurrently,
+so the merged ``kernel_time_ms`` is the *maximum* over shards (the
+parallel critical path), while halo and PCIe transfer times *sum* (the
+BSP exchange phase and the single host link serialise).
+
+**Failure semantics**: a lost device cannot be retried in place — its
+resident halo state is gone — so ``CL_DEVICE_LOST`` escalates as
+:class:`ShardLost` (per-shard :class:`~.resilient.ResilientGPU` wrappers
+use :func:`~.resilient.shard_retry_policy`, which retries everything
+transient *except* device loss).  The simulation layer recovers globally:
+drop the device, re-shard over the survivors, and replay from the last
+checkpoint — exact because the decomposition is exact.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs as _obs
+from ..obs.tracer import ModelClock
+from ..lift.codegen.host import (CopyIn, CopyOut, HaloExchange, HostPlan,
+                                 HostProgram, Launch)
+from .costmodel import (ImplTraits, LIFT_TRAITS, halo_exchange_time_ms,
+                        peer_connected)
+from .device import DeviceSpec, resolve_device
+from .errors import ClDeviceLost, ClInvalidValue
+from .faults import FaultPlan
+from .resilient import (PolicyOutcome, ResilientGPU, RetryPolicy,
+                        shard_retry_policy)
+from .runtime import ProfilingEvent, ResidentPlan, RunResult, VirtualGPU
+
+#: halo width in z planes: the 7-point SLF stencil reads one neighbouring
+#: plane in each direction
+STENCIL_RADIUS = 1
+
+
+class ShardLost(ClDeviceLost):
+    """``CL_DEVICE_LOST`` escalated out of one shard of a decomposed run.
+
+    Raised instead of retrying in place: the dead die's resident halo
+    state is unrecoverable, so the correct response is global — re-shard
+    across the surviving devices and replay from the last checkpoint
+    (``RoomSimulation.run`` does exactly that).  ``context`` carries the
+    shard index and device name.
+    """
+
+    @property
+    def shard(self) -> int | None:
+        return self.context.get("shard")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slab of the Z decomposition: planes ``[z0, z1)`` of the grid."""
+
+    index: int
+    device: DeviceSpec
+    z0: int                  # first owned z plane (inclusive)
+    z1: int                  # past-the-end owned z plane
+    plane: int               # Nx*Ny elements per plane
+    radius: int              # halo width in planes
+
+    @property
+    def lo(self) -> int:
+        """Global flat index of the first owned element."""
+        return self.z0 * self.plane
+
+    @property
+    def hi(self) -> int:
+        """Global flat index one past the last owned element."""
+        return self.z1 * self.plane
+
+    @property
+    def n_local(self) -> int:
+        return (self.z1 - self.z0) * self.plane
+
+    @property
+    def np_local(self) -> int:
+        """Local padded size: own slab plus both halo regions."""
+        return self.n_local + 2 * self.radius * self.plane
+
+    def shard_field(self, arr) -> np.ndarray:
+        """Extract this shard's local view of a global field array.
+
+        Layout ``[own][halo_hi][halo_lo]`` (see module docstring).  The
+        global array may carry the single-device guard plane
+        (``N + plane`` elements); the last shard's ``halo_hi`` then *is*
+        that guard plane — zeros, exactly what the single-device wrap
+        reads at the top face.  Missing data (first shard's ``halo_lo``,
+        arrays without a guard plane) is zero-filled for the same reason.
+        """
+        a = np.asarray(arr).reshape(-1)
+        rp = self.radius * self.plane
+        own = a[self.lo:self.hi]
+        if a.size >= self.hi + rp:
+            hi = a[self.hi:self.hi + rp]
+        else:
+            hi = np.zeros(rp, dtype=a.dtype)
+            avail = a.size - self.hi
+            if avail > 0:
+                hi[:avail] = a[self.hi:]
+        if self.lo >= rp:
+            lo = a[self.lo - rp:self.lo]
+        else:
+            lo = np.zeros(rp, dtype=a.dtype)
+        return np.concatenate([own, hi, lo])
+
+
+def decompose(nz: int, plane: int, devices: tuple[DeviceSpec, ...],
+              radius: int = STENCIL_RADIUS) -> list[Shard]:
+    """Balanced Z-slab split of ``nz`` planes across ``devices``."""
+    n = len(devices)
+    if n > nz:
+        raise ClInvalidValue(
+            f"cannot decompose {nz} z planes across {n} devices: each "
+            f"shard needs at least one plane", planes=nz, devices=n)
+    base, rem = divmod(nz, n)
+    shards: list[Shard] = []
+    z0 = 0
+    for i, dev in enumerate(devices):
+        planes = base + (1 if i < rem else 0)
+        shards.append(Shard(i, dev, z0, z0 + planes, plane, radius))
+        z0 += planes
+    return shards
+
+
+@dataclass
+class MultiRunResult:
+    """Merged outcome of a decomposed run.
+
+    Mirrors :class:`~.runtime.RunResult` (``result``, ``buffers``, the
+    ``*_time_ms`` accessors) with multi-device semantics: shards execute
+    concurrently, so :meth:`kernel_time_ms` is the **maximum** over the
+    per-shard totals (the parallel critical path), while
+    :meth:`halo_time_ms` and :meth:`transfer_time_ms` **sum** — the BSP
+    exchange phase and the single host PCIe link serialise.
+    """
+
+    result: np.ndarray | None
+    buffers: dict[str, np.ndarray]
+    shard_events: list[list[ProfilingEvent]]
+    halo_events: list[ProfilingEvent]
+    halo_bytes: int
+    devices: tuple[str, ...]
+
+    @property
+    def events(self) -> list[ProfilingEvent]:
+        out = [e for ev in self.shard_events for e in ev]
+        out.extend(self.halo_events)
+        return out
+
+    def per_shard_kernel_time_ms(
+            self, name_prefix: str | None = None) -> list[float]:
+        """Per-shard successful-kernel time, indexed by shard."""
+        return [sum(e.duration_ms for e in ev if e.kind == "kernel"
+                    and (name_prefix is None
+                         or e.name.startswith(name_prefix)))
+                for ev in self.shard_events]
+
+    def kernel_time_ms(self, name_prefix: str | None = None) -> float:
+        """Modelled kernel time of the run: slowest shard's total."""
+        return max(self.per_shard_kernel_time_ms(name_prefix), default=0.0)
+
+    def halo_time_ms(self) -> float:
+        """Total modelled inter-device halo-exchange time (summed: the
+        exchange phase is a synchronisation point between steps)."""
+        return sum(e.duration_ms for e in self.halo_events)
+
+    def transfer_time_ms(self) -> float:
+        return sum(e.duration_ms for ev in self.shard_events for e in ev
+                   if e.kind in ("h2d", "d2h"))
+
+    def overhead_time_ms(self) -> float:
+        return sum(e.duration_ms for e in self.events if e.kind == "backoff")
+
+    def failed_time_ms(self) -> float:
+        return sum(e.duration_ms for e in self.events
+                   if e.kind.startswith("failed_"))
+
+
+class MultiGPU:
+    """A pool of virtual devices executing one host program by Z-slab
+    domain decomposition, with the interface of :class:`VirtualGPU`.
+
+    ``devices`` accepts anything :func:`~.device.resolve_device` does
+    (``"RadeonR9:2"``, a list of specs, ...).  Input partitioning is by
+    host-parameter name: ``field_params`` are grid-shaped arrays sliced
+    into the dual-halo local layout, ``boundary_param`` is the flat
+    boundary-index array (split by owning slab and re-based),
+    ``owner_params`` follow the boundary mask 1:1, ``branch_params`` are
+    ODE branch states of shape ``[branches, K]`` masked per column, and
+    everything else (coefficient tables, scalars) is broadcast whole.
+
+    With ``resilient=True`` the per-step :meth:`execute` path runs each
+    shard under a :class:`~.resilient.ResilientGPU` whose retry policy
+    excludes device loss (:func:`~.resilient.shard_retry_policy`); a lost
+    device always escalates as :class:`ShardLost`.  A ``faults`` plan is
+    attached to the ``fault_shard``-th device only, so injected failures
+    have a well-defined victim.
+    """
+
+    def __init__(self, devices, traits: ImplTraits = LIFT_TRAITS,
+                 autotune: bool = True, workgroup: int = 256,
+                 faults: FaultPlan | None = None, fault_shard: int = 0,
+                 resilient: bool = False, retry: RetryPolicy | None = None,
+                 radius: int = STENCIL_RADIUS,
+                 plane_param: str = "NxNy_h",
+                 boundary_param: str = "boundaries",
+                 field_params: tuple[str, ...] = ("prev1_h", "prev2_h",
+                                                  "neighbors"),
+                 owner_params: tuple[str, ...] = ("materialIdx",),
+                 branch_params: tuple[str, ...] = ("g1_h", "v2_h", "v1_h"),
+                 k_size: str = "K"):
+        self.devices = resolve_device(devices)
+        self.traits = traits
+        self.autotune = autotune
+        self.workgroup = workgroup
+        self.faults = faults
+        self.fault_shard = fault_shard
+        self.resilient = resilient
+        self.retry = retry
+        self.radius = radius
+        self.plane_param = plane_param
+        self.boundary_param = boundary_param
+        self.field_params = tuple(field_params)
+        self.owner_params = tuple(owner_params)
+        self.branch_params = tuple(branch_params)
+        self.k_size = k_size
+        self._gpus = [
+            VirtualGPU(dev, traits, autotune, workgroup,
+                       faults=faults if i == fault_shard else None)
+            for i, dev in enumerate(self.devices)]
+        if resilient:
+            self._execs: list = [
+                ResilientGPU(g, retry=shard_retry_policy(retry),
+                             host_fallback=False) for g in self._gpus]
+        else:
+            self._execs = list(self._gpus)
+        #: fallback clock for halo events when no obs session is active
+        self.clock = ModelClock()
+        #: policy entries carried over from a pre-reshard pool (the old
+        #: pool's executors are discarded by :meth:`without_device`, but
+        #: their recovery history must survive for the policy log)
+        self.inherited_log: list[PolicyOutcome] = []
+
+    @property
+    def device(self) -> DeviceSpec:
+        """First shard's device (interface parity with VirtualGPU)."""
+        return self.devices[0]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.devices)
+
+    def without_device(self, index: int) -> "MultiGPU":
+        """A new pool with shard ``index``'s device removed — the
+        re-shard step of device-loss recovery.  The same fault plan
+        instance carries over, so already-fired one-shot faults do not
+        re-fire during the replay."""
+        remaining = tuple(d for i, d in enumerate(self.devices) if i != index)
+        if not remaining:
+            raise ClInvalidValue(
+                "cannot re-shard: no devices left", lost_shard=index)
+        pool = MultiGPU(
+            remaining, self.traits, self.autotune, self.workgroup,
+            faults=self.faults,
+            fault_shard=min(self.fault_shard, len(remaining) - 1),
+            resilient=self.resilient, retry=self.retry, radius=self.radius,
+            plane_param=self.plane_param, boundary_param=self.boundary_param,
+            field_params=self.field_params, owner_params=self.owner_params,
+            branch_params=self.branch_params, k_size=self.k_size)
+        pool.inherited_log = self.policy_logs() + [PolicyOutcome(
+            method="execute", device=self.devices[index].name, attempt=1,
+            error="CL_DEVICE_LOST", action="reshard",
+            detail=f"shard {index} lost; re-sharded across "
+                   f"{len(remaining)} device(s)")]
+        return pool
+
+    def policy_logs(self) -> list:
+        """Concatenated recovery-policy logs: entries inherited across
+        re-shards, then the live per-shard logs (resilient mode)."""
+        out = list(self.inherited_log)
+        for ex in self._execs:
+            out.extend(getattr(ex, "log", []))
+        return out
+
+    # -- decomposition ------------------------------------------------------------------
+    def _shards(self, inputs: dict, sizes: dict) -> list[Shard]:
+        plane = int(inputs.get(self.plane_param, 0))
+        n_total = int(sizes["N"])
+        if plane <= 0 or n_total % plane:
+            raise ClInvalidValue(
+                f"cannot decompose: plane size {self.plane_param!r}={plane} "
+                f"does not divide N={n_total}", plane=plane, N=n_total)
+        return decompose(n_total // plane, plane, self.devices, self.radius)
+
+    def _local_inputs(self, shard: Shard, inputs: dict, sizes: dict
+                      ) -> tuple[dict, dict, np.ndarray | None]:
+        """Shard-local (inputs, sizes, ownership mask) for one slab."""
+        li = dict(inputs)
+        ls = dict(sizes)
+        ls["N"] = shard.n_local
+        ls["NP"] = shard.np_local
+        for p in self.field_params:
+            if p in inputs:
+                li[p] = shard.shard_field(inputs[p])
+        mask: np.ndarray | None = None
+        if self.boundary_param in inputs:
+            bidx = np.asarray(inputs[self.boundary_param]).reshape(-1)
+            mask = (bidx >= shard.lo) & (bidx < shard.hi)
+            li[self.boundary_param] = (bidx[mask] - shard.lo).astype(bidx.dtype)
+            k_local = int(mask.sum())
+            if self.k_size in ls:
+                ls[self.k_size] = k_local
+            if self.k_size in inputs:
+                li[self.k_size] = k_local
+            for p in self.owner_params:
+                if p in inputs:
+                    li[p] = np.asarray(inputs[p]).reshape(-1)[mask]
+            k_total = bidx.size
+            if k_total:
+                for p in self.branch_params:
+                    if p in inputs:
+                        a = np.asarray(inputs[p]).reshape(-1, k_total)
+                        li[p] = np.ascontiguousarray(a[:, mask]).reshape(-1)
+        return li, ls, mask
+
+    def _shard_program(self, program: HostProgram, shard: Shard,
+                       local_sizes: dict) -> HostProgram:
+        """The per-shard plan: same ops, placed on ``shard.index``, minus
+        work that is empty under the shard's sizes (a shard owning no
+        boundary points drops the boundary launch and its zero-element
+        buffers — allocating a zero-size buffer is an OpenCL error)."""
+        plan = program.plan
+        empty = {d.name for d in plan.buffers
+                 if int(d.count.evaluate(local_sizes)) <= 0}
+        ops: list = []
+        for op in plan.ops:
+            if isinstance(op, (CopyIn, CopyOut)) and op.buffer in empty:
+                continue
+            if isinstance(op, Launch):
+                if (op.global_size is not None
+                        and int(op.global_size.evaluate(local_sizes)) <= 0):
+                    continue
+                bad = [b.param_name for b in op.args
+                       if b.kind == "buffer" and b.source in empty]
+                if bad:
+                    raise ClInvalidValue(
+                        f"launch {op.kernel.name!r} has nonzero work but "
+                        f"references empty buffer(s) via {bad} on shard "
+                        f"{shard.index}; the decomposition cannot shard "
+                        f"this plan", kernel=op.kernel.name, args=bad)
+            ops.append(op)
+        new_plan = HostPlan(
+            buffers=[d for d in plan.buffers if d.name not in empty],
+            ops=ops, result_buffer=plan.result_buffer, device=shard.index)
+        return HostProgram(source=program.source, plan=new_plan,
+                           kernels=program.kernels, params=program.params)
+
+    # -- halo exchange ------------------------------------------------------------------
+    def _halo_schedule(self, shards: list[Shard]) -> list[HaloExchange]:
+        """One exchange per neighbouring pair and direction, on the
+        freshly computed (``__out__``) field: the shard's edge planes
+        into the neighbour's matching halo region."""
+        ops: list[HaloExchange] = []
+        for a, b in zip(shards, shards[1:]):
+            rp = self.radius * a.plane
+            # a's top planes -> b's halo_lo (the tail of b's local array)
+            ops.append(HaloExchange(a.index, b.index, "__out__",
+                                    a.n_local - rp, b.n_local + rp, rp))
+            # b's bottom planes -> a's halo_hi
+            ops.append(HaloExchange(b.index, a.index, "__out__",
+                                    0, a.n_local, rp))
+        return ops
+
+    def _record_halo(self, src: DeviceSpec, dst: DeviceSpec, nbytes: int,
+                     name: str, events: list[ProfilingEvent],
+                     step: int | None) -> None:
+        ms = halo_exchange_time_ms(nbytes, src, dst)
+        link = "p2p" if peer_connected(src, dst) else "staged"
+        o = _obs.get()
+        if o is None:
+            start = self.clock.now_ms
+            self.clock.advance(ms)
+        else:
+            attrs = dict(src=src.name, dst=dst.name, bytes=nbytes, link=link)
+            if step is not None:
+                attrs["step"] = step
+            start = o.tracer.event(name, "halo", ms, **attrs).start_ms
+            o.metrics.counter(
+                "repro_gpu_halo_bytes_total",
+                "Bytes exchanged between shard halos by link type",
+                ("link",)).inc(float(nbytes), link=link)
+            o.metrics.histogram(
+                "repro_gpu_halo_time_ms",
+                "Modelled per-exchange halo transfer time",
+                ("link",)).observe(ms, link=link)
+        events.append(ProfilingEvent("halo", name, ms, start_ms=start))
+
+    def _apply_halo(self, op: HaloExchange, shards: list[Shard],
+                    states: list[ResidentPlan],
+                    events: list[ProfilingEvent], step: int) -> int:
+        """Interpret one HaloExchange op between resident plans."""
+        src_arr = states[op.src_device].buffer_for(op.buffer)
+        dst_arr = states[op.dst_device].buffer_for(op.buffer)
+        dst_arr[op.dst_start:op.dst_start + op.count] = \
+            src_arr[op.src_start:op.src_start + op.count]
+        nbytes = op.count * src_arr.itemsize
+        self._record_halo(shards[op.src_device].device,
+                          shards[op.dst_device].device, nbytes,
+                          f"halo:{op.src_device}->{op.dst_device}",
+                          events, step)
+        return nbytes
+
+    def _shard_lost(self, shard: Shard, err: ClDeviceLost) -> ShardLost:
+        ctx = {k: v for k, v in err.context.items()
+               if k not in ("shard", "device", "injected")}
+        return ShardLost(
+            f"shard {shard.index} ({shard.device.name}) lost: {err}",
+            shard=shard.index, device=shard.device.name,
+            injected=err.injected, **ctx)
+
+    # -- per-step execution (the simulation path) ---------------------------------------
+    def execute(self, program: HostProgram, inputs: dict, sizes: dict,
+                gather_index_param: str = "boundaryIndices",
+                fault_step: int | None = None) -> MultiRunResult:
+        """One pass of the host program, decomposed across the pool.
+
+        The per-step path :class:`RoomSimulation` drives: every call
+        uploads the shard-local state fresh (the halo planes ride along
+        in the H2D transfers), runs each shard — through its resilient
+        wrapper when enabled — and merges the owned slabs back.  The
+        inter-device halo traffic the resident equivalent would perform
+        is still priced (kind ``"halo"`` events), so per-step and
+        resident runs report comparable halo overhead.
+        """
+        shards = self._shards(inputs, sizes)
+        o = _obs.get()
+        cm = (o.tracer.span("gpu.multi.execute", "gpu", shards=len(shards))
+              if o is not None else nullcontext())
+        shard_results: list[RunResult] = []
+        masks: list[np.ndarray | None] = []
+        halo_events: list[ProfilingEvent] = []
+        with cm:
+            for shard, ex in zip(shards, self._execs):
+                li, ls, mask = self._local_inputs(shard, inputs, sizes)
+                prog = self._shard_program(program, shard, ls)
+                scm = (o.tracer.span("gpu.shard", "gpu", shard=shard.index,
+                                     device=shard.device.name)
+                       if o is not None else nullcontext())
+                with scm:
+                    try:
+                        res = ex.execute(
+                            prog, li, ls,
+                            gather_index_param=gather_index_param,
+                            fault_step=fault_step)
+                    except ShardLost:
+                        raise
+                    except ClDeviceLost as err:
+                        raise self._shard_lost(shard, err) from err
+                shard_results.append(res)
+                masks.append(mask)
+            halo_bytes = 0
+            if len(shards) > 1:
+                itemsize = np.asarray(shard_results[0].result).itemsize
+                for op in self._halo_schedule(shards):
+                    nbytes = op.count * itemsize
+                    halo_bytes += nbytes
+                    self._record_halo(
+                        shards[op.src_device].device,
+                        shards[op.dst_device].device, nbytes,
+                        f"halo:{op.src_device}->{op.dst_device}",
+                        halo_events, fault_step)
+        return self._merge_execute(shards, masks, shard_results, inputs,
+                                   halo_events, halo_bytes)
+
+    def _merge_execute(self, shards, masks, results, inputs,
+                       halo_events, halo_bytes) -> MultiRunResult:
+        field = np.concatenate(
+            [np.asarray(r.result).reshape(-1)[:sh.n_local]
+             for sh, r in zip(shards, results)])
+        buffers: dict[str, np.ndarray] = {}
+        k_total = (np.asarray(inputs[self.boundary_param]).size
+                   if self.boundary_param in inputs else 0)
+        for name in self.branch_params:
+            if name not in inputs or not k_total:
+                continue
+            merged = np.array(np.asarray(inputs[name]).reshape(-1),
+                              copy=True)
+            mb = merged.size // k_total
+            cols = merged.reshape(mb, k_total)
+            for sh, mask, r in zip(shards, masks, results):
+                if mask is None or not mask.any():
+                    continue
+                cand = [b for n, b in r.buffers.items()
+                        if n.startswith(f"d_{name}")]
+                if cand:
+                    cols[:, mask] = np.asarray(cand[0]).reshape(mb, -1)
+            buffers[f"d_{name}"] = cols.reshape(-1)
+        return MultiRunResult(
+            result=field, buffers=buffers,
+            shard_events=[r.events for r in results],
+            halo_events=halo_events, halo_bytes=halo_bytes,
+            devices=tuple(d.name for d in self.devices))
+
+    # -- resident iterative execution (the benchmark / scaling path) --------------------
+    def execute_many(self, program: HostProgram, inputs: dict, sizes: dict,
+                     steps: int,
+                     rotations: list[tuple[str, ...]] | None = None,
+                     gather_index_param: str = "boundaryIndices"
+                     ) -> MultiRunResult:
+        """Iterative resident execution across the pool.
+
+        Uploads each shard's state once, then per step: every shard's
+        launches, the halo-exchange phase on the freshly written
+        ``__out__`` field (a BSP synchronisation point — real data moves
+        between the resident plans), then the rotation.  Rotation cycles
+        are filtered per shard to the names its plan actually transfers
+        (a shard without boundary points has no branch-state buffers to
+        swap).  Errors surface directly — the resident path has live
+        device state, so recovery is the caller's re-shard-and-replay.
+        """
+        shards = self._shards(inputs, sizes)
+        o = _obs.get()
+        cm = (o.tracer.span("gpu.multi.execute_many", "gpu",
+                            shards=len(shards), steps=steps)
+              if o is not None else nullcontext())
+        states: list[ResidentPlan] = []
+        masks: list[np.ndarray | None] = []
+        shard_events: list[list[ProfilingEvent]] = [[] for _ in shards]
+        halo_events: list[ProfilingEvent] = []
+        halo_bytes = 0
+        with cm:
+            for shard, gpu, ev in zip(shards, self._gpus, shard_events):
+                li, ls, mask = self._local_inputs(shard, inputs, sizes)
+                prog = self._shard_program(program, shard, ls)
+                avail = {op.host_name for op in prog.plan.ops
+                         if isinstance(op, CopyIn)}
+                if any(isinstance(op, Launch) and op.out_buffer is not None
+                       for op in prog.plan.ops):
+                    avail.add("__out__")
+                rots = [cyc for cyc in
+                        (tuple(n for n in c if n in avail)
+                         for c in (rotations or [])) if len(cyc) > 1]
+                gpu._validate(prog.plan, li, ls)
+                try:
+                    st = ResidentPlan(gpu, prog.plan, li, ls, rots,
+                                      gather_index_param, ev, o)
+                except ShardLost:
+                    raise
+                except ClDeviceLost as err:
+                    raise self._shard_lost(shard, err) from err
+                self._grow_out(st, shard)
+                states.append(st)
+                masks.append(mask)
+            schedule = (self._halo_schedule(shards)
+                        if len(shards) > 1 else [])
+            for step in range(steps):
+                for shard, st in zip(shards, states):
+                    try:
+                        st.run_step(step, shard=shard.index)
+                    except ShardLost:
+                        raise
+                    except ClDeviceLost as err:
+                        raise self._shard_lost(shard, err) from err
+                for op in schedule:
+                    halo_bytes += self._apply_halo(op, shards, states,
+                                                   halo_events, step)
+                for st in states:
+                    st.rotate()
+            results = [st.finish() for st in states]
+        return self._merge_many(shards, masks, states, results, inputs,
+                                halo_events, halo_bytes)
+
+    @staticmethod
+    def _grow_out(st: ResidentPlan, shard: Shard) -> None:
+        """Ensure the output buffer spans the halo regions so exchange
+        writes land in-bounds (ResidentPlan only grows it when the out
+        buffer rotates with padded peers)."""
+        name = st.binding.get("__out__")
+        if name is None:
+            return
+        buf = st.buffers[name]
+        if buf.size < shard.np_local:
+            grown = np.zeros(shard.np_local, dtype=buf.dtype)
+            grown[:buf.size] = buf
+            st.buffers[name] = grown
+
+    def _merge_many(self, shards, masks, states, results, inputs,
+                    halo_events, halo_bytes) -> MultiRunResult:
+        field = np.concatenate(
+            [np.asarray(r.result).reshape(-1)[:sh.n_local]
+             for sh, r in zip(shards, results)])
+        k_total = (np.asarray(inputs[self.boundary_param]).size
+                   if self.boundary_param in inputs else 0)
+        skip = {self.boundary_param, self.k_size, *self.owner_params}
+        names: set[str] = set()
+        for st in states:
+            names |= set(st.binding)
+        buffers: dict[str, np.ndarray] = {}
+        for name in sorted(names):
+            if name in skip:
+                continue   # shard-local index/ownership data
+            per = [r.buffers.get(f"final:{name}") for r in results]
+            if name in self.branch_params:
+                if not k_total:
+                    continue
+                merged = np.array(np.asarray(inputs[name]).reshape(-1),
+                                  copy=True)
+                mb = merged.size // k_total
+                cols = merged.reshape(mb, k_total)
+                for mask, p in zip(masks, per):
+                    if mask is None or p is None or not mask.any():
+                        continue
+                    cols[:, mask] = np.asarray(p).reshape(mb, -1)
+                buffers[f"final:{name}"] = cols.reshape(-1)
+            elif name in self.field_params or name == "__out__":
+                buffers[f"final:{name}"] = np.concatenate(
+                    [np.asarray(p).reshape(-1)[:sh.n_local]
+                     for sh, p in zip(shards, per) if p is not None])
+            else:
+                # broadcast data (coefficient tables): identical per shard
+                shared = next((p for p in per if p is not None), None)
+                if shared is not None:
+                    buffers[f"final:{name}"] = shared
+        return MultiRunResult(
+            result=field, buffers=buffers,
+            shard_events=[r.events for r in results],
+            halo_events=halo_events, halo_bytes=halo_bytes,
+            devices=tuple(d.name for d in self.devices))

@@ -38,7 +38,8 @@ from typing import Sequence
 
 from .. import obs as _obs
 from .device import DeviceSpec
-from .errors import (ClError, ClOutOfResources, TRANSIENT_ERRORS)
+from .errors import (ClDeviceLost, ClError, ClOutOfResources,
+                     TRANSIENT_ERRORS)
 from .runtime import ProfilingEvent, RunResult, VirtualGPU
 
 
@@ -55,6 +56,21 @@ class RetryPolicy:
     def delay_ms(self, retry_index: int) -> float:
         """Modelled backoff before retry ``retry_index`` (0-based)."""
         return self.backoff_ms * self.backoff_factor ** retry_index
+
+
+def shard_retry_policy(base: RetryPolicy | None = None) -> RetryPolicy:
+    """The per-shard variant of a retry policy: everything transient is
+    retried on-device *except* a lost device.
+
+    A shard of a decomposed simulation holds live halo state; retrying a
+    dead die in place cannot restore it.  The right recovery is global —
+    drop the device, re-shard, and replay from the last checkpoint — so
+    ``CL_DEVICE_LOST`` must escalate out of the shard executor (as
+    :class:`repro.gpu.multi.ShardLost`) instead of being absorbed here.
+    """
+    base = base or RetryPolicy()
+    return replace(base, retry_on=tuple(
+        t for t in base.retry_on if t is not ClDeviceLost))
 
 
 @dataclass

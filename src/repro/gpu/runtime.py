@@ -116,6 +116,13 @@ class RunResult:
         return sum(e.duration_ms for e in self.events
                    if e.kind in ("h2d", "d2h"))
 
+    def halo_time_ms(self) -> float:
+        """Modelled inter-device halo-exchange time (kind ``"halo"``);
+        always 0 for single-device runs — the multi-device executor is
+        what emits halo events, kept separate from kernel and PCIe
+        transfer time."""
+        return sum(e.duration_ms for e in self.events if e.kind == "halo")
+
     def overhead_time_ms(self) -> float:
         """Modelled recovery overhead (retry backoff) added by policies."""
         return sum(e.duration_ms for e in self.events if e.kind == "backoff")
@@ -436,79 +443,12 @@ class VirtualGPU:
 
     def _execute_many(self, plan, inputs, sizes, steps, rotations,
                       gather_index_param, events, o) -> RunResult:
-        buffers = self._allocate_buffers(plan, sizes)
-        decls = {d.name: d for d in plan.buffers}
-
-        host_to_buffer: dict[str, str] = {}
-        launches: list[Launch] = []
-        out_buffer: str | None = None
-        for op in plan.ops:
-            if isinstance(op, CopyIn):
-                self._copy_in(op, inputs, buffers, decls, sizes, events)
-                host_to_buffer[op.host_name] = op.buffer
-            elif isinstance(op, Launch):
-                launches.append(op)
-                if op.out_buffer is not None:
-                    out_buffer = op.out_buffer
-
-        # name -> current buffer array (rotation permutes this binding)
-        binding: dict[str, str] = dict(host_to_buffer)
-        if out_buffer is not None:
-            binding["__out__"] = out_buffer
-        rotatable = sorted(binding)
-        for cycle in rotations or []:
-            for n in cycle:
-                if n not in binding:
-                    raise ClInvalidValue(
-                        f"rotation name {n!r} (in cycle {tuple(cycle)!r}) "
-                        f"is not a transferred host parameter or the "
-                        f"'__out__' sentinel; rotatable names: {rotatable}",
-                        rotation=tuple(cycle), available=rotatable)
-        if out_buffer is not None:
-            # a rotating output buffer must be as large as its cycle peers
-            # (state buffers carry the guard plane; see lift_programs)
-            for cycle in rotations or []:
-                if "__out__" in cycle:
-                    peer = max((buffers[binding[n]].size for n in cycle
-                                if n != "__out__"), default=0)
-                    if peer > buffers[out_buffer].size:
-                        buffers[out_buffer] = np.zeros(
-                            peer, dtype=buffers[out_buffer].dtype)
-
+        state = ResidentPlan(self, plan, inputs, sizes, rotations,
+                             gather_index_param, events, o)
         for step in range(steps):
-            step_span = (o.tracer.start("gpu.step", "step", step=step)
-                         if o is not None else None)
-            # rebind the launch arguments through the current rotation
-            view = {orig: buffers[binding[h]]
-                    for h, orig in host_to_buffer.items()}
-            if out_buffer is not None:
-                view[out_buffer] = buffers[binding["__out__"]]
-            try:
-                for op in launches:
-                    result = self._launch(op, view, inputs, sizes, events,
-                                          gather_index_param, step)
-            finally:
-                if step_span is not None:
-                    o.tracer.end(step_span)
-            if rotations:
-                # each name takes over the buffer of the NEXT name in the
-                # cycle: ("prev2_h", "prev1_h", "__out__") realises the
-                # leapfrog rotation prev2 <- prev1 <- out <- (old prev2)
-                for cycle in rotations:
-                    names = list(cycle)
-                    olds = [binding[n] for n in names]
-                    for i, n in enumerate(names):
-                        binding[n] = olds[(i + 1) % len(names)]
-
-        final = buffers[binding.get("__out__", plan.result_buffer)]             if (out_buffer or plan.result_buffer) else None
-        if final is not None:
-            self._record(events, "d2h", "result",
-                         transfer_time_ms(final.nbytes, self.device),
-                         bytes=final.nbytes)
-        # expose buffers under their rotated bindings for inspection
-        exposed = {f"final:{h}": buffers[b] for h, b in binding.items()}
-        exposed.update(buffers)
-        return RunResult(result=final, buffers=exposed, events=events)
+            state.run_step(step)
+            state.rotate()
+        return state.finish()
 
     def _launch(self, op: Launch, buffers: dict[str, np.ndarray],
                 inputs: dict, sizes: dict[str, int],
@@ -611,3 +551,132 @@ class VirtualGPU:
         widths = [p.scalar.nbytes for p in op.kernel.params
                   if p.scalar.name in ("float", "double")]
         return "double" if widths and max(widths) == 8 else "single"
+
+
+class ResidentPlan:
+    """Iterative-execution state of one plan on one device.
+
+    The body of :meth:`VirtualGPU.execute_many`, factored so a caller can
+    drive the per-step lifecycle itself — upload once, then for each step
+    :meth:`run_step` (all launches), optionally patch resident buffers
+    (halo exchange between devices), then :meth:`rotate`, and finally
+    :meth:`finish`.  :class:`repro.gpu.multi.MultiGPU` interleaves several
+    of these, one per shard, inserting
+    :class:`~repro.lift.codegen.host.HaloExchange` transfers between the
+    launch and rotation phases of every step.
+
+    ``binding`` maps rotation names (transferred host parameters plus the
+    ``"__out__"`` sentinel) to the buffer currently playing that role;
+    :meth:`buffer_for` resolves a name to its array under the current
+    rotation.
+    """
+
+    def __init__(self, gpu: VirtualGPU, plan: HostPlan, inputs: dict,
+                 sizes: dict[str, int],
+                 rotations: list[tuple[str, ...]] | None,
+                 gather_index_param: str,
+                 events: list[ProfilingEvent], o):
+        self.gpu = gpu
+        self.plan = plan
+        self.inputs = inputs
+        self.sizes = sizes
+        self.rotations = list(rotations or [])
+        self.gather_index_param = gather_index_param
+        self.events = events
+        self._o = o
+
+        buffers = gpu._allocate_buffers(plan, sizes)
+        decls = {d.name: d for d in plan.buffers}
+        host_to_buffer: dict[str, str] = {}
+        launches: list[Launch] = []
+        out_buffer: str | None = None
+        for op in plan.ops:
+            if isinstance(op, CopyIn):
+                gpu._copy_in(op, inputs, buffers, decls, sizes, events)
+                host_to_buffer[op.host_name] = op.buffer
+            elif isinstance(op, Launch):
+                launches.append(op)
+                if op.out_buffer is not None:
+                    out_buffer = op.out_buffer
+
+        # name -> current buffer array (rotation permutes this binding)
+        binding: dict[str, str] = dict(host_to_buffer)
+        if out_buffer is not None:
+            binding["__out__"] = out_buffer
+        rotatable = sorted(binding)
+        for cycle in self.rotations:
+            for n in cycle:
+                if n not in binding:
+                    raise ClInvalidValue(
+                        f"rotation name {n!r} (in cycle {tuple(cycle)!r}) "
+                        f"is not a transferred host parameter or the "
+                        f"'__out__' sentinel; rotatable names: {rotatable}",
+                        rotation=tuple(cycle), available=rotatable)
+        if out_buffer is not None:
+            # a rotating output buffer must be as large as its cycle peers
+            # (state buffers carry the guard plane; see lift_programs)
+            for cycle in self.rotations:
+                if "__out__" in cycle:
+                    peer = max((buffers[binding[n]].size for n in cycle
+                                if n != "__out__"), default=0)
+                    if peer > buffers[out_buffer].size:
+                        buffers[out_buffer] = np.zeros(
+                            peer, dtype=buffers[out_buffer].dtype)
+
+        self.buffers = buffers
+        self.binding = binding
+        self._host_to_buffer = host_to_buffer
+        self._launches = launches
+        self._out_buffer = out_buffer
+
+    def buffer_for(self, name: str) -> np.ndarray:
+        """The array currently bound to rotation name ``name``."""
+        return self.buffers[self.binding[name]]
+
+    def run_step(self, step: int, **span_attrs) -> None:
+        """Run every launch of the plan once (one simulation step)."""
+        o = self._o
+        step_span = (o.tracer.start("gpu.step", "step", step=step,
+                                    device=self.gpu.device.name,
+                                    **span_attrs)
+                     if o is not None else None)
+        # rebind the launch arguments through the current rotation
+        view = {orig: self.buffers[self.binding[h]]
+                for h, orig in self._host_to_buffer.items()}
+        if self._out_buffer is not None:
+            view[self._out_buffer] = self.buffers[self.binding["__out__"]]
+        try:
+            for op in self._launches:
+                self.gpu._launch(op, view, self.inputs, self.sizes,
+                                 self.events, self.gather_index_param, step)
+        finally:
+            if step_span is not None:
+                o.tracer.end(step_span)
+
+    def rotate(self) -> None:
+        """Advance the buffer roles by one step.
+
+        Each name takes over the buffer of the NEXT name in its cycle:
+        ``("prev2_h", "prev1_h", "__out__")`` realises the leapfrog
+        rotation prev2 <- prev1 <- out <- (old prev2).
+        """
+        for cycle in self.rotations:
+            names = list(cycle)
+            olds = [self.binding[n] for n in names]
+            for i, n in enumerate(names):
+                self.binding[n] = olds[(i + 1) % len(names)]
+
+    def finish(self) -> RunResult:
+        """Read the result back and expose the rotated bindings."""
+        final = (self.buffers[self.binding.get("__out__",
+                                               self.plan.result_buffer)]
+                 if (self._out_buffer or self.plan.result_buffer) else None)
+        if final is not None:
+            self.gpu._record(self.events, "d2h", "result",
+                             transfer_time_ms(final.nbytes, self.gpu.device),
+                             bytes=final.nbytes)
+        # expose buffers under their rotated bindings for inspection
+        exposed = {f"final:{h}": self.buffers[b]
+                   for h, b in self.binding.items()}
+        exposed.update(self.buffers)
+        return RunResult(result=final, buffers=exposed, events=self.events)

@@ -79,12 +79,43 @@ class CopyOut:
 
 
 @dataclass
+class HaloExchange:
+    """Move ``count`` elements of a named resident buffer between devices.
+
+    The multi-device executor (:class:`repro.gpu.multi.MultiGPU`)
+    schedules one of these per neighbouring shard pair and per direction
+    after each iteration's launches: elements
+    ``[src_start, src_start+count)`` of ``buffer`` on plan ``src_device``
+    replace ``[dst_start, dst_start+count)`` on ``dst_device``.
+    ``buffer`` names a resident rotation binding (host parameter name or
+    the ``"__out__"`` sentinel), not a raw buffer: the exchange follows
+    the leapfrog rotation, always touching the freshly computed field.
+    Priced by :func:`repro.gpu.costmodel.halo_exchange_time_ms`
+    (peer-to-peer over a same-board interconnect, else staged through
+    host PCIe).
+    """
+
+    src_device: int
+    dst_device: int
+    buffer: str
+    src_start: int
+    dst_start: int
+    count: int
+
+
+@dataclass
 class HostPlan:
-    """The executable orchestration schedule."""
+    """The executable orchestration schedule.
+
+    ``device`` places the plan: 0 for single-device programs (the
+    compiler default), the shard index for per-device plans derived by
+    the multi-device decomposition.
+    """
 
     buffers: list[BufferDecl] = field(default_factory=list)
     ops: list[object] = field(default_factory=list)
     result_buffer: str | None = None
+    device: int = 0
 
     def required_sizes(self) -> dict[str, list[str]]:
         """Every symbolic size variable the plan needs, mapped to the

@@ -28,7 +28,6 @@ def _build_sim(args):
     from ..acoustics.geometry import Room, shape_by_name
     from ..acoustics.grid import Grid3D
     from ..acoustics.sim import RoomSimulation, SimConfig
-    from ..gpu.device import device_by_name
     faults = None
     if args.fault:
         from ..gpu.faults import FaultPlan, FaultSpec
@@ -41,8 +40,8 @@ def _build_sim(args):
     sim = RoomSimulation(SimConfig(
         room=Room(Grid3D(nx, ny, nz), shape_by_name(args.room)),
         scheme=args.scheme, backend="virtual_gpu", precision=args.precision,
-        faults=faults, resilient=args.resilient or faults is not None))
-    sim.set_virtual_device(device_by_name(args.device))
+        faults=faults, resilient=args.resilient or faults is not None,
+        devices=args.device))
     sim.add_impulse("center")
     sim.add_receiver("mic", "center")
     return sim
@@ -58,7 +57,9 @@ def main(argv=None) -> int:
     ap.add_argument("--grid", type=int, nargs=3, default=(14, 12, 10),
                     metavar=("NX", "NY", "NZ"))
     ap.add_argument("--steps", type=int, default=6)
-    ap.add_argument("--device", default="TitanBlack")
+    ap.add_argument("--device", default="TitanBlack",
+                    help="paper device name, or 'name:k' for a k-shard "
+                         "multi-device pool (e.g. RadeonR9:2)")
     ap.add_argument("--precision", default="double",
                     choices=("single", "double"))
     ap.add_argument("--fault", action="append", default=[],

@@ -269,8 +269,18 @@ class TestVirtualGPUBackend:
         np.testing.assert_array_equal(a.curr, b.curr)
         assert a.modelled_gpu_time_ms != b.modelled_gpu_time_ms
 
-    def test_fi_scheme_rejected(self):
-        with pytest.raises(ValueError, match="two-kernel"):
-            RoomSimulation(SimConfig(room=small_room(), scheme="fi",
-                                     backend="virtual_gpu",
-                                     materials=default_fi_materials(1)))
+    def test_fi_scheme_runs_fused_kernel(self):
+        # fi used to be rejected on this backend; it now runs the fused
+        # single-kernel host program, matching the numpy baseline
+        mats = default_fi_materials(1)
+        gpu = RoomSimulation(SimConfig(room=small_room(), scheme="fi",
+                                       backend="virtual_gpu",
+                                       materials=mats))
+        ref = RoomSimulation(SimConfig(room=small_room(), scheme="fi",
+                                       backend="numpy", materials=mats))
+        for sim in (gpu, ref):
+            sim.add_impulse("center")
+            sim.run(4)
+        np.testing.assert_allclose(gpu.curr[:gpu._N], ref.curr[:ref._N],
+                                   atol=1e-12)
+        assert gpu.modelled_gpu_time_ms > 0
