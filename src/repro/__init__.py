@@ -29,12 +29,17 @@ Subpackages
         from repro import api
         session = api.Session(devices="RadeonR9:2")
         result = session.simulate(room, steps=100)
+``repro.serve``
+    The serving layer over all of the above: a ``SimulationService``
+    with a bounded priority queue, same-program batching over a device
+    pool, compile/result caches, and deadline/retry job lifecycle —
+    ``session.service()`` or ``SimulationService(devices="TitanBlack:2")``.
 """
 
 __version__ = "1.0.0"
 
-from . import lift
+from . import lift, serve
 from .api import BenchResult, Session, SimulationResult
 
 __all__ = ["BenchResult", "Session", "SimulationResult", "api", "lift",
-           "__version__"]
+           "serve", "__version__"]

@@ -170,6 +170,11 @@ class SimConfig:
     resilient: bool = False
     retry: object | None = None           # RetryPolicy for the resilient path
     devices: object | None = None         # resolve_device() designation
+    #: a pre-compiled HostProgram for the ``virtual_gpu`` backend (skips
+    #: ``compile_host``); must match (scheme, precision, num_branches) —
+    #: the serving layer's compile cache (``repro.serve.cache``) supplies
+    #: this so repeated shapes compile once per process, not per job
+    host_program: object | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -269,6 +274,11 @@ class RoomSimulation:
     def _setup_virtual_gpu(self, device=None):
         from ..lift.codegen.host import compile_host
         from ..gpu.device import resolve_device
+        if self.config.host_program is not None:
+            self._host_program = self.config.host_program
+            self._gpu = self._make_gpu(resolve_device(
+                device if device is not None else self.config.devices))
+            return
         scheme = self.config.scheme
         if scheme == "fi":
             from .lift_programs import fused_host

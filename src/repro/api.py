@@ -204,6 +204,25 @@ class Session:
                          scheme=scheme, size=size, shape=shape, scale=scale,
                          steps=steps, precision=precision)
 
+    def service(self, *, max_queue: int = 64, max_batch: int = 4,
+                job_attempts: int = 2, result_cache_entries: int = 128):
+        """A :class:`repro.serve.SimulationService` sharing this
+        session's pool, fault/recovery policy, and observability sink.
+
+        The service schedules many :class:`~repro.serve.SubmitRequest`
+        jobs over the pool (priority queue, same-program batching,
+        compile/result caches); each job's values stay bit-identical to
+        a direct :meth:`simulate` call.  See ``docs/serving.md``.
+        """
+        from .serve import SimulationService
+        return SimulationService(
+            devices=self.devices, resilient=self.resilient,
+            faults=self.faults, retry=self.retry,
+            observability=self.obs if self.obs is not None else False,
+            max_queue=max_queue, max_batch=max_batch,
+            job_attempts=job_attempts,
+            result_cache_entries=result_cache_entries)
+
     def __repr__(self) -> str:
         names = ",".join(d.name for d in self.devices)
         return (f"Session(devices=({names}), resilient={self.resilient}, "

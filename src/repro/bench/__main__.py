@@ -20,8 +20,9 @@ def main(argv=None) -> int:
                         help="divide room dimensions by this factor "
                              "(1 = full paper sizes; larger = faster)")
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="additionally write the 'scaling' artefact's "
-                             "rows as a JSON file (CI artifact)")
+                        help="additionally write a JSON CI artifact: the "
+                             "serve-throughput stats when 'serve' is among "
+                             "the artefacts, the 'scaling' rows otherwise")
     args = parser.parse_args(argv)
     artefacts = args.artefacts or ["all"]
     if artefacts == ["list"]:
@@ -30,10 +31,14 @@ def main(argv=None) -> int:
         return 0
     if args.json is not None:
         import json
-        from .report import scaling_rows
+        if "serve" in artefacts:
+            from .serve import serve_benchmark
+            payload = serve_benchmark()
+        else:
+            from .report import scaling_rows
+            payload = [c.as_dict() for c in scaling_rows(args.scale)]
         with open(args.json, "w") as f:
-            json.dump([c.as_dict() for c in scaling_rows(args.scale)], f,
-                      indent=2)
+            json.dump(payload, f, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
     if artefacts == ["all"]:
         print(render_all(args.scale))

@@ -209,6 +209,11 @@ def render_scaling(scale: int = 1) -> str:
     return out.getvalue()
 
 
+def render_serve(scale: int = 1) -> str:
+    from .serve import render_serve as _render
+    return _render(scale)
+
+
 RENDERERS = {
     "table2": render_table2,
     "table3": lambda scale=1: render_table3(),
@@ -218,11 +223,12 @@ RENDERERS = {
     "fig6": render_fig6,
     "counts": render_counts,
     "scaling": render_scaling,
+    "serve": render_serve,
 }
 
 
 def render_all(scale: int = 1) -> str:
     parts = [RENDERERS[k](scale) for k in
              ("table2", "table3", "counts", "fig2", "fig4", "fig5", "fig6",
-              "scaling")]
+              "scaling", "serve")]
     return "\n".join(parts)

@@ -41,11 +41,12 @@ from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
                      ClMemAllocationFailure, ClOutOfHostMemory,
                      ClOutOfResources, ClTransferCorrupted)
 from .faults import FAULT_KINDS, FaultPlan, FaultRecord, FaultSpec
-from .runtime import VirtualGPU, ProfilingEvent, RunResult
+from .runtime import (VirtualGPU, ProfilingEvent, RunResult,
+                      clear_kernel_caches, kernel_cache_stats)
 from .resilient import (PolicyOutcome, ResilientGPU, RetryPolicy,
                         shard_retry_policy)
 from .multi import MultiGPU, MultiRunResult, Shard, ShardLost, decompose
-from .autotune import autotune_workgroup
+from .autotune import AutotuneMemo, autotune_memo, autotune_workgroup
 
 __all__ = [
     "AMD_HD7970", "AMD_R9_295X2", "DeviceSpec", "NVIDIA_GTX780",
@@ -62,5 +63,7 @@ __all__ = [
     "FAULT_KINDS", "FaultPlan", "FaultRecord", "FaultSpec",
     "PolicyOutcome", "ResilientGPU", "RetryPolicy", "shard_retry_policy",
     "MultiGPU", "MultiRunResult", "Shard", "ShardLost", "decompose",
-    "VirtualGPU", "ProfilingEvent", "RunResult", "autotune_workgroup",
+    "VirtualGPU", "ProfilingEvent", "RunResult",
+    "AutotuneMemo", "autotune_memo", "autotune_workgroup",
+    "clear_kernel_caches", "kernel_cache_stats",
 ]

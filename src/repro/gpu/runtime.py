@@ -27,6 +27,7 @@ device failures for resilience testing.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -56,6 +57,37 @@ _PCIE_BANDWIDTH = DeviceSpec.pcie_bandwidth_gbs * 1e9
 #: revisions is now the root of the typed OpenCL error hierarchy, so
 #: ``except RuntimeError_`` keeps catching every runtime failure.
 RuntimeError_ = ClError
+
+#: Process-wide NumPy-kernel compile cache, keyed by kernel-*source* hash
+#: (not kernel name: two programs may reuse a name for different code,
+#: e.g. the single- vs double-precision variants of ``volume_kernel``).
+#: Compiling the NumPy realisation of a kernel Lambda is pure — the same
+#: source always yields the same compiled callable — so every
+#: :class:`VirtualGPU` shares this table: spinning up a ``"name:k"``
+#: device pool compiles each distinct kernel once, not once per device.
+_NP_KERNEL_CACHE: dict[str, NumpyKernel] = {}
+
+#: Companion cache for per-work-item resource analysis (same key).
+_RESOURCES_CACHE: dict[str, Resources] = {}
+
+
+def _kernel_source_key(ks) -> str:
+    """Content hash identifying a kernel across VirtualGPU instances."""
+    basis = ks.source if ks.source else repr(ks.kernel_lambda)
+    return f"{ks.name}:{hashlib.sha1(basis.encode()).hexdigest()}"
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    """Sizes of the process-wide kernel caches (for tests/diagnostics)."""
+    return {"np_kernels": len(_NP_KERNEL_CACHE),
+            "resources": len(_RESOURCES_CACHE)}
+
+
+def clear_kernel_caches() -> None:
+    """Drop the shared NumPy-kernel and resource-analysis caches
+    (test isolation; live VirtualGPU instances keep their local maps)."""
+    _NP_KERNEL_CACHE.clear()
+    _RESOURCES_CACHE.clear()
 
 
 @dataclass
@@ -185,8 +217,17 @@ class VirtualGPU:
 
     # -- kernel caches -------------------------------------------------------------
     def _np_kernel(self, launch: Launch) -> NumpyKernel:
+        """Instance map (name -> kernel) over the shared source-hash cache.
+
+        The per-instance map keeps the one-program-per-device fast path
+        (and lets :class:`~.resilient.ResilientGPU` alias it into its
+        degraded executor); on a miss the process-wide
+        :data:`_NP_KERNEL_CACHE` is consulted by source hash, so a pool
+        of devices running the same program compiles each kernel once.
+        """
         ks = launch.kernel
-        if ks.name not in self._np_kernels:
+        nk = self._np_kernels.get(ks.name)
+        if nk is None:
             if ks.kernel_lambda is None:
                 raise ClInvalidValue(
                     f"kernel {ks.name!r} carries no kernel_lambda, so the "
@@ -194,15 +235,25 @@ class VirtualGPU:
                     f"build KernelSource through compile_kernel()/compile_host() "
                     f"(which attach the Lambda) instead of constructing it by "
                     f"hand", kernel=ks.name)
-            self._np_kernels[ks.name] = compile_numpy(
-                ks.kernel_lambda, ks.name, lower=False)
-        return self._np_kernels[ks.name]
+            key = _kernel_source_key(ks)
+            nk = _NP_KERNEL_CACHE.get(key)
+            if nk is None:
+                nk = compile_numpy(ks.kernel_lambda, ks.name, lower=False)
+                _NP_KERNEL_CACHE[key] = nk
+            self._np_kernels[ks.name] = nk
+        return nk
 
     def _kernel_resources(self, launch: Launch) -> Resources:
         ks = launch.kernel
-        if ks.name not in self._resources:
-            self._resources[ks.name] = analyse_kernel(ks.kernel_lambda)
-        return self._resources[ks.name]
+        res = self._resources.get(ks.name)
+        if res is None:
+            key = _kernel_source_key(ks)
+            res = _RESOURCES_CACHE.get(key)
+            if res is None:
+                res = analyse_kernel(ks.kernel_lambda)
+                _RESOURCES_CACHE[key] = res
+            self._resources[ks.name] = res
+        return res
 
     # -- validation --------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,52 @@
+"""repro.serve — an async simulation service over the virtual substrate.
+
+The paper renders one simulation at a time; a production deployment
+serves *many* — different rooms, schemes and precisions, with different
+priorities and deadlines, sharing a pool of devices.  This package is
+that serving layer, built entirely on the repo's modelled runtime so
+every throughput and latency number is deterministic:
+
+* :mod:`.job` — :class:`SubmitRequest` (what to simulate + how to
+  schedule it), :class:`JobHandle` futures over the
+  QUEUED/RUNNING/DONE/FAILED/EVICTED lifecycle, :class:`JobResult`
+  payloads with modelled wait/latency accounting;
+* :mod:`.queue` — the bounded priority queue and the typed admission
+  errors (:class:`InvalidRequest`, :class:`QueueFull` backpressure);
+* :mod:`.cache` — the two cache tiers: compiled host programs per
+  (scheme, precision, branches, hardware model) and a content-addressed
+  LRU of finished results;
+* :mod:`.scheduler` — :class:`SimulationService` (priority scheduling,
+  same-program batching, deadline admission, per-job retry escalation
+  into the fault layer) over a :class:`DevicePool` with
+  earliest-availability leasing;
+* ``python -m repro.serve`` — the smoke scenario: N mixed jobs over a
+  shard pool, optionally fault-injected, verified bit-identical to
+  serial :meth:`repro.api.Session.simulate`.
+
+Quick start::
+
+    from repro.serve import SimulationService, SubmitRequest
+
+    svc = SimulationService(devices="TitanBlack:2", observability=True)
+    h = svc.submit(SubmitRequest(room=room, steps=50, scheme="fi_mm",
+                                 priority=5))
+    result = h.result()            # drives the scheduler to completion
+    print(svc.stats()["jobs_per_sec"], result.latency_ms)
+
+Results are bit-identical to :meth:`repro.api.Session.simulate` of the
+same request regardless of pool shape, batching or cache hits — the
+stepper is deterministic and placement only changes modelled *times*.
+"""
+
+from .cache import CompileCache, ResultCache, request_fingerprint
+from .job import (JOB_STATES, JobError, JobHandle, JobResult, SubmitRequest)
+from .queue import (AdmissionError, BoundedPriorityQueue, InvalidRequest,
+                    QueueFull)
+from .scheduler import DevicePool, DeviceSlot, SimulationService
+
+__all__ = [
+    "AdmissionError", "BoundedPriorityQueue", "CompileCache", "DevicePool",
+    "DeviceSlot", "InvalidRequest", "JOB_STATES", "JobError", "JobHandle",
+    "JobResult", "QueueFull", "ResultCache", "SimulationService",
+    "SubmitRequest", "request_fingerprint",
+]

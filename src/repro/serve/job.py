@@ -1,0 +1,220 @@
+"""Job objects of the simulation service: requests, handles, results.
+
+A :class:`SubmitRequest` is everything a client says about one desired
+simulation — the room, scheme, steps, precision, a scheduling priority
+and an optional modelled deadline.  Submitting one to a
+:class:`~repro.serve.scheduler.SimulationService` returns a
+:class:`JobHandle`, a future over the job's lifecycle::
+
+    QUEUED --> RUNNING --> DONE
+       |           \\-----> FAILED      (typed error after retries)
+       \\------------------> EVICTED    (deadline missed / cancelled /
+                                        rejected retroactively)
+
+All times are **modelled milliseconds** on the service's clock (the same
+discipline as the virtual GPU runtime), so wait/latency numbers are
+bit-reproducible run to run.  ``JobHandle.result()`` drives the
+scheduler until the job is terminal — the service is cooperative and
+single-threaded, like the sequential host programs it serves, so
+"async" means *deterministically interleaved*, not threaded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..acoustics.geometry import Room
+from ..acoustics.sim import SCHEMES
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from .scheduler import SimulationService
+
+#: the job lifecycle states (terminal: DONE / FAILED / EVICTED)
+JOB_STATES = ("QUEUED", "RUNNING", "DONE", "FAILED", "EVICTED")
+
+
+class JobError(Exception):
+    """Raised by :meth:`JobHandle.result` for FAILED/EVICTED jobs;
+    carries the handle so callers can inspect ``handle.error``."""
+
+    def __init__(self, handle: "JobHandle"):
+        self.handle = handle
+        super().__init__(
+            f"job {handle.job_id} is {handle.state}: {handle.error}")
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One simulation the service is asked to run.
+
+    ``priority`` — larger runs earlier (ties broken by submission
+    order).  ``deadline_ms`` — modelled milliseconds after submission by
+    which the job must have *started*; a job whose earliest possible
+    start exceeds it is EVICTED instead of run (admission-by-deadline).
+    ``shards`` — how many devices of the pool to lease; more than one
+    runs the job Z-slab-decomposed (bit-identical to one device).
+    """
+
+    room: Room
+    steps: int
+    scheme: str = "fi_mm"
+    precision: str = "double"
+    priority: int = 0
+    deadline_ms: float | None = None
+    impulse: object = "center"
+    receivers: tuple[tuple[str, object], ...] | dict | None = None
+    materials: object = None
+    num_branches: int = 3
+    shards: int = 1
+
+    def validate(self) -> None:
+        """Admission-control checks (raise ``ValueError`` on bad input)."""
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; "
+                             f"one of {SCHEMES}")
+        if self.precision not in ("single", "double"):
+            raise ValueError("precision must be 'single' or 'double'")
+        if self.steps <= 0:
+            raise ValueError(f"steps must be positive, got {self.steps}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}")
+
+    def receiver_items(self) -> tuple[tuple[str, object], ...]:
+        """Receivers as a canonically ordered tuple of (name, pos)."""
+        if not self.receivers:
+            return ()
+        items = (self.receivers.items()
+                 if isinstance(self.receivers, dict) else self.receivers)
+        return tuple(sorted((str(k), v) for k, v in items))
+
+    def fingerprint(self) -> str:
+        """Content address of this request (the result-cache key).
+
+        Two requests with the same fingerprint are guaranteed the same
+        result, because the stepper is deterministic and every input
+        that reaches it is folded in: grid dims + Courant number, the
+        boundary shape (class name + ``repr``, which for the repo's
+        frozen shape dataclasses encodes all parameters), scheme /
+        precision / steps / branches, source and receivers, and the
+        material set.  Scheduling knobs (priority, deadline, shards) are
+        deliberately *excluded* — they change when and where a job runs,
+        never what it computes (multi-device decomposition is
+        bit-identical by construction).
+        """
+        g = self.room.grid
+        mats = (None if self.materials is None
+                else tuple(repr(m) for m in self.materials))
+        basis = repr((
+            ("grid", g.nx, g.ny, g.nz, float(g.courant)),
+            ("shape", type(self.room.shape).__name__, repr(self.room.shape)),
+            ("scheme", self.scheme, self.precision, int(self.steps),
+             int(self.num_branches)),
+            ("impulse", self.impulse),
+            ("receivers", self.receiver_items()),
+            ("materials", mats),
+        ))
+        return hashlib.sha1(basis.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one served job.
+
+    Mirrors :class:`repro.api.SimulationResult` (same field / timing /
+    receiver payload — the bit-identity tests compare them directly)
+    plus the service-level accounting: when the job was submitted,
+    started and finished on the modelled clock, whether it was answered
+    from the result cache, and how many attempts the retry escalation
+    used.
+    """
+
+    field: np.ndarray
+    time_step: int
+    scheme: str
+    precision: str
+    devices: tuple[str, ...]
+    kernel_time_ms: float
+    halo_time_ms: float
+    receivers: dict[str, np.ndarray] = field(default_factory=dict)
+    policy_log: tuple = ()
+    submit_ms: float = 0.0
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    from_cache: bool = False
+    attempts: int = 1
+
+    @property
+    def wait_ms(self) -> float:
+        """Modelled time spent queued before execution started."""
+        return self.start_ms - self.submit_ms
+
+    @property
+    def latency_ms(self) -> float:
+        """Modelled submit-to-completion time."""
+        return self.end_ms - self.submit_ms
+
+
+class JobHandle:
+    """A client's future over one submitted job.
+
+    ``state`` walks :data:`JOB_STATES`; :meth:`result` drives the
+    owning service's scheduler until this job is terminal and returns
+    the :class:`JobResult` (or raises :class:`JobError`);
+    :meth:`cancel` evicts a still-QUEUED job.
+    """
+
+    def __init__(self, job_id: int, request: SubmitRequest,
+                 submit_ms: float, service: "SimulationService"):
+        self.job_id = job_id
+        self.request = request
+        self.submit_ms = submit_ms
+        self.state = "QUEUED"
+        self.error: str | None = None
+        self.attempts = 0
+        self._result: JobResult | None = None
+        self._service = service
+
+    # -- future interface --------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in ("DONE", "FAILED", "EVICTED")
+
+    def result(self) -> JobResult:
+        """The job's result, scheduling queued work as needed.
+
+        Raises :class:`JobError` if the job FAILED or was EVICTED.
+        """
+        if not self.done:
+            self._service.drain(until=self)
+        if self.state != "DONE" or self._result is None:
+            raise JobError(self)
+        return self._result
+
+    def cancel(self) -> bool:
+        """Evict the job if it has not started; returns success."""
+        if self.state != "QUEUED":
+            return False
+        self._service._evict(self, "cancelled")
+        return True
+
+    # -- service-side transitions ------------------------------------------------
+    def _finish(self, result: JobResult) -> None:
+        self._result = result
+        self.state = "DONE"
+
+    def _fail(self, error: str) -> None:
+        self.error = error
+        self.state = "FAILED"
+
+    def __repr__(self) -> str:
+        return (f"JobHandle(#{self.job_id}, {self.request.scheme}/"
+                f"{self.request.precision}, prio={self.request.priority}, "
+                f"{self.state})")

@@ -1,0 +1,84 @@
+"""Bounded priority queue with admission control for the service.
+
+Ordering is (priority desc, submission order asc) via a ``heapq`` over
+``(-priority, seq)`` keys.  The heap uses *lazy deletion*: a handle that
+left the QUEUED state (started, cancelled, evicted) stays in the heap as
+a stale entry and is skipped when popped — the standard trick for heaps
+that do not support random removal.  Capacity is therefore counted over
+*live* (still-QUEUED) entries, so backpressure reflects real load, not
+heap garbage.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .job import JobHandle
+
+
+class AdmissionError(Exception):
+    """A submission the service refused to accept."""
+
+
+class InvalidRequest(AdmissionError):
+    """The request failed validation (bad scheme/precision/steps/...)."""
+
+
+class QueueFull(AdmissionError):
+    """Backpressure: the bounded queue is at capacity.
+
+    Clients should drain (``handle.result()`` on an outstanding job) or
+    shed load; the service never silently drops an accepted job.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        super().__init__(
+            f"service queue is full ({capacity} jobs queued); drain "
+            f"outstanding handles or raise max_queue")
+
+
+class BoundedPriorityQueue:
+    """Priority queue over :class:`JobHandle`\\ s with a live-entry bound."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of live (still-QUEUED) entries."""
+        return sum(1 for _, _, h in self._heap if h.state == "QUEUED")
+
+    def push(self, handle: JobHandle) -> None:
+        """Admit a handle, or raise :class:`QueueFull` at capacity."""
+        if len(self) >= self.capacity:
+            raise QueueFull(self.capacity)
+        heapq.heappush(self._heap,
+                       (-handle.request.priority, self._seq, handle))
+        self._seq += 1
+
+    def pop(self) -> JobHandle | None:
+        """Highest-priority live handle (stale entries skipped), or None."""
+        while self._heap:
+            _, _, h = heapq.heappop(self._heap)
+            if h.state == "QUEUED":
+                return h
+        return None
+
+    def take_matching(self, predicate, limit: int) -> list[JobHandle]:
+        """Up to ``limit`` further live handles satisfying ``predicate``,
+        in priority order.  The handles are *not* removed here — the
+        caller transitions them out of QUEUED (to RUNNING), which lazily
+        deletes their heap entries."""
+        if limit <= 0:
+            return []
+        out: list[JobHandle] = []
+        for _, _, h in sorted(self._heap):
+            if h.state == "QUEUED" and predicate(h):
+                out.append(h)
+                if len(out) == limit:
+                    break
+        return out

@@ -1,0 +1,388 @@
+"""The simulation service: device-pool placement, batching, execution.
+
+:class:`SimulationService` is the serving loop over the repo's existing
+substrate — jobs are admitted into a
+:class:`~repro.serve.queue.BoundedPriorityQueue`, placed onto a
+:class:`DevicePool` of virtual devices, executed through
+:class:`~repro.acoustics.sim.RoomSimulation` (reusing the fault and
+resilience layers per job), and answered through
+:class:`~repro.serve.job.JobHandle` futures.
+
+Time is **modelled**, like everywhere else in this reproduction: each
+pool slot carries a ``busy_until_ms`` horizon, a job's start is the
+later of its submission and its lease's availability, and its duration
+is the simulation's modelled kernel + halo time.  The arithmetic lives
+in the service itself (not in the tracer clock), so throughput and
+latency percentiles from :meth:`SimulationService.stats` are
+bit-reproducible whether observability is on or off.
+
+Scheduling policy, in order:
+
+1. **Priority** — the queue yields the highest-priority job (ties by
+   submission order).
+2. **Batching** — up to ``max_batch`` further queued jobs with the same
+   compile key (same program) and the same shard count join the leader's
+   lease and run back-to-back on it, amortising compile and autotune.
+3. **Deadline admission** — a job whose modelled start would exceed
+   ``submit + deadline_ms`` is EVICTED instead of run.
+4. **Caching** — the result cache is consulted at submission and again
+   at placement (a duplicate submitted while its twin was queued hits
+   the second check); hits consume no device time.
+5. **Retry escalation** — a failed attempt (typed OpenCL error or
+   numerical divergence) is retried up to ``job_attempts`` times; from
+   the second attempt the job is forced onto the resilient executor
+   (:class:`repro.gpu.resilient.ResilientGPU`), escalating into the
+   fault layer's retry/degrade/fallback ladder.
+"""
+
+from __future__ import annotations
+
+from .. import obs as _obs
+from ..acoustics.sim import RoomSimulation, SimConfig, SimulationDiverged
+from ..gpu.device import DeviceSpec, resolve_device
+from ..gpu.errors import ClError
+from .cache import CompileCache, ResultCache
+from .job import JobHandle, JobResult, SubmitRequest
+from .queue import BoundedPriorityQueue, InvalidRequest, QueueFull
+
+__all__ = ["DevicePool", "DeviceSlot", "SimulationService"]
+
+
+class DeviceSlot:
+    """One device of the pool and the modelled time it frees up."""
+
+    __slots__ = ("spec", "busy_until_ms")
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self.busy_until_ms = 0.0
+
+    def __repr__(self) -> str:
+        return f"DeviceSlot({self.spec.name}, free@{self.busy_until_ms:.3f}ms)"
+
+
+class DevicePool:
+    """Earliest-availability leasing over a resolved device tuple."""
+
+    def __init__(self, devices=None):
+        self.slots = tuple(DeviceSlot(d) for d in resolve_device(devices))
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def devices(self) -> tuple[DeviceSpec, ...]:
+        return tuple(s.spec for s in self.slots)
+
+    def lease(self, shards: int,
+              not_before: float) -> tuple[list[DeviceSlot], float]:
+        """The ``shards`` earliest-free slots and the lease's start time
+        (when all of them are free and the job is allowed to begin).
+        Ties break on pool order, so placement is deterministic."""
+        if shards > len(self.slots):
+            raise InvalidRequest(
+                f"job wants {shards} shard(s) but the pool has "
+                f"{len(self.slots)} device(s)")
+        ranked = sorted(range(len(self.slots)),
+                        key=lambda i: (self.slots[i].busy_until_ms, i))
+        chosen = [self.slots[i] for i in ranked[:shards]]
+        start = max([not_before] + [s.busy_until_ms for s in chosen])
+        return chosen, start
+
+
+class SimulationService:
+    """An async simulation service over a virtual device pool.
+
+    Construction mirrors :class:`repro.api.Session` (``devices`` /
+    ``resilient`` / ``faults`` / ``retry`` / ``observability``) plus the
+    serving knobs: ``max_queue`` (admission bound — :class:`QueueFull`
+    beyond it), ``max_batch`` (jobs per lease), ``job_attempts`` (retry
+    budget per job) and ``result_cache_entries`` (LRU bound; 0 disables
+    the result tier).
+
+    The service is cooperative: :meth:`submit` only enqueues;
+    :meth:`drain` (or any handle's ``result()``) runs the scheduling
+    loop to completion on the caller's thread.
+    """
+
+    def __init__(self, *, devices=None, resilient: bool = False,
+                 faults=None, retry=None,
+                 observability: "bool | _obs.Observability" = False,
+                 max_queue: int = 64, max_batch: int = 4,
+                 job_attempts: int = 2, result_cache_entries: int = 128):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if job_attempts < 1:
+            raise ValueError(f"job_attempts must be >= 1, got {job_attempts}")
+        self.pool = DevicePool(devices)
+        self.resilient = resilient
+        self.faults = faults
+        self.retry = retry
+        self.max_batch = max_batch
+        self.job_attempts = job_attempts
+        self.queue = BoundedPriorityQueue(max_queue)
+        self.compile_cache = CompileCache()
+        self.result_cache = ResultCache(result_cache_entries)
+        if observability is True:
+            self.obs: _obs.Observability | None = _obs.Observability()
+        elif observability is False:
+            self.obs = None
+        else:
+            self.obs = observability
+        self.now_ms = 0.0
+        self.batches = 0
+        self._next_id = 1
+        self._handles: list[JobHandle] = []
+        self._waits: list[float] = []
+        self._latencies: list[float] = []
+
+    # -- client surface ----------------------------------------------------------
+    def submit(self, request: SubmitRequest) -> JobHandle:
+        """Admit one job; returns its :class:`JobHandle` future.
+
+        Raises :class:`InvalidRequest` on a malformed request and
+        :class:`QueueFull` when the bounded queue is at capacity
+        (backpressure — nothing was enqueued).
+        """
+        try:
+            request.validate()
+        except ValueError as bad:
+            raise InvalidRequest(str(bad)) from bad
+        if request.shards > len(self.pool):
+            raise InvalidRequest(
+                f"job wants {request.shards} shard(s) but the pool has "
+                f"{len(self.pool)} device(s)")
+        handle = JobHandle(self._next_id, request, self.now_ms, self)
+        self._next_id += 1
+        cached = self.result_cache.get(request.fingerprint())
+        self._cache_metric("result", hit=cached is not None)
+        if cached is not None:
+            self._complete(handle, ResultCache.rebase(
+                cached, submit_ms=handle.submit_ms, now_ms=self.now_ms))
+            self._handles.append(handle)
+            return handle
+        self.queue.push(handle)           # may raise QueueFull (nothing kept)
+        self._handles.append(handle)
+        self._gauge_depth()
+        return handle
+
+    def drain(self, until: JobHandle | None = None) -> None:
+        """Run the scheduling loop until the queue is empty (or ``until``
+        reaches a terminal state)."""
+        while True:
+            if until is not None and until.done:
+                return
+            lead = self.queue.pop()
+            if lead is None:
+                self._gauge_depth()
+                return
+            self._place_batch(lead)
+            self._gauge_depth()
+
+    def stats(self) -> dict:
+        """Deterministic service-level statistics (modelled clock)."""
+        states = {s: 0 for s in ("QUEUED", "RUNNING", "DONE", "FAILED",
+                                 "EVICTED")}
+        for h in self._handles:
+            states[h.state] += 1
+        makespan_ms = self.now_ms
+        done = states["DONE"]
+        return {
+            "pool": [d.name for d in self.pool.devices],
+            "submitted": len(self._handles),
+            "states": states,
+            "makespan_ms": makespan_ms,
+            "jobs_per_sec": (done / (makespan_ms / 1e3)
+                             if makespan_ms > 0 else 0.0),
+            "wait_ms": {"p50": _percentile(self._waits, 50),
+                        "p95": _percentile(self._waits, 95)},
+            "latency_ms": {"p50": _percentile(self._latencies, 50),
+                           "p95": _percentile(self._latencies, 95)},
+            "batches": self.batches,
+            # compile-tier counters only: the autotune memo is
+            # process-wide (see CompileCache.stats()), so folding its
+            # counters in would make per-service stats depend on what
+            # ran before in the process
+            "cache": {"compile": {k: self.compile_cache.stats()[k]
+                                  for k in ("entries", "hits", "misses")},
+                      "result": self.result_cache.stats()},
+        }
+
+    # -- scheduling core ---------------------------------------------------------
+    def _place_batch(self, lead: JobHandle) -> None:
+        """Lease devices for ``lead``, co-schedule compatible queued jobs
+        on the same lease, and execute them back-to-back."""
+        key = CompileCache.key(lead.request, self.pool.devices[0])
+        shards = lead.request.shards
+        mates = self.queue.take_matching(
+            lambda h: (h.request.shards == shards
+                       and CompileCache.key(h.request,
+                                            self.pool.devices[0]) == key),
+            self.max_batch - 1)
+        batch = [lead] + mates
+        slots, t = self.pool.lease(shards, lead.submit_ms)
+        executed = 0
+        for h in batch:
+            h.state = "RUNNING"
+            req = h.request
+            t = max(t, h.submit_ms)
+            if (req.deadline_ms is not None
+                    and t - h.submit_ms > req.deadline_ms):
+                self._evict(h, f"deadline missed: modelled start "
+                               f"{t - h.submit_ms:.3f}ms after submission "
+                               f"exceeds deadline_ms={req.deadline_ms:g}")
+                continue
+            cached = self.result_cache.get(req.fingerprint())
+            self._cache_metric("result", hit=cached is not None)
+            if cached is not None:
+                self._complete(h, ResultCache.rebase(
+                    cached, submit_ms=h.submit_ms, now_ms=t))
+                continue
+            result, error = self._execute(h, slots, start_ms=t)
+            if result is None:
+                self._fail(h, error)
+                continue
+            t = result.end_ms
+            executed += 1
+            self.result_cache.put(req.fingerprint(), result)
+            self._complete(h, result)
+        for s in slots:
+            s.busy_until_ms = max(s.busy_until_ms, t)
+        self.now_ms = max(self.now_ms, t)
+        if executed > 1:
+            self.batches += 1
+            if self.obs is not None:
+                self.obs.metrics.counter(
+                    "repro_serve_batches_total",
+                    "Leases shared by two or more executed jobs").inc()
+
+    def _execute(self, handle: JobHandle, slots, *,
+                 start_ms: float) -> tuple[JobResult | None, str]:
+        """Run one job on its lease, retrying with escalation.
+
+        Attempt 1 uses the service's configured executor; later attempts
+        force ``resilient=True`` so the fault layer's retry/degrade/
+        fallback ladder engages.  Returns (result, "") or (None, error).
+        """
+        req = handle.request
+        hits_before = self.compile_cache.hits
+        program = self.compile_cache.program_for(req, slots[0].spec)
+        self._cache_metric("compile", hit=self.compile_cache.hits > hits_before)
+        devices = tuple(s.spec for s in slots)
+        error = ""
+        for attempt in range(1, self.job_attempts + 1):
+            handle.attempts = attempt
+            cfg = SimConfig(
+                room=req.room, scheme=req.scheme, backend="virtual_gpu",
+                precision=req.precision, materials=req.materials,
+                num_branches=req.num_branches, faults=self.faults,
+                resilient=self.resilient or attempt > 1, retry=self.retry,
+                devices=devices, host_program=program)
+            try:
+                with self._observed():
+                    sim = RoomSimulation(cfg)
+                    if req.impulse is not None:
+                        sim.add_impulse(req.impulse)
+                    for name, pos in req.receiver_items():
+                        sim.add_receiver(name, pos)
+                    sim.run(req.steps)
+            except (ClError, SimulationDiverged) as failed:
+                error = f"attempt {attempt}: {failed}"
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        "repro_serve_retries_total",
+                        "Per-job attempts that ended in a typed failure",
+                        ("error",)).inc(error=type(failed).__name__)
+                continue
+            duration = sim.modelled_gpu_time_ms + sim.modelled_halo_time_ms
+            return JobResult(
+                field=sim.curr[:sim._N].copy(), time_step=sim.time_step,
+                scheme=req.scheme, precision=req.precision,
+                devices=tuple(d.name for d in (sim.devices or devices)),
+                kernel_time_ms=sim.modelled_gpu_time_ms,
+                halo_time_ms=sim.modelled_halo_time_ms,
+                receivers={k: sim.receiver_signal(k) for k in sim.receivers},
+                policy_log=tuple(sim.policy_log),
+                submit_ms=handle.submit_ms, start_ms=start_ms,
+                end_ms=start_ms + duration, attempts=attempt), ""
+        return None, error or "exhausted retry budget"
+
+    # -- bookkeeping -------------------------------------------------------------
+    def _complete(self, handle: JobHandle, result: JobResult) -> None:
+        handle._finish(result)
+        self._waits.append(result.wait_ms)
+        self._latencies.append(result.latency_ms)
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("repro_serve_jobs_total",
+                      "Jobs by terminal state", ("state",)).inc(state="DONE")
+            m.histogram("repro_serve_wait_ms",
+                        "Modelled queue wait per completed job").observe(
+                            result.wait_ms)
+            m.histogram("repro_serve_latency_ms",
+                        "Modelled submit-to-done latency per completed "
+                        "job").observe(result.latency_ms)
+            self.obs.tracer.event(
+                "serve.job", "serve", 0.0, job_id=handle.job_id,
+                scheme=result.scheme, state="DONE",
+                from_cache=result.from_cache, attempts=result.attempts,
+                wait_ms=round(result.wait_ms, 6),
+                latency_ms=round(result.latency_ms, 6))
+
+    def _fail(self, handle: JobHandle, error: str) -> None:
+        handle._fail(error)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_serve_jobs_total", "Jobs by terminal state",
+                ("state",)).inc(state="FAILED")
+            self.obs.tracer.event("serve.job", "serve", 0.0,
+                                  job_id=handle.job_id, state="FAILED",
+                                  error=error[:200])
+
+    def _evict(self, handle: JobHandle, reason: str) -> None:
+        handle.error = reason
+        handle.state = "EVICTED"
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_serve_jobs_total", "Jobs by terminal state",
+                ("state",)).inc(state="EVICTED")
+            self.obs.tracer.event("serve.job", "serve", 0.0,
+                                  job_id=handle.job_id, state="EVICTED",
+                                  reason=reason[:200])
+        self._gauge_depth()
+
+    def _observed(self):
+        if self.obs is None:
+            from contextlib import nullcontext
+            return nullcontext()
+        return _obs.observe(self.obs)
+
+    def _gauge_depth(self) -> None:
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "repro_serve_queue_depth",
+                "Live jobs waiting in the admission queue").set(
+                    len(self.queue))
+
+    def _cache_metric(self, tier: str, *, hit: bool) -> None:
+        if self.obs is None:
+            return
+        name = ("repro_serve_cache_hits_total" if hit
+                else "repro_serve_cache_misses_total")
+        self.obs.metrics.counter(
+            name, "Service cache lookups by tier and outcome",
+            ("tier",)).inc(tier=tier)
+
+    def __repr__(self) -> str:
+        names = ",".join(d.name for d in self.pool.devices)
+        return (f"SimulationService(pool=({names}), queued={len(self.queue)}, "
+                f"submitted={len(self._handles)})")
+
+
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    xs = sorted(values)
+    rank = max(1, int(-(-q * len(xs) // 100)))   # ceil(q/100 * n)
+    return float(xs[min(rank, len(xs)) - 1])

@@ -1,0 +1,79 @@
+"""Process-wide caches: NumPy-kernel sharing and the autotune memo."""
+
+import numpy as np
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.acoustics.sim import RoomSimulation, SimConfig
+from repro.bench.harness import kernel_resources
+from repro.gpu import (AutotuneMemo, autotune_memo, autotune_workgroup,
+                       clear_kernel_caches, kernel_cache_stats,
+                       resolve_device)
+
+
+def _run(devices="TitanBlack", steps=2):
+    cfg = SimConfig(room=Room(Grid3D(10, 8, 8), BoxRoom()),
+                    backend="virtual_gpu", devices=devices)
+    sim = RoomSimulation(cfg)
+    sim.add_impulse("center")
+    sim.run(steps)
+    return sim
+
+
+def test_kernel_compile_shared_across_instances():
+    clear_kernel_caches()
+    _run()
+    first = kernel_cache_stats()
+    assert first["np_kernels"] > 0 and first["resources"] > 0
+    # a second simulation of the same program adds no new cache entries
+    _run()
+    assert kernel_cache_stats() == first
+    # and a shard pool running the same program also reuses them
+    _run(devices="TitanBlack:2")
+    assert kernel_cache_stats() == first
+
+
+def test_kernel_cache_results_stay_bit_identical():
+    clear_kernel_caches()
+    cold = _run(steps=3)
+    warm = _run(steps=3)                  # compiled kernels come from cache
+    assert np.array_equal(cold.curr, warm.curr)
+
+
+def test_autotune_memo_hits_on_repeat_and_across_shards():
+    res = kernel_resources("fi_mm", "double")
+    memo = AutotuneMemo()
+    d0, d1 = resolve_device("TitanBlack:2")
+    t0 = autotune_workgroup(res, 4096, d0, "double", memo=memo)
+    assert (memo.hits, memo.misses) == (0, 1)
+    # same shape again -> hit; the other shard (same hardware model,
+    # different name) -> also a hit
+    t1 = autotune_workgroup(res, 4096, d0, "double", memo=memo)
+    t2 = autotune_workgroup(res, 4096, d1, "double", memo=memo)
+    assert t0 is t1 is t2
+    assert (memo.hits, memo.misses, len(memo)) == (2, 1, 1)
+
+
+def test_autotune_memo_key_separates_real_inputs():
+    res = kernel_resources("fi_mm", "double")
+    memo = AutotuneMemo()
+    d = resolve_device("TitanBlack")[0]
+    other = resolve_device("AMD7970")[0]
+    gather = np.arange(64, dtype=np.int32)
+    autotune_workgroup(res, 4096, d, "double", memo=memo)
+    autotune_workgroup(res, 8192, d, "double", memo=memo)        # n_items
+    autotune_workgroup(res, 4096, d, "single", memo=memo)        # precision
+    autotune_workgroup(res, 4096, other, "double", memo=memo)    # hardware
+    autotune_workgroup(res, 4096, d, "double", gather_index=gather,
+                       memo=memo)                                # gather hash
+    assert (memo.hits, memo.misses) == (0, 5)
+    memo.clear()
+    assert len(memo) == 0 and memo.misses == 0
+
+
+def test_process_wide_memo_accumulates_during_simulation():
+    shared = autotune_memo()
+    shared.clear()
+    _run(steps=4)
+    # every per-step launch after the first sweep is a memo hit
+    assert shared.misses > 0
+    assert shared.hits > shared.misses

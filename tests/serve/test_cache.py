@@ -1,0 +1,105 @@
+"""Cache tiers: compile memoisation, fingerprints, result LRU."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import BoxRoom, DomeRoom, Grid3D, Room
+from repro.gpu import resolve_device
+from repro.serve import (CompileCache, JobResult, ResultCache, SubmitRequest,
+                         request_fingerprint)
+
+
+def _req(**kw):
+    kw.setdefault("room", Room(Grid3D(8, 8, 8), BoxRoom()))
+    kw.setdefault("steps", 2)
+    return SubmitRequest(**kw)
+
+
+def _result(tag=0.0):
+    return JobResult(field=np.full(3, tag), time_step=1, scheme="fi_mm",
+                     precision="double", devices=("TitanBlack",),
+                     kernel_time_ms=1.0, halo_time_ms=0.0,
+                     submit_ms=0.0, start_ms=1.0, end_ms=2.0)
+
+
+# -- compile tier ---------------------------------------------------------------
+
+def test_compile_cache_shares_across_pool_shards():
+    cc = CompileCache()
+    d0, d1 = resolve_device("TitanBlack:2")
+    p0 = cc.program_for(_req(scheme="fi_mm"), d0)
+    p1 = cc.program_for(_req(scheme="fi_mm"), d1)
+    assert p0 is p1                       # same hardware model, one compile
+    assert (cc.hits, cc.misses, len(cc)) == (1, 1, 1)
+
+
+def test_compile_key_branch_semantics():
+    d = resolve_device("TitanBlack")[0]
+    # fi has no branch dimension; fi_mm always compiles the 3-branch
+    # two-kernel program; fd_mm keys on the requested branch count
+    assert CompileCache.key(_req(scheme="fi", num_branches=5), d)[2] == 0
+    assert CompileCache.key(_req(scheme="fi_mm", num_branches=5), d)[2] == 3
+    assert CompileCache.key(_req(scheme="fd_mm", num_branches=5), d)[2] == 5
+    k_single = CompileCache.key(_req(precision="single"), d)
+    k_double = CompileCache.key(_req(precision="double"), d)
+    assert k_single != k_double
+
+
+def test_compile_cache_distinguishes_schemes():
+    cc = CompileCache()
+    d = resolve_device("TitanBlack")[0]
+    pa = cc.program_for(_req(scheme="fi"), d)
+    pb = cc.program_for(_req(scheme="fd_mm"), d)
+    assert pa is not pb
+    assert cc.stats()["misses"] == 2
+
+
+# -- fingerprints ---------------------------------------------------------------
+
+def test_fingerprint_ignores_scheduling_knobs():
+    base = _req(priority=0)
+    assert request_fingerprint(base) == request_fingerprint(
+        _req(priority=9, deadline_ms=5.0, shards=1))
+
+
+def test_fingerprint_covers_simulation_inputs():
+    base = _req()
+    assert request_fingerprint(base) != request_fingerprint(_req(steps=3))
+    assert request_fingerprint(base) != request_fingerprint(
+        _req(scheme="fd_mm"))
+    assert request_fingerprint(base) != request_fingerprint(
+        _req(room=Room(Grid3D(8, 8, 8), DomeRoom())))
+    assert request_fingerprint(base) != request_fingerprint(
+        _req(receivers={"mic": "center"}))
+
+
+# -- result tier ----------------------------------------------------------------
+
+def test_result_cache_lru_eviction():
+    rc = ResultCache(capacity=2)
+    rc.put("a", _result(1))
+    rc.put("b", _result(2))
+    assert rc.get("a") is not None        # refresh 'a'; 'b' becomes LRU
+    rc.put("c", _result(3))
+    assert rc.get("b") is None
+    assert rc.get("a") is not None and rc.get("c") is not None
+    assert rc.evictions == 1
+
+
+def test_result_cache_rebase_shares_payload():
+    rc = ResultCache()
+    r = _result(7)
+    rc.put("x", r)
+    hit = ResultCache.rebase(rc.get("x"), submit_ms=10.0, now_ms=12.0)
+    assert hit.from_cache and hit.attempts == 0
+    assert hit.start_ms == hit.end_ms == 12.0 and hit.submit_ms == 10.0
+    assert hit.field is r.field           # shared, not copied
+    assert hit.wait_ms == 2.0 and hit.latency_ms == 2.0
+
+
+def test_result_cache_zero_capacity_disables():
+    rc = ResultCache(capacity=0)
+    rc.put("a", _result())
+    assert rc.get("a") is None and len(rc) == 0
+    with pytest.raises(ValueError):
+        ResultCache(capacity=-1)

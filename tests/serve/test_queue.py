@@ -1,0 +1,67 @@
+"""Bounded priority queue: ordering, backpressure, lazy deletion."""
+
+import pytest
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.serve import (BoundedPriorityQueue, JobHandle, QueueFull,
+                         SubmitRequest)
+
+
+def _req(priority=0, **kw):
+    return SubmitRequest(room=Room(Grid3D(8, 8, 8), BoxRoom()), steps=2,
+                         priority=priority, **kw)
+
+
+def _handle(job_id, priority=0):
+    return JobHandle(job_id, _req(priority), submit_ms=0.0, service=None)
+
+
+def test_priority_order_with_fifo_ties():
+    q = BoundedPriorityQueue(capacity=8)
+    low, hi1, hi2 = _handle(1, priority=1), _handle(2, 9), _handle(3, 9)
+    for h in (low, hi1, hi2):
+        q.push(h)
+    # higher priority first; equal priorities in submission order
+    assert [q.pop(), q.pop(), q.pop()] == [hi1, hi2, low]
+    assert q.pop() is None
+
+
+def test_capacity_counts_live_entries_only():
+    q = BoundedPriorityQueue(capacity=2)
+    a, b = _handle(1), _handle(2)
+    q.push(a)
+    q.push(b)
+    with pytest.raises(QueueFull) as err:
+        q.push(_handle(3))
+    assert err.value.capacity == 2
+    # a stale entry (handle left QUEUED) frees capacity without a pop
+    a.state = "EVICTED"
+    assert len(q) == 1
+    q.push(_handle(4))          # no longer full
+    assert len(q) == 2
+
+
+def test_pop_skips_stale_entries():
+    q = BoundedPriorityQueue(capacity=4)
+    a, b = _handle(1, priority=5), _handle(2, priority=1)
+    q.push(a)
+    q.push(b)
+    a.state = "RUNNING"         # lazily deleted
+    assert q.pop() is b
+    assert q.pop() is None
+
+
+def test_take_matching_orders_and_limits():
+    q = BoundedPriorityQueue(capacity=8)
+    handles = [_handle(i, priority=p) for i, p in
+               enumerate((1, 7, 3, 9, 5))]
+    for h in handles:
+        q.push(h)
+    odd = q.take_matching(lambda h: h.request.priority % 2 == 1, limit=3)
+    assert [h.request.priority for h in odd] == [9, 7, 5]
+    assert q.take_matching(lambda h: True, limit=0) == []
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BoundedPriorityQueue(capacity=0)

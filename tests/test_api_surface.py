@@ -40,6 +40,17 @@ def test_all_lists_are_exact():
     assert public == set(api.__all__)
 
 
+def test_serve_surface_documented():
+    import repro.serve as serve
+    assert _documented("repro.serve") == set(serve.__all__)
+
+
+def test_serve_all_lists_are_exact():
+    import repro.serve as serve
+    for name in serve.__all__:
+        assert hasattr(serve, name)
+
+
 def test_gpu_all_covers_multi_device_surface():
     import repro.gpu as gpu
     for name in ("resolve_device", "MultiGPU", "MultiRunResult", "ShardLost",
