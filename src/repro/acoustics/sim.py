@@ -175,6 +175,12 @@ class SimConfig:
     #: the serving layer's compile cache (``repro.serve.cache``) supplies
     #: this so repeated shapes compile once per process, not per job
     host_program: object | None = None
+    #: use the steady-state (workspace-arena) NumPy kernels for the
+    #: ``lift`` backend — bit-identical to the legacy emitter but free of
+    #: per-step full-grid allocations after warm-up.  ``False`` selects
+    #: the legacy allocating kernels; the wallclock benchmark uses this
+    #: as its baseline (``repro.bench.wallclock``)
+    lift_steady: bool = True
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -253,23 +259,35 @@ class RoomSimulation:
                 "M": self.table.num_materials}
 
     def _compile_lift(self):
+        from ..lift.codegen.arena import Workspace
         from ..lift.codegen.numpy_backend import compile_numpy
         from .lift_programs import (fd_mm_boundary, fi_fused_flat,
                                     fi_mm_boundary, volume_kernel)
         prec = self.config.precision
+        steady = bool(self.config.lift_steady)
+        # one workspace per kernel: shapes/dtypes are fixed for the life
+        # of the simulation, so slots warm up on the first step and every
+        # later step is allocation-free
+        ws = (lambda label: Workspace(f"lift:{label}")) if steady else \
+             (lambda label: None)
         if self.config.scheme == "fi":
             self._k_fused = compile_numpy(fi_fused_flat(prec).kernel,
-                                          "fi_fused_flat")
+                                          "fi_fused_flat", steady=steady)
+            self._ws_fused = ws("fi_fused_flat")
         else:
             self._k_volume = compile_numpy(volume_kernel(prec).kernel,
-                                           "volume_kernel")
+                                           "volume_kernel", steady=steady)
+            self._ws_volume = ws("volume_kernel")
             if self.config.scheme == "fi_mm":
                 self._k_boundary = compile_numpy(fi_mm_boundary(prec).kernel,
-                                                 "fi_mm_boundary")
+                                                 "fi_mm_boundary",
+                                                 steady=steady)
+                self._ws_boundary = ws("fi_mm_boundary")
             else:
                 self._k_boundary = compile_numpy(
                     fd_mm_boundary(prec, self.table.num_branches).kernel,
-                    "fd_mm_boundary")
+                    "fd_mm_boundary", steady=steady)
+                self._ws_boundary = ws("fd_mm_boundary")
 
     def _setup_virtual_gpu(self, device=None):
         from ..lift.codegen.host import compile_host
@@ -643,16 +661,20 @@ class RoomSimulation:
         sizes = self._size_env()
         NP = N + self._guard
         if self.config.scheme == "fi":
+            fkw = {} if self._ws_fused is None else {"_ws": self._ws_fused}
             self._k_fused.fn(self.prev, self.curr, self._nbrs_guarded, lam,
                              self.table.beta[0], g.nx, g.nx * g.ny,
-                             N=N, NP=NP, out=self.nxt)
+                             N=N, NP=NP, out=self.nxt, **fkw)
             return
+        vkw = {} if self._ws_volume is None else {"_ws": self._ws_volume}
+        bkw = ({} if self._ws_boundary is None
+               else {"_ws": self._ws_boundary})
         self._k_volume.fn(self.prev, self.curr, self._nbrs_guarded, lam,
-                          g.nx, g.nx * g.ny, N=N, NP=NP, out=self.nxt)
+                          g.nx, g.nx * g.ny, N=N, NP=NP, out=self.nxt, **vkw)
         if self.config.scheme == "fi_mm":
             self._k_boundary.fn(t.boundary_indices, t.material, self.nbrs,
                                 self.table.beta, self.nxt, self.prev, lam,
-                                K=sizes["K"], M=sizes["M"], N=N)
+                                K=sizes["K"], M=sizes["M"], N=N, **bkw)
         else:
             self._k_boundary.fn(t.boundary_indices, t.material, self.nbrs,
                                 self.table.beta,
@@ -662,7 +684,7 @@ class RoomSimulation:
                                 self.table.D.reshape(-1),
                                 self.nxt, self.prev,
                                 self.g1, self.v2, self.v1, lam, sizes["K"],
-                                M=sizes["M"], N=N)
+                                M=sizes["M"], N=N, **bkw)
 
     def _step_virtual_gpu(self):
         g = self.grid

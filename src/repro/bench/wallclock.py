@@ -1,0 +1,158 @@
+"""Host-wallclock benchmark: steady-state steps/sec, arena vs legacy.
+
+Every other artefact in :mod:`repro.bench` reports the *modelled* GPU
+clock (the paper's Tables/Figures).  This one measures something the
+model deliberately ignores: real host seconds per simulation step on the
+generated-NumPy executable path, before and after the steady-state
+(workspace-arena) emitter.  It is the repo's perf trajectory — each PR
+that touches the hot path reruns it and commits the JSON artefact
+(``BENCH_5.json`` introduced it) so regressions show up in review.
+
+Two rules keep the numbers honest and portable:
+
+* the *legacy* and *steady* timings always come from the same process on
+  the same machine, so their ratio (``speedup``) cancels host speed; CI
+  regression checks compare ratios, never absolute steps/sec;
+* both variants must produce **bit-identical** states — the benchmark
+  re-verifies that on every run and reports it in the payload.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import numpy as np
+
+from .rooms import PAPER_SIZES, scaled_dims
+
+#: schemes timed by default — FI (fused single-kernel) is the paper's
+#: headline hot loop and carries the >=3x acceptance target
+SCHEMES = ("fi", "fi_mm", "fd_mm")
+HEADLINE_SCHEME = "fi"
+
+
+def _time_steps(scheme: str, precision: str, dims, steps: int,
+                warmup: int, steady: bool):
+    from ..acoustics.geometry import Room, shape_by_name
+    from ..acoustics.grid import Grid3D
+    from ..acoustics.sim import RoomSimulation, SimConfig
+    room = Room(Grid3D(*dims), shape_by_name("box"))
+    cfg = SimConfig(room=room, scheme=scheme, backend="lift",
+                    precision=precision, lift_steady=steady)
+    sim = RoomSimulation(cfg)
+    sim.add_impulse("center")
+    for _ in range(warmup):
+        sim.step()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sim.step()
+    dt = time.perf_counter() - t0
+    return {"seconds_per_step": dt / steps,
+            "steps_per_sec": steps / dt}, sim
+
+
+def wallclock_benchmark(scale: int = 1, size: str = "302",
+                        precision: str = "double", steps: int = 10,
+                        warmup: int = 3,
+                        schemes=SCHEMES) -> dict:
+    """Time ``steps`` steady-state steps per scheme, legacy vs arena.
+
+    ``size``/``scale`` follow the Table II registry: the default is the
+    paper's medium box room (302 x 202 x 152) at full size; CI uses a
+    larger ``scale`` for a small fast room.  Warm-up steps are excluded
+    so allocation of the arena itself is never timed.
+    """
+    dims = scaled_dims(size, scale)
+    results = []
+    for scheme in schemes:
+        legacy, sim_l = _time_steps(scheme, precision, dims, steps,
+                                    warmup, steady=False)
+        steady, sim_s = _time_steps(scheme, precision, dims, steps,
+                                    warmup, steady=True)
+        identical = bool(
+            np.array_equal(sim_l.curr, sim_s.curr)
+            and np.array_equal(sim_l.prev, sim_s.prev))
+        results.append({
+            "scheme": scheme,
+            "legacy": legacy,
+            "steady": steady,
+            "speedup": steady["steps_per_sec"] / legacy["steps_per_sec"],
+            "bit_identical": identical,
+        })
+    by_scheme = {r["scheme"]: r for r in results}
+    headline = by_scheme.get(HEADLINE_SCHEME, results[0])["speedup"]
+    geomean = float(np.exp(np.mean([np.log(r["speedup"])
+                                    for r in results])))
+    return {
+        "benchmark": "wallclock",
+        "room": {"size": size, "scale": scale, "shape": "box",
+                 "dims": list(dims),
+                 "points": int(np.prod(dims)),
+                 "paper_dims": list(PAPER_SIZES[size])},
+        "precision": precision,
+        "steps": steps,
+        "warmup": warmup,
+        "results": results,
+        "headline_scheme": HEADLINE_SCHEME,
+        "headline_speedup": headline,
+        "speedup_geomean": geomean,
+        "meets_3x_target": bool(headline >= 3.0),
+        "all_bit_identical": all(r["bit_identical"] for r in results),
+    }
+
+
+def check_regression(payload: dict, baseline: dict,
+                     tolerance: float = 0.2) -> list[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Only the steady-vs-legacy *ratio* is compared (absolute steps/sec is
+    machine speed, not code quality): a scheme fails when its speedup
+    drops more than ``tolerance`` (default 20%) below the baseline's, or
+    when bit-identity is lost.  Returns human-readable failure strings
+    (empty = pass).
+    """
+    failures: list[str] = []
+    base = {r["scheme"]: r for r in baseline.get("results", [])}
+    for r in payload["results"]:
+        b = base.get(r["scheme"])
+        if not r["bit_identical"]:
+            failures.append(
+                f"{r['scheme']}: steady-state result is no longer "
+                f"bit-identical to the legacy backend")
+        if b is None:
+            continue
+        floor = b["speedup"] * (1.0 - tolerance)
+        if r["speedup"] < floor:
+            failures.append(
+                f"{r['scheme']}: steady-state speedup {r['speedup']:.2f}x "
+                f"regressed >{tolerance:.0%} below baseline "
+                f"{b['speedup']:.2f}x (floor {floor:.2f}x)")
+    return failures
+
+
+def render_wallclock(scale: int = 1) -> str:
+    """Text table for ``python -m repro.bench wallclock``."""
+    p = wallclock_benchmark(scale=scale)
+    out = io.StringIO()
+    d = p["room"]["dims"]
+    print(f"Wallclock — host steps/sec, box {d[0]}x{d[1]}x{d[2]} "
+          f"({p['room']['points']:,} points), {p['precision']}, "
+          f"{p['steps']} steps after {p['warmup']} warm-up", file=out)
+    print(f"{'scheme':>6} {'legacy ms':>10} {'steady ms':>10} "
+          f"{'legacy sps':>11} {'steady sps':>11} {'speedup':>8} "
+          f"{'identical':>9}", file=out)
+    for r in p["results"]:
+        print(f"{r['scheme']:>6} "
+              f"{r['legacy']['seconds_per_step'] * 1e3:>10.2f} "
+              f"{r['steady']['seconds_per_step'] * 1e3:>10.2f} "
+              f"{r['legacy']['steps_per_sec']:>11.2f} "
+              f"{r['steady']['steps_per_sec']:>11.2f} "
+              f"{r['speedup']:>7.2f}x "
+              f"{str(r['bit_identical']):>9}", file=out)
+    print(f"headline ({p['headline_scheme']}): "
+          f"{p['headline_speedup']:.2f}x  "
+          f"geomean: {p['speedup_geomean']:.2f}x  "
+          f"3x target: {'met' if p['meets_3x_target'] else 'NOT met'}",
+          file=out)
+    return out.getvalue()

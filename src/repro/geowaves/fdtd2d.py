@@ -147,10 +147,15 @@ class GPRSimulation:
             self._compile_lift()
 
     def _compile_lift(self):
+        from ..lift.codegen.arena import Workspace
         from ..lift.codegen.numpy_backend import compile_numpy
         from .lift_programs import e_update_program, h_update_program
-        self._k_h = compile_numpy(h_update_program().kernel, "gpr_h_update")
-        self._k_e = compile_numpy(e_update_program().kernel, "gpr_e_update")
+        self._k_h = compile_numpy(h_update_program().kernel, "gpr_h_update",
+                                  steady=True)
+        self._k_e = compile_numpy(e_update_program().kernel, "gpr_e_update",
+                                  steady=True)
+        self._ws_h = Workspace("gpr:h_update")
+        self._ws_e = Workspace("gpr:e_update")
 
     # -- sources / receivers -----------------------------------------------------------
     def point_index(self, x: int, y: int) -> int:
@@ -185,9 +190,9 @@ class GPRSimulation:
         else:
             n, nx = self.n, self.nx
             self._k_h.fn(self.ez, self.hx, self.hy, self.mask, self.S, nx,
-                         N=n, NP=n + nx)
+                         N=n, NP=n + nx, _ws=self._ws_h)
             self._k_e.fn(self.ez, self.hx, self.hy, self.cez, self.damp,
-                         self.mask, nx, N=n, NP=n + nx)
+                         self.mask, nx, N=n, NP=n + nx, _ws=self._ws_e)
         self.time_step += 1
         for name, (idx, sig) in self.receivers.items():
             sig.append(float(self.ez[idx]))

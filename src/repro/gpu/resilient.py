@@ -151,6 +151,7 @@ class ResilientGPU:
                                   workgroup=g.device.warp_size,
                                   faults=g.faults)
             degraded._np_kernels = g._np_kernels   # share compiled kernels
+            degraded._np_kernels_steady = g._np_kernels_steady
             degraded._resources = g._resources
             stages.append(("degrade_launch", degraded,
                            f"workgroup={g.device.warp_size}, autotune off"))

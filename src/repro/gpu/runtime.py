@@ -28,6 +28,7 @@ device failures for resilience testing.
 from __future__ import annotations
 
 import hashlib
+import time as _time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -36,6 +37,7 @@ import numpy as np
 from .. import obs as _obs
 from ..obs.tracer import ModelClock
 from ..lift.analysis import Resources, analyse_kernel
+from ..lift.codegen.arena import Workspace, arena_stats
 from ..lift.codegen.host import (ArgBinding, BufferDecl, CopyIn, CopyOut,
                                  HostPlan, HostProgram, Launch)
 from ..lift.codegen.numpy_backend import NumpyKernel, compile_numpy
@@ -77,10 +79,24 @@ def _kernel_source_key(ks) -> str:
     return f"{ks.name}:{hashlib.sha1(basis.encode()).hexdigest()}"
 
 
-def kernel_cache_stats() -> dict[str, int]:
-    """Sizes of the process-wide kernel caches (for tests/diagnostics)."""
+#: real-seconds histogram buckets for ``repro_host_wallclock_seconds``
+#: (the modelled-ms default buckets are the wrong scale for host time)
+_WALLCLOCK_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                      1e-1, 3e-1, 1.0, 3.0, 10.0)
+
+
+def kernel_cache_stats() -> dict:
+    """Sizes of the process-wide kernel caches (for tests/diagnostics).
+
+    ``np_kernels``/``resources`` count compile-cache entries (steady-state
+    arena variants are cached alongside the legacy emission, under a
+    ``#steady`` suffix of the same source hash); ``arena`` reports the
+    workspace arena's process-wide hit/miss counters and resident bytes
+    (see :func:`repro.lift.codegen.arena.arena_stats`).
+    """
     return {"np_kernels": len(_NP_KERNEL_CACHE),
-            "resources": len(_RESOURCES_CACHE)}
+            "resources": len(_RESOURCES_CACHE),
+            "arena": arena_stats()}
 
 
 def clear_kernel_caches() -> None:
@@ -179,7 +195,13 @@ class VirtualGPU:
         self.workgroup = workgroup
         self.faults = faults
         self._np_kernels: dict[str, NumpyKernel] = {}
+        self._np_kernels_steady: dict[str, NumpyKernel] = {}
         self._resources: dict[str, Resources] = {}
+        #: workspace arenas for the one-shot execute() path, keyed by
+        #: (kernel, array shapes/dtypes, sizes) so repeated per-step
+        #: execute() calls of the same program reuse their temporaries
+        self._workspaces: dict[tuple, Workspace] = {}
+        self._arena_reported = (0, 0)   # last (hits, misses) fed to obs
         #: modelled device clock stamping ProfilingEvent start/end times;
         #: when an observability session is active the session's shared
         #: clock is used instead, so all devices land on one timeline
@@ -216,7 +238,7 @@ class VirtualGPU:
         return ev
 
     # -- kernel caches -------------------------------------------------------------
-    def _np_kernel(self, launch: Launch) -> NumpyKernel:
+    def _np_kernel(self, launch: Launch, steady: bool = False) -> NumpyKernel:
         """Instance map (name -> kernel) over the shared source-hash cache.
 
         The per-instance map keeps the one-program-per-device fast path
@@ -224,9 +246,13 @@ class VirtualGPU:
         degraded executor); on a miss the process-wide
         :data:`_NP_KERNEL_CACHE` is consulted by source hash, so a pool
         of devices running the same program compiles each kernel once.
+        ``steady=True`` returns the zero-allocation arena variant (cached
+        under the same source hash with a ``#steady`` suffix); results
+        are bit-identical to the default emission.
         """
         ks = launch.kernel
-        nk = self._np_kernels.get(ks.name)
+        instance = self._np_kernels_steady if steady else self._np_kernels
+        nk = instance.get(ks.name)
         if nk is None:
             if ks.kernel_lambda is None:
                 raise ClInvalidValue(
@@ -235,13 +261,60 @@ class VirtualGPU:
                     f"build KernelSource through compile_kernel()/compile_host() "
                     f"(which attach the Lambda) instead of constructing it by "
                     f"hand", kernel=ks.name)
-            key = _kernel_source_key(ks)
+            key = _kernel_source_key(ks) + ("#steady" if steady else "")
             nk = _NP_KERNEL_CACHE.get(key)
             if nk is None:
-                nk = compile_numpy(ks.kernel_lambda, ks.name, lower=False)
+                nk = compile_numpy(ks.kernel_lambda, ks.name, lower=False,
+                                   steady=steady)
                 _NP_KERNEL_CACHE[key] = nk
-            self._np_kernels[ks.name] = nk
+            instance[ks.name] = nk
         return nk
+
+    def _workspace_for(self, nk: NumpyKernel, args: list,
+                       out_array: np.ndarray | None,
+                       size_kwargs: dict[str, int]) -> Workspace:
+        """Arena for one-shot execute() launches: keyed by kernel object,
+        array shapes/dtypes and sizes, so a simulation stepping through
+        repeated execute() calls reuses one set of temporaries while a
+        different grid/precision never shares buffers with it."""
+        shapes = tuple((a.shape, a.dtype.str) for a in args
+                       if isinstance(a, np.ndarray))
+        if out_array is not None:
+            shapes += ((out_array.shape, out_array.dtype.str),)
+        key = (nk.name, id(nk), shapes, tuple(sorted(size_kwargs.items())))
+        ws = self._workspaces.get(key)
+        if ws is None:
+            ws = self._workspaces[key] = Workspace(
+                f"{self.device.name}:{nk.name}")
+        return ws
+
+    def _observe_host_time(self, o, kernel_name: str,
+                           host_secs: float) -> None:
+        """Feed the host-wallclock histogram and arena gauges (the real
+        seconds the NumPy realisation took, distinct from the modelled
+        kernel clock)."""
+        o.metrics.histogram(
+            "repro_host_wallclock_seconds",
+            "Real host seconds spent executing the NumPy realisation "
+            "of a kernel launch",
+            ("kernel", "device"), buckets=_WALLCLOCK_BUCKETS).observe(
+                host_secs, kernel=kernel_name, device=self.device.name)
+        st = arena_stats()
+        o.metrics.gauge(
+            "repro_arena_bytes",
+            "Bytes resident in live workspace arenas (process-wide)",
+            ("device",)).set(st["nbytes"], device=self.device.name)
+        last_h, last_m = self._arena_reported
+        dh, dm = st["hits"] - last_h, st["misses"] - last_m
+        ctr = o.metrics.counter(
+            "repro_arena_slot_requests_total",
+            "Workspace-arena slot requests (hit = buffer reused, "
+            "miss = slot allocated)", ("outcome",))
+        if dh > 0:
+            ctr.inc(dh, outcome="hit")
+        if dm > 0:
+            ctr.inc(dm, outcome="miss")
+        self._arena_reported = (st["hits"], st["misses"])
 
     def _kernel_resources(self, launch: Launch) -> Resources:
         ks = launch.kernel
@@ -554,16 +627,20 @@ class VirtualGPU:
             if s not in size_kwargs:
                 size_kwargs[s] = int(sizes[s])
 
-        if nk.returns_out:
-            if out_array is None:
-                raise ClInvalidKernelArgs(
-                    f"kernel {op.kernel.name!r} allocates a fresh output "
-                    f"but its launch has no 'out' buffer binding; "
-                    f"compile_host() normally adds one — check the plan's "
-                    f"Launch.args", kernel=op.kernel.name)
-            ret = nk.fn(*args, **size_kwargs, out=out_array)
+        if nk.returns_out and out_array is None:
+            raise ClInvalidKernelArgs(
+                f"kernel {op.kernel.name!r} allocates a fresh output "
+                f"but its launch has no 'out' buffer binding; "
+                f"compile_host() normally adds one — check the plan's "
+                f"Launch.args", kernel=op.kernel.name)
+        steady_nk = self._np_kernel(op, steady=True)
+        ws = self._workspace_for(steady_nk, args, out_array, size_kwargs)
+        t0 = _time.perf_counter()
+        if steady_nk.returns_out:
+            ret = steady_nk.fn(*args, **size_kwargs, out=out_array, _ws=ws)
         else:
-            ret = nk.fn(*args, **size_kwargs)
+            ret = steady_nk.fn(*args, **size_kwargs, _ws=ws)
+        host_secs = _time.perf_counter() - t0
 
         n_items = (int(op.global_size.evaluate(sizes))
                    if op.global_size is not None else 0)
@@ -578,21 +655,162 @@ class VirtualGPU:
                                  self.traits, gather_index,
                                  workgroup=self.workgroup)
         attrs: dict = {}
-        if _obs.get() is not None:
-            # achieved-vs-roofline figures for the trace span / report
-            secs = timing.time_ms * 1e-3
-            total_bytes = timing.bytes_per_item * n_items
-            total_flops = timing.flops_per_item * n_items
-            attrs = dict(
-                precision=precision, n_items=n_items,
-                occupancy=timing.occupancy, workgroup=timing.workgroup,
-                bytes=total_bytes, flops=total_flops,
-                achieved_gbs=total_bytes / secs / 1e9 if secs > 0 else 0.0,
-                roofline_gbs=self.device.effective_bandwidth / 1e9,
-                achieved_gflops=total_flops / secs / 1e9 if secs > 0 else 0.0,
-                peak_gflops=self.device.flops_rate(precision) / 1e9)
+        o = _obs.get()
+        if o is not None:
+            attrs = self._launch_attrs(timing, n_items, precision)
             if step is not None:
                 attrs["step"] = step
+            self._observe_host_time(o, op.kernel.name, host_secs)
+        self._record(events, "kernel", op.kernel.name, timing.time_ms,
+                     timing, **attrs)
+        return ret if isinstance(ret, np.ndarray) else None
+
+    def _launch_attrs(self, timing: KernelTiming, n_items: int,
+                      precision: str) -> dict:
+        """Achieved-vs-roofline figures for the trace span / report."""
+        secs = timing.time_ms * 1e-3
+        total_bytes = timing.bytes_per_item * n_items
+        total_flops = timing.flops_per_item * n_items
+        return dict(
+            precision=precision, n_items=n_items,
+            occupancy=timing.occupancy, workgroup=timing.workgroup,
+            bytes=total_bytes, flops=total_flops,
+            achieved_gbs=total_bytes / secs / 1e9 if secs > 0 else 0.0,
+            roofline_gbs=self.device.effective_bandwidth / 1e9,
+            achieved_gflops=total_flops / secs / 1e9 if secs > 0 else 0.0,
+            peak_gflops=self.device.flops_rate(precision) / 1e9)
+
+    def _prepare_launch(self, op: Launch, buffers: dict[str, np.ndarray],
+                        inputs: dict, sizes: dict[str, int],
+                        gather_index_param: str,
+                        rotating_sources: set[str]) -> "_PreparedLaunch":
+        """Hoist every per-step-invariant part of a launch out of the
+        resident-plan step loop: the steady (arena) kernel, scalar
+        argument values, resolved ``size_kwargs``, resource analysis,
+        precision, ``global_size`` evaluation and — when the gather
+        buffer does not rotate — the autotuned :class:`KernelTiming`.
+        What remains per step is patching the rotating buffer positions
+        and the kernel call itself.
+        """
+        nk = self._np_kernel(op, steady=True)
+        args: list = []
+        rotating: list[tuple[int, str]] = []
+        size_kwargs: dict[str, int] = {}
+        out_src: str | None = None
+        out_static: np.ndarray | None = None
+        gather_src: str | None = None
+        gather_static: np.ndarray | None = None
+        for binding in op.args:
+            if binding.kind == "buffer":
+                buf = buffers[binding.source]
+                if binding.param_name == "out":
+                    out_src = binding.source
+                    out_static = buf
+                else:
+                    if binding.source in rotating_sources:
+                        rotating.append((len(args), binding.source))
+                    args.append(buf)
+                if binding.param_name == gather_index_param:
+                    gather_src = binding.source
+                    gather_static = buf
+            elif binding.kind == "scalar":
+                args.append(inputs[binding.source])
+            elif binding.kind == "size":
+                name = binding.param_name
+                size_kwargs[name] = int(sizes[name])
+            else:
+                raise ClInvalidKernelArgs(
+                    f"launch of kernel {op.kernel.name!r}: argument "
+                    f"{binding.param_name!r} has unknown binding kind "
+                    f"{binding.kind!r} (expected 'buffer', 'scalar' or "
+                    f"'size'); HostPlans built by compile_host() only emit "
+                    f"those three — was this plan edited by hand?",
+                    kernel=op.kernel.name, param=binding.param_name,
+                    kind=binding.kind)
+        for s in nk.size_params:
+            if s not in size_kwargs:
+                size_kwargs[s] = int(sizes[s])
+        if nk.returns_out and out_src is None:
+            raise ClInvalidKernelArgs(
+                f"kernel {op.kernel.name!r} allocates a fresh output "
+                f"but its launch has no 'out' buffer binding; "
+                f"compile_host() normally adds one — check the plan's "
+                f"Launch.args", kernel=op.kernel.name)
+
+        n_items = (int(op.global_size.evaluate(sizes))
+                   if op.global_size is not None else 0)
+        res = self._kernel_resources(op)
+        precision = self._launch_precision(op)
+        timing: KernelTiming | None = None
+        if gather_src is None or gather_src not in rotating_sources:
+            timing = self._launch_timing(res, n_items, precision,
+                                         gather_static)
+        return _PreparedLaunch(
+            op=op, nk=nk, ws=Workspace(f"{self.device.name}:{op.kernel.name}"),
+            site=f"launch:{op.kernel.name}", args=args, rotating=rotating,
+            out_src=out_src, out_static=out_static,
+            out_rotates=(out_src is not None
+                         and out_src in rotating_sources),
+            gather_src=gather_src, gather_static=gather_static,
+            size_kwargs=size_kwargs, n_items=n_items, res=res,
+            precision=precision, timing=timing)
+
+    def _launch_timing(self, res: Resources, n_items: int, precision: str,
+                       gather_index: np.ndarray | None) -> KernelTiming:
+        if self.autotune:
+            return autotune_workgroup(res, n_items, self.device, precision,
+                                      self.traits, gather_index)
+        from .costmodel import kernel_time
+        return kernel_time(res, n_items, self.device, precision,
+                           self.traits, gather_index,
+                           workgroup=self.workgroup)
+
+    def _run_prepared(self, prep: "_PreparedLaunch",
+                      view: dict[str, np.ndarray],
+                      events: list[ProfilingEvent],
+                      step: int | None = None) -> np.ndarray | None:
+        """Execute one prepared launch under the current buffer rotation
+        (``view`` maps rotating buffer names to their current arrays)."""
+        op = prep.op
+        if self.faults is not None:
+            if self.faults.should_inject("device_lost", prep.site, step):
+                raise ClDeviceLost(
+                    f"device {self.device.name} lost while enqueueing "
+                    f"kernel {op.kernel.name!r}"
+                    + (f" at step {step}" if step is not None else ""),
+                    kernel=op.kernel.name, step=step, injected=True)
+            if self.faults.should_inject("launch_abort", prep.site, step):
+                raise ClOutOfResources(
+                    f"clEnqueueNDRangeKernel aborted for kernel "
+                    f"{op.kernel.name!r}"
+                    + (f" at step {step}" if step is not None else ""),
+                    kernel=op.kernel.name, step=step, injected=True)
+        args = prep.args
+        for pos, src in prep.rotating:
+            args[pos] = view[src]
+        out_array = (view[prep.out_src] if prep.out_rotates
+                     else prep.out_static)
+        nk = prep.nk
+        t0 = _time.perf_counter()
+        if nk.returns_out:
+            ret = nk.fn(*args, **prep.size_kwargs, out=out_array,
+                        _ws=prep.ws)
+        else:
+            ret = nk.fn(*args, **prep.size_kwargs, _ws=prep.ws)
+        host_secs = _time.perf_counter() - t0
+        timing = prep.timing
+        if timing is None:
+            gather = (view[prep.gather_src]
+                      if prep.gather_src in view else prep.gather_static)
+            timing = self._launch_timing(prep.res, prep.n_items,
+                                         prep.precision, gather)
+        attrs: dict = {}
+        o = _obs.get()
+        if o is not None:
+            attrs = self._launch_attrs(timing, prep.n_items, prep.precision)
+            if step is not None:
+                attrs["step"] = step
+            self._observe_host_time(o, op.kernel.name, host_secs)
         self._record(events, "kernel", op.kernel.name, timing.time_ms,
                      timing, **attrs)
         return ret if isinstance(ret, np.ndarray) else None
@@ -602,6 +820,29 @@ class VirtualGPU:
         widths = [p.scalar.nbytes for p in op.kernel.params
                   if p.scalar.name in ("float", "double")]
         return "double" if widths and max(widths) == 8 else "single"
+
+
+@dataclass
+class _PreparedLaunch:
+    """One launch of a resident plan with every step-invariant part
+    pre-resolved (see :meth:`VirtualGPU._prepare_launch`)."""
+
+    op: Launch
+    nk: NumpyKernel                    # steady (arena) variant
+    ws: Workspace                      # dedicated arena for this launch
+    site: str                          # fault-injection site string
+    args: list                         # positional args; rotating slots patched
+    rotating: list[tuple[int, str]]    # (position in args, buffer name)
+    out_src: str | None                # 'out' binding's buffer name
+    out_static: np.ndarray | None      # its array when it does not rotate
+    out_rotates: bool
+    gather_src: str | None
+    gather_static: np.ndarray | None
+    size_kwargs: dict[str, int]
+    n_items: int
+    res: Resources
+    precision: str
+    timing: KernelTiming | None        # cached when gather never rotates
 
 
 class ResidentPlan:
@@ -680,6 +921,21 @@ class ResidentPlan:
         self._launches = launches
         self._out_buffer = out_buffer
 
+        # Buffer names whose bound array changes between steps; every
+        # other binding is resolved once, here, instead of per step.
+        rotating_sources: set[str] = set()
+        for cycle in self.rotations:
+            for n in cycle:
+                if n == "__out__":
+                    if out_buffer is not None:
+                        rotating_sources.add(out_buffer)
+                else:
+                    rotating_sources.add(host_to_buffer[n])
+        self._prepared = [
+            gpu._prepare_launch(op, buffers, inputs, sizes,
+                                gather_index_param, rotating_sources)
+            for op in launches]
+
     def buffer_for(self, name: str) -> np.ndarray:
         """The array currently bound to rotation name ``name``."""
         return self.buffers[self.binding[name]]
@@ -697,9 +953,8 @@ class ResidentPlan:
         if self._out_buffer is not None:
             view[self._out_buffer] = self.buffers[self.binding["__out__"]]
         try:
-            for op in self._launches:
-                self.gpu._launch(op, view, self.inputs, self.sizes,
-                                 self.events, self.gather_index_param, step)
+            for prep in self._prepared:
+                self.gpu._run_prepared(prep, view, self.events, step)
         finally:
             if step_span is not None:
                 o.tracer.end(step_span)

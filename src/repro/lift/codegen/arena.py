@@ -1,0 +1,271 @@
+"""Workspace arena: persistent buffers for zero-allocation stepping.
+
+The NumPy backend's steady-state emitter (``compile_numpy(...,
+steady=True)``) lowers the kernel's expression tree to three-address
+form where every full-grid operation routes through a :class:`Workspace`
+instead of allocating a fresh array:
+
+* the **first** call of each slot performs the exact legacy operation
+  (``np.add(a, b)``, ``np.where(c, t, f)``, ``arr[idx]``, ``np.pad``)
+  and *keeps* the result as the slot's buffer — NumPy itself decides the
+  result dtype, so the arena never has to re-derive promotion rules;
+* every **later** call re-executes the same operation *into* that buffer
+  (``out=``, ``np.copyto``, slice assignment), which is bit-identical to
+  the allocating form because the buffer's dtype/shape are, by
+  construction, exactly what the allocating form would have produced.
+
+A workspace is keyed by the caller to one ``(kernel, sizes, dtype)``
+combination — reusing a workspace across different shapes simply misses
+and reallocates (shape mismatches are validated per slot), but reusing
+it across dtypes for the *same* shapes is a caller bug; key properly.
+
+``freeze()`` turns any further slot allocation into an error and is the
+allocation-tracking test hook: warm a kernel once, freeze its workspace,
+and every subsequent step is provably allocation-free at full-grid
+granularity.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+__all__ = ["Workspace", "ArenaFrozenError", "arena_stats",
+           "reset_arena_stats"]
+
+
+class ArenaFrozenError(RuntimeError):
+    """A frozen workspace was asked to allocate a new slot."""
+
+
+#: live workspaces, for process-wide accounting (obs gauge)
+_REGISTRY: "weakref.WeakSet[Workspace]" = weakref.WeakSet()
+#: cumulative process-wide counters (survive workspace GC)
+_TOTALS = {"hits": 0, "misses": 0}
+
+
+def arena_stats() -> dict:
+    """Process-wide arena accounting: live workspaces, cumulative
+    hit/miss counters, and resident bytes across live workspaces."""
+    live = list(_REGISTRY)
+    return {
+        "workspaces": len(live),
+        "hits": _TOTALS["hits"],
+        "misses": _TOTALS["misses"],
+        "nbytes": sum(ws.nbytes() for ws in live),
+    }
+
+
+def reset_arena_stats() -> None:
+    """Zero the cumulative counters (test isolation)."""
+    _TOTALS["hits"] = 0
+    _TOTALS["misses"] = 0
+
+
+class Workspace:
+    """Named buffer slots for one kernel's steady-state temporaries.
+
+    Slot names come from the generated source (each three-address
+    temporary owns one slot), so a workspace instance must be dedicated
+    to one generated kernel at one set of array shapes/dtypes.
+    ``const`` slots additionally carry a key — the tuple of every scalar
+    and size argument — and recompute when it changes, which makes
+    cached index arrays safe across parameter changes.
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._slots: dict[str, np.ndarray] = {}
+        self._consts: dict[str, tuple[tuple, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.frozen = False
+        _REGISTRY.add(self)
+
+    # -- accounting ----------------------------------------------------
+
+    def _hit(self) -> None:
+        self.hits += 1
+        _TOTALS["hits"] += 1
+
+    def _miss(self, name: str) -> None:
+        if self.frozen:
+            raise ArenaFrozenError(
+                f"workspace {self.label!r} is frozen but slot {name!r} "
+                f"requires allocation")
+        self.misses += 1
+        _TOTALS["misses"] += 1
+
+    def freeze(self) -> None:
+        """Forbid further allocation; later misses raise
+        :class:`ArenaFrozenError`.  The allocation-tracking test hook."""
+        self.frozen = True
+
+    def thaw(self) -> None:
+        self.frozen = False
+
+    def reset(self) -> None:
+        """Drop all buffers (counters are kept)."""
+        self._slots.clear()
+        self._consts.clear()
+
+    def nbytes(self) -> int:
+        total = sum(b.nbytes for b in self._slots.values())
+        for _key, val in self._consts.values():
+            if isinstance(val, np.ndarray):
+                total += val.nbytes
+        return total
+
+    def stats(self) -> dict:
+        return {"label": self.label, "slots": len(self._slots),
+                "consts": len(self._consts), "hits": self.hits,
+                "misses": self.misses, "nbytes": self.nbytes()}
+
+    # -- operations ----------------------------------------------------
+
+    def ufunc(self, name: str, uf, *args):
+        """``uf(*args)`` on miss (result kept as the buffer),
+        ``uf(*args, out=buf)`` on hit."""
+        buf = self._slots.get(name)
+        if buf is not None:
+            self._hit()
+            return uf(*args, out=buf)
+        self._miss(name)
+        res = uf(*args)
+        if isinstance(res, np.ndarray) and res.ndim:
+            self._slots[name] = res
+        return res
+
+    def where(self, name: str, cond, if_true, if_false):
+        """``np.where`` without allocating both branches into a third
+        array on the hot path: fill with ``if_false``, overwrite where
+        ``cond`` — elementwise identical to ``np.where``."""
+        buf = self._slots.get(name)
+        if buf is not None:
+            self._hit()
+            np.copyto(buf, if_false)
+            np.copyto(buf, if_true, where=cond)
+            return buf
+        self._miss(name)
+        res = np.where(cond, if_true, if_false)
+        if isinstance(res, np.ndarray) and res.ndim:
+            self._slots[name] = res
+        return res
+
+    def take(self, name: str, arr, indices):
+        """Fancy gather ``arr[indices]``; ``np.take(..., out=buf)`` on
+        the hot path (``mode='raise'`` matches fancy indexing for both
+        negative wraparound and out-of-bounds errors)."""
+        buf = self._slots.get(name)
+        if buf is not None:
+            self._hit()
+            return np.take(arr, indices, out=buf)
+        self._miss(name)
+        res = arr[indices]
+        self._slots[name] = res
+        return res
+
+    def shift(self, name: str, arr, n, offset, copy: bool = False):
+        """The gather ``arr[_gid + offset]`` for an affine index.
+
+        In-range offsets are pure views (zero copy, zero allocation)
+        unless ``copy=True`` (required when the kernel also writes
+        ``arr``: the copy preserves read-before-write semantics).
+        Negative offsets reproduce fancy indexing's negative-index
+        wraparound exactly via (at most two) slice copies into the
+        slot's buffer.
+        """
+        size = int(arr.shape[0])
+        n = int(n)
+        offset = int(offset)
+        if offset + n > size or size + offset < 0:
+            raise IndexError(
+                f"shifted gather out of range: offset {offset}, "
+                f"length {n}, array size {size}")
+        if offset >= 0 or offset + n <= 0:
+            # contiguous — either in range or fully wrapped
+            start = offset if offset >= 0 else size + offset
+            view = arr[start:start + n]
+            if not copy:
+                self._hit()
+                return view
+            buf = self._slots.get(name)
+            if buf is None:
+                self._miss(name)
+                buf = view.copy()
+                self._slots[name] = buf
+            else:
+                self._hit()
+                np.copyto(buf, view)
+            return buf
+        # straddles the wrap point: indices -wrap..-1 then 0..n-wrap-1
+        wrap = -offset
+        buf = self._slots.get(name)
+        if buf is None:
+            self._miss(name)
+            buf = np.empty(n, dtype=arr.dtype)
+            self._slots[name] = buf
+        else:
+            self._hit()
+        buf[:wrap] = arr[size - wrap:]
+        buf[wrap:] = arr[:n - wrap]
+        return buf
+
+    def cast(self, name: str, value, dtype):
+        """Dtype conversion; ``np.copyto(buf, value, casting='unsafe')``
+        on the hot path (the same C cast ``astype`` performs)."""
+        buf = self._slots.get(name)
+        if buf is not None:
+            self._hit()
+            np.copyto(buf, value, casting="unsafe")
+            return buf
+        self._miss(name)
+        # astype always copies, so the slot never aliases an input
+        res = np.asarray(value).astype(dtype)
+        if res.ndim:
+            self._slots[name] = res
+        return res
+
+    def pad(self, name: str, arr, before, after, value):
+        """Persistent ghost cells, 1-D: the halo (``value``) is written
+        once at allocation; later calls only refresh the interior."""
+        before = int(before)
+        n = int(arr.shape[0])
+        buf = self._slots.get(name)
+        if (buf is not None and buf.shape[0] == n + before + int(after)
+                and buf.dtype == arr.dtype):
+            self._hit()
+            buf[before:before + n] = arr
+            return buf
+        self._miss(name)
+        buf = np.pad(arr, (before, int(after)), constant_values=value)
+        self._slots[name] = buf
+        return buf
+
+    def pad3(self, name: str, arr, width, value):
+        """Persistent ghost cells, 3-D symmetric width."""
+        w = int(width)
+        shape = tuple(s + 2 * w for s in arr.shape)
+        buf = self._slots.get(name)
+        if buf is not None and buf.shape == shape and buf.dtype == arr.dtype:
+            self._hit()
+            buf[tuple(slice(w, w + s) for s in arr.shape)] = arr
+            return buf
+        self._miss(name)
+        buf = np.pad(arr, w, constant_values=value)
+        self._slots[name] = buf
+        return buf
+
+    def const(self, name: str, key: tuple, fn):
+        """A step-invariant value (index arrays, ``np.arange``):
+        computed once per ``key`` (the tuple of every scalar and size
+        argument) and returned from cache until the key changes."""
+        ent = self._consts.get(name)
+        if ent is not None and ent[0] == key:
+            self._hit()
+            return ent[1]
+        self._miss(name)
+        val = fn()
+        self._consts[name] = (key, val)
+        return val

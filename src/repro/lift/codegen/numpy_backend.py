@@ -39,6 +39,7 @@ from ..patterns import (AbstractMap, AbstractReduce, ArrayAccess,
                         TupleCons, WriteTo, Zip, Zip3D)
 from ..types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
                      ScalarType)
+from .arena import Workspace
 from .c_ast import NameGen
 
 
@@ -47,6 +48,11 @@ class NumpyCodegenError(Exception):
 
 
 _IDENT = re.compile(r"^[A-Za-z_]\w*$")
+_WORD = re.compile(r"[A-Za-z_]\w*")
+#: a plain gather expression ``name[idx]`` (no nested brackets)
+_GATHER = re.compile(r"^(\w+)\[([^\[\]]+)\]$")
+#: a window access ``(ident)+(int)`` as produced by NpWindow/NpSlide
+_WINDOW_IDX = re.compile(r"^\((\w+)\)\s*\+\s*\((-?\d+)\)$")
 
 
 @dataclass
@@ -60,9 +66,91 @@ class NumpyKernel:
     size_params: list[str]
     out_alloc: object           # KernelAllocation
     returns_out: bool           # True when a fresh `out` buffer is written
+    steady: bool = False        # steady-state (arena) emission
 
     def __call__(self, *args, **sizes):
         return self.fn(*args, **sizes)
+
+
+class _SteadyInfo:
+    """Codegen-time tracking for the steady-state (arena) emitter.
+
+    * ``vec`` — names whose runtime value is a full-grid array (any
+      expression mentioning one is "vector" and must not allocate);
+    * ``inv`` — vector names that are step-invariant (derivable from the
+      scalar/size arguments alone), so their value can live in a keyed
+      ``const`` slot;
+    * ``affine`` — names whose value is ``_gid + offset`` for a scalar
+      ``offset`` expression (enables slice/view gathers and scatters);
+    * ``arrays`` — 1-D array names (params and pads) gathers may target;
+    * ``written`` — arrays the kernel writes (views into them are
+      unsafe; affine gathers copy instead);
+    * ``n`` — the current ``MapGlb`` extent, as a Python expression.
+    """
+
+    def __init__(self, written: set[str]):
+        self.vec: set[str] = set()
+        self.inv: set[str] = set()
+        self.affine: dict[str, str] = {}
+        self.arrays: set[str] = set()
+        self.written = written
+        self.n: str | None = None
+        #: temp name -> source arrays it (transitively) reads from
+        self.roots: dict[str, frozenset[str]] = {}
+        #: value-numbering table: (op, operands...) -> reusable temp name.
+        #: Safe because emission is straight-line and every slot is
+        #: written once per call; entries die when a source array is
+        #: stored to (see :meth:`kill`).
+        self.cse: dict[tuple, str] = {}
+
+    def note(self, name: str, *parts: str) -> None:
+        """Record which arrays feed ``name`` (for CSE invalidation)."""
+        roots: set[str] = set()
+        for p in parts:
+            for tok in _WORD.findall(p):
+                if tok in self.arrays:
+                    roots.add(tok)
+                roots |= self.roots.get(tok, frozenset())
+        self.roots[name] = frozenset(roots)
+
+    def reuse(self, key: tuple) -> str | None:
+        return self.cse.get(key)
+
+    def remember(self, key: tuple, name: str) -> None:
+        self.cse[key] = name
+
+    def kill(self, array: str) -> None:
+        """An in-place store to ``array``: every memoised value that read
+        it (directly or through a view/temp) is stale."""
+        self.cse = {k: n for k, n in self.cse.items()
+                    if array not in self.roots.get(n, frozenset())}
+
+
+def _vec_expr(st: _SteadyInfo, s: str) -> bool:
+    return any(t in st.vec for t in _WORD.findall(s))
+
+
+def _inv_expr(st: _SteadyInfo, s: str) -> bool:
+    """All vector names mentioned are step-invariant."""
+    return all(t in st.inv for t in _WORD.findall(s) if t in st.vec)
+
+
+def _strip_parens(s: str) -> str:
+    s = s.strip()
+    if s.startswith("(") and s.endswith(")"):
+        inner = s[1:-1].strip()
+        if _IDENT.match(inner):
+            return inner
+    return s
+
+
+#: BinOp operator -> in-place-capable NumPy ufunc
+_UFUNC_NAMES = {
+    "+": "np.add", "-": "np.subtract", "*": "np.multiply",
+    "/": "np.true_divide", "min": "np.minimum", "max": "np.maximum",
+    "==": "np.equal", "!=": "np.not_equal", "<": "np.less",
+    "<=": "np.less_equal", ">": "np.greater", ">=": "np.greater_equal",
+}
 
 
 # --- views (python-expression flavoured) ------------------------------------------
@@ -173,15 +261,17 @@ class NpZip3(Np3D):
 
 
 class _Ctx:
-    def __init__(self, lines: list[str], names: NameGen):
+    def __init__(self, lines: list[str], names: NameGen,
+                 steady: "_SteadyInfo | None" = None):
         self.env: dict[str, object] = {}
         self.arith: dict[str, object] = {}  # name -> Var or Cst
         self.lines = lines
         self.names = names
         self.memo: dict[int, object] = {}
+        self.steady = steady
 
     def child(self) -> "_Ctx":
-        c = _Ctx(self.lines, self.names)
+        c = _Ctx(self.lines, self.names, self.steady)
         c.env = dict(self.env)
         c.arith = dict(self.arith)
         return c
@@ -190,9 +280,89 @@ class _Ctx:
         self.lines.append("    " + line)
 
     def temp(self, value: str, prefix: str = "t") -> str:
+        if self.steady is not None:
+            return _steady_temp(self, value, prefix)
         name = self.names.fresh(prefix)
         self.emit(f"{name} = {value}")
         return name
+
+
+def _steady_temp(ctx: _Ctx, value: str, prefix: str) -> str:
+    """Name a value in steady mode without allocating on the hot path.
+
+    Scalar values keep the legacy nested-expression form.  Vector values
+    are lowered: plain gathers become arena ``shift``/``take`` calls,
+    step-invariant expressions become keyed ``const`` slots, and pure
+    aliases propagate their tracking marks.  Anything else falls through
+    to the legacy emission (marked vector so consumers stay correct).
+    """
+    st = ctx.steady
+    assert st is not None
+    if not _vec_expr(st, value):
+        name = ctx.names.fresh(prefix)
+        ctx.emit(f"{name} = {value}")
+        return name
+    # pure alias of an existing vector name — copy its marks
+    alias = _strip_parens(value)
+    if _IDENT.match(alias) and alias in st.vec:
+        name = ctx.names.fresh(prefix)
+        ctx.emit(f"{name} = {alias}")
+        st.vec.add(name)
+        st.note(name, alias)
+        if alias in st.inv:
+            st.inv.add(name)
+        if alias in st.affine:
+            st.affine[name] = st.affine[alias]
+        return name
+    m = _GATHER.match(value)
+    if (m and m.group(1) in st.arrays
+            and ":" not in m.group(2) and "," not in m.group(2)):
+        base, idx = m.group(1), _strip_parens(m.group(2))
+        off = None
+        if _IDENT.match(idx) and idx in st.affine:
+            off = st.affine[idx]
+        else:
+            w = _WINDOW_IDX.match(m.group(2).strip())
+            if w and w.group(1) in st.affine:
+                off = f"({st.affine[w.group(1)]} + ({w.group(2)}))"
+        if off is not None and st.n is not None:
+            name = ctx.names.fresh(prefix)
+            copy = base in st.written
+            ctx.emit(f"{name} = _ws.shift({name!r}, {base}, {st.n}, "
+                     f"{off}, copy={copy})")
+            st.vec.add(name)
+            st.note(name, base)
+            return name
+        if _vec_expr(st, idx):
+            if _inv_expr(st, idx) and not _IDENT.match(idx):
+                cname = ctx.names.fresh("c")
+                ctx.emit(f"{cname} = _ws.const({cname!r}, _key, "
+                         f"lambda: {idx})")
+                st.vec.add(cname)
+                st.inv.add(cname)
+                idx = cname
+            name = ctx.names.fresh(prefix)
+            ctx.emit(f"{name} = _ws.take({name!r}, {base}, {idx})")
+            st.vec.add(name)
+            st.note(name, base, idx)
+            return name
+        # scalar index: an element access, not a vector gather
+        name = ctx.names.fresh(prefix)
+        ctx.emit(f"{name} = {value}")
+        return name
+    if _inv_expr(st, value):
+        name = ctx.names.fresh("c")
+        ctx.emit(f"{name} = _ws.const({name!r}, _key, lambda: {value})")
+        st.vec.add(name)
+        st.inv.add(name)
+        return name
+    # fallback: legacy (allocating) emission — not reached by the hot
+    # FDTD kernels; keeps exotic IR shapes compiling correctly
+    name = ctx.names.fresh(prefix)
+    ctx.emit(f"{name} = {value}")
+    st.vec.add(name)
+    st.note(name, value)
+    return name
 
 
 def _render_arith(e: ArithExpr, ctx: _Ctx) -> str:
@@ -200,8 +370,19 @@ def _render_arith(e: ArithExpr, ctx: _Ctx) -> str:
 
 
 def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
-                  lower: bool = True) -> NumpyKernel:
-    """Generate and compile the NumPy realisation of a kernel Lambda."""
+                  lower: bool = True, *, steady: bool = False) -> NumpyKernel:
+    """Generate and compile the NumPy realisation of a kernel Lambda.
+
+    With ``steady=True`` the emitter produces the steady-state (arena)
+    variant: the generated function takes a trailing ``_ws`` workspace
+    argument and performs zero full-grid allocations once the workspace
+    is warm — persistent ghost cells instead of per-call ``np.pad``,
+    view/slice gathers for affine indices, keyed ``const`` slots for
+    step-invariant index arrays, and in-place ufunc calls for the
+    arithmetic.  Results are bit-identical to the default emission (the
+    first call of each slot *is* the legacy operation; later calls
+    re-run it into the kept buffer).
+    """
     from ..rewrite import lower_simple
     if lower:
         kernel = lower_simple(kernel)
@@ -209,7 +390,13 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
 
     names = NameGen()
     lines: list[str] = []
-    ctx = _Ctx(lines, names)
+    info = None
+    if steady:
+        written = set(alloc.written_param_names)
+        if alloc.allocates_output:
+            written.add("out")
+        info = _SteadyInfo(written)
+    ctx = _Ctx(lines, names, info)
 
     param_names = [p.name for p in kernel.params]
     for p in kernel.params:
@@ -218,11 +405,15 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
             dims = t.shape()
             if len(dims) == 1:
                 ctx.env[p.name] = NpMem(p.name)
+                if info is not None:
+                    info.arrays.add(p.name)
             elif len(dims) == 3:
                 sn = tuple(_dim_name(d, i, p.name, ctx) for i, d in enumerate(dims))
                 ctx.env[p.name] = NpMem3(p.name, sn)  # type: ignore[arg-type]
             else:
                 raise NumpyCodegenError(f"unsupported rank for {p.name}")
+            if info is not None:
+                info.vec.add(p.name)
         else:
             ctx.env[p.name] = p.name
             ctx.arith[p.name] = Var(p.name)
@@ -237,11 +428,23 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
         non_aliased = [o for o in alloc.outputs if not o.is_in_place]
         if len(non_aliased) != 1:
             raise NumpyCodegenError("at most one fresh output supported")
+        if info is not None:
+            info.vec.add("out")
 
     result_expr = _gen_top(kernel.body, out_name, ctx, kernel)
 
     sig_parts = param_names + size_params + (["out"] if returns_out else [])
+    if steady:
+        sig_parts = sig_parts + ["_ws=None"]
     src_lines = [f"def {name}({', '.join(sig_parts)}):"]
+    if steady:
+        scalars = ([p.name for p in kernel.params
+                    if not isinstance(p.declared_type, ArrayType)]
+                   + size_params)
+        src_lines.append("    if _ws is None:")
+        src_lines.append("        _ws = _Workspace()")
+        key = ", ".join(scalars) + ("," if scalars else "")
+        src_lines.append(f"    _key = ({key})")
     src_lines += lines
     if returns_out:
         src_lines.append("    return out")
@@ -253,12 +456,13 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
         src_lines.append(f"    return {aliased[0] if aliased else 'None'}")
     source = "\n".join(src_lines)
 
-    namespace: dict[str, object] = {"np": np}
+    namespace: dict[str, object] = {"np": np, "_Workspace": Workspace}
     exec(compile(source, f"<numpy backend:{name}>", "exec"), namespace)
     fn = namespace[name]
     return NumpyKernel(name=name, source=source, fn=fn,
                        param_names=param_names, size_params=size_params,
-                       out_alloc=alloc, returns_out=returns_out)
+                       out_alloc=alloc, returns_out=returns_out,
+                       steady=steady)
 
 
 def _dim_name(d: ArithExpr, i: int, pname: str, ctx: _Ctx) -> str:
@@ -312,7 +516,18 @@ def _gen_mapglb(expr: FunCall, out_name: str | None, ctx: _Ctx):
         raise NumpyCodegenError("MapGlb over non-array")
     n_py = _render_arith(arr_t.size, ctx)
     view = _gen(expr.args[0], ctx)
-    ctx.emit(f"_gid = np.arange({n_py})")
+    st = ctx.steady
+    if st is not None:
+        # the slot name carries the extent expression so two MapGlbs of
+        # different lengths never share a cached arange
+        ctx.emit(f"_gid = _ws.const('_gid@{n_py}', _key, "
+                 f"lambda: np.arange({n_py}))")
+        st.vec.add("_gid")
+        st.inv.add("_gid")
+        st.affine["_gid"] = "0"
+        st.n = n_py
+    else:
+        ctx.emit(f"_gid = np.arange({n_py})")
     inner = ctx.child()
     elem = view.access("_gid") if isinstance(view, NpView) else None
     if elem is None:
@@ -334,7 +549,13 @@ def _gen_mapglb(expr: FunCall, out_name: str | None, ctx: _Ctx):
         # the body's own WriteTo already realised the update (in-place
         # element-write kernels return the written value)
         return None
-    ctx.emit(f"{out_name}[_gid] = {val}")
+    if st is not None:
+        # _gid is the contiguous range 0..n-1: the scatter is a slice
+        # store, with no duplicate-index hazard
+        ctx.emit(f"{out_name}[0:{n_py}] = {val}")
+        st.kill(out_name)
+    else:
+        ctx.emit(f"{out_name}[_gid] = {val}")
     return None
 
 
@@ -372,6 +593,8 @@ def _gen_rows_into(expr: Expr, buffer: str, ctx: _Ctx):
         for j, v in enumerate(vals):
             idx = base if j == 0 else f"{base}+{j}"
             ctx.emit(f"{buffer}[{idx}] = {v}")
+        if ctx.steady is not None:
+            ctx.steady.kill(buffer)
         t = part.type
         if isinstance(t, ArrayType):
             offset_parts.append(f"({_render_arith(t.size, ctx)})")
@@ -412,9 +635,22 @@ def _gen_writeto(expr: FunCall, ctx: _Ctx):
         view = _gen(t.args[0], ctx)
         if not isinstance(view, NpMem):
             raise NumpyCodegenError("element WriteTo target must be memory")
+        st = ctx.steady
+        if st is not None and st.n is not None:
+            off = _ast_affine(t.args[1], ctx)
+            if off is not None:
+                # affine scatter over the contiguous work range: a slice
+                # store (indices are unique, so semantics are identical)
+                val = _gen_scalar(expr.args[1], ctx)
+                sl = f"{view.name}[({off}):({off})+({st.n})]"
+                ctx.emit(f"{sl} = {val}")
+                st.kill(view.name)
+                return sl
         idx = _gen_scalar(t.args[1], ctx)
         val = _gen_scalar(expr.args[1], ctx)
         ctx.emit(f"{view.name}[{idx}] = {val}")
+        if ctx.steady is not None:
+            ctx.steady.kill(view.name)
         return f"{view.name}[{idx}]"
     view = _gen(t, ctx)
     if isinstance(view, NpMem):
@@ -429,6 +665,8 @@ def _gen_writeto(expr: FunCall, ctx: _Ctx):
             return _gen_mapglb(value, view.name, ctx)
         val = _gen_scalar(value, ctx)
         ctx.emit(f"{view.name}[:] = {val}")
+        if ctx.steady is not None:
+            ctx.steady.kill(view.name)
         return view.name
     if isinstance(view, NpMem3):
         value = expr.args[1]
@@ -460,6 +698,8 @@ def _gen_mapglb3d(expr: FunCall, out_name: str | None, ctx: _Ctx):
     if out_name is None:
         raise NumpyCodegenError("MapGlb3D needs an output grid")
     ctx.emit(f"{out_name}[:, :, :] = {val}")
+    if ctx.steady is not None:
+        ctx.steady.kill(out_name)
     return None
 
 
@@ -518,30 +758,144 @@ def _gen(expr: Expr, ctx: _Ctx):
 
 
 def _gen_uncached(expr: Expr, ctx: _Ctx):
+    st = ctx.steady
     if isinstance(expr, BinOp):
         a, b = _gen_scalar(expr.lhs, ctx), _gen_scalar(expr.rhs, ctx)
+        if expr.type is Float and expr.op in ("+", "-", "*", "/",
+                                              "min", "max"):
+            # OpenCL evaluates a mixed int/float expression in the float
+            # operand's width; NumPy instead promotes int32 x f32 to
+            # float64, silently upcasting single-precision programs.
+            # Double needs no cast: promotion to f64 IS the exact cast.
+            a = _coerce_f32(expr.lhs, a, ctx)
+            b = _coerce_f32(expr.rhs, b, ctx)
         if expr.op == "min":
-            return f"np.minimum({a}, {b})"
-        if expr.op == "max":
-            return f"np.maximum({a}, {b})"
-        py_op = {"==": "==", "!=": "!=", "<": "<", "<=": "<=",
-                 ">": ">", ">=": ">=", "+": "+", "-": "-",
-                 "*": "*", "/": "/"}[expr.op]
-        return f"({a} {py_op} {b})"
+            legacy = f"np.minimum({a}, {b})"
+        elif expr.op == "max":
+            legacy = f"np.maximum({a}, {b})"
+        else:
+            py_op = {"==": "==", "!=": "!=", "<": "<", "<=": "<=",
+                     ">": ">", ">=": ">=", "+": "+", "-": "-",
+                     "*": "*", "/": "/"}[expr.op]
+            legacy = f"({a} {py_op} {b})"
+        if st is None or not _vec_expr(st, legacy):
+            return legacy
+        return _steady_binop(ctx, st, expr.op, a, b, legacy)
     if isinstance(expr, UnaryOp):
         v = _gen_scalar(expr.operand, ctx)
-        return {"neg": f"(-({v}))", "sqrt": f"np.sqrt({v})",
-                "abs": f"np.abs({v})",
-                "toInt": f"np.asarray({v}).astype(np.int64)",
-                "toFloat": f"np.asarray({v}, dtype=np.float64)"}[expr.op]
+        # toFloat follows the declared IR type: Float is f32 (matching
+        # the OpenCL backend's `(float)` cast); only Double renders f64.
+        # toInt stays int64 on purpose — its results feed indexing.
+        float_dt = "np.float64" if expr.type is Double else "np.float32"
+        legacy = {"neg": f"(-({v}))", "sqrt": f"np.sqrt({v})",
+                  "abs": f"np.abs({v})",
+                  "toInt": f"np.asarray({v}).astype(np.int64)",
+                  "toFloat": f"np.asarray({v}).astype({float_dt})"}[expr.op]
+        if st is None or not _vec_expr(st, legacy):
+            return legacy
+        return _steady_unop(ctx, st, expr.op, v, legacy, float_dt)
     if isinstance(expr, Select):
         c = _gen_scalar(expr.cond, ctx)
         t = _gen_scalar(expr.if_true, ctx)
         f = _gen_scalar(expr.if_false, ctx)
-        return f"np.where({c}, {t}, {f})"
+        if expr.type is Float:
+            t = _coerce_f32(expr.if_true, t, ctx)
+            f = _coerce_f32(expr.if_false, f, ctx)
+        legacy = f"np.where({c}, {t}, {f})"
+        if st is None or not _vec_expr(st, legacy):
+            return legacy
+        if _inv_expr(st, legacy):
+            return _steady_const(ctx, st, legacy)
+        hit = st.reuse(("where", c, t, f))
+        if hit is not None:
+            return hit
+        name = ctx.names.fresh("t")
+        ctx.emit(f"{name} = _ws.where({name!r}, {c}, {t}, {f})")
+        st.vec.add(name)
+        st.note(name, c, t, f)
+        st.remember(("where", c, t, f), name)
+        return name
     if isinstance(expr, FunCall):
         return _gen_call(expr, ctx)
     raise NumpyCodegenError(f"cannot generate {expr!r}")
+
+
+def _steady_const(ctx: _Ctx, st: _SteadyInfo, legacy: str) -> str:
+    """Hoist a step-invariant vector expression into a keyed const slot."""
+    name = ctx.names.fresh("c")
+    ctx.emit(f"{name} = _ws.const({name!r}, _key, lambda: {legacy})")
+    st.vec.add(name)
+    st.inv.add(name)
+    return name
+
+
+def _steady_binop(ctx: _Ctx, st: _SteadyInfo, op: str, a: str, b: str,
+                  legacy: str) -> str:
+    if _inv_expr(st, legacy):
+        name = _steady_const(ctx, st, legacy)
+    else:
+        hit = st.reuse(("binop", op, a, b))
+        if hit is not None:
+            return hit
+        name = ctx.names.fresh("t")
+        ctx.emit(f"{name} = _ws.ufunc({name!r}, {_UFUNC_NAMES[op]}, "
+                 f"{a}, {b})")
+        st.vec.add(name)
+        st.note(name, a, b)
+        st.remember(("binop", op, a, b), name)
+    if op in ("+", "-"):
+        # propagate affine offsets (`_gid + scalar`) so downstream
+        # gathers can become views/slices
+        sa, sb = _strip_parens(a), _strip_parens(b)
+        if sa in st.affine and not _vec_expr(st, b):
+            st.affine[name] = f"({st.affine[sa]} {op} ({b}))"
+        elif op == "+" and sb in st.affine and not _vec_expr(st, a):
+            st.affine[name] = f"(({a}) + {st.affine[sb]})"
+    return name
+
+
+def _steady_unop(ctx: _Ctx, st: _SteadyInfo, op: str, v: str, legacy: str,
+                 float_dt: str) -> str:
+    if _inv_expr(st, legacy):
+        return _steady_const(ctx, st, legacy)
+    hit = st.reuse(("unop", op, float_dt, v))
+    if hit is not None:
+        return hit
+    name = ctx.names.fresh("t")
+    if op == "toInt":
+        ctx.emit(f"{name} = _ws.cast({name!r}, {v}, np.int64)")
+    elif op == "toFloat":
+        ctx.emit(f"{name} = _ws.cast({name!r}, {v}, {float_dt})")
+    else:
+        uf = {"neg": "np.negative", "sqrt": "np.sqrt", "abs": "np.abs"}[op]
+        ctx.emit(f"{name} = _ws.ufunc({name!r}, {uf}, {v})")
+    st.vec.add(name)
+    st.note(name, v)
+    st.remember(("unop", op, float_dt, v), name)
+    return name
+
+
+def _coerce_f32(operand: Expr, v: str, ctx: _Ctx) -> str:
+    """Render an Int-typed operand of an f32-typed operation as float32
+    (the dtype-preservation audit: without this, single-precision
+    programs silently run their int-mixing subexpressions in float64)."""
+    if operand.type not in (Int, Long):
+        return v
+    legacy = f"np.asarray({v}).astype(np.float32)"
+    st = ctx.steady
+    if st is None or not _vec_expr(st, v):
+        return legacy
+    if _inv_expr(st, v):
+        return _steady_const(ctx, st, legacy)
+    hit = st.reuse(("unop", "toFloat", "np.float32", v))
+    if hit is not None:
+        return hit
+    name = ctx.names.fresh("t")
+    ctx.emit(f"{name} = _ws.cast({name!r}, {v}, np.float32)")
+    st.vec.add(name)
+    st.note(name, v)
+    st.remember(("unop", "toFloat", "np.float32", v), name)
+    return name
 
 
 def _gen_call(expr: FunCall, ctx: _Ctx):
@@ -574,6 +928,20 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
 
     if isinstance(fun, ArrayAccess):
         view = _gen(expr.args[0], ctx)
+        st = ctx.steady
+        if (st is not None and isinstance(view, NpMem)
+                and view.name in st.arrays and st.n is not None):
+            off = _ast_affine(expr.args[1], ctx)
+            if off is not None:
+                # affine gather: a view (or a slice copy when the kernel
+                # writes the base array) — the index array is never built
+                name = ctx.names.fresh("t")
+                copy = view.name in st.written
+                ctx.emit(f"{name} = _ws.shift({name!r}, {view.name}, "
+                         f"{st.n}, {off}, copy={copy})")
+                st.vec.add(name)
+                st.note(name, view.name)
+                return name
         idx = _gen_scalar(expr.args[1], ctx)
         if isinstance(view, NpView):
             return view.access(idx)
@@ -604,6 +972,18 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
         if not isinstance(view, NpMem):
             # materialise the parent first
             raise NumpyCodegenError("Pad over non-memory view")
+        st = ctx.steady
+        if st is not None:
+            # persistent ghost cells: halo written once at allocation,
+            # interior refreshed by slice assignment on later calls
+            padded = ctx.names.fresh("pad")
+            ctx.emit(f"{padded} = _ws.pad({padded!r}, {view.name}, "
+                     f"{fun.left}, {fun.right}, "
+                     f"{float(fun.value.value)!r})")
+            st.vec.add(padded)
+            st.arrays.add(padded)
+            st.note(padded, view.name)
+            return NpMem(padded)
         padded = ctx.temp(
             f"np.pad({view.name}, ({fun.left}, {fun.right}), "
             f"constant_values={float(fun.value.value)!r})", "pad")
@@ -613,6 +993,14 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
         view = _gen(expr.args[0], ctx)
         if not isinstance(view, NpMem3):
             raise NumpyCodegenError("Pad3D over non-memory view")
+        st = ctx.steady
+        if st is not None:
+            padded = ctx.names.fresh("pad3")
+            ctx.emit(f"{padded} = _ws.pad3({padded!r}, {view.name}, "
+                     f"{fun.left}, {float(fun.value.value)!r})")
+            st.vec.add(padded)
+            st.note(padded, view.name)
+            return NpMem3(padded, view.shape_names)
         padded = ctx.temp(
             f"np.pad({view.name}, {fun.left}, "
             f"constant_values={float(fun.value.value)!r})", "pad3")
@@ -649,6 +1037,38 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
         return None
 
     raise NumpyCodegenError(f"pattern {fun.name} unsupported in value position")
+
+
+def _ast_affine(e: Expr, ctx: _Ctx) -> str | None:
+    """Offset of an index expression relative to ``_gid``, if affine.
+
+    Walks ``Param`` references (through the binding environment) and
+    ``+``/``-`` chains with one affine side and one scalar side, and
+    returns the offset as a Python expression string — without ever
+    materialising the index array.
+    """
+    st = ctx.steady
+    if st is None:
+        return None
+    if isinstance(e, Param):
+        v = ctx.env.get(e.name)
+        if isinstance(v, str):
+            s = _strip_parens(v)
+            if s in st.affine:
+                return st.affine[s]
+        return None
+    if isinstance(e, BinOp) and e.op in ("+", "-"):
+        lhs = _ast_affine(e.lhs, ctx)
+        rhs = _ast_affine(e.rhs, ctx)
+        if lhs is not None and rhs is None:
+            s = _gen_scalar(e.rhs, ctx)
+            if isinstance(s, str) and not _vec_expr(st, s):
+                return f"({lhs} {e.op} ({s}))"
+        elif e.op == "+" and rhs is not None and lhs is None:
+            s = _gen_scalar(e.lhs, ctx)
+            if isinstance(s, str) and not _vec_expr(st, s):
+                return f"(({s}) + {rhs})"
+    return None
 
 
 def _inline_userfun(uf: UserFun, args: list[str]) -> str:

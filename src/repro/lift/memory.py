@@ -56,6 +56,18 @@ class KernelAllocation:
     def allocates_output(self) -> bool:
         return any(not o.is_in_place for o in self.outputs)
 
+    @property
+    def written_param_names(self) -> set[str]:
+        """Names of input parameters the kernel writes in place.
+
+        The steady-state NumPy emitter needs this to decide whether an
+        affine gather may be a *view* into the source array (safe only
+        when the kernel never writes it) or must copy to preserve
+        read-before-write semantics.
+        """
+        return {o.aliased_param.name for o in self.outputs
+                if o.aliased_param is not None}
+
 
 def _strip_transfers(expr: Expr) -> Expr:
     """Peel ToGPU/ToHost/Id wrappers (identities for allocation purposes)."""

@@ -1,0 +1,76 @@
+"""Smoke tests for the host-wallclock benchmark and its regression gate.
+
+The benchmark itself is timing (machine-dependent), so these tests only
+pin the *structure* of the payload, the bit-identity re-verification it
+performs, and the pass/fail semantics of ``check_regression`` — never
+absolute speed.
+"""
+
+import copy
+
+from repro.bench.wallclock import (HEADLINE_SCHEME, SCHEMES,
+                                   check_regression, wallclock_benchmark)
+
+# tiny room (scaled_dims floors at 8 per axis), minimal steps: the
+# payload shape and bit-identity matter here, not the timings
+TINY = dict(scale=64, steps=2, warmup=1, schemes=("fi",))
+
+
+def test_payload_structure_and_bit_identity():
+    p = wallclock_benchmark(**TINY)
+    assert p["benchmark"] == "wallclock"
+    assert p["room"]["size"] == "302"
+    assert len(p["room"]["dims"]) == 3
+    assert p["headline_scheme"] == HEADLINE_SCHEME
+    assert set(SCHEMES) >= {r["scheme"] for r in p["results"]}
+    for r in p["results"]:
+        assert r["speedup"] > 0
+        assert r["legacy"]["steps_per_sec"] > 0
+        assert r["steady"]["seconds_per_step"] > 0
+        # the benchmark re-proves legacy/steady bit-identity every run
+        assert r["bit_identical"] is True
+    assert p["all_bit_identical"] is True
+    assert isinstance(p["meets_3x_target"], bool)
+    assert p["speedup_geomean"] > 0
+
+
+def _fake_payload(speedup=3.0, identical=True):
+    return {"results": [{"scheme": "fi", "speedup": speedup,
+                         "bit_identical": identical}]}
+
+
+class TestCheckRegression:
+    def test_passes_at_baseline(self):
+        assert check_regression(_fake_payload(3.0), _fake_payload(3.0)) == []
+
+    def test_passes_within_tolerance(self):
+        # 20% tolerance: 2.5 against a 3.0 baseline is still OK
+        assert check_regression(_fake_payload(2.5), _fake_payload(3.0)) == []
+
+    def test_fails_below_tolerance_floor(self):
+        msgs = check_regression(_fake_payload(2.0), _fake_payload(3.0))
+        assert msgs and "regressed" in msgs[0]
+
+    def test_fails_when_bit_identity_lost(self):
+        msgs = check_regression(_fake_payload(5.0, identical=False),
+                                _fake_payload(3.0))
+        assert msgs and "bit-identical" in msgs[0]
+
+    def test_unknown_scheme_in_payload_is_ignored(self):
+        # a new scheme with no committed baseline must not fail CI
+        payload = _fake_payload(3.0)
+        payload["results"].append({"scheme": "new_scheme", "speedup": 1.0,
+                                   "bit_identical": True})
+        assert check_regression(payload, _fake_payload(3.0)) == []
+
+    def test_baseline_shape_matches_committed_file(self):
+        import json
+        import pathlib
+        base = json.loads(
+            (pathlib.Path(__file__).parents[2] / "benchmarks"
+             / "wallclock_baseline_scale6.json").read_text())
+        # the committed baseline must stay consumable by check_regression
+        fresh = copy.deepcopy(base)
+        assert check_regression(fresh, base) == []
+        fresh["results"][0]["speedup"] *= 0.5
+        assert check_regression(fresh, base)

@@ -19,17 +19,24 @@ def _run(devices="TitanBlack", steps=2):
     return sim
 
 
+def _compile_caches():
+    # the arena key carries cumulative hit/miss counters, which grow with
+    # every run; only the compile caches must stay fixed across reruns
+    return {k: v for k, v in kernel_cache_stats().items()
+            if k in ("np_kernels", "resources")}
+
+
 def test_kernel_compile_shared_across_instances():
     clear_kernel_caches()
     _run()
-    first = kernel_cache_stats()
+    first = _compile_caches()
     assert first["np_kernels"] > 0 and first["resources"] > 0
     # a second simulation of the same program adds no new cache entries
     _run()
-    assert kernel_cache_stats() == first
+    assert _compile_caches() == first
     # and a shard pool running the same program also reuses them
     _run(devices="TitanBlack:2")
-    assert kernel_cache_stats() == first
+    assert _compile_caches() == first
 
 
 def test_kernel_cache_results_stay_bit_identical():
