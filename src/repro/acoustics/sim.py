@@ -28,6 +28,7 @@ like the paper's multi-GPU driver.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -92,16 +93,35 @@ class Checkpoint:
     modelled_gpu_time_ms: float = 0.0
 
     def save(self, path) -> None:
-        """Write the checkpoint as a ``.npz`` archive (format v1)."""
+        """Write the checkpoint as a ``.npz`` archive (format v1).
+
+        The write is **atomic**: the archive is serialised to
+        ``<path>.tmp``, flushed and fsynced, then moved into place with
+        ``os.replace`` — a crash mid-save can truncate only the tmp
+        file, never the checkpoint a recovery would :meth:`load`.
+        """
         meta = dict(version=CHECKPOINT_VERSION, time_step=self.time_step,
                     scheme=self.scheme, precision=self.precision,
                     grid_shape=list(self.grid_shape),
                     modelled_gpu_time_ms=self.modelled_gpu_time_ms,
                     receivers={k: [int(i), list(map(float, s))]
                                for k, (i, s) in self.receivers.items()})
-        np.savez(path, prev=self.prev, curr=self.curr, nxt=self.nxt,
-                 g1=self.g1, v1=self.v1, v2=self.v2,
-                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8))
+        path = os.fspath(path)
+        if not path.endswith(".npz"):     # np.savez's suffix rule, kept
+            path += ".npz"
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as f:
+                np.savez(f, prev=self.prev, curr=self.curr, nxt=self.nxt,
+                         g1=self.g1, v1=self.v1, v2=self.v2,
+                         meta=np.frombuffer(json.dumps(meta).encode(),
+                                            dtype=np.uint8))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):       # interrupted mid-write
+                os.remove(tmp)
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
@@ -133,6 +153,13 @@ class SimConfig:
     ``checkpoint_interval``
         take a :class:`Checkpoint` every k steps during :meth:`run`
         (kept in ``RoomSimulation.last_checkpoint``);
+    ``on_checkpoint``
+        optional callable invoked with each periodic checkpoint right
+        after it is taken — the durability hook: the serving layer's
+        crash-recovery spine (``repro.serve``) uses it to persist
+        mid-job checkpoints atomically and to model worker death at
+        checkpoint boundaries.  Exceptions propagate out of
+        :meth:`run` (a crashed hook is a crashed worker);
     ``health_interval``
         run the NaN/Inf + energy-growth monitor every k steps, raising
         :class:`SimulationDiverged` (with the last good checkpoint);
@@ -164,6 +191,8 @@ class SimConfig:
     materials: Sequence[FIMaterial | FDMaterial] | None = None
     num_branches: int = 3
     checkpoint_interval: int = 0
+    #: periodic-checkpoint hook (durability; see class docstring)
+    on_checkpoint: object | None = None
     health_interval: int = 0
     energy_growth_factor: float = 100.0
     faults: object | None = None          # FaultPlan, opt-in
@@ -450,6 +479,8 @@ class RoomSimulation:
         if (cfg.checkpoint_interval
                 and self.time_step % cfg.checkpoint_interval == 0):
             self.last_checkpoint = self.checkpoint()
+            if cfg.on_checkpoint is not None:
+                cfg.on_checkpoint(self.last_checkpoint)
 
     def run(self, steps: int) -> None:
         o = _obs.get()

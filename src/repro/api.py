@@ -205,7 +205,9 @@ class Session:
                          steps=steps, precision=precision)
 
     def service(self, *, max_queue: int = 64, max_batch: int = 4,
-                job_attempts: int = 2, result_cache_entries: int = 128):
+                job_attempts: int = 2, result_cache_entries: int = 128,
+                durable_dir=None, checkpoint_every: int = 0,
+                store_max_bytes: int | None = None):
         """A :class:`repro.serve.SimulationService` sharing this
         session's pool, fault/recovery policy, and observability sink.
 
@@ -213,6 +215,13 @@ class Session:
         jobs over the pool (priority queue, same-program batching,
         compile/result caches); each job's values stay bit-identical to
         a direct :meth:`simulate` call.  See ``docs/serving.md``.
+
+        ``durable_dir`` turns on the durability layer — write-ahead
+        journal, on-disk result store (``store_max_bytes`` LRU budget)
+        and mid-job checkpoints every ``checkpoint_every`` steps — so a
+        crashed service is rebuilt with
+        :meth:`repro.serve.SimulationService.recover`.  See
+        ``docs/durability.md``.
         """
         from .serve import SimulationService
         return SimulationService(
@@ -221,7 +230,9 @@ class Session:
             observability=self.obs if self.obs is not None else False,
             max_queue=max_queue, max_batch=max_batch,
             job_attempts=job_attempts,
-            result_cache_entries=result_cache_entries)
+            result_cache_entries=result_cache_entries,
+            durable_dir=durable_dir, checkpoint_every=checkpoint_every,
+            store_max_bytes=store_max_bytes)
 
     def __repr__(self) -> str:
         names = ",".join(d.name for d in self.devices)

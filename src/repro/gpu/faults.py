@@ -19,6 +19,28 @@ OpenCL 1.2 deployment fails:
 ``device_lost``
     the device drops off the bus (:class:`~.errors.ClDeviceLost`).
 
+The serving layer's durability spine (``repro.serve``) extends the same
+plane with four *service-level* sites, consulted by the write-ahead
+journal, the on-disk result store, and the scheduler's checkpoint hook
+rather than by the virtual runtime:
+
+``journal_torn_write``
+    the process dies mid-append: the journal writes only a prefix of the
+    framed record (a torn write) and raises
+    :class:`repro.serve.WorkerCrash` — recovery must truncate the tail.
+``store_corrupt``
+    a stored result's payload is bit-flipped after its CRC was computed
+    (silent media corruption); the store's corruption-detected read path
+    must catch it and treat the entry as lost.
+``disk_full``
+    the durable write fails up front (ENOSPC): the journal surfaces a
+    typed :class:`repro.serve.DurabilityError` before anything was
+    admitted, the store skips the write and keeps serving from memory.
+``worker_crash``
+    the worker process dies at a mid-job checkpoint boundary
+    (:class:`repro.serve.WorkerCrash`); recovery resumes from the last
+    durable checkpoint.
+
 Decisions are driven by a seeded :class:`numpy.random.Generator`, so a
 plan with a given seed replays identically; explicit ``steps`` indices
 fire deterministically at those iteration steps of
@@ -40,7 +62,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 FAULT_KINDS = ("alloc", "transfer_fail", "transfer_corrupt",
-               "launch_abort", "device_lost")
+               "launch_abort", "device_lost",
+               # service-level sites (repro.serve durability layer)
+               "journal_torn_write", "store_corrupt", "disk_full",
+               "worker_crash")
 
 
 @dataclass(frozen=True)

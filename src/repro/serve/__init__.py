@@ -19,9 +19,23 @@ every throughput and latency number is deterministic:
   same-program batching, deadline admission, per-job retry escalation
   into the fault layer) over a :class:`DevicePool` with
   earliest-availability leasing;
+* :mod:`.journal` — the write-ahead job journal (CRC-framed, fsync'd,
+  torn-tail repairing) plus the fingerprint-exact request codec;
+* :mod:`.store` — the content-addressed on-disk result store (atomic
+  writes, corruption-detected reads, LRU byte budget), the durable
+  second tier behind :class:`ResultCache`;
+* :mod:`.chaos` — the kill-and-recover soak harness behind
+  ``python -m repro.serve chaos``;
 * ``python -m repro.serve`` — the smoke scenario: N mixed jobs over a
   shard pool, optionally fault-injected, verified bit-identical to
   serial :meth:`repro.api.Session.simulate`.
+
+Durability is opt-in: construct with ``durable_dir=...`` (and usually
+``checkpoint_every=N``) and every lifecycle transition is journalled
+before it happens, finished results are persisted, and
+:meth:`SimulationService.recover` rebuilds a crashed service from the
+directory without re-executing anything the store already holds.  See
+``docs/durability.md``.
 
 Quick start::
 
@@ -40,13 +54,19 @@ stepper is deterministic and placement only changes modelled *times*.
 
 from .cache import CompileCache, ResultCache, request_fingerprint
 from .job import (JOB_STATES, JobError, JobHandle, JobResult, SubmitRequest)
+from .journal import (JOURNAL_EVENTS, DurabilityError, Journal,
+                      JournalCorrupt, JournalRecord, JournalTornWarning,
+                      WorkerCrash, decode_request, encode_request)
 from .queue import (AdmissionError, BoundedPriorityQueue, InvalidRequest,
                     QueueFull)
 from .scheduler import DevicePool, DeviceSlot, SimulationService
+from .store import ResultStore
 
 __all__ = [
     "AdmissionError", "BoundedPriorityQueue", "CompileCache", "DevicePool",
-    "DeviceSlot", "InvalidRequest", "JOB_STATES", "JobError", "JobHandle",
-    "JobResult", "QueueFull", "ResultCache", "SimulationService",
-    "SubmitRequest", "request_fingerprint",
+    "DeviceSlot", "DurabilityError", "InvalidRequest", "JOB_STATES",
+    "JOURNAL_EVENTS", "JobError", "JobHandle", "JobResult", "Journal",
+    "JournalCorrupt", "JournalRecord", "JournalTornWarning", "QueueFull",
+    "ResultCache", "ResultStore", "SimulationService", "SubmitRequest",
+    "WorkerCrash", "decode_request", "encode_request", "request_fingerprint",
 ]

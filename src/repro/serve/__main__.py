@@ -12,6 +12,9 @@ Usage::
 
     python -m repro.serve --jobs 8 --pool TitanBlack:2 --faults \\
         --verify --json serve-smoke.json
+
+``python -m repro.serve chaos ...`` dispatches to the kill-and-recover
+chaos harness instead (see :mod:`repro.serve.chaos`).
 """
 
 from __future__ import annotations
@@ -73,6 +76,10 @@ def verify_serial(svc: SimulationService, handles) -> list[str]:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["chaos"]:
+        from .chaos import main as chaos_main
+        return chaos_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.serve",
         description="simulation-service smoke scenario")

@@ -148,6 +148,9 @@ class JobResult:
     start_ms: float = 0.0
     end_ms: float = 0.0
     from_cache: bool = False
+    #: loaded from the durable on-disk store (second tier) rather than
+    #: computed or found in the in-memory cache
+    from_store: bool = False
     attempts: int = 1
 
     @property

@@ -1,0 +1,322 @@
+"""Write-ahead job journal for the simulation service.
+
+The journal is the service's durability spine: every lifecycle event of
+every job — ``submit`` / ``start`` / ``complete`` / ``fail`` / ``evict``
+/ ``cancel`` — is appended to an fsync'd, append-only segment *before*
+the corresponding in-memory transition, so a crashed service can be
+reconstructed by replay (:meth:`repro.serve.SimulationService.recover`).
+Records are keyed by :meth:`SubmitRequest.fingerprint`, which makes
+replay and resubmission idempotent: the fingerprint is the content
+address of the answer, so a duplicate submit is a cache lookup, never a
+second execution.
+
+Record framing (little-endian, see ``docs/durability.md``)::
+
+    +----------------+----------------+------------------------+
+    | length (u32)   | CRC32 (u32)    | payload (JSON, utf-8)  |
+    +----------------+----------------+------------------------+
+
+The CRC covers the payload bytes.  On open the journal is scanned and
+*repaired*: a torn trailing record (short header, short payload, or a
+CRC/JSON mismatch at end-of-file — the signature of a crash mid-append)
+is truncated away with a :class:`JournalTornWarning`; a CRC mismatch
+with further bytes after the record is **not** a torn write but silent
+corruption of history, and raises :class:`JournalCorrupt` — replaying
+past it could resurrect wrong state, so it is a hard error.
+
+Fault injection (``repro.gpu.faults``): ``journal_torn_write`` makes an
+append write only a prefix of the frame and raise :class:`WorkerCrash`
+(a torn write *is* a crash mid-append); ``disk_full`` raises
+:class:`DurabilityError` before any byte is written.  Both are
+strictly opt-in via the service's :class:`~repro.gpu.faults.FaultPlan`.
+
+The module also carries the request codec: :func:`encode_request` /
+:func:`decode_request` round-trip a :class:`SubmitRequest` through JSON
+such that the decoded request has the **same fingerprint** — the
+property recovery relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass
+
+#: journal events, in lifecycle order (``fail`` is the retry-exhausted
+#: terminal; ``evict`` covers deadline misses, ``cancel`` client aborts)
+JOURNAL_EVENTS = ("submit", "start", "complete", "fail", "evict", "cancel")
+
+_HEADER = struct.Struct("<II")          # (payload length, payload CRC32)
+
+
+class DurabilityError(Exception):
+    """A durable write or read failed in a typed, surfaced way
+    (disk full, unwritable segment).  Nothing was admitted."""
+
+
+class JournalCorrupt(DurabilityError):
+    """A CRC- or JSON-invalid record *followed by further records* —
+    silent corruption of journal history, not a torn tail.  Replaying
+    past it is unsafe, so recovery refuses rather than silently skips."""
+
+
+class WorkerCrash(Exception):
+    """The (simulated) death of the serving process.
+
+    Raised by the ``worker_crash`` fault at a checkpoint boundary and by
+    the ``journal_torn_write`` fault mid-append.  Everything in memory
+    is lost; the durable directory is what recovery gets."""
+
+
+class JournalTornWarning(UserWarning):
+    """A torn trailing record was truncated away during journal repair."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayed journal record."""
+
+    seq: int
+    event: str
+    fingerprint: str
+    job_id: int
+    payload: dict
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "JournalRecord":
+        extra = {k: v for k, v in obj.items()
+                 if k not in ("seq", "event", "fp", "job")}
+        return cls(seq=int(obj["seq"]), event=str(obj["event"]),
+                   fingerprint=str(obj["fp"]), job_id=int(obj["job"]),
+                   payload=extra)
+
+
+class Journal:
+    """An fsync'd append-only write-ahead log of job lifecycle events.
+
+    :meth:`open` scans the existing segment, repairs a torn tail, and
+    returns the surviving records; :meth:`append` frames, writes,
+    flushes and fsyncs one record.  ``bytes_appended`` /
+    ``torn_truncated`` are plain counters mirrored into the metrics
+    registry when an observability sink is attached.
+    """
+
+    def __init__(self, path, *, faults=None, obs=None):
+        self.path = os.fspath(path)
+        self.faults = faults
+        self.obs = obs
+        self.bytes_appended = 0
+        self.torn_truncated = 0          # records dropped by repair
+        self._seq = 0
+        self._file = None
+
+    # -- open / repair -----------------------------------------------------------
+    def open(self) -> list[JournalRecord]:
+        """Scan, repair, and open for append; returns the replayable
+        records.  Raises :class:`JournalCorrupt` on mid-file corruption."""
+        records: list[JournalRecord] = []
+        if os.path.exists(self.path):
+            records, good, torn = self._scan()
+            if torn is not None:
+                self.torn_truncated += 1
+                warnings.warn(
+                    f"journal {self.path}: truncating torn trailing record "
+                    f"at byte {good} ({torn}); {len(records)} good record(s) "
+                    f"survive", JournalTornWarning, stacklevel=2)
+                with open(self.path, "r+b") as f:
+                    f.truncate(good)
+        self._seq = (max(r.seq for r in records) + 1) if records else 0
+        self._file = open(self.path, "ab")
+        return records
+
+    def _scan(self) -> tuple[list[JournalRecord], int, str | None]:
+        """(records, good-byte offset, torn-tail reason or None)."""
+        with open(self.path, "rb") as f:
+            data = f.read()
+        records: list[JournalRecord] = []
+        off, n = 0, len(data)
+        while off < n:
+            if n - off < _HEADER.size:
+                return records, off, f"{n - off}-byte partial header"
+            length, crc = _HEADER.unpack_from(data, off)
+            start = off + _HEADER.size
+            end = start + length
+            if end > n:
+                return records, off, (f"payload truncated to "
+                                      f"{n - start}/{length} bytes")
+            payload = data[start:end]
+            bad = None
+            if zlib.crc32(payload) != crc:
+                bad = "CRC mismatch"
+            else:
+                try:
+                    obj = json.loads(payload.decode())
+                except (UnicodeDecodeError, ValueError):
+                    bad = "unparseable payload"
+            if bad is not None:
+                if end == n:                 # last record: a torn write
+                    return records, off, bad
+                raise JournalCorrupt(
+                    f"journal {self.path}: {bad} in record {len(records)} "
+                    f"at byte {off}, with {n - end} byte(s) of further "
+                    f"history after it — this is mid-file corruption, not "
+                    f"a torn tail; refusing to replay past it")
+            records.append(JournalRecord.from_json(obj))
+            off = end
+        return records, off, None
+
+    # -- append ------------------------------------------------------------------
+    def append(self, event: str, *, fingerprint: str, job_id: int,
+               **payload) -> JournalRecord:
+        """Frame, append, flush, and fsync one record (write-ahead:
+        call this *before* the in-memory transition it describes)."""
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}; "
+                             f"one of {JOURNAL_EVENTS}")
+        if self._file is None:
+            raise DurabilityError(f"journal {self.path} is not open")
+        rec = JournalRecord(seq=self._seq, event=event,
+                            fingerprint=fingerprint, job_id=job_id,
+                            payload=dict(payload))
+        body = {"seq": rec.seq, "event": event, "fp": fingerprint,
+                "job": job_id, **payload}
+        data = json.dumps(body, sort_keys=True,
+                          separators=(",", ":")).encode()
+        frame = _HEADER.pack(len(data), zlib.crc32(data)) + data
+        site = f"journal:{event}"
+        if self.faults is not None and self.faults.should_inject(
+                "disk_full", site, step=rec.seq):
+            raise DurabilityError(
+                f"injected disk_full appending {event!r} record for job "
+                f"{fingerprint[:12]} — nothing was written")
+        try:
+            if self.faults is not None and self.faults.should_inject(
+                    "journal_torn_write", site, step=rec.seq):
+                cut = max(1, len(frame) // 2)
+                self._file.write(frame[:cut])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                raise WorkerCrash(
+                    f"injected torn write: process died after "
+                    f"{cut}/{len(frame)} bytes of the {event!r} record for "
+                    f"job {fingerprint[:12]}")
+            self._file.write(frame)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as io_err:             # pragma: no cover - env-specific
+            raise DurabilityError(
+                f"journal append to {self.path} failed: {io_err}") from io_err
+        self._seq += 1
+        self.bytes_appended += len(frame)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_journal_bytes_total",
+                "Bytes appended to the write-ahead job journal").inc(
+                    len(frame))
+        return rec
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __repr__(self) -> str:
+        return (f"Journal({self.path!r}, seq={self._seq}, "
+                f"appended={self.bytes_appended}B)")
+
+
+# -- request codec ---------------------------------------------------------------
+def _registries():
+    from ..acoustics.geometry import (BoxRoom, CylinderRoom, DomeRoom,
+                                      LShapedRoom, SphereRoom)
+    from ..acoustics.materials import Branch, FDMaterial, FIMaterial
+    shapes = {c.__name__: c for c in (BoxRoom, DomeRoom, SphereRoom,
+                                      CylinderRoom, LShapedRoom)}
+    return shapes, {"FIMaterial": FIMaterial, "FDMaterial": FDMaterial}, Branch
+
+
+def _enc_pos(pos):
+    if pos is None or isinstance(pos, str):
+        return pos
+    return [int(v) for v in pos]
+
+
+def _dec_pos(pos):
+    if pos is None or isinstance(pos, str):
+        return pos
+    return tuple(int(v) for v in pos)
+
+
+def encode_request(request) -> dict:
+    """A :class:`SubmitRequest` as a JSON-serialisable dict whose
+    :func:`decode_request` round-trip has the **same fingerprint**.
+
+    Raises ``ValueError`` for shapes or materials outside the repo's
+    registries — such a request cannot be journalled (and therefore
+    cannot be submitted to a durable service).
+    """
+    shapes, materials, _ = _registries()
+    shape = request.room.shape
+    cls = type(shape).__name__
+    if cls not in shapes:
+        raise ValueError(
+            f"room shape {cls} is not journal-serialisable; known shapes: "
+            f"{sorted(shapes)}")
+    mats = None
+    if request.materials is not None:
+        mats = []
+        for m in request.materials:
+            mcls = type(m).__name__
+            if mcls not in materials:
+                raise ValueError(
+                    f"material {mcls} is not journal-serialisable; known: "
+                    f"{sorted(materials)}")
+            mats.append({"cls": mcls, "args": dataclasses.asdict(m)})
+    g = request.room.grid
+    return {
+        "grid": {"nx": g.nx, "ny": g.ny, "nz": g.nz, "spacing": g.spacing,
+                 "courant": g.courant, "c": g.c},
+        "shape": {"cls": cls, "args": dataclasses.asdict(shape)},
+        "scheme": request.scheme, "precision": request.precision,
+        "steps": request.steps, "priority": request.priority,
+        "deadline_ms": request.deadline_ms,
+        "impulse": _enc_pos(request.impulse),
+        "receivers": [[name, _enc_pos(pos)]
+                      for name, pos in request.receiver_items()],
+        "materials": mats,
+        "num_branches": request.num_branches, "shards": request.shards,
+    }
+
+
+def decode_request(obj: dict):
+    """Rebuild the :class:`SubmitRequest` a journal ``submit`` record
+    describes (inverse of :func:`encode_request`, fingerprint-exact)."""
+    from ..acoustics.geometry import Room
+    from ..acoustics.grid import Grid3D
+    from .job import SubmitRequest
+    shapes, materials, Branch = _registries()
+    shape = shapes[obj["shape"]["cls"]](**obj["shape"]["args"])
+    mats = None
+    if obj.get("materials") is not None:
+        mats = []
+        for m in obj["materials"]:
+            args = dict(m["args"])
+            if "branches" in args:
+                args["branches"] = tuple(Branch(**b)
+                                         for b in args["branches"])
+            mats.append(materials[m["cls"]](**args))
+        mats = tuple(mats)
+    receivers = tuple((name, _dec_pos(pos))
+                      for name, pos in obj.get("receivers") or ())
+    return SubmitRequest(
+        room=Room(Grid3D(**obj["grid"]), shape),
+        steps=int(obj["steps"]), scheme=obj["scheme"],
+        precision=obj["precision"], priority=int(obj["priority"]),
+        deadline_ms=obj.get("deadline_ms"),
+        impulse=_dec_pos(obj.get("impulse")),
+        receivers=receivers or None, materials=mats,
+        num_branches=int(obj["num_branches"]), shards=int(obj["shards"]))

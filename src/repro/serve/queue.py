@@ -60,6 +60,17 @@ class BoundedPriorityQueue:
                        (-handle.request.priority, self._seq, handle))
         self._seq += 1
 
+    def requeue(self, handle: JobHandle) -> None:
+        """Re-admit a recovered handle, bypassing the capacity bound.
+
+        Recovery must never drop a journalled job: it was admitted once,
+        and jobs that were RUNNING at the crash were not counted against
+        capacity, so strict re-admission could refuse legitimate state.
+        """
+        heapq.heappush(self._heap,
+                       (-handle.request.priority, self._seq, handle))
+        self._seq += 1
+
     def pop(self) -> JobHandle | None:
         """Highest-priority live handle (stale entries skipped), or None."""
         while self._heap:

@@ -33,17 +33,33 @@ Scheduling policy, in order:
    the second attempt the job is forced onto the resilient executor
    (:class:`repro.gpu.resilient.ResilientGPU`), escalating into the
    fault layer's retry/degrade/fallback ladder.
+6. **Durability** (opt-in via ``durable_dir``) — every lifecycle
+   transition is write-ahead journalled (:mod:`.journal`), finished
+   results are persisted to a content-addressed on-disk store
+   (:mod:`.store`) consulted as a second cache tier, and mid-job
+   checkpoints are written every ``checkpoint_every`` steps through the
+   PR-1 checkpoint machinery.  :meth:`SimulationService.recover`
+   rebuilds a crashed service from the directory: completed jobs are
+   served from the store without re-execution, in-flight jobs are
+   re-enqueued (resuming from their last durable checkpoint), and a
+   torn journal tail is truncated with a warning.  See
+   ``docs/durability.md``.
 """
 
 from __future__ import annotations
 
+import os
+
 from .. import obs as _obs
-from ..acoustics.sim import RoomSimulation, SimConfig, SimulationDiverged
+from ..acoustics.sim import (Checkpoint, RoomSimulation, SimConfig,
+                             SimulationDiverged)
 from ..gpu.device import DeviceSpec, resolve_device
 from ..gpu.errors import ClError
 from .cache import CompileCache, ResultCache
 from .job import JobHandle, JobResult, SubmitRequest
+from .journal import (Journal, WorkerCrash, decode_request, encode_request)
 from .queue import BoundedPriorityQueue, InvalidRequest, QueueFull
+from .store import ResultStore
 
 __all__ = ["DevicePool", "DeviceSlot", "SimulationService"]
 
@@ -98,7 +114,11 @@ class SimulationService:
     serving knobs: ``max_queue`` (admission bound — :class:`QueueFull`
     beyond it), ``max_batch`` (jobs per lease), ``job_attempts`` (retry
     budget per job) and ``result_cache_entries`` (LRU bound; 0 disables
-    the result tier).
+    the result tier).  ``durable_dir`` turns on the durability layer
+    (write-ahead journal + on-disk result store + mid-job checkpoints
+    every ``checkpoint_every`` steps, ``store_max_bytes`` LRU budget);
+    :meth:`recover` rebuilds a crashed durable service from that
+    directory.
 
     The service is cooperative: :meth:`submit` only enqueues;
     :meth:`drain` (or any handle's ``result()``) runs the scheduling
@@ -109,11 +129,16 @@ class SimulationService:
                  faults=None, retry=None,
                  observability: "bool | _obs.Observability" = False,
                  max_queue: int = 64, max_batch: int = 4,
-                 job_attempts: int = 2, result_cache_entries: int = 128):
+                 job_attempts: int = 2, result_cache_entries: int = 128,
+                 durable_dir=None, checkpoint_every: int = 0,
+                 store_max_bytes: int | None = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if job_attempts < 1:
             raise ValueError(f"job_attempts must be >= 1, got {job_attempts}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}")
         self.pool = DevicePool(devices)
         self.resilient = resilient
         self.faults = faults
@@ -135,6 +160,30 @@ class SimulationService:
         self._handles: list[JobHandle] = []
         self._waits: list[float] = []
         self._latencies: list[float] = []
+        # -- durability (opt-in) --
+        self.checkpoint_every = checkpoint_every
+        self.durable_dir = None
+        self.journal: Journal | None = None
+        self.store: ResultStore | None = None
+        self.executions = 0
+        self.executed_fingerprints: list[str] = []
+        self.recovery: dict[str, list[str] | int] = {
+            "from_store": [], "requeued": [], "resumed": [],
+            "terminal": [], "deduped": 0}
+        self._journal_records = []
+        self._resume: dict[str, Checkpoint] = {}
+        self._replaying = False
+        if durable_dir is not None:
+            self.durable_dir = os.fspath(durable_dir)
+            os.makedirs(os.path.join(self.durable_dir, "checkpoints"),
+                        exist_ok=True)
+            self.journal = Journal(
+                os.path.join(self.durable_dir, "journal.wal"),
+                faults=self.faults, obs=self.obs)
+            self._journal_records = self.journal.open()
+            self.store = ResultStore(
+                os.path.join(self.durable_dir, "store"),
+                max_bytes=store_max_bytes, faults=self.faults, obs=self.obs)
 
     # -- client surface ----------------------------------------------------------
     def submit(self, request: SubmitRequest) -> JobHandle:
@@ -152,15 +201,35 @@ class SimulationService:
             raise InvalidRequest(
                 f"job wants {request.shards} shard(s) but the pool has "
                 f"{len(self.pool)} device(s)")
+        encoded = None
+        if self.journal is not None:
+            try:
+                encoded = encode_request(request)
+            except ValueError as bad:
+                raise InvalidRequest(
+                    f"durable service cannot journal this request: "
+                    f"{bad}") from bad
+        fp = request.fingerprint()
         handle = JobHandle(self._next_id, request, self.now_ms, self)
         self._next_id += 1
-        cached = self.result_cache.get(request.fingerprint())
+        cached = self.result_cache.get(fp)
         self._cache_metric("result", hit=cached is not None)
+        if cached is None and self.store is not None:
+            stored = self.store.get(fp)
+            if stored is not None:
+                self.result_cache.put(fp, stored)
+                cached = stored
         if cached is not None:
+            self._journal("submit", handle, fp, request=encoded)
             self._complete(handle, ResultCache.rebase(
                 cached, submit_ms=handle.submit_ms, now_ms=self.now_ms))
             self._handles.append(handle)
             return handle
+        if len(self.queue) >= self.queue.capacity:
+            # backpressure *before* the journal write: a refused job
+            # must leave no durable trace to be replayed
+            raise QueueFull(self.queue.capacity)
+        self._journal("submit", handle, fp, request=encoded)
         self.queue.push(handle)           # may raise QueueFull (nothing kept)
         self._handles.append(handle)
         self._gauge_depth()
@@ -187,6 +256,17 @@ class SimulationService:
             states[h.state] += 1
         makespan_ms = self.now_ms
         done = states["DONE"]
+        durability = None
+        if self.durable_dir is not None:
+            durability = {
+                "dir": self.durable_dir,
+                "journal_bytes": self.journal.bytes_appended,
+                "journal_torn_truncated": self.journal.torn_truncated,
+                "store": self.store.stats(),
+                "executions": self.executions,
+                "recovered": {k: (v if isinstance(v, int) else len(v))
+                              for k, v in self.recovery.items()},
+            }
         return {
             "pool": [d.name for d in self.pool.devices],
             "submitted": len(self._handles),
@@ -206,6 +286,7 @@ class SimulationService:
             "cache": {"compile": {k: self.compile_cache.stats()[k]
                                   for k in ("entries", "hits", "misses")},
                       "result": self.result_cache.stats()},
+            "durability": durability,
         }
 
     # -- scheduling core ---------------------------------------------------------
@@ -221,8 +302,13 @@ class SimulationService:
             self.max_batch - 1)
         batch = [lead] + mates
         slots, t = self.pool.lease(shards, lead.submit_ms)
+        lease_start = t
         executed = 0
         for h in batch:
+            if h.state != "QUEUED":
+                # cancelled/evicted between lease and execution — never
+                # double-complete the handle or burn its device time
+                continue
             h.state = "RUNNING"
             req = h.request
             t = max(t, h.submit_ms)
@@ -232,22 +318,38 @@ class SimulationService:
                                f"{t - h.submit_ms:.3f}ms after submission "
                                f"exceeds deadline_ms={req.deadline_ms:g}")
                 continue
-            cached = self.result_cache.get(req.fingerprint())
+            fp = req.fingerprint()
+            cached = self.result_cache.get(fp)
             self._cache_metric("result", hit=cached is not None)
+            if cached is None and self.store is not None:
+                stored = self.store.get(fp)
+                if stored is not None:
+                    self.result_cache.put(fp, stored)
+                    cached = stored
             if cached is not None:
                 self._complete(h, ResultCache.rebase(
                     cached, submit_ms=h.submit_ms, now_ms=t))
                 continue
-            result, error = self._execute(h, slots, start_ms=t)
+            self._journal("start", h, fp)
+            result, error = self._execute(h, slots, start_ms=t,
+                                          resume=self._resume.pop(fp, None))
             if result is None:
                 self._fail(h, error)
                 continue
             t = result.end_ms
             executed += 1
-            self.result_cache.put(req.fingerprint(), result)
+            self.executions += 1
+            self.executed_fingerprints.append(fp)
+            if self.store is not None:
+                # durable-before-visible: the store write precedes the
+                # journal's complete record and the in-memory completion
+                self.store.put(fp, result)
+            self.result_cache.put(fp, result)
             self._complete(h, result)
-        for s in slots:
-            s.busy_until_ms = max(s.busy_until_ms, t)
+            self._drop_checkpoint(fp)
+        if t > lease_start:               # only real work occupies a lease
+            for s in slots:
+                s.busy_until_ms = max(s.busy_until_ms, t)
         self.now_ms = max(self.now_ms, t)
         if executed > 1:
             self.batches += 1
@@ -256,20 +358,32 @@ class SimulationService:
                     "repro_serve_batches_total",
                     "Leases shared by two or more executed jobs").inc()
 
-    def _execute(self, handle: JobHandle, slots, *,
-                 start_ms: float) -> tuple[JobResult | None, str]:
+    def _execute(self, handle: JobHandle, slots, *, start_ms: float,
+                 resume: Checkpoint | None = None
+                 ) -> tuple[JobResult | None, str]:
         """Run one job on its lease, retrying with escalation.
 
         Attempt 1 uses the service's configured executor; later attempts
         force ``resilient=True`` so the fault layer's retry/degrade/
         fallback ladder engages.  Returns (result, "") or (None, error).
+
+        ``resume`` is a recovered mid-job :class:`Checkpoint`: the
+        simulation restores it and runs only the remaining steps —
+        bit-identical to an uninterrupted run, because the checkpoint
+        holds every mutated array and the stepper is deterministic.
+        With ``checkpoint_every > 0`` the simulation's periodic-
+        checkpoint hook persists progress atomically and models
+        ``worker_crash`` faults at each boundary.
         """
         req = handle.request
+        fp = req.fingerprint()
         hits_before = self.compile_cache.hits
         program = self.compile_cache.program_for(req, slots[0].spec)
         self._cache_metric("compile", hit=self.compile_cache.hits > hits_before)
         devices = tuple(s.spec for s in slots)
         error = ""
+        every = self.checkpoint_every
+        hook = self._checkpoint_hook(fp) if every > 0 else None
         for attempt in range(1, self.job_attempts + 1):
             handle.attempts = attempt
             cfg = SimConfig(
@@ -277,15 +391,19 @@ class SimulationService:
                 precision=req.precision, materials=req.materials,
                 num_branches=req.num_branches, faults=self.faults,
                 resilient=self.resilient or attempt > 1, retry=self.retry,
-                devices=devices, host_program=program)
+                devices=devices, host_program=program,
+                checkpoint_interval=every, on_checkpoint=hook)
             try:
                 with self._observed():
                     sim = RoomSimulation(cfg)
-                    if req.impulse is not None:
-                        sim.add_impulse(req.impulse)
-                    for name, pos in req.receiver_items():
-                        sim.add_receiver(name, pos)
-                    sim.run(req.steps)
+                    if resume is not None:
+                        sim.restore(resume)
+                    else:
+                        if req.impulse is not None:
+                            sim.add_impulse(req.impulse)
+                        for name, pos in req.receiver_items():
+                            sim.add_receiver(name, pos)
+                    sim.run(req.steps - sim.time_step)
             except (ClError, SimulationDiverged) as failed:
                 error = f"attempt {attempt}: {failed}"
                 if self.obs is not None:
@@ -307,8 +425,160 @@ class SimulationService:
                 end_ms=start_ms + duration, attempts=attempt), ""
         return None, error or "exhausted retry budget"
 
+    # -- durability --------------------------------------------------------------
+    def _journal(self, event: str, handle: JobHandle, fingerprint: str,
+                 **payload) -> None:
+        """Write-ahead append (no-op when not durable or during replay —
+        replayed transitions are already in the journal)."""
+        if self.journal is None or self._replaying:
+            return
+        clean = {k: v for k, v in payload.items() if v is not None}
+        self.journal.append(event, fingerprint=fingerprint,
+                            job_id=handle.job_id, **clean)
+
+    def _checkpoint_path(self, fingerprint: str) -> str | None:
+        if self.durable_dir is None:
+            return None
+        return os.path.join(self.durable_dir, "checkpoints",
+                            f"{fingerprint}.npz")
+
+    def _checkpoint_hook(self, fingerprint: str):
+        """The periodic-checkpoint callback for one job: persist the
+        snapshot atomically (durable services), then model worker death
+        at the boundary (``worker_crash`` fault)."""
+        path = self._checkpoint_path(fingerprint)
+
+        def hook(cp: Checkpoint) -> None:
+            if path is not None:
+                cp.save(path)
+            if self.faults is not None and self.faults.should_inject(
+                    "worker_crash", f"worker:{fingerprint[:12]}",
+                    step=cp.time_step):
+                raise WorkerCrash(
+                    f"injected worker crash at step {cp.time_step} of job "
+                    f"{fingerprint[:12]}")
+        return hook
+
+    def _drop_checkpoint(self, fingerprint: str) -> None:
+        path = self._checkpoint_path(fingerprint)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
+
+    def _load_resume(self, fingerprint: str) -> Checkpoint | None:
+        path = self._checkpoint_path(fingerprint)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            return Checkpoint.load(path)
+        except Exception:                 # unreadable snapshot: run fresh
+            os.remove(path)
+            return None
+
+    @classmethod
+    def recover(cls, durable_dir, **kwargs) -> "SimulationService":
+        """Rebuild a service from a durable directory by journal replay.
+
+        Pass the same construction keywords (``devices`` etc.) as the
+        crashed service — the journal records *what* to run, not the
+        pool to run it on.  After recovery:
+
+        * jobs with a ``complete`` record are served straight from the
+          on-disk store (no re-execution; a lost or corrupt store entry
+          silently downgrades them to re-enqueued);
+        * jobs journalled terminal (``fail``/``evict``/``cancel``) stay
+          terminal;
+        * in-flight jobs (submitted or started, never terminal) are
+          re-enqueued, resuming from their last durable mid-job
+          checkpoint when one exists;
+        * duplicate submits of one fingerprint share a single execution
+          (fingerprint-keyed dedup), exactly as they would have live.
+
+        Replay is idempotent: recovering an already-recovered directory
+        reproduces the same terminal states with zero executions.
+        Raises :class:`~repro.serve.journal.JournalCorrupt` on mid-file
+        journal corruption (a torn *tail* is repaired with a warning).
+        """
+        kwargs["durable_dir"] = durable_dir
+        svc = cls(**kwargs)
+        svc._replay()
+        return svc
+
+    def _replay(self) -> None:
+        """Replay the opened journal into handles (see :meth:`recover`)."""
+        requests: dict[str, dict] = {}          # fp -> encoded request
+        submits: dict[str, int] = {}            # fp -> number of submits
+        status: dict[str, tuple[str, dict]] = {}   # fp -> last event
+        order: list[str] = []
+        for rec in self._journal_records:
+            fp = rec.fingerprint
+            if rec.event == "submit":
+                if fp not in requests:
+                    requests[fp] = rec.payload.get("request")
+                    order.append(fp)
+                submits[fp] = submits.get(fp, 0) + 1
+            status[fp] = (rec.event, rec.payload)
+        self._replaying = True
+        try:
+            for fp in order:
+                n = submits[fp]
+                self.recovery["deduped"] += n - 1
+                request = decode_request(requests[fp])
+                handles = []
+                for _ in range(n):
+                    h = JobHandle(self._next_id, request, self.now_ms, self)
+                    self._next_id += 1
+                    self._handles.append(h)
+                    handles.append(h)
+                event, payload = status[fp]
+                if event == "complete" and self.store is not None:
+                    stored = self.store.get(fp)
+                    if stored is not None:
+                        self.result_cache.put(fp, stored)
+                        for h in handles:
+                            self._complete(h, ResultCache.rebase(
+                                stored, submit_ms=h.submit_ms,
+                                now_ms=self.now_ms))
+                        self._recovered(fp, "from_store", n)
+                        continue
+                    event = "start"     # store lost the payload: re-run
+                if event in ("fail", "evict", "cancel"):
+                    reason = (payload.get("error") or payload.get("reason")
+                              or f"journalled {event}")
+                    for h in handles:
+                        if event == "fail":
+                            self._fail(h, reason)
+                        else:
+                            self._evict(h, reason)
+                    self._recovered(fp, "terminal", n)
+                    continue
+                cp = self._load_resume(fp)
+                if cp is not None:
+                    self._resume[fp] = cp
+                for h in handles:
+                    self.queue.requeue(h)
+                self._recovered(fp, "resumed" if cp is not None
+                                else "requeued", n)
+        finally:
+            self._replaying = False
+        self._gauge_depth()
+
+    def _recovered(self, fingerprint: str, mode: str, count: int) -> None:
+        self.recovery[mode].append(fingerprint)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_serve_recovered_jobs_total",
+                "Jobs reconstructed by journal replay, by recovery mode",
+                ("mode",)).inc(count, mode=mode)
+
+    def close(self) -> None:
+        """Release the journal's file handle (recovery reopens it)."""
+        if self.journal is not None:
+            self.journal.close()
+
     # -- bookkeeping -------------------------------------------------------------
     def _complete(self, handle: JobHandle, result: JobResult) -> None:
+        self._journal("complete", handle, handle.request.fingerprint(),
+                      end_ms=result.end_ms, from_cache=result.from_cache)
         handle._finish(result)
         self._waits.append(result.wait_ms)
         self._latencies.append(result.latency_ms)
@@ -330,6 +600,8 @@ class SimulationService:
                 latency_ms=round(result.latency_ms, 6))
 
     def _fail(self, handle: JobHandle, error: str) -> None:
+        self._journal("fail", handle, handle.request.fingerprint(),
+                      error=error[:500])
         handle._fail(error)
         if self.obs is not None:
             self.obs.metrics.counter(
@@ -340,6 +612,9 @@ class SimulationService:
                                   error=error[:200])
 
     def _evict(self, handle: JobHandle, reason: str) -> None:
+        self._journal("cancel" if reason == "cancelled" else "evict",
+                      handle, handle.request.fingerprint(),
+                      reason=reason[:500])
         handle.error = reason
         handle.state = "EVICTED"
         if self.obs is not None:

@@ -1,0 +1,214 @@
+"""Content-addressed on-disk result store — the durable second tier
+behind the in-memory :class:`~repro.serve.cache.ResultCache`.
+
+One file per result, named by the request fingerprint (the same content
+address the memory tier uses), in a flat ``<root>/<fp>.res`` layout.
+The container format is::
+
+    +-----------+----------------+------------------------+
+    | b"RST1"   | CRC32 (u32 LE) | payload (npz bytes)    |
+    +-----------+----------------+------------------------+
+
+where the payload is a ``np.savez`` archive of the result's field and
+receiver arrays plus a JSON metadata blob (the same container idiom as
+the checkpoint format).  Writes are **atomic**: serialise to
+``<root>/.<fp>.tmp``, flush + fsync, then ``os.replace`` — a crash
+mid-write can only ever leave a stale tmp file, never a half-written
+entry under its final name.  Reads are **corruption-detected**: a bad
+magic or CRC removes the entry and reports a miss (counted separately
+as ``corrupt``), so bit rot re-executes a job instead of serving a
+wrong answer.
+
+Eviction is LRU under a byte budget (``max_bytes``): entries are
+tracked in access order (on open, deterministically seeded as sorted
+fingerprints) and compacted after each put.  The entry just written is
+never the eviction victim.
+
+Fault injection: ``store_corrupt`` flips one payload byte *after* the
+CRC was computed (silent media corruption — the read path must catch
+it); ``disk_full`` makes :meth:`put` skip the write and return False
+(the service keeps running memory-only).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from collections import OrderedDict
+
+import numpy as np
+
+_MAGIC = b"RST1"
+_CRC = struct.Struct("<I")
+
+
+class ResultStore:
+    """Durable LRU store of :class:`~repro.serve.job.JobResult` payloads
+    keyed by request fingerprint."""
+
+    def __init__(self, root, *, max_bytes: int | None = None,
+                 faults=None, obs=None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = os.fspath(root)
+        self.max_bytes = max_bytes
+        self.faults = faults
+        self.obs = obs
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.disk_full_skips = 0
+        os.makedirs(self.root, exist_ok=True)
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".res"):
+                self._entries[name[:-4]] = os.path.getsize(
+                    os.path.join(self.root, name))
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, f"{fingerprint}.res")
+
+    # -- write -------------------------------------------------------------------
+    def put(self, fingerprint: str, result) -> bool:
+        """Atomically persist one result; returns False when skipped
+        (``disk_full`` injection or a real failed write)."""
+        site = f"store:{fingerprint[:12]}"
+        if self.faults is not None and self.faults.should_inject(
+                "disk_full", site, step=len(self._entries)):
+            self.disk_full_skips += 1
+            return False
+        payload = self._serialize(result)
+        frame = bytearray(_MAGIC + _CRC.pack(zlib.crc32(payload)) + payload)
+        if self.faults is not None and self.faults.should_inject(
+                "store_corrupt", site, step=len(self._entries)):
+            # silent media corruption: one payload byte flips after the
+            # CRC was computed, so only the read path can catch it
+            at = len(_MAGIC) + _CRC.size + len(payload) // 2
+            frame[at] ^= 0xFF
+        tmp = os.path.join(self.root, f".{fingerprint}.tmp")
+        try:
+            with open(tmp, "wb") as f:
+                f.write(frame)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self._path(fingerprint))
+        except OSError:                       # pragma: no cover - env-specific
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            self.disk_full_skips += 1
+            return False
+        self._entries[fingerprint] = len(frame)
+        self._entries.move_to_end(fingerprint)
+        self._compact(keep=fingerprint)
+        return True
+
+    def _compact(self, keep: str) -> None:
+        if self.max_bytes is None:
+            return
+        while (sum(self._entries.values()) > self.max_bytes
+               and len(self._entries) > 1):
+            victim = next(fp for fp in self._entries if fp != keep)
+            self._entries.pop(victim)
+            try:
+                os.remove(self._path(victim))
+            except FileNotFoundError:        # pragma: no cover - already gone
+                pass
+            self.evictions += 1
+
+    # -- read --------------------------------------------------------------------
+    def get(self, fingerprint: str):
+        """The stored :class:`JobResult` (timing zeroed, ``from_store``
+        set) or None on miss *or* detected corruption (the corrupt entry
+        is removed so the job re-executes)."""
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as f:
+                frame = f.read()
+        except FileNotFoundError:
+            self.misses += 1
+            self._metric("repro_store_miss_total",
+                         "Durable result-store lookups that missed")
+            return None
+        head = len(_MAGIC) + _CRC.size
+        ok = (len(frame) >= head and frame[:len(_MAGIC)] == _MAGIC
+              and _CRC.unpack_from(frame, len(_MAGIC))[0]
+              == zlib.crc32(frame[head:]))
+        if ok:
+            try:
+                result = self._deserialize(frame[head:])
+            except Exception:
+                ok = False
+        if not ok:
+            self.corrupt += 1
+            self._metric("repro_store_corrupt_total",
+                         "Durable result-store entries dropped for a bad "
+                         "magic, CRC, or payload")
+            os.remove(path)
+            self._entries.pop(fingerprint, None)
+            return None
+        self.hits += 1
+        self._metric("repro_store_hit_total",
+                     "Durable result-store lookups served from disk")
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        return result
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self._path(fingerprint))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- serialisation -----------------------------------------------------------
+    @staticmethod
+    def _serialize(result) -> bytes:
+        names = sorted(result.receivers)
+        meta = {"time_step": result.time_step, "scheme": result.scheme,
+                "precision": result.precision,
+                "devices": list(result.devices),
+                "kernel_time_ms": result.kernel_time_ms,
+                "halo_time_ms": result.halo_time_ms,
+                "attempts": result.attempts, "receivers": names}
+        arrays = {"field": result.field}
+        for i, name in enumerate(names):
+            arrays[f"rx{i}"] = np.asarray(result.receivers[name])
+        buf = io.BytesIO()
+        np.savez(buf, meta=np.frombuffer(json.dumps(meta).encode(),
+                                         dtype=np.uint8), **arrays)
+        return buf.getvalue()
+
+    @staticmethod
+    def _deserialize(payload: bytes):
+        from .job import JobResult
+        with np.load(io.BytesIO(payload)) as z:
+            meta = json.loads(bytes(z["meta"]).decode())
+            receivers = {name: z[f"rx{i}"].copy()
+                         for i, name in enumerate(meta["receivers"])}
+            return JobResult(
+                field=z["field"].copy(), time_step=int(meta["time_step"]),
+                scheme=meta["scheme"], precision=meta["precision"],
+                devices=tuple(meta["devices"]),
+                kernel_time_ms=float(meta["kernel_time_ms"]),
+                halo_time_ms=float(meta["halo_time_ms"]),
+                receivers=receivers, policy_log=(),
+                attempts=int(meta["attempts"]), from_store=True)
+
+    def _metric(self, name: str, help: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name, help).inc()
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries),
+                "bytes": sum(self._entries.values()),
+                "max_bytes": self.max_bytes, "hits": self.hits,
+                "misses": self.misses, "corrupt": self.corrupt,
+                "evictions": self.evictions,
+                "disk_full_skips": self.disk_full_skips}
+
+    def __repr__(self) -> str:
+        return (f"ResultStore({self.root!r}, entries={len(self._entries)}, "
+                f"hits={self.hits}, corrupt={self.corrupt})")

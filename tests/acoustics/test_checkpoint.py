@@ -104,6 +104,67 @@ class TestCheckpointRestart:
             Checkpoint.load(path)
 
 
+class TestAtomicSave:
+    def test_interrupted_save_leaves_old_checkpoint_intact(self, tmp_path,
+                                                           monkeypatch):
+        path = tmp_path / "cp.npz"
+        sim = make_sim()
+        sim.run(4)
+        sim.save_checkpoint(path)
+        good = path.read_bytes()
+
+        sim.run(3)
+        killed = make_sim()
+        killed.run(2)
+
+        def die_mid_write(f, **arrays):
+            f.write(b"half a checkpoint")
+            raise KeyboardInterrupt("power cut mid-save")
+
+        monkeypatch.setattr(np, "savez", die_mid_write)
+        with pytest.raises(KeyboardInterrupt):
+            sim.checkpoint().save(path)
+        # the torn write never reached the checkpoint's real name ...
+        assert path.read_bytes() == good
+        # ... no tmp litter survives the interrupt ...
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cp.npz"]
+        # ... and the old checkpoint still restores
+        monkeypatch.undo()
+        resumed = make_sim()
+        resumed.load_checkpoint(path)
+        assert resumed.time_step == 4
+
+    def test_save_appends_npz_suffix_like_np_savez(self, tmp_path):
+        sim = make_sim()
+        sim.run(2)
+        sim.save_checkpoint(tmp_path / "bare")        # no suffix given
+        assert (tmp_path / "bare.npz").exists()
+        resumed = make_sim()
+        resumed.load_checkpoint(tmp_path / "bare.npz")
+        assert resumed.time_step == 2
+
+    def test_on_checkpoint_hook_fires_per_boundary(self):
+        seen = []
+        sim = make_sim(checkpoint_interval=3,
+                       on_checkpoint=lambda cp: seen.append(cp.time_step))
+        sim.run(10)
+        assert seen == [3, 6, 9]
+
+    def test_on_checkpoint_exception_propagates(self):
+        class Die(Exception):
+            pass
+
+        def hook(cp):
+            raise Die(f"at step {cp.time_step}")
+
+        sim = make_sim(checkpoint_interval=2, on_checkpoint=hook)
+        with pytest.raises(Die, match="at step 2"):
+            sim.run(6)
+        # the checkpoint was taken before the hook ran: a supervisor
+        # can resume from exactly where the "crash" hit
+        assert sim.last_checkpoint.time_step == 2
+
+
 class TestHealthMonitor:
     def test_nan_detected_with_last_good_checkpoint(self):
         sim = make_sim(checkpoint_interval=2, health_interval=1)

@@ -1,0 +1,179 @@
+"""Write-ahead journal: framing, torn-tail repair, corruption, codec."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.acoustics import (Branch, DomeRoom, FDMaterial, FIMaterial,
+                             Grid3D, LShapedRoom, Room)
+from repro.serve import (JOURNAL_EVENTS, DurabilityError, Journal,
+                         JournalCorrupt, JournalTornWarning, SubmitRequest,
+                         WorkerCrash, decode_request, encode_request)
+from repro.gpu import FaultPlan, FaultSpec
+
+_HEADER = struct.Struct("<II")
+
+
+def _frame(obj: dict) -> bytes:
+    data = json.dumps(obj).encode()
+    return _HEADER.pack(len(data), zlib.crc32(data)) + data
+
+
+def _rec(seq, event="submit", fp="f" * 40, job=1, **extra):
+    return {"seq": seq, "event": event, "fp": fp, "job": job, **extra}
+
+
+def test_append_and_reopen_roundtrip(tmp_path):
+    path = tmp_path / "j.wal"
+    j = Journal(path)
+    assert j.open() == []
+    j.append("submit", fingerprint="a" * 40, job_id=1, request={"x": 1})
+    j.append("start", fingerprint="a" * 40, job_id=1)
+    j.append("complete", fingerprint="a" * 40, job_id=1, end_ms=4.5)
+    j.close()
+    j2 = Journal(path)
+    records = j2.open()
+    assert [r.event for r in records] == ["submit", "start", "complete"]
+    assert [r.seq for r in records] == [0, 1, 2]
+    assert records[0].payload == {"request": {"x": 1}}
+    assert records[2].payload == {"end_ms": 4.5}
+    # appends continue the sequence after reopen
+    rec = j2.append("evict", fingerprint="a" * 40, job_id=1, reason="x")
+    assert rec.seq == 3
+    j2.close()
+
+
+def test_empty_file_recovers_to_nothing(tmp_path):
+    path = tmp_path / "j.wal"
+    path.write_bytes(b"")
+    j = Journal(path)
+    assert j.open() == []
+    assert j.torn_truncated == 0
+    j.close()
+
+
+@pytest.mark.parametrize("tear", ["header", "payload", "crc"])
+def test_single_torn_trailing_record_is_truncated(tmp_path, tear):
+    path = tmp_path / "j.wal"
+    good = _frame(_rec(0)) + _frame(_rec(1, event="start"))
+    if tear == "header":
+        torn = b"\x07\x00"                       # partial length field
+    elif tear == "payload":
+        torn = _frame(_rec(2, event="complete"))[:_HEADER.size + 5]
+    else:                                        # full length, bad CRC
+        data = json.dumps(_rec(2, event="complete")).encode()
+        torn = _HEADER.pack(len(data), 0xDEADBEEF) + data
+    path.write_bytes(good + torn)
+    j = Journal(path)
+    with pytest.warns(JournalTornWarning):
+        records = j.open()
+    assert [r.event for r in records] == ["submit", "start"]
+    assert j.torn_truncated == 1
+    j.close()
+    # the repair is durable: the file now holds exactly the good prefix
+    assert path.read_bytes() == good
+
+
+def test_crc_mismatch_mid_file_is_a_hard_error(tmp_path):
+    path = tmp_path / "j.wal"
+    data = json.dumps(_rec(1, event="start")).encode()
+    bad_middle = _HEADER.pack(len(data), zlib.crc32(data) ^ 1) + data
+    path.write_bytes(_frame(_rec(0)) + bad_middle
+                     + _frame(_rec(2, event="complete")))
+    with pytest.raises(JournalCorrupt, match="mid-file corruption"):
+        Journal(path).open()
+
+
+def test_repair_then_reopen_is_idempotent(tmp_path):
+    path = tmp_path / "j.wal"
+    path.write_bytes(_frame(_rec(0)) + b"\x99")
+    with pytest.warns(JournalTornWarning):
+        Journal(path).open()
+    # second open: tail already repaired, no warning, same records
+    j = Journal(path)
+    records = j.open()
+    assert [r.seq for r in records] == [0]
+    assert j.torn_truncated == 0
+    j.close()
+
+
+def test_unknown_event_rejected(tmp_path):
+    j = Journal(tmp_path / "j.wal")
+    j.open()
+    with pytest.raises(ValueError, match="unknown journal event"):
+        j.append("resurrect", fingerprint="a" * 40, job_id=1)
+    j.close()
+    assert "submit" in JOURNAL_EVENTS and "cancel" in JOURNAL_EVENTS
+
+
+def test_append_to_closed_journal_is_typed(tmp_path):
+    j = Journal(tmp_path / "j.wal")
+    with pytest.raises(DurabilityError, match="not open"):
+        j.append("submit", fingerprint="a" * 40, job_id=1)
+
+
+def test_torn_write_fault_leaves_repairable_tail(tmp_path):
+    path = tmp_path / "j.wal"
+    plan = FaultPlan([FaultSpec("journal_torn_write", steps=(1,))], seed=3)
+    j = Journal(path, faults=plan)
+    j.open()
+    j.append("submit", fingerprint="b" * 40, job_id=1)
+    with pytest.raises(WorkerCrash, match="torn write"):
+        j.append("start", fingerprint="b" * 40, job_id=1)
+    j.close()
+    j2 = Journal(path)
+    with pytest.warns(JournalTornWarning):
+        records = j2.open()
+    assert [r.event for r in records] == ["submit"]
+    j2.close()
+
+
+def test_disk_full_fault_raises_before_writing(tmp_path):
+    path = tmp_path / "j.wal"
+    plan = FaultPlan([FaultSpec("disk_full", steps=(0,))], seed=3)
+    j = Journal(path, faults=plan)
+    j.open()
+    with pytest.raises(DurabilityError, match="disk_full"):
+        j.append("submit", fingerprint="c" * 40, job_id=1)
+    assert j.bytes_appended == 0
+    # the fault is transient (fired once): the retry lands
+    j.append("submit", fingerprint="c" * 40, job_id=1)
+    j.close()
+    assert Journal(path).open()[0].event == "submit"
+
+
+@pytest.mark.parametrize("request_fn", [
+    lambda: SubmitRequest(room=Room(Grid3D(10, 8, 8), DomeRoom()), steps=4),
+    lambda: SubmitRequest(
+        room=Room(Grid3D(12, 10, 8), LShapedRoom(cut_fraction=0.4)),
+        steps=6, scheme="fd_mm", precision="single", priority=7,
+        deadline_ms=125.5, impulse=(3, 4, 2),
+        receivers={"mic": "center", "corner": (2, 2, 2)},
+        materials=(FIMaterial("carpet", beta=0.55),
+                   FDMaterial("panel", beta_inf=0.1,
+                              branches=(Branch(m=1.0, r=0.5, k=2e4),))),
+        num_branches=2, shards=2),
+])
+def test_request_codec_is_fingerprint_exact(request_fn):
+    req = request_fn()
+    encoded = json.loads(json.dumps(encode_request(req)))   # disk roundtrip
+    back = decode_request(encoded)
+    assert back.fingerprint() == req.fingerprint()
+    # scheduling knobs survive too (they are not in the fingerprint)
+    assert back.priority == req.priority
+    assert back.deadline_ms == req.deadline_ms
+    assert back.shards == req.shards
+
+
+def test_unregistered_shape_is_not_journallable():
+    class WeirdRoom:
+        pass
+
+    grid = Grid3D(8, 8, 8)
+    req = SubmitRequest.__new__(SubmitRequest)
+    object.__setattr__(req, "room", type("R", (), {"grid": grid,
+                                                   "shape": WeirdRoom()})())
+    with pytest.raises(ValueError, match="not journal-serialisable"):
+        encode_request(req)

@@ -1,0 +1,209 @@
+"""Crash recovery: journal replay, store-first serving, checkpoint resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.api import Session
+from repro.gpu import FaultPlan, FaultSpec
+from repro.serve import (QueueFull, SimulationService, SubmitRequest,
+                         WorkerCrash)
+
+
+def _req(steps=4, priority=0, dims=(10, 8, 8), **kw):
+    kw.setdefault("receivers", {"mic": "center"})
+    return SubmitRequest(room=Room(Grid3D(*dims), BoxRoom()), steps=steps,
+                         priority=priority, **kw)
+
+
+def _serial(req):
+    return Session(devices="TitanBlack").simulate(
+        req.room, req.steps, scheme=req.scheme, precision=req.precision,
+        receivers=dict(req.receiver_items()))
+
+
+def test_completed_jobs_recover_from_store_without_reexecution(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    reqs = [_req(steps=3), _req(steps=5)]
+    handles = [svc.submit(r) for r in reqs]
+    svc.drain()
+    assert all(h.state == "DONE" for h in handles)
+    assert svc.executions == 2
+    svc.close()
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    # acceptance: nothing re-executes; the store answers
+    assert back.executions == 0
+    assert len(back.recovery["from_store"]) == 2
+    assert back.store.hits == 2
+    assert len(back._handles) == 2
+    for h, req in zip(back._handles, reqs):
+        assert h.state == "DONE"
+        res = h.result()
+        assert res.from_store
+        ref = _serial(req)
+        assert np.array_equal(res.field, ref.field)
+        assert np.array_equal(res.receivers["mic"], ref.receivers["mic"])
+    back.close()
+
+
+def test_inflight_jobs_requeue_and_finish_bit_identical(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    req = _req(steps=4)
+    svc.submit(req)                     # journalled, never drained
+    svc.close()
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    assert back.recovery["requeued"] == [req.fingerprint()]
+    [h] = back._handles
+    res = h.result()                    # drains
+    assert back.executions == 1
+    assert np.array_equal(res.field, _serial(req).field)
+    back.close()
+
+
+def test_worker_crash_resumes_from_checkpoint_bit_identical(tmp_path):
+    plan = FaultPlan([FaultSpec("worker_crash", steps=(2,))], seed=1)
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path,
+                            checkpoint_every=2, faults=plan)
+    req = _req(steps=5)
+    svc.submit(req)
+    with pytest.raises(WorkerCrash):
+        svc.drain()
+    assert os.path.exists(os.path.join(
+        tmp_path, "checkpoints", f"{req.fingerprint()}.npz"))
+    svc.close()
+
+    # same plan object: the boundary-2 crash already fired, so the
+    # resumed run sails past it — like a real one-off machine death
+    back = SimulationService.recover(tmp_path, devices="TitanBlack",
+                                     checkpoint_every=2, faults=plan)
+    assert back.recovery["resumed"] == [req.fingerprint()]
+    [h] = back._handles
+    res = h.result()
+    assert res.time_step == req.steps
+    ref = _serial(req)
+    assert np.array_equal(res.field, ref.field)
+    assert np.array_equal(res.receivers["mic"], ref.receivers["mic"])
+    # the resumed execution ran only the remaining steps, then dropped
+    # its checkpoint
+    assert back.executions == 1
+    assert not os.path.exists(os.path.join(
+        tmp_path, "checkpoints", f"{req.fingerprint()}.npz"))
+    back.close()
+
+
+def test_recover_twice_is_idempotent(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    handles = [svc.submit(_req(steps=3)), svc.submit(_req(steps=5))]
+    svc.drain()
+    svc.close()
+
+    once = SimulationService.recover(tmp_path, devices="TitanBlack")
+    once.drain()
+    once.close()
+    twice = SimulationService.recover(tmp_path, devices="TitanBlack")
+    twice.drain()
+    assert twice.executions == once.executions == 0
+    assert (sorted(twice.recovery["from_store"])
+            == sorted(once.recovery["from_store"]))
+    assert [h.state for h in twice._handles] == ["DONE"] * len(handles)
+    twice.close()
+
+
+def test_duplicate_submits_dedup_by_fingerprint_on_recovery(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    req = _req(steps=4)
+    svc.submit(req)
+    svc.submit(_req(steps=4, priority=9))   # same fingerprint (priority
+    svc.close()                             # is a scheduling knob)
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    assert back.recovery["deduped"] == 1
+    assert len(back._handles) == 2          # both clients get an answer
+    results = [h.result() for h in back._handles]
+    assert back.executions == 1             # ... from one execution
+    assert np.array_equal(results[0].field, results[1].field)
+    back.close()
+
+
+def test_cancelled_jobs_stay_terminal_after_recovery(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    keep = svc.submit(_req(steps=3))
+    gone = svc.submit(_req(steps=7))
+    assert gone.cancel()
+    svc.drain()
+    assert keep.state == "DONE" and gone.state == "EVICTED"
+    svc.close()
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    back.drain()
+    assert back.executions == 0
+    assert [h.state for h in back._handles] == ["DONE", "EVICTED"]
+    assert back.recovery["terminal"] == [gone.request.fingerprint()]
+    assert "cancelled" in back._handles[1].error
+    back.close()
+
+
+def test_queue_full_leaves_no_durable_trace(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path,
+                            max_queue=1)
+    svc.submit(_req(steps=3))
+    with pytest.raises(QueueFull):
+        svc.submit(_req(steps=9))
+    svc.close()
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    assert len(back._handles) == 1          # the refused job was never real
+    back.close()
+
+
+def test_lost_store_entry_downgrades_to_reexecution(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    req = _req(steps=4)
+    svc.submit(req).result()
+    svc.close()
+    os.remove(os.path.join(tmp_path, "store", f"{req.fingerprint()}.res"))
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    assert back.recovery["requeued"] == [req.fingerprint()]
+    res = back._handles[0].result()
+    assert back.executions == 1             # honest re-run, right answer
+    assert np.array_equal(res.field, _serial(req).field)
+    back.close()
+
+
+def test_durable_stats_and_metrics(tmp_path):
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path,
+                            observability=True)
+    svc.submit(_req(steps=3)).result()
+    svc.close()
+    back = SimulationService.recover(tmp_path, devices="TitanBlack",
+                                     observability=True)
+    d = back.stats()["durability"]
+    assert d["executions"] == 0
+    assert d["recovered"]["from_store"] == 1
+    assert d["store"]["hits"] == 1
+    from repro.obs import prometheus_text
+    text = prometheus_text(back.obs.metrics)
+    assert 'repro_serve_recovered_jobs_total{mode="from_store"} 1' in text
+    assert "repro_store_hit_total 1" in text
+    back.close()
+    # the original service exported journal bytes
+    assert "repro_journal_bytes_total" in prometheus_text(svc.obs.metrics)
+
+
+def test_session_service_durable_passthrough(tmp_path):
+    session = Session(devices="TitanBlack")
+    svc = session.service(durable_dir=tmp_path, checkpoint_every=2,
+                          store_max_bytes=1 << 20)
+    assert svc.durable_dir == str(tmp_path)
+    assert svc.checkpoint_every == 2
+    assert svc.store.max_bytes == 1 << 20
+    req = _req(steps=4)
+    res = svc.submit(req).result()
+    assert np.array_equal(res.field, session.simulate(
+        req.room, req.steps, receivers=dict(req.receiver_items())).field)
+    svc.close()

@@ -212,3 +212,42 @@ def test_session_service_shares_pool_and_obs():
     assert svc.obs is session.obs
     h = svc.submit(_small())
     assert h.result().time_step == 3
+
+
+def test_cancel_during_batch_never_double_completes(monkeypatch):
+    """Regression: a job cancelled between batch formation and its turn
+    on the lease must stay EVICTED — not be flipped to RUNNING, executed,
+    and double-completed over the cancellation."""
+    svc = SimulationService(devices="TitanBlack", max_batch=4)
+    lead = svc.submit(_small(steps=4))
+    mate = svc.submit(_small(steps=5))    # same program, distinct job
+    real_execute = SimulationService._execute
+
+    def cancel_mate_then_execute(self, handle, slots, **kw):
+        # the cancel lands while the batch leader holds the lease
+        mate.cancel()
+        return real_execute(self, handle, slots, **kw)
+
+    monkeypatch.setattr(SimulationService, "_execute",
+                        cancel_mate_then_execute)
+    svc.drain()
+    assert lead.state == "DONE"
+    assert mate.state == "EVICTED" and mate._result is None
+    assert "cancelled" in mate.error
+    with pytest.raises(JobError):
+        mate.result()
+    # the service itself stays consistent for further work
+    monkeypatch.undo()
+    assert svc.submit(_small(steps=6)).result().time_step == 6
+
+
+def test_cancelled_lead_does_not_burn_lease():
+    """Regression: a batch whose every member was cancelled must not
+    advance the slots' busy horizon (no leaked lease)."""
+    svc = SimulationService(devices="TitanBlack")
+    h = svc.submit(_small())
+    assert h.cancel()
+    before = [s.busy_until_ms for s in svc.pool.slots]
+    svc._place_batch(h)          # the race: cancel landed after the pop
+    assert h.state == "EVICTED" and h._result is None
+    assert [s.busy_until_ms for s in svc.pool.slots] == before

@@ -1,0 +1,119 @@
+"""On-disk result store: atomic writes, corruption detection, LRU."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpu import FaultPlan, FaultSpec
+from repro.serve import JobResult, ResultStore
+
+
+def _result(seed=0, n=64):
+    rng = np.random.default_rng(seed)
+    return JobResult(
+        field=rng.standard_normal(n), time_step=5, scheme="fi_mm",
+        precision="double", devices=("TitanBlack",), kernel_time_ms=1.25,
+        halo_time_ms=0.5,
+        receivers={"mic": rng.standard_normal(5), "far": rng.standard_normal(5)},
+        attempts=2)
+
+
+def test_put_get_roundtrip_bit_identical(tmp_path):
+    store = ResultStore(tmp_path)
+    res = _result()
+    assert store.put("a" * 40, res)
+    back = store.get("a" * 40)
+    assert back.from_store and not back.from_cache
+    assert np.array_equal(back.field, res.field)
+    assert back.field.dtype == res.field.dtype
+    assert sorted(back.receivers) == sorted(res.receivers)
+    for name in res.receivers:
+        assert np.array_equal(back.receivers[name], res.receivers[name])
+    assert (back.time_step, back.scheme, back.precision, back.devices,
+            back.attempts) == (5, "fi_mm", "double", ("TitanBlack",), 2)
+    assert store.hits == 1 and store.misses == 0
+
+
+def test_miss_and_reopen_reindexes(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get("b" * 40) is None
+    assert store.misses == 1
+    store.put("a" * 40, _result())
+    # a fresh instance over the same root sees the entry
+    again = ResultStore(tmp_path)
+    assert len(again) == 1 and "a" * 40 in again
+    assert again.get("a" * 40) is not None
+
+
+def test_corrupt_entry_detected_and_dropped(tmp_path):
+    store = ResultStore(tmp_path)
+    fp = "c" * 40
+    store.put(fp, _result())
+    path = os.path.join(str(tmp_path), f"{fp}.res")
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF              # silent bit rot
+    open(path, "wb").write(bytes(blob))
+    assert store.get(fp) is None              # detected, not served
+    assert store.corrupt == 1
+    assert not os.path.exists(path)           # entry removed -> re-execute
+    assert store.get(fp) is None and store.misses == 1
+
+
+def test_store_corrupt_fault_is_caught_by_read_path(tmp_path):
+    plan = FaultPlan([FaultSpec("store_corrupt", steps=(0,))], seed=5)
+    store = ResultStore(tmp_path, faults=plan)
+    assert store.put("d" * 40, _result())     # write "succeeds"
+    assert store.get("d" * 40) is None        # CRC catches the flip
+    assert store.corrupt == 1
+
+
+def test_disk_full_fault_skips_write(tmp_path):
+    plan = FaultPlan([FaultSpec("disk_full", steps=(0,))], seed=5)
+    store = ResultStore(tmp_path, faults=plan)
+    assert not store.put("e" * 40, _result())
+    assert store.disk_full_skips == 1 and len(store) == 0
+    assert store.put("e" * 40, _result())     # transient: retry lands
+
+
+def test_lru_byte_budget_evicts_oldest(tmp_path):
+    store = ResultStore(tmp_path, max_bytes=1)   # every put over budget
+    store.put("a" * 40, _result(seed=1))
+    store.put("b" * 40, _result(seed=2))
+    # the entry just written is never the victim
+    assert len(store) == 1 and "b" * 40 in store
+    assert store.evictions == 1
+    assert store.get("a" * 40) is None
+
+
+def test_lru_recency_protects_hot_entries(tmp_path):
+    big = ResultStore(tmp_path, max_bytes=10**9)
+    big.put("a" * 40, _result(seed=1))
+    big.put("b" * 40, _result(seed=2))
+    entry_bytes = sum(big._entries.values()) // 2
+    store = ResultStore(tmp_path, max_bytes=int(entry_bytes * 2.5))
+    store.get("a" * 40)                        # touch a: now most-recent
+    store.put("c" * 40, _result(seed=3))       # must evict b, not a
+    assert "a" * 40 in store and "c" * 40 in store
+    assert "b" * 40 not in store
+
+
+def test_no_tmp_litter_after_puts(tmp_path):
+    store = ResultStore(tmp_path)
+    for i in range(4):
+        store.put(f"{i:040d}", _result(seed=i))
+    assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+
+def test_stats_shape(tmp_path):
+    store = ResultStore(tmp_path, max_bytes=1 << 20)
+    store.put("a" * 40, _result())
+    store.get("a" * 40)
+    s = store.stats()
+    assert s["entries"] == 1 and s["hits"] == 1
+    assert s["bytes"] > 0 and s["max_bytes"] == 1 << 20
+
+
+def test_bad_max_bytes_rejected(tmp_path):
+    with pytest.raises(ValueError, match="max_bytes"):
+        ResultStore(tmp_path, max_bytes=0)
