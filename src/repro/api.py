@@ -207,7 +207,9 @@ class Session:
     def service(self, *, max_queue: int = 64, max_batch: int = 4,
                 job_attempts: int = 2, result_cache_entries: int = 128,
                 durable_dir=None, checkpoint_every: int = 0,
-                store_max_bytes: int | None = None):
+                store_max_bytes: int | None = None,
+                window_ms: float = 1000.0, slos=None,
+                flight_capacity: int = 512):
         """A :class:`repro.serve.SimulationService` sharing this
         session's pool, fault/recovery policy, and observability sink.
 
@@ -222,6 +224,12 @@ class Session:
         crashed service is rebuilt with
         :meth:`repro.serve.SimulationService.recover`.  See
         ``docs/durability.md``.
+
+        ``window_ms`` / ``slos`` / ``flight_capacity`` configure the
+        serving observability layer — time-series window width,
+        objectives for burn-rate alerting (default
+        :func:`repro.obs.default_slos`), and the always-on flight
+        recorder's ring size.  See ``docs/observability.md``.
         """
         from .serve import SimulationService
         return SimulationService(
@@ -232,7 +240,9 @@ class Session:
             job_attempts=job_attempts,
             result_cache_entries=result_cache_entries,
             durable_dir=durable_dir, checkpoint_every=checkpoint_every,
-            store_max_bytes=store_max_bytes)
+            store_max_bytes=store_max_bytes,
+            window_ms=window_ms, slos=slos,
+            flight_capacity=flight_capacity)
 
     def __repr__(self) -> str:
         names = ",".join(d.name for d in self.devices)

@@ -85,6 +85,14 @@ def serve_benchmark(*, jobs: int = 12, steps: int = 4,
          "from_cache": (h._result.from_cache if h._result else None),
          "attempts": h.attempts}
         for h in handles]
+    # the service ran observability=True, so the sliding-window series
+    # and SLO verdicts are part of the artifact (deterministic: every
+    # number is modelled-clock arithmetic)
+    stats["timeseries"] = svc.timeseries.snapshot()
+    stats["slo"] = {
+        "statuses": [s.as_dict() for s in svc.slo.evaluate(svc.now_ms)],
+        "alerting": list(svc.slo.alerting()),
+    }
     return stats
 
 

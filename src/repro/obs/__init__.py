@@ -13,8 +13,17 @@ every layer:
   Perfetto) and Prometheus text exposition, plus schema validators;
 * :mod:`.report` — the per-kernel roofline/occupancy table (the virtual
   analogue of the paper's Table IV);
+* :mod:`.timeseries` — fixed-width sliding-window series over the
+  modelled clock (queue depth, rates, percentiles, utilisation);
+* :mod:`.slo` — declarative objectives with multi-window burn-rate
+  alerting over those windows;
+* :mod:`.flight` — the always-on bounded flight recorder dumped as a
+  black box on divergence or (simulated) crash;
+* :mod:`.dashboard` — the deterministic text dashboard over a service
+  snapshot;
 * ``python -m repro.obs`` — run a scenario, emit ``trace.json`` +
-  ``metrics.prom``, print the report.
+  ``metrics.prom``, print the report; ``python -m repro.obs dashboard``
+  renders the serving dashboard.
 
 Observability is **off by default and strictly opt-in**: with no active
 session, :func:`get` returns ``None`` and every instrumented call site
@@ -38,17 +47,28 @@ from typing import Iterator
 from .tracer import ModelClock, Span, Tracer
 from .metrics import (Counter, DEFAULT_MS_BUCKETS, Gauge, Histogram,
                       MetricsRegistry)
-from .export import (chrome_trace, prometheus_text, validate_chrome_trace,
+from .export import (chrome_trace, prometheus_text, stitch_chrome_trace,
+                     stitch_spans, validate_chrome_trace,
                      validate_prometheus_text, write_chrome_trace,
-                     write_prometheus)
+                     write_prometheus, write_stitched_trace)
 from .report import KernelReportRow, kernel_report, render_kernel_report
+from .timeseries import TimeSeries, TimeSeriesStore, window_percentile
+from .slo import SLO, SLOStatus, SLOTracker, default_slos
+from .flight import FlightRecorder
+from .dashboard import (render_dashboard, service_snapshot,
+                        validate_dashboard)
 
 __all__ = [
     "ModelClock", "Span", "Tracer",
     "Counter", "DEFAULT_MS_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
-    "chrome_trace", "prometheus_text", "validate_chrome_trace",
-    "validate_prometheus_text", "write_chrome_trace", "write_prometheus",
+    "chrome_trace", "prometheus_text", "stitch_chrome_trace", "stitch_spans",
+    "validate_chrome_trace", "validate_prometheus_text",
+    "write_chrome_trace", "write_prometheus", "write_stitched_trace",
     "KernelReportRow", "kernel_report", "render_kernel_report",
+    "TimeSeries", "TimeSeriesStore", "window_percentile",
+    "SLO", "SLOStatus", "SLOTracker", "default_slos",
+    "FlightRecorder",
+    "render_dashboard", "service_snapshot", "validate_dashboard",
     "Observability", "enable", "disable", "get", "observe", "span",
 ]
 

@@ -12,6 +12,9 @@ Examples::
     python -m repro.obs --steps 8
     python -m repro.obs --scheme fd_mm --room box --device AMD7970
     python -m repro.obs --fault launch_abort:3 --resilient --validate
+
+``python -m repro.obs dashboard ...`` dispatches to the serving-tier
+dashboard instead (see :mod:`repro.obs.dashboard`).
 """
 
 from __future__ import annotations
@@ -48,6 +51,10 @@ def _build_sim(args):
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["dashboard"]:
+        from .dashboard import main as dashboard_main
+        return dashboard_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Run an instrumented virtual-GPU room simulation and "

@@ -38,15 +38,57 @@ def _json_safe(value):
     return repr(value)
 
 
+#: span categories rendered on a per-job lane instead of the main
+#: modelled timeline (their times are the *service* clock; the lane is
+#: keyed by the span's ``trace_id`` attribute)
+_LANE_CATS = ("job", "slo")
+
+
+def _lane_events(spans) -> tuple[list[dict], dict[str, int]]:
+    """(thread_name metadata for each per-trace lane, trace_id -> tid).
+
+    Lanes are numbered from 2 in first-appearance order (tid 1 is the
+    main modelled timeline), which is deterministic because spans are
+    recorded in start order.
+    """
+    lanes: dict[str, int] = {}
+    meta: list[dict] = []
+    for s in spans:
+        trace_id = s.attrs.get("trace_id")
+        if s.cat not in _LANE_CATS or trace_id is None:
+            continue
+        if trace_id not in lanes:
+            lanes[trace_id] = 2 + len(lanes)
+            meta.append({"ph": "M", "pid": _PID, "tid": lanes[trace_id],
+                         "name": "thread_name",
+                         "args": {"name": f"job {trace_id}"}})
+    return meta, lanes
+
+
 def chrome_trace(tracer: Tracer, process_name: str = "repro virtual GPU") -> dict:
-    """Render finished spans as a Chrome trace-event JSON object."""
+    """Render finished spans as a Chrome trace-event JSON object.
+
+    Spans on the main modelled timeline render on tid 1.  Per-job
+    lifecycle spans (category ``job``, written by the serving layer with
+    a ``trace_id`` attribute) and SLO burn events each render on their
+    own lane (tid ≥ 2, named ``job <trace_id>``), so one submission's
+    submit → queue wait → execute → complete reads as one horizontal
+    track in ``chrome://tracing`` / Perfetto.  Explicit ``span_id`` /
+    ``parent_id`` args link lane spans to the ``gpu.*`` spans they
+    caused on the main timeline.
+    """
+    spans = tracer.finished()
+    lane_meta, lanes = _lane_events(spans)
     events: list[dict] = [
         {"ph": "M", "pid": _PID, "tid": _TID, "name": "process_name",
          "args": {"name": process_name}},
         {"ph": "M", "pid": _PID, "tid": _TID, "name": "thread_name",
          "args": {"name": "modelled timeline"}},
+        *lane_meta,
     ]
-    for s in tracer.finished():
+    for s in spans:
+        tid = (lanes.get(s.attrs.get("trace_id"), _TID)
+               if s.cat in _LANE_CATS else _TID)
         events.append({
             "ph": "X",
             "name": s.name,
@@ -54,13 +96,70 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro virtual GPU") -> dic
             "ts": s.start_ms * 1e3,          # trace-event unit: microseconds
             "dur": s.duration_ms * 1e3,
             "pid": _PID,
-            "tid": _TID,
+            "tid": tid,
             "args": {**{k: _json_safe(v) for k, v in s.attrs.items()},
                      "span_id": s.span_id,
                      **({"parent_id": s.parent_id}
                         if s.parent_id is not None else {})},
         })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def stitch_spans(tracers, labels=None, gap_ms: float = 1.0) -> Tracer:
+    """Merge the finished spans of several tracers into one synthetic
+    tracer on a single timeline.
+
+    Each tracer's spans are shifted so incarnation *i* begins after
+    incarnation *i-1* ends (plus ``gap_ms``); span ids are offset to
+    stay unique and parent links remapped, and every span gains an
+    ``incarnation`` attribute (its ``labels[i]``, default *i*).  Because
+    per-job lanes key on the ``trace_id`` attribute — which the service
+    derives from the request fingerprint and persists in the journal —
+    a job interrupted by a crash renders as **one lane** whose spans
+    come from both incarnations: the pre-crash attempt, then the
+    post-recovery completion.
+    """
+    tracers = list(tracers)
+    labels = list(labels) if labels is not None else list(range(len(tracers)))
+    if len(labels) != len(tracers):
+        raise ValueError(f"{len(tracers)} tracer(s) but {len(labels)} "
+                         f"label(s)")
+    merged = Tracer()
+    t_off = 0.0
+    for label, tr in zip(labels, tracers):
+        spans = tr.finished()
+        id_off = merged._next_id
+        for s in spans:
+            merged.spans.append(Span(
+                name=s.name, cat=s.cat,
+                start_ms=s.start_ms + t_off,
+                end_ms=(s.end_ms if s.end_ms is None
+                        else s.end_ms + t_off),
+                attrs={**s.attrs, "incarnation": label},
+                span_id=s.span_id + id_off,
+                parent_id=(None if s.parent_id is None
+                           else s.parent_id + id_off)))
+        if spans:
+            merged._next_id = id_off + max(s.span_id for s in spans) + 1
+            t_off += max(s.end_ms for s in spans) + gap_ms
+    merged.clock.now_ms = t_off
+    return merged
+
+
+def stitch_chrome_trace(tracers, labels=None, gap_ms: float = 1.0,
+                        process_name: str = "repro service") -> dict:
+    """Chrome trace of several tracers stitched end-to-end (see
+    :func:`stitch_spans`); per-job lanes span incarnations."""
+    return chrome_trace(stitch_spans(tracers, labels, gap_ms),
+                        process_name=process_name)
+
+
+def write_stitched_trace(tracers, path, labels=None,
+                         gap_ms: float = 1.0) -> dict:
+    doc = stitch_chrome_trace(tracers, labels, gap_ms)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+    return doc
 
 
 def write_chrome_trace(tracer: Tracer, path) -> dict:
@@ -71,12 +170,16 @@ def write_chrome_trace(tracer: Tracer, path) -> dict:
 
 
 def validate_chrome_trace(doc: dict) -> list[str]:
-    """Structural validation: required keys, units, and proper nesting.
+    """Structural validation: required keys, units, proper nesting, and
+    parent-link integrity.
 
-    Nesting check: on one (pid, tid) track, complete events must form a
+    Nesting check: on each (pid, tid) track, complete events must form a
     stack — each event lies entirely inside the enclosing open event —
     which is exactly what Perfetto needs to render slices without
-    overlap artefacts.
+    overlap artefacts.  Tracks are validated independently, so per-job
+    lanes (tid ≥ 2) may freely overlap the main timeline.  Every
+    ``parent_id`` arg must reference a ``span_id`` present in the
+    document.
     """
     problems: list[str] = []
     if not isinstance(doc, dict) or "traceEvents" not in doc:
@@ -84,7 +187,9 @@ def validate_chrome_trace(doc: dict) -> list[str]:
     events = doc["traceEvents"]
     if not isinstance(events, list):
         return ["'traceEvents' must be an array"]
-    slices = []
+    tracks: dict[tuple, list[tuple[float, float, str]]] = {}
+    span_ids: set = set()
+    parent_refs: list[tuple[str, object]] = []
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"event {i} is not an object")
@@ -97,6 +202,12 @@ def validate_chrome_trace(doc: dict) -> list[str]:
             problems.append(f"event {i} lacks required name/pid fields")
         if ph != "X":
             continue
+        args = ev.get("args")
+        if isinstance(args, dict):
+            if "span_id" in args:
+                span_ids.add(args["span_id"])
+            if args.get("parent_id") is not None:
+                parent_refs.append((ev.get("name"), args["parent_id"]))
         ts, dur = ev.get("ts"), ev.get("dur")
         if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
             problems.append(f"event {i} ({ev.get('name')!r}) needs numeric "
@@ -106,19 +217,26 @@ def validate_chrome_trace(doc: dict) -> list[str]:
             problems.append(f"event {i} ({ev.get('name')!r}) has negative "
                             f"ts/dur")
             continue
-        slices.append((float(ts), float(ts) + float(dur), ev.get("name")))
-    # stack discipline per track (single track in our exports)
+        tracks.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+            (float(ts), float(ts) + float(dur), ev.get("name")))
+    # stack discipline per (pid, tid) track
     eps = 1e-6
-    stack: list[tuple[float, float, str]] = []
-    for start, end, name in sorted(slices, key=lambda s: (s[0], -(s[1] - s[0]))):
-        while stack and start >= stack[-1][1] - eps:
-            stack.pop()
-        if stack and end > stack[-1][1] + eps:
-            problems.append(
-                f"slice {name!r} [{start}, {end}] overlaps the end of "
-                f"enclosing slice {stack[-1][2]!r} [{stack[-1][0]}, "
-                f"{stack[-1][1]}] — spans do not nest")
-        stack.append((start, end, name))
+    for key in sorted(tracks, key=repr):
+        stack: list[tuple[float, float, str]] = []
+        for start, end, name in sorted(tracks[key],
+                                       key=lambda s: (s[0], -(s[1] - s[0]))):
+            while stack and start >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                problems.append(
+                    f"track {key}: slice {name!r} [{start}, {end}] overlaps "
+                    f"the end of enclosing slice {stack[-1][2]!r} "
+                    f"[{stack[-1][0]}, {stack[-1][1]}] — spans do not nest")
+            stack.append((start, end, name))
+    for name, pid_ref in parent_refs:
+        if pid_ref not in span_ids:
+            problems.append(f"slice {name!r} has parent_id {pid_ref!r} "
+                            f"referencing no span_id in the document")
     try:
         json.dumps(doc)
     except (TypeError, ValueError) as err:
@@ -130,8 +248,14 @@ def validate_chrome_trace(doc: dict) -> list[str]:
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one label value: quoted, with only escaped backslash/quote/newline
+#: allowed after a backslash (raw quotes or raw newlines cannot appear)
+_LABEL_VALUE = r'"(?:[^"\\\n]|\\[\\"n])*"'
+_LABEL_PAIR = rf"[a-zA-Z_][a-zA-Z0-9_]*={_LABEL_VALUE}"
+_LABEL_BLOCK_RE = re.compile(
+    rf"^\{{(?:{_LABEL_PAIR}(?:,{_LABEL_PAIR})*)?\}}$")
 _SAMPLE_RE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? "
     r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$")
 
 
@@ -222,6 +346,11 @@ def validate_prometheus_text(text: str) -> list[str]:
             continue
         name = re.split(r"[{ ]", line, 1)[0]
         labels = line[len(name):line.rfind(" ")]
+        if labels and not _LABEL_BLOCK_RE.match(labels):
+            problems.append(
+                f"line {ln}: malformed label block {labels!r} (label "
+                f"values must escape backslashes, quotes, and newlines)")
+            continue
         samples.setdefault(name, []).append(
             (labels, float(line.rsplit(" ", 1)[1].replace("Inf", "inf"))))
     for name, typ in typed.items():

@@ -1,0 +1,85 @@
+"""Always-on flight recorder: a bounded ring of recent lifecycle events.
+
+Every observability layer in this repo is opt-in — except this one.  A
+crash report is only useful if the instrument was already running when
+the crash happened, so the :class:`FlightRecorder` is designed to be
+cheap enough to leave on unconditionally: recording one event is a dict
+construction and a ``deque.append`` into a bounded ring (old events fall
+off the far end), no clock reads, no I/O, no locks.  The serving tier
+keeps one per service and records every job lifecycle transition into
+it whether or not an :class:`~repro.obs.Observability` session exists.
+
+On an incident — :class:`~repro.acoustics.sim.SimulationDiverged`, a
+(simulated) worker crash, a chaos kill — the ring is dumped to JSON: the
+black box of that incarnation.  The chaos harness ships one dump per
+incarnation; ``docs/observability.md`` documents the format.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+__all__ = ["FlightRecorder"]
+
+#: default ring capacity (events retained)
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """A bounded ring buffer of ``(t_ms, kind, detail)`` events."""
+
+    __slots__ = ("capacity", "_ring", "recorded", "dumps")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        #: events ever recorded (recorded - len(ring) have been dropped)
+        self.recorded = 0
+        #: dumps taken from this recorder
+        self.dumps = 0
+
+    def record(self, kind: str, t_ms: float = 0.0, **detail) -> None:
+        """Append one event (cheap: no I/O, bounded memory)."""
+        self.recorded += 1
+        self._ring.append({"t_ms": t_ms, "kind": kind, **detail})
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._ring)
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """The retained events, oldest first (optionally one kind)."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e["kind"] == kind]
+
+    def snapshot(self, reason: str = "") -> dict:
+        """The black-box payload: ring contents + accounting."""
+        return {
+            "reason": reason,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": list(self._ring),
+        }
+
+    def dump(self, path, reason: str = "") -> dict:
+        """Write the black box as JSON; returns the payload."""
+        doc = self.snapshot(reason)
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+        self.dumps += 1
+        return doc
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder(capacity={self.capacity}, "
+                f"held={len(self._ring)}, recorded={self.recorded})")

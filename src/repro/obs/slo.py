@@ -1,0 +1,227 @@
+"""Declarative service-level objectives with multi-window burn-rate alerts.
+
+An :class:`SLO` states an objective over the serving tier's time-series
+windows (:mod:`.timeseries`) — "p95 latency ≤ 25 ms with a 5% error
+budget", "error rate ≤ 1%".  An :class:`SLOTracker` evaluates each
+objective at event boundaries with the standard SRE multi-window
+burn-rate method:
+
+* every observation is classified good/bad against the objective (a
+  latency above the threshold, a FAILED job);
+* the **burn rate** over a window is the bad fraction divided by the
+  error budget — burn 1.0 means the budget is being consumed exactly at
+  the sustainable pace, burn 2.0 twice as fast;
+* an alert fires only when the burn rate exceeds ``burn_factor`` over
+  **both** a short window (recency) and a long window (significance),
+  which suppresses both one-sample blips and stale incidents.
+
+Alert *transitions* are recorded into the observability session — a
+``slo.burn`` / ``slo.recovered`` zero-length span on the trace (so
+incidents line up with the jobs that caused them in Perfetto) and a
+``repro_slo_burn_alerts_total{slo=...}`` counter — but evaluation itself
+is pure arithmetic over the windows: deterministic for a fixed workload
+and seed, and byte-identical whether a trace sink is attached or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timeseries import TimeSeriesStore, window_percentile
+
+__all__ = ["SLO", "SLOStatus", "SLOTracker", "default_slos"]
+
+#: objective kinds: a quantile bound over a value series, or a bad/total
+#: event-ratio bound
+SLO_KINDS = ("quantile", "ratio")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    ``kind="quantile"`` — ``percentile`` of the value series ``series``
+    must stay ≤ ``threshold`` (modelled ms); an individual observation
+    above the threshold is a *bad event* against the ``budget`` (the
+    allowed bad fraction, e.g. 0.05 for "5% of requests may be slow").
+
+    ``kind="ratio"`` — the count of ``series`` (bad events, e.g. FAILED
+    jobs) over the summed counts of ``total_series`` must stay ≤
+    ``budget`` (e.g. 0.01 for "error rate ≤ 1%").  ``threshold`` is
+    unused.
+    """
+
+    name: str
+    series: str
+    kind: str = "quantile"
+    percentile: float = 95.0
+    threshold: float = 0.0
+    budget: float = 0.05
+    total_series: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"one of {SLO_KINDS}")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"budget must be in (0, 1], got {self.budget}")
+        if self.kind == "ratio" and not self.total_series:
+            raise ValueError("ratio SLOs need total_series")
+
+    def describe(self) -> str:
+        if self.kind == "quantile":
+            return (f"p{self.percentile:g}({self.series}) <= "
+                    f"{self.threshold:g} ms (budget {self.budget:.0%})")
+        return (f"{self.series}/{'+'.join(self.total_series)} <= "
+                f"{self.budget:.2%}")
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One evaluation of one objective at one modelled instant."""
+
+    name: str
+    objective: str
+    #: the headline indicator (the quantile value, or the bad ratio)
+    value: float
+    compliant: bool
+    #: burn rates over the short and long evaluation windows
+    burn_short: float
+    burn_long: float
+    alerting: bool
+    #: observations that entered the long-window evaluation
+    samples: int
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "objective": self.objective,
+                "value": round(self.value, 6), "compliant": self.compliant,
+                "burn_short": round(self.burn_short, 6),
+                "burn_long": round(self.burn_long, 6),
+                "alerting": self.alerting, "samples": self.samples}
+
+
+def default_slos() -> tuple[SLO, ...]:
+    """The serving tier's stock objectives (modelled milliseconds)."""
+    return (
+        SLO("latency_p95", series="latency_ms", kind="quantile",
+            percentile=95.0, threshold=250.0, budget=0.05),
+        SLO("queue_wait_p95", series="wait_ms", kind="quantile",
+            percentile=95.0, threshold=100.0, budget=0.05),
+        SLO("error_rate", series="failed", kind="ratio", budget=0.01,
+            total_series=("completed", "failed", "evicted")),
+    )
+
+
+class SLOTracker:
+    """Evaluates a set of :class:`SLO` over one :class:`TimeSeriesStore`.
+
+    ``short_windows`` / ``long_windows`` are window *counts* (the store
+    fixes the width); ``burn_factor`` is the rate above which both must
+    burn for an alert.  The tracker remembers which objectives are
+    alerting so only transitions are recorded into the trace.
+    """
+
+    def __init__(self, slos, store: TimeSeriesStore, *,
+                 short_windows: int = 1, long_windows: int = 4,
+                 burn_factor: float = 2.0):
+        self.slos = tuple(slos)
+        names = [s.name for s in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.store = store
+        self.short_windows = short_windows
+        self.long_windows = long_windows
+        self.burn_factor = burn_factor
+        self._alerting: set[str] = set()
+        #: every alert transition, in evaluation order (for reports)
+        self.transitions: list[dict] = []
+
+    # -- evaluation ----------------------------------------------------------------
+    def _bad_fraction(self, slo: SLO, n_windows: int) -> tuple[float, int]:
+        """(bad-event fraction, observation count) over recent windows."""
+        if slo.kind == "quantile":
+            series = self.store.get(slo.series)
+            if series is None:
+                return 0.0, 0
+            values = series.recent_values(n_windows)
+            if not values:
+                return 0.0, 0
+            bad = sum(1 for v in values if v > slo.threshold)
+            return bad / len(values), len(values)
+        bad_series = self.store.get(slo.series)
+        bad = bad_series.recent_counts(n_windows)[0] if bad_series else 0
+        total = bad
+        for name in slo.total_series:
+            if name == slo.series:
+                continue
+            s = self.store.get(name)
+            if s is not None:
+                total += s.recent_counts(n_windows)[0]
+        if total == 0:
+            return 0.0, 0
+        return bad / total, total
+
+    def _headline(self, slo: SLO) -> float:
+        if slo.kind == "quantile":
+            series = self.store.get(slo.series)
+            values = series.recent_values(self.long_windows) if series else []
+            return window_percentile(values, slo.percentile)
+        return self._bad_fraction(slo, self.long_windows)[0]
+
+    def evaluate(self, now_ms: float, obs=None) -> list[SLOStatus]:
+        """Evaluate every objective; record alert transitions into
+        ``obs`` (an :class:`repro.obs.Observability`) when given."""
+        statuses = []
+        for slo in self.slos:
+            frac_short, _ = self._bad_fraction(slo, self.short_windows)
+            frac_long, samples = self._bad_fraction(slo, self.long_windows)
+            burn_short = frac_short / slo.budget
+            burn_long = frac_long / slo.budget
+            value = self._headline(slo)
+            compliant = (value <= slo.threshold if slo.kind == "quantile"
+                         else value <= slo.budget)
+            alerting = (samples > 0
+                        and burn_short >= self.burn_factor
+                        and burn_long >= self.burn_factor)
+            status = SLOStatus(
+                name=slo.name, objective=slo.describe(), value=value,
+                compliant=compliant, burn_short=burn_short,
+                burn_long=burn_long, alerting=alerting, samples=samples)
+            statuses.append(status)
+            self._transition(status, now_ms, obs)
+        return statuses
+
+    def _transition(self, status: SLOStatus, now_ms: float, obs) -> None:
+        was = status.name in self._alerting
+        if status.alerting == was:
+            return
+        kind = "slo.burn" if status.alerting else "slo.recovered"
+        if status.alerting:
+            self._alerting.add(status.name)
+        else:
+            self._alerting.discard(status.name)
+        self.transitions.append(
+            {"at_ms": now_ms, "event": kind, "slo": status.name,
+             "burn_short": round(status.burn_short, 6),
+             "burn_long": round(status.burn_long, 6)})
+        if obs is None:
+            return
+        obs.tracer.interval(
+            kind, "slo", now_ms, now_ms, slo=status.name,
+            objective=status.objective,
+            burn_short=round(status.burn_short, 6),
+            burn_long=round(status.burn_long, 6))
+        if status.alerting:
+            obs.metrics.counter(
+                "repro_slo_burn_alerts_total",
+                "Multi-window burn-rate alert activations, by objective",
+                ("slo",)).inc(slo=status.name)
+
+    def alerting(self) -> tuple[str, ...]:
+        """Names of the objectives currently in the alerting state."""
+        return tuple(sorted(self._alerting))
+
+    def __repr__(self) -> str:
+        return (f"SLOTracker({[s.name for s in self.slos]}, "
+                f"alerting={sorted(self._alerting)})")

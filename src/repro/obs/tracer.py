@@ -158,6 +158,26 @@ class Tracer:
         s.end_ms = s.start_ms + max(0.0, float(duration_ms))
         return s
 
+    def interval(self, name: str, cat: str, start_ms: float,
+                 end_ms: float, *, parent: Span | None = None,
+                 **attrs) -> Span:
+        """Record a finished span with explicit endpoints.
+
+        Unlike :meth:`event` this neither advances the clock nor touches
+        the context stack — it annotates the timeline retroactively.
+        The serving layer uses it for per-job lifecycle lanes (queue
+        wait, execution window) whose endpoints are service-clock
+        arithmetic, not clock advances; ``parent`` wires explicit
+        parent/child links for those out-of-stack spans.
+        """
+        s = Span(name=name, cat=cat, start_ms=float(start_ms),
+                 end_ms=max(float(start_ms), float(end_ms)),
+                 attrs=dict(attrs), span_id=self._next_id,
+                 parent_id=parent.span_id if parent is not None else None)
+        self._next_id += 1
+        self.spans.append(s)
+        return s
+
     # -- inspection ----------------------------------------------------------------
     def current(self) -> Span | None:
         """The innermost open span (context propagation read point)."""

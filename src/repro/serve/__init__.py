@@ -37,6 +37,14 @@ before it happens, finished results are persisted, and
 directory without re-executing anything the store already holds.  See
 ``docs/durability.md``.
 
+Observability: every job carries a fingerprint-derived trace id
+(:func:`derive_trace_id`) that flows through spans, the journal, and
+recovery — the Chrome export renders one lane per job, stitched across
+crashes.  With ``observability=True`` the service also samples sliding-
+window time series and burn-rate SLOs; a bounded flight recorder is
+always on and dumped as a black box on divergence or crash.  See
+``docs/observability.md`` and ``python -m repro.obs dashboard``.
+
 Quick start::
 
     from repro.serve import SimulationService, SubmitRequest
@@ -53,7 +61,8 @@ stepper is deterministic and placement only changes modelled *times*.
 """
 
 from .cache import CompileCache, ResultCache, request_fingerprint
-from .job import (JOB_STATES, JobError, JobHandle, JobResult, SubmitRequest)
+from .job import (JOB_STATES, JobError, JobHandle, JobResult, SubmitRequest,
+                  derive_trace_id)
 from .journal import (JOURNAL_EVENTS, DurabilityError, Journal,
                       JournalCorrupt, JournalRecord, JournalTornWarning,
                       WorkerCrash, decode_request, encode_request)
@@ -68,5 +77,6 @@ __all__ = [
     "JOURNAL_EVENTS", "JobError", "JobHandle", "JobResult", "Journal",
     "JournalCorrupt", "JournalRecord", "JournalTornWarning", "QueueFull",
     "ResultCache", "ResultStore", "SimulationService", "SubmitRequest",
-    "WorkerCrash", "decode_request", "encode_request", "request_fingerprint",
+    "WorkerCrash", "decode_request", "derive_trace_id", "encode_request",
+    "request_fingerprint",
 ]

@@ -97,6 +97,9 @@ def main(argv=None) -> int:
                          "serial Session.simulate")
     ap.add_argument("--json", metavar="PATH",
                     help="write the service stats as JSON")
+    ap.add_argument("--trace", metavar="PATH",
+                    help="write the service's Chrome trace (per-job "
+                         "lanes keyed by trace id)")
     args = ap.parse_args(argv)
 
     faults = None
@@ -122,6 +125,10 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w") as f:
             json.dump(stats, f, indent=2, sort_keys=True)
+    if args.trace:
+        from ..obs import write_chrome_trace
+        write_chrome_trace(svc.obs.tracer, args.trace)
+        print(f"wrote {args.trace}")
     print(f"pool={'+'.join(stats['pool'])} jobs={stats['submitted']} "
           f"states={stats['states']} "
           f"jobs/s={stats['jobs_per_sec']:.2f} "

@@ -103,14 +103,25 @@ def _submit_all(svc: SimulationService, workload) -> None:
 
 def run_chaos(*, jobs: int = 8, kills: int = 5, steps: int = 12,
               checkpoint_every: int = 3, pool="TitanBlack:2",
-              seed: int = 7, durable_dir=None,
-              verify: bool = False) -> dict:
+              seed: int = 7, durable_dir=None, verify: bool = False,
+              trace_path=None, flight_path=None,
+              dashboard_path=None) -> dict:
     """Run the kill-and-recover soak; returns the recovery report.
 
     The report's ``errors`` list is empty iff every assertion held:
     all unique jobs DONE, no incarnation re-executed a store-resident
     result, and (with ``verify``) every payload bit-identical to an
     uninterrupted serial run.
+
+    Observability artifacts (all optional): ``trace_path`` writes one
+    Chrome trace with every incarnation's spans stitched end-to-end —
+    a job in flight at a kill renders as a single per-job lane spanning
+    both incarnations, because its trace id is derived from the
+    fingerprint and therefore survives recovery.  ``flight_path``
+    writes the flight-recorder black boxes, one per incarnation (each
+    crash also dumps ``<durable_dir>/flight-recorder.json`` at the
+    moment of death).  ``dashboard_path`` writes the final service's
+    dashboard snapshot.
     """
     if durable_dir is None:
         durable_dir = tempfile.mkdtemp(prefix="repro-chaos-")
@@ -123,6 +134,8 @@ def run_chaos(*, jobs: int = 8, kills: int = 5, steps: int = 12,
     svc = SimulationService(durable_dir=durable_dir, **make)
     errors: list[str] = []
     incarnations: list[dict] = []
+    tracers = []                 # one tracer per incarnation, in order
+    black_boxes: list[dict] = []   # one flight snapshot per incarnation
     crashes = 0
     # kill/recover loop: bounded by the plan's max_count, with slack so
     # a logic bug surfaces as an assertion, not an infinite loop
@@ -134,6 +147,14 @@ def run_chaos(*, jobs: int = 8, kills: int = 5, steps: int = 12,
         except WorkerCrash as death:
             crashes += 1
             svc.close()
+            # checkpoint-boundary kills already recorded "crash" inside
+            # _execute; torn journal appends die outside it, so note the
+            # incarnation's end here and (re)dump the black box either way
+            svc.flight.record("incarnation_end", svc.now_ms,
+                              detail=str(death)[:200])
+            svc.dump_blackbox(reason=str(death)[:200])
+            black_boxes.append(svc.flight.snapshot(reason=str(death)[:200]))
+            tracers.append(svc.obs.tracer)
             incarnations.append({"death": str(death),
                                  "stats": svc.stats()["durability"]})
             svc = SimulationService.recover(durable_dir, **make)
@@ -146,6 +167,8 @@ def run_chaos(*, jobs: int = 8, kills: int = 5, steps: int = 12,
                               f"{sorted(overlap)}")
     else:
         errors.append(f"service still dying after {kills + 5} recoveries")
+    tracers.append(svc.obs.tracer)
+    black_boxes.append(svc.flight.snapshot(reason="final incarnation"))
 
     by_fp: dict[str, object] = {}
     for h in svc._handles:
@@ -161,8 +184,25 @@ def run_chaos(*, jobs: int = 8, kills: int = 5, steps: int = 12,
 
     if verify:
         errors += verify_against_serial(svc, workload, by_fp)
+    artifacts: dict[str, str] = {}
+    if trace_path is not None:
+        from ..obs import write_stitched_trace
+        write_stitched_trace(tracers, trace_path,
+                             labels=list(range(len(tracers))))
+        artifacts["trace"] = str(trace_path)
+    if flight_path is not None:
+        with open(flight_path, "w") as f:
+            json.dump({"incarnations": black_boxes}, f, indent=1,
+                      sort_keys=True)
+        artifacts["flight"] = str(flight_path)
+    if dashboard_path is not None:
+        from ..obs import service_snapshot
+        with open(dashboard_path, "w") as f:
+            json.dump(service_snapshot(svc), f, indent=2, sort_keys=True)
+        artifacts["dashboard"] = str(dashboard_path)
     report = {
         "durable_dir": durable_dir,
+        "artifacts": artifacts,
         "jobs": jobs, "unique_jobs": len({r.fingerprint()
                                           for r in workload}),
         "kills_requested": kills, "crashes": crashes,
@@ -223,12 +263,22 @@ def main(argv=None) -> int:
                          "serial Session.simulate")
     ap.add_argument("--json", metavar="PATH",
                     help="write the recovery report as JSON")
+    ap.add_argument("--trace", metavar="PATH",
+                    help="write one Chrome trace stitching every "
+                         "incarnation's spans (per-job lanes span kills)")
+    ap.add_argument("--flight", metavar="PATH",
+                    help="write the flight-recorder black boxes, one "
+                         "per incarnation")
+    ap.add_argument("--dashboard", metavar="PATH",
+                    help="write the final service's dashboard snapshot")
     args = ap.parse_args(argv)
 
     report = run_chaos(jobs=args.jobs, kills=args.kills, steps=args.steps,
                        checkpoint_every=args.checkpoint_every,
                        pool=args.pool, seed=args.seed,
-                       durable_dir=args.dir, verify=args.verify)
+                       durable_dir=args.dir, verify=args.verify,
+                       trace_path=args.trace, flight_path=args.flight,
+                       dashboard_path=args.dashboard)
     if args.json:
         with open(args.json, "w") as f:
             json.dump(report, f, indent=2, sort_keys=True)
@@ -240,6 +290,8 @@ def main(argv=None) -> int:
     print(f"final: executions={final['executions']} "
           f"recovered={final['recovered']} "
           f"store={ {k: final['store'][k] for k in ('entries', 'hits', 'corrupt')} }")
+    for kind, path in sorted(report["artifacts"].items()):
+        print(f"wrote {kind}: {path}")
     for e in report["errors"]:
         print(f"ERROR: {e}", file=sys.stderr)
     if report["verified"]:

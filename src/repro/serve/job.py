@@ -37,6 +37,20 @@ if TYPE_CHECKING:   # pragma: no cover - typing only
 JOB_STATES = ("QUEUED", "RUNNING", "DONE", "FAILED", "EVICTED")
 
 
+def derive_trace_id(fingerprint: str) -> str:
+    """The trace id of a job, derived from its content fingerprint.
+
+    Deriving (rather than generating) the id is what makes trace
+    context survive crashes for free: a recovered incarnation
+    re-deriving the id from the journalled request lands on the same
+    trace, so pre- and post-crash spans stitch into one per-job lane —
+    and journals written before trace ids existed still replay into
+    correctly-identified traces.  Duplicate submits of one fingerprint
+    deliberately share a lane: they share an answer.
+    """
+    return "t-" + fingerprint[:16]
+
+
 class JobError(Exception):
     """Raised by :meth:`JobHandle.result` for FAILED/EVICTED jobs;
     carries the handle so callers can inspect ``handle.error``."""
@@ -178,6 +192,10 @@ class JobHandle:
         self.job_id = job_id
         self.request = request
         self.submit_ms = submit_ms
+        #: trace context: every span/lifecycle event of this job carries
+        #: it (see :func:`derive_trace_id`); recovery may overwrite it
+        #: with the journalled value
+        self.trace_id = derive_trace_id(request.fingerprint())
         self.state = "QUEUED"
         self.error: str | None = None
         self.attempts = 0

@@ -78,21 +78,30 @@ class JournalTornWarning(UserWarning):
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One replayed journal record."""
+    """One replayed journal record.
+
+    ``trace_id`` is the record's trace context (the ``trace`` key on the
+    wire), ``None`` for records written before trace propagation
+    existed — the decoder is version-tolerant in both directions:
+    unknown keys land in ``payload``, missing keys default.
+    """
 
     seq: int
     event: str
     fingerprint: str
     job_id: int
     payload: dict
+    trace_id: str | None = None
 
     @classmethod
     def from_json(cls, obj: dict) -> "JournalRecord":
         extra = {k: v for k, v in obj.items()
-                 if k not in ("seq", "event", "fp", "job")}
+                 if k not in ("seq", "event", "fp", "job", "trace")}
+        trace = obj.get("trace")
         return cls(seq=int(obj["seq"]), event=str(obj["event"]),
                    fingerprint=str(obj["fp"]), job_id=int(obj["job"]),
-                   payload=extra)
+                   payload=extra,
+                   trace_id=str(trace) if trace is not None else None)
 
 
 class Journal:
@@ -171,9 +180,10 @@ class Journal:
 
     # -- append ------------------------------------------------------------------
     def append(self, event: str, *, fingerprint: str, job_id: int,
-               **payload) -> JournalRecord:
+               trace_id: str | None = None, **payload) -> JournalRecord:
         """Frame, append, flush, and fsync one record (write-ahead:
-        call this *before* the in-memory transition it describes)."""
+        call this *before* the in-memory transition it describes).
+        ``trace_id`` rides along as the ``trace`` wire key when given."""
         if event not in JOURNAL_EVENTS:
             raise ValueError(f"unknown journal event {event!r}; "
                              f"one of {JOURNAL_EVENTS}")
@@ -181,9 +191,11 @@ class Journal:
             raise DurabilityError(f"journal {self.path} is not open")
         rec = JournalRecord(seq=self._seq, event=event,
                             fingerprint=fingerprint, job_id=job_id,
-                            payload=dict(payload))
+                            payload=dict(payload), trace_id=trace_id)
         body = {"seq": rec.seq, "event": event, "fp": fingerprint,
                 "job": job_id, **payload}
+        if trace_id is not None:
+            body["trace"] = trace_id
         data = json.dumps(body, sort_keys=True,
                           separators=(",", ":")).encode()
         frame = _HEADER.pack(len(data), zlib.crc32(data)) + data

@@ -44,6 +44,17 @@ Scheduling policy, in order:
    re-enqueued (resuming from their last durable checkpoint), and a
    torn journal tail is truncated with a warning.  See
    ``docs/durability.md``.
+7. **Observability** — every job carries a trace id derived from its
+   fingerprint (:func:`~repro.serve.job.derive_trace_id`) that flows
+   submit → lease → execution spans → journal → completion; with
+   ``observability=True`` the service additionally samples sliding-
+   window time series (:mod:`repro.obs.timeseries`) and evaluates
+   burn-rate SLOs (:mod:`repro.obs.slo`) at event boundaries.  A
+   bounded flight recorder (:mod:`repro.obs.flight`) is **always on**
+   and dumped to ``flight-recorder.json`` on divergence or crash.
+   None of it perturbs the modelled numbers: :meth:`stats` is
+   byte-identical with observability on or off.  See
+   ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -131,7 +142,9 @@ class SimulationService:
                  max_queue: int = 64, max_batch: int = 4,
                  job_attempts: int = 2, result_cache_entries: int = 128,
                  durable_dir=None, checkpoint_every: int = 0,
-                 store_max_bytes: int | None = None):
+                 store_max_bytes: int | None = None,
+                 window_ms: float = 1000.0, slos=None,
+                 flight_capacity: int = 512):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if job_attempts < 1:
@@ -154,6 +167,22 @@ class SimulationService:
             self.obs = None
         else:
             self.obs = observability
+        # the flight recorder is the one *always-on* instrument: a crash
+        # report needs the ring to have been recording before the crash
+        self.flight = _obs.FlightRecorder(flight_capacity)
+        if self.obs is not None:
+            self.timeseries: _obs.TimeSeriesStore | None = \
+                _obs.TimeSeriesStore(width_ms=window_ms)
+            self.slo: _obs.SLOTracker | None = _obs.SLOTracker(
+                slos if slos is not None else _obs.default_slos(),
+                self.timeseries)
+        else:                             # obs off: no sampling, no SLOs
+            self.timeseries = None
+            self.slo = None
+        #: accumulated modelled busy time per pool slot (always tracked —
+        #: it is plain lease arithmetic, and the dashboard's utilisation
+        #: panel must not depend on observability being on)
+        self.slot_busy_ms = [0.0] * len(self.pool)
         self.now_ms = 0.0
         self.batches = 0
         self._next_id = 1
@@ -221,6 +250,10 @@ class SimulationService:
                 cached = stored
         if cached is not None:
             self._journal("submit", handle, fp, request=encoded)
+            self.flight.record("submit", self.now_ms, job=handle.job_id,
+                               trace=handle.trace_id, scheme=request.scheme,
+                               priority=request.priority)
+            self._ts("submitted")
             self._complete(handle, ResultCache.rebase(
                 cached, submit_ms=handle.submit_ms, now_ms=self.now_ms))
             self._handles.append(handle)
@@ -230,8 +263,13 @@ class SimulationService:
             # must leave no durable trace to be replayed
             raise QueueFull(self.queue.capacity)
         self._journal("submit", handle, fp, request=encoded)
+        self.flight.record("submit", self.now_ms, job=handle.job_id,
+                           trace=handle.trace_id, scheme=request.scheme,
+                           priority=request.priority)
         self.queue.push(handle)           # may raise QueueFull (nothing kept)
         self._handles.append(handle)
+        self._ts("submitted")
+        self._ts("queue_depth", len(self.queue))
         self._gauge_depth()
         return handle
 
@@ -303,6 +341,11 @@ class SimulationService:
         batch = [lead] + mates
         slots, t = self.pool.lease(shards, lead.submit_ms)
         lease_start = t
+        self.flight.record(
+            "lease", lease_start, job=lead.job_id, trace=lead.trace_id,
+            batch=len(batch), shards=shards,
+            devices=[s.spec.name for s in slots])
+        self._ts("in_flight", len(batch), t=lease_start)
         executed = 0
         for h in batch:
             if h.state != "QUEUED":
@@ -348,8 +391,15 @@ class SimulationService:
             self._complete(h, result)
             self._drop_checkpoint(fp)
         if t > lease_start:               # only real work occupies a lease
-            for s in slots:
+            chosen = {id(s) for s in slots}
+            for i, s in enumerate(self.pool.slots):
+                if id(s) not in chosen:
+                    continue
                 s.busy_until_ms = max(s.busy_until_ms, t)
+                self.slot_busy_ms[i] += t - lease_start
+                if self.timeseries is not None:
+                    self.timeseries.add_busy(
+                        f"util:{i}:{s.spec.name}", lease_start, t)
         self.now_ms = max(self.now_ms, t)
         if executed > 1:
             self.batches += 1
@@ -395,23 +445,48 @@ class SimulationService:
                 checkpoint_interval=every, on_checkpoint=hook)
             try:
                 with self._observed():
-                    sim = RoomSimulation(cfg)
-                    if resume is not None:
-                        sim.restore(resume)
-                    else:
-                        if req.impulse is not None:
-                            sim.add_impulse(req.impulse)
-                        for name, pos in req.receiver_items():
-                            sim.add_receiver(name, pos)
-                    sim.run(req.steps - sim.time_step)
+                    # the per-attempt execution span: every gpu.*/sim.*
+                    # span opened underneath nests inside it, so the
+                    # whole attempt carries this job's trace context
+                    with _obs.span("serve.execute", "serve",
+                                   trace_id=handle.trace_id,
+                                   job_id=handle.job_id, attempt=attempt,
+                                   scheme=req.scheme,
+                                   fingerprint=fp[:12]):
+                        sim = RoomSimulation(cfg)
+                        if resume is not None:
+                            sim.restore(resume)
+                        else:
+                            if req.impulse is not None:
+                                sim.add_impulse(req.impulse)
+                            for name, pos in req.receiver_items():
+                                sim.add_receiver(name, pos)
+                        sim.run(req.steps - sim.time_step)
             except (ClError, SimulationDiverged) as failed:
                 error = f"attempt {attempt}: {failed}"
+                self.flight.record(
+                    "attempt_failed", start_ms, job=handle.job_id,
+                    trace=handle.trace_id, attempt=attempt,
+                    error=type(failed).__name__, detail=str(failed)[:200])
+                if isinstance(failed, SimulationDiverged):
+                    self.dump_blackbox(
+                        reason=f"SimulationDiverged: job {fp[:12]} "
+                               f"attempt {attempt}")
                 if self.obs is not None:
                     self.obs.metrics.counter(
                         "repro_serve_retries_total",
                         "Per-job attempts that ended in a typed failure",
                         ("error",)).inc(error=type(failed).__name__)
                 continue
+            except WorkerCrash as death:
+                # the (simulated) process is dying: record the incident
+                # and flush the black box before the exception unwinds
+                self.flight.record(
+                    "crash", start_ms, job=handle.job_id,
+                    trace=handle.trace_id, attempt=attempt,
+                    detail=str(death)[:200])
+                self.dump_blackbox(reason=str(death)[:200])
+                raise
             duration = sim.modelled_gpu_time_ms + sim.modelled_halo_time_ms
             return JobResult(
                 field=sim.curr[:sim._N].copy(), time_step=sim.time_step,
@@ -434,7 +509,8 @@ class SimulationService:
             return
         clean = {k: v for k, v in payload.items() if v is not None}
         self.journal.append(event, fingerprint=fingerprint,
-                            job_id=handle.job_id, **clean)
+                            job_id=handle.job_id,
+                            trace_id=handle.trace_id, **clean)
 
     def _checkpoint_path(self, fingerprint: str) -> str | None:
         if self.durable_dir is None:
@@ -508,6 +584,7 @@ class SimulationService:
         requests: dict[str, dict] = {}          # fp -> encoded request
         submits: dict[str, int] = {}            # fp -> number of submits
         status: dict[str, tuple[str, dict]] = {}   # fp -> last event
+        traces: dict[str, str] = {}             # fp -> journalled trace id
         order: list[str] = []
         for rec in self._journal_records:
             fp = rec.fingerprint
@@ -516,6 +593,8 @@ class SimulationService:
                     requests[fp] = rec.payload.get("request")
                     order.append(fp)
                 submits[fp] = submits.get(fp, 0) + 1
+            if rec.trace_id is not None and fp not in traces:
+                traces[fp] = rec.trace_id
             status[fp] = (rec.event, rec.payload)
         self._replaying = True
         try:
@@ -526,6 +605,11 @@ class SimulationService:
                 handles = []
                 for _ in range(n):
                     h = JobHandle(self._next_id, request, self.now_ms, self)
+                    # journalled trace context wins; pre-trace journals
+                    # fall back to the handle's derived id, which is the
+                    # same id the crashed incarnation derived
+                    if fp in traces:
+                        h.trace_id = traces[fp]
                     self._next_id += 1
                     self._handles.append(h)
                     handles.append(h)
@@ -564,6 +648,8 @@ class SimulationService:
 
     def _recovered(self, fingerprint: str, mode: str, count: int) -> None:
         self.recovery[mode].append(fingerprint)
+        self.flight.record("recovered", self.now_ms, fp=fingerprint[:12],
+                           mode=mode, count=count)
         if self.obs is not None:
             self.obs.metrics.counter(
                 "repro_serve_recovered_jobs_total",
@@ -582,6 +668,16 @@ class SimulationService:
         handle._finish(result)
         self._waits.append(result.wait_ms)
         self._latencies.append(result.latency_ms)
+        self.flight.record(
+            "complete", result.end_ms, job=handle.job_id,
+            trace=handle.trace_id, from_cache=result.from_cache,
+            attempts=result.attempts,
+            latency_ms=round(result.latency_ms, 6))
+        if self.timeseries is not None:
+            t = result.end_ms
+            self.timeseries.observe("completed", t)
+            self.timeseries.observe("wait_ms", t, result.wait_ms)
+            self.timeseries.observe("latency_ms", t, result.latency_ms)
         if self.obs is not None:
             m = self.obs.metrics
             m.counter("repro_serve_jobs_total",
@@ -598,11 +694,21 @@ class SimulationService:
                 from_cache=result.from_cache, attempts=result.attempts,
                 wait_ms=round(result.wait_ms, 6),
                 latency_ms=round(result.latency_ms, 6))
+            self._lane(handle, result.submit_ms, result.start_ms,
+                       result.end_ms, state="DONE",
+                       from_cache=result.from_cache,
+                       attempts=result.attempts,
+                       devices=",".join(result.devices))
+        self._slo_eval(result.end_ms)
 
     def _fail(self, handle: JobHandle, error: str) -> None:
         self._journal("fail", handle, handle.request.fingerprint(),
                       error=error[:500])
         handle._fail(error)
+        self.flight.record("fail", self.now_ms, job=handle.job_id,
+                           trace=handle.trace_id, error=error[:200])
+        if self.timeseries is not None:
+            self.timeseries.observe("failed", self.now_ms)
         if self.obs is not None:
             self.obs.metrics.counter(
                 "repro_serve_jobs_total", "Jobs by terminal state",
@@ -610,6 +716,9 @@ class SimulationService:
             self.obs.tracer.event("serve.job", "serve", 0.0,
                                   job_id=handle.job_id, state="FAILED",
                                   error=error[:200])
+            self._lane(handle, handle.submit_ms, self.now_ms, self.now_ms,
+                       state="FAILED", error=error[:200])
+        self._slo_eval(self.now_ms)
 
     def _evict(self, handle: JobHandle, reason: str) -> None:
         self._journal("cancel" if reason == "cancelled" else "evict",
@@ -617,6 +726,10 @@ class SimulationService:
                       reason=reason[:500])
         handle.error = reason
         handle.state = "EVICTED"
+        self.flight.record("evict", self.now_ms, job=handle.job_id,
+                           trace=handle.trace_id, reason=reason[:200])
+        if self.timeseries is not None:
+            self.timeseries.observe("evicted", self.now_ms)
         if self.obs is not None:
             self.obs.metrics.counter(
                 "repro_serve_jobs_total", "Jobs by terminal state",
@@ -624,13 +737,63 @@ class SimulationService:
             self.obs.tracer.event("serve.job", "serve", 0.0,
                                   job_id=handle.job_id, state="EVICTED",
                                   reason=reason[:200])
+            self._lane(handle, handle.submit_ms, self.now_ms, self.now_ms,
+                       state="EVICTED", reason=reason[:200])
+        self._slo_eval(self.now_ms)
         self._gauge_depth()
+
+    def _lane(self, handle: JobHandle, submit_ms: float, start_ms: float,
+              end_ms: float, **attrs) -> None:
+        """Record the job's lifecycle lane: a ``job`` span over its whole
+        submit→terminal life, with ``job.wait`` / ``job.run`` children.
+        These are retroactive :meth:`~repro.obs.Tracer.interval` spans —
+        service-clock arithmetic, never clock advances — and carry
+        ``trace_id`` so the Chrome exporter pins each trace to its own
+        lane (one ``tid`` per trace)."""
+        tr = self.obs.tracer
+        job = tr.interval("job", "job", submit_ms, end_ms,
+                          trace_id=handle.trace_id, job_id=handle.job_id,
+                          **attrs)
+        if start_ms > submit_ms:
+            tr.interval("job.wait", "job", submit_ms, start_ms, parent=job,
+                        trace_id=handle.trace_id, job_id=handle.job_id)
+        if end_ms > start_ms:
+            tr.interval("job.run", "job", start_ms, end_ms, parent=job,
+                        trace_id=handle.trace_id, job_id=handle.job_id)
+
+    def _slo_eval(self, now_ms: float) -> None:
+        if self.slo is not None:
+            self.slo.evaluate(now_ms, obs=self.obs)
 
     def _observed(self):
         if self.obs is None:
             from contextlib import nullcontext
             return nullcontext()
         return _obs.observe(self.obs)
+
+    def _ts(self, name: str, value: float = 1.0,
+            t: float | None = None) -> None:
+        """One time-series observation at the service clock (no-op with
+        observability off)."""
+        if self.timeseries is not None:
+            self.timeseries.observe(
+                name, self.now_ms if t is None else t, value)
+
+    def dump_blackbox(self, path=None, reason: str = "") -> dict | None:
+        """Dump the flight recorder to JSON — the service's black box.
+
+        Defaults to ``<durable_dir>/flight-recorder.json``; a
+        non-durable service with no explicit ``path`` returns ``None``
+        (nowhere durable to put it).  Called automatically on
+        :class:`~repro.acoustics.sim.SimulationDiverged` and on a
+        (simulated) worker crash; the chaos harness collects one dump
+        per incarnation.
+        """
+        if path is None:
+            if self.durable_dir is None:
+                return None
+            path = os.path.join(self.durable_dir, "flight-recorder.json")
+        return self.flight.dump(path, reason=reason)
 
     def _gauge_depth(self) -> None:
         if self.obs is not None:
@@ -647,6 +810,7 @@ class SimulationService:
         self.obs.metrics.counter(
             name, "Service cache lookups by tier and outcome",
             ("tier",)).inc(tier=tier)
+        self._ts(f"cache_{'hit' if hit else 'miss'}:{tier}")
 
     def __repr__(self) -> str:
         names = ",".join(d.name for d in self.pool.devices)

@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.obs import (MetricsRegistry, Tracer, chrome_trace, prometheus_text,
+                       stitch_chrome_trace, stitch_spans,
                        validate_chrome_trace, validate_prometheus_text,
-                       write_chrome_trace, write_prometheus)
+                       write_chrome_trace, write_prometheus,
+                       write_stitched_trace)
 
 
 @pytest.fixture()
@@ -103,3 +105,140 @@ class TestPrometheus:
         text = prometheus_text(reg)
         assert validate_prometheus_text(text) == []
         assert r'\"' in text and r'\\' in text and r'\n' in text
+
+
+class TestPrometheusEdgeCases:
+    def test_unescaped_quote_in_label_value_caught(self):
+        bad = ('# HELP m m\n# TYPE m counter\n'
+               'm{l="raw " quote"} 1\n')
+        assert any("label" in p.lower()
+                   for p in validate_prometheus_text(bad))
+
+    def test_unescaped_trailing_backslash_caught(self):
+        # a lone backslash before the closing quote escapes the quote
+        # itself, leaving the block unterminated
+        bad = ('# HELP m m\n# TYPE m counter\n'
+               'm{l="oops\\"} 1\n')
+        assert validate_prometheus_text(bad) != []
+
+    def test_escaped_values_pass(self):
+        good = ('# HELP m m\n# TYPE m counter\n'
+                'm{l="q \\" b \\\\ n \\n done"} 1\n')
+        assert validate_prometheus_text(good) == []
+
+    def test_bad_label_name_caught(self):
+        bad = ('# HELP m m\n# TYPE m counter\n'
+               'm{9bad="v"} 1\n')
+        assert any("label" in p.lower()
+                   for p in validate_prometheus_text(bad))
+
+    def test_inf_bucket_vs_count_mismatch_caught(self):
+        bad = ("# HELP h h\n# TYPE h histogram\n"
+               'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 2\n'
+               "h_sum 1\nh_count 5\n")
+        assert any("_count" in p for p in validate_prometheus_text(bad))
+
+    def test_labelled_histogram_inf_consistency(self, registry):
+        # corrupt the real exposition: bump the +Inf bucket only
+        text = prometheus_text(registry)
+        broken = text.replace(
+            'repro_gpu_kernel_time_ms_bucket{kernel="volume",le="+Inf"} 2',
+            'repro_gpu_kernel_time_ms_bucket{kernel="volume",le="+Inf"} 9')
+        assert validate_prometheus_text(text) == []
+        assert validate_prometheus_text(broken) != []
+
+
+@pytest.fixture()
+def lane_tracer():
+    """A serving-shaped trace: gpu work on the main timeline plus two
+    per-job lifecycle lanes recorded retroactively."""
+    t = Tracer()
+    with t.span("serve.execute", "serve", trace_id="t-aaa", job_id=1):
+        t.event("kern", "kernel", 2.0)
+    j1 = t.interval("job", "job", 0.0, 2.0, trace_id="t-aaa", job_id=1)
+    t.interval("job.run", "job", 0.0, 2.0, parent=j1, trace_id="t-aaa")
+    j2 = t.interval("job", "job", 0.5, 3.0, trace_id="t-bbb", job_id=2)
+    t.interval("job.wait", "job", 0.5, 1.0, parent=j2, trace_id="t-bbb")
+    return t
+
+
+class TestJobLanes:
+    def test_lane_per_trace_id(self, lane_tracer):
+        doc = chrome_trace(lane_tracer)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tid = {e["name"]: e["tid"] for e in xs if e["cat"] != "job"}
+        assert tid["serve.execute"] == 1 and tid["kern"] == 1
+        lanes = {}
+        for e in xs:
+            if e["cat"] == "job":
+                lanes.setdefault(e["args"]["trace_id"], set()).add(e["tid"])
+        assert lanes == {"t-aaa": {2}, "t-bbb": {3}}
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert "job t-aaa" in names and "job t-bbb" in names
+
+    def test_lanes_validate(self, lane_tracer):
+        assert validate_chrome_trace(chrome_trace(lane_tracer)) == []
+
+    def test_parent_links_exported_and_checked(self, lane_tracer):
+        doc = chrome_trace(lane_tracer)
+        runs = [e for e in doc["traceEvents"]
+                if e.get("name") == "job.run"]
+        assert runs and "parent_id" in runs[0]["args"]
+        # corrupt a parent link: the validator must notice
+        runs[0]["args"]["parent_id"] = 99999
+        assert any("parent_id" in p for p in validate_chrome_trace(doc))
+
+
+class TestStitching:
+    def make_incarnation(self, trace_id, start):
+        t = Tracer()
+        t.clock.advance(start)
+        with t.span("serve.execute", "serve", trace_id=trace_id):
+            t.event("kern", "kernel", 1.0)
+        t.interval("job", "job", start, start + 1.0, trace_id=trace_id)
+        return t
+
+    def test_spans_offset_and_labelled(self):
+        a = self.make_incarnation("t-x", 0.0)
+        b = self.make_incarnation("t-x", 0.0)
+        merged = stitch_spans([a, b], labels=["inc0", "inc1"], gap_ms=1.0)
+        incs = {s.attrs["incarnation"] for s in merged.spans}
+        assert incs == {"inc0", "inc1"}
+        first = [s for s in merged.spans if s.attrs["incarnation"] == "inc0"]
+        second = [s for s in merged.spans if s.attrs["incarnation"] == "inc1"]
+        assert min(s.start_ms for s in second) > max(s.end_ms for s in first)
+        ids = [s.span_id for s in merged.spans]
+        assert len(ids) == len(set(ids))        # ids stay unique
+
+    def test_parent_links_remapped(self):
+        a = self.make_incarnation("t-x", 0.0)
+        b = self.make_incarnation("t-x", 0.0)
+        merged = stitch_spans([a, b])
+        by_id = {s.span_id: s for s in merged.spans}
+        for s in merged.spans:
+            if s.parent_id is not None:
+                parent = by_id[s.parent_id]
+                assert parent.attrs["incarnation"] == s.attrs["incarnation"]
+
+    def test_one_lane_across_incarnations_and_valid(self):
+        a = self.make_incarnation("t-x", 0.0)
+        b = self.make_incarnation("t-x", 0.0)
+        doc = stitch_chrome_trace([a, b])
+        assert validate_chrome_trace(doc) == []
+        lanes = {e["tid"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X" and e.get("cat") == "job"}
+        assert len(lanes) == 1                 # one job lane, two incarnations
+        incs = {e["args"]["incarnation"] for e in doc["traceEvents"]
+                if e.get("ph") == "X" and e.get("cat") == "job"}
+        assert incs == {0, 1}
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_spans([Tracer()], labels=[0, 1])
+
+    def test_write_stitched_trace(self, tmp_path):
+        a = self.make_incarnation("t-x", 0.0)
+        path = tmp_path / "stitched.json"
+        write_stitched_trace([a], path)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []

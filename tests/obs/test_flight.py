@@ -1,0 +1,55 @@
+"""The always-on bounded flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder
+
+
+class TestRing:
+    def test_record_and_events(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record("submit", 1.0, job=1)
+        fr.record("complete", 2.0, job=1, latency_ms=1.0)
+        assert len(fr) == 2 and fr.recorded == 2 and fr.dropped == 0
+        assert fr.events()[0] == {"t_ms": 1.0, "kind": "submit", "job": 1}
+        assert [e["kind"] for e in fr.events("complete")] == ["complete"]
+
+    def test_ring_bounds_memory(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(10):
+            fr.record("tick", float(i), n=i)
+        assert len(fr) == 3
+        assert fr.recorded == 10 and fr.dropped == 7
+        assert [e["n"] for e in fr.events()] == [7, 8, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clear(self):
+        fr = FlightRecorder()
+        fr.record("x")
+        fr.clear()
+        assert len(fr) == 0
+
+
+class TestDump:
+    def test_snapshot_shape(self):
+        fr = FlightRecorder(capacity=2)
+        fr.record("a", 1.0)
+        snap = fr.snapshot(reason="why")
+        assert snap["reason"] == "why"
+        assert snap["capacity"] == 2
+        assert snap["recorded"] == 1 and snap["dropped"] == 0
+        assert snap["events"] == [{"t_ms": 1.0, "kind": "a"}]
+
+    def test_dump_round_trips_as_json(self, tmp_path):
+        fr = FlightRecorder()
+        fr.record("crash", 3.0, detail="boom")
+        path = tmp_path / "flight.json"
+        doc = fr.dump(path, reason="crash")
+        assert fr.dumps == 1
+        assert json.loads(path.read_text()) == doc
+        assert doc["events"][0]["detail"] == "boom"

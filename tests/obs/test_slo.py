@@ -1,0 +1,137 @@
+"""Declarative SLOs and multi-window burn-rate alerting."""
+
+import pytest
+
+from repro.obs import (Observability, SLO, SLOTracker, TimeSeriesStore,
+                       default_slos)
+
+
+def make_tracker(slos=None, *, width_ms=10.0, burn_factor=2.0):
+    store = TimeSeriesStore(width_ms=width_ms)
+    slos = slos if slos is not None else (
+        SLO("lat", series="latency_ms", threshold=100.0, budget=0.1),)
+    return SLOTracker(slos, store, burn_factor=burn_factor), store
+
+
+class TestSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO("x", series="s", kind="bogus")
+        with pytest.raises(ValueError):
+            SLO("x", series="s", budget=0.0)
+        with pytest.raises(ValueError):
+            SLO("x", series="bad", kind="ratio")     # no total_series
+
+    def test_describe(self):
+        q = SLO("lat", series="latency_ms", threshold=25.0, budget=0.05)
+        assert "p95(latency_ms) <= 25 ms" in q.describe()
+        r = SLO("err", series="failed", kind="ratio", budget=0.01,
+                total_series=("completed", "failed"))
+        assert "failed/completed+failed" in r.describe()
+
+    def test_default_slos_names(self):
+        assert [s.name for s in default_slos()] == [
+            "latency_p95", "queue_wait_p95", "error_rate"]
+
+    def test_duplicate_names_rejected(self):
+        store = TimeSeriesStore()
+        twins = (SLO("a", series="x"), SLO("a", series="y"))
+        with pytest.raises(ValueError):
+            SLOTracker(twins, store)
+
+
+class TestQuantileSLO:
+    def test_compliant_when_under_threshold(self):
+        tracker, store = make_tracker()
+        for v in (10.0, 20.0, 30.0):
+            store.observe("latency_ms", 5.0, v)
+        (status,) = tracker.evaluate(5.0)
+        assert status.compliant and not status.alerting
+        assert status.value == 30.0
+        assert status.burn_short == 0.0
+
+    def test_burn_alert_fires_on_both_windows(self):
+        tracker, store = make_tracker()
+        # all observations bad -> bad fraction 1.0, burn 10x over both
+        for v in (200.0, 300.0, 400.0):
+            store.observe("latency_ms", 5.0, v)
+        (status,) = tracker.evaluate(5.0)
+        assert not status.compliant
+        assert status.alerting
+        assert status.burn_short == pytest.approx(10.0)
+        assert tracker.alerting() == ("lat",)
+
+    def test_short_window_blip_does_not_alert(self):
+        """One bad recent window over a mostly-good long window: the
+        long-window burn stays under the factor, so no alert."""
+        tracker, store = make_tracker()
+        # 3 old windows of good observations
+        for w in range(3):
+            for _ in range(10):
+                store.observe("latency_ms", w * 10.0 + 5.0, 10.0)
+        # newest window: one bad observation
+        store.observe("latency_ms", 35.0, 500.0)
+        (status,) = tracker.evaluate(35.0)
+        assert status.burn_short >= 2.0       # short window is all-bad
+        assert status.burn_long < 2.0         # diluted by history
+        assert not status.alerting
+
+    def test_no_samples_never_alerts(self):
+        tracker, _ = make_tracker()
+        (status,) = tracker.evaluate(0.0)
+        assert not status.alerting and status.samples == 0
+
+
+class TestRatioSLO:
+    def test_error_rate(self):
+        slo = SLO("err", series="failed", kind="ratio", budget=0.25,
+                  total_series=("completed", "failed"))
+        tracker, store = make_tracker((slo,))
+        for _ in range(3):
+            store.observe("completed", 5.0)
+        store.observe("failed", 5.0)
+        (status,) = tracker.evaluate(5.0)
+        assert status.value == pytest.approx(0.25)
+        assert status.compliant                  # exactly at budget
+        assert status.burn_short == pytest.approx(1.0)
+        assert not status.alerting
+
+
+class TestTransitions:
+    def test_transition_recorded_once_and_recovery(self):
+        tracker, store = make_tracker()
+        store.observe("latency_ms", 5.0, 500.0)
+        tracker.evaluate(5.0)
+        tracker.evaluate(5.0)                    # still alerting: no dup
+        assert [t["event"] for t in tracker.transitions] == ["slo.burn"]
+        # good traffic pushes the bad window out of both horizons
+        for w in range(1, 6):
+            for _ in range(10):
+                store.observe("latency_ms", w * 10.0 + 5.0, 10.0)
+        tracker.evaluate(55.0)
+        assert [t["event"] for t in tracker.transitions] == [
+            "slo.burn", "slo.recovered"]
+        assert tracker.alerting() == ()
+
+    def test_transition_writes_span_and_counter(self):
+        tracker, store = make_tracker()
+        obs = Observability()
+        store.observe("latency_ms", 5.0, 500.0)
+        tracker.evaluate(5.0, obs=obs)
+        spans = [s for s in obs.tracer.spans if s.cat == "slo"]
+        assert [s.name for s in spans] == ["slo.burn"]
+        assert spans[0].attrs["slo"] == "lat"
+        text = "\n".join(
+            f"{m.name}" for m in obs.metrics)
+        assert "repro_slo_burn_alerts_total" in text
+
+    def test_evaluation_is_pure_without_obs(self):
+        """Same windows, same verdicts, whether or not a sink is given
+        (the byte-identity discipline)."""
+        t1, s1 = make_tracker()
+        t2, s2 = make_tracker()
+        for s in (s1, s2):
+            s.observe("latency_ms", 5.0, 500.0)
+        a = [st.as_dict() for st in t1.evaluate(5.0)]
+        b = [st.as_dict() for st in t2.evaluate(5.0, obs=Observability())]
+        assert a == b

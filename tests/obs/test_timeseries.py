@@ -1,0 +1,120 @@
+"""Sliding-window time series over the modelled clock."""
+
+import pytest
+
+from repro.obs import TimeSeries, TimeSeriesStore, window_percentile
+
+
+class TestWindowPercentile:
+    def test_empty_is_zero(self):
+        assert window_percentile([], 95) == 0.0
+
+    def test_nearest_rank(self):
+        vals = [10.0, 20.0, 30.0, 40.0]
+        assert window_percentile(vals, 50) == 20.0
+        assert window_percentile(vals, 95) == 40.0
+        assert window_percentile(vals, 100) == 40.0
+
+
+class TestTimeSeries:
+    def test_observations_land_in_their_window(self):
+        ts = TimeSeries("lat", width_ms=10.0, keep=4)
+        ts.observe(1.0, 5.0)
+        ts.observe(9.0, 7.0)
+        ts.observe(12.0, 100.0)
+        ws = ts.windows()
+        assert len(ws) == 2
+        assert ws[0]["start_ms"] == 0.0 and ws[0]["end_ms"] == 10.0
+        assert ws[0]["count"] == 2 and ws[0]["sum"] == 12.0
+        assert ws[0]["min"] == 5.0 and ws[0]["max"] == 7.0
+        assert ws[1]["count"] == 1 and ws[1]["last"] == 100.0
+
+    def test_window_stats_and_percentiles(self):
+        ts = TimeSeries("lat", width_ms=100.0)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            ts.observe(50.0, v)
+        w = ts.windows()[0]
+        assert w["mean"] == 3.0
+        assert w["p50"] == 3.0 and w["p95"] == 5.0 and w["p99"] == 5.0
+        assert w["rate_per_sec"] == 5 / 0.1
+
+    def test_eviction_keeps_only_recent_windows(self):
+        ts = TimeSeries("q", width_ms=10.0, keep=2)
+        for t in (5.0, 15.0, 25.0, 35.0):
+            ts.observe(t)
+        assert len(ts.windows()) == 2
+        assert ts.windows()[0]["start_ms"] == 20.0
+        assert ts.total_count == 4          # totals survive eviction
+
+    def test_late_observation_into_evicted_window_dropped(self):
+        ts = TimeSeries("q", width_ms=10.0, keep=2)
+        ts.observe(35.0)
+        ts.observe(5.0)                     # long-evicted window
+        assert ts.late_dropped == 1
+        assert ts.total_count == 1
+
+    def test_late_observation_into_retained_window_lands(self):
+        """The serving pattern: a wait recorded at completion time
+        against its submit time still lands in the right window."""
+        ts = TimeSeries("wait", width_ms=10.0, keep=4)
+        ts.observe(25.0, 1.0)
+        ts.observe(3.0, 9.0)                # retroactive but retained
+        assert ts.late_dropped == 0
+        assert ts.windows()[0]["start_ms"] == 0.0
+        assert ts.windows()[0]["sum"] == 9.0
+
+    def test_add_busy_apportions_across_windows(self):
+        ts = TimeSeries("util", width_ms=10.0, keep=8)
+        ts.add_busy(5.0, 25.0)
+        ws = ts.windows()
+        assert [w["sum"] for w in ws] == [5.0, 10.0, 5.0]
+        assert ts.total_sum == 20.0
+
+    def test_add_busy_empty_interval_is_noop(self):
+        ts = TimeSeries("util", width_ms=10.0)
+        ts.add_busy(5.0, 5.0)
+        assert ts.windows() == []
+
+    def test_value_cap_drops_excess_raw_values(self):
+        ts = TimeSeries("lat", width_ms=10.0, max_values=2)
+        for v in (1.0, 2.0, 3.0):
+            ts.observe(0.0, v)
+        w = ts.windows()[0]
+        assert w["count"] == 3 and w["value_drops"] == 1
+        assert w["p50"] == 1.0              # percentile over retained only
+
+    def test_recent_values_and_counts(self):
+        ts = TimeSeries("lat", width_ms=10.0, keep=8)
+        ts.observe(5.0, 1.0)
+        ts.observe(15.0, 2.0)
+        ts.observe(25.0, 3.0)
+        assert ts.recent_values(2) == [2.0, 3.0]
+        assert ts.recent_counts(2) == (2, 5.0)
+        assert ts.recent_values() == [1.0, 2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", width_ms=0)
+        with pytest.raises(ValueError):
+            TimeSeries("x", keep=0)
+
+
+class TestTimeSeriesStore:
+    def test_get_or_create_and_snapshot_order(self):
+        store = TimeSeriesStore(width_ms=10.0)
+        store.observe("zeta", 1.0)
+        store.observe("alpha", 2.0, 5.0)
+        snap = store.snapshot()
+        assert list(snap["series"]) == ["alpha", "zeta"]
+        assert snap["width_ms"] == 10.0
+        assert store.get("missing") is None
+        assert store.series("alpha") is store.series("alpha")
+
+    def test_determinism_same_inputs_same_snapshot(self):
+        def run():
+            s = TimeSeriesStore(width_ms=5.0)
+            for i in range(20):
+                s.observe("lat", i * 1.7, i * 0.3)
+                s.add_busy("util", i * 1.7, i * 1.7 + 0.5)
+            return s.snapshot()
+        assert run() == run()

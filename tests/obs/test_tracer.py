@@ -70,3 +70,32 @@ class TestSpans:
             b.span_id, c.span_id}
         assert t.find("kern", cat="kernel") == [c]
         assert t.finished() == t.spans
+
+
+class TestInterval:
+    def test_retroactive_span_does_not_advance_clock(self):
+        t = Tracer()
+        t.clock.advance(10.0)
+        s = t.interval("job", "job", 2.0, 8.0, trace_id="t-x")
+        assert t.clock.now_ms == 10.0
+        assert s.finished and s.start_ms == 2.0 and s.end_ms == 8.0
+        assert s.attrs["trace_id"] == "t-x"
+
+    def test_interval_ignores_context_stack(self):
+        t = Tracer()
+        with t.span("outer", "gpu") as outer:
+            s = t.interval("job", "job", 0.0, 1.0)
+            assert s.parent_id is None          # not adopted by the stack
+            assert t.current() is outer         # stack untouched
+
+    def test_explicit_parent_link(self):
+        t = Tracer()
+        lane = t.interval("job", "job", 0.0, 5.0)
+        wait = t.interval("job.wait", "job", 0.0, 2.0, parent=lane)
+        assert wait.parent_id == lane.span_id
+
+    def test_end_clamped_to_start(self):
+        t = Tracer()
+        s = t.interval("job", "job", 5.0, 3.0)
+        assert s.start_ms == 5.0 and s.end_ms == 5.0
+        assert s.duration_ms == 0.0

@@ -72,3 +72,56 @@ def test_chaos_cli_end_to_end(tmp_path):
     report = json.loads(out.read_text())
     assert report["verified"] is True and report["errors"] == []
     assert "verified: all survivors bit-identical" in proc.stdout
+
+
+def test_chaos_artifacts_stitch_trace_and_dump_flight(tmp_path):
+    from repro.obs import validate_chrome_trace, validate_dashboard
+
+    trace = tmp_path / "trace.json"
+    flight = tmp_path / "flight.json"
+    dash = tmp_path / "dash.json"
+    report = run_chaos(jobs=6, kills=2, steps=8, checkpoint_every=2,
+                       pool="TitanBlack:2", seed=7,
+                       durable_dir=tmp_path / "d", verify=True,
+                       trace_path=trace, flight_path=flight,
+                       dashboard_path=dash)
+    assert report["verified"] is True
+    assert set(report["artifacts"]) == {"trace", "flight", "dashboard"}
+
+    # -- stitched trace: one valid document spanning every incarnation
+    doc = json.loads(trace.read_text())
+    assert validate_chrome_trace(doc) == []
+    lanes = {}
+    for e in doc["traceEvents"]:
+        if e.get("ph") == "X" and "trace_id" in e.get("args", {}):
+            lanes.setdefault(e["args"]["trace_id"], set()).add(
+                e["args"]["incarnation"])
+    # at least one job was in flight across a kill: its single trace id
+    # collects spans from more than one incarnation
+    assert any(len(incs) > 1 for incs in lanes.values()), lanes
+    # each trace renders as exactly one lane even across incarnations
+    tids = {}
+    for e in doc["traceEvents"]:
+        if e.get("ph") == "X" and e.get("cat") == "job":
+            tids.setdefault(e["args"]["trace_id"], set()).add(e["tid"])
+    assert all(len(ts) == 1 for ts in tids.values()), tids
+
+    # -- flight recorder: one black box per incarnation, with reasons
+    boxes = json.loads(flight.read_text())["incarnations"]
+    assert len(boxes) == report["incarnations"]
+    assert all(b["events"] for b in boxes)
+    assert boxes[-1]["reason"] == "final incarnation"
+    assert all(b["reason"] for b in boxes[:-1])
+
+    # -- dashboard snapshot of the final incarnation
+    assert validate_dashboard(json.loads(dash.read_text())) == []
+
+
+def test_chaos_crash_dumps_black_box_in_durable_dir(tmp_path):
+    report = run_chaos(jobs=4, kills=1, steps=6, checkpoint_every=3,
+                       seed=7, durable_dir=tmp_path / "d")
+    assert report["crashes"] >= 1
+    dump = json.loads((tmp_path / "d" / "flight-recorder.json").read_text())
+    assert dump["events"]
+    assert "incarnation_end" in {e["kind"] for e in dump["events"]} or \
+        "crash" in {e["kind"] for e in dump["events"]}

@@ -177,3 +177,59 @@ def test_unregistered_shape_is_not_journallable():
                                                    "shape": WeirdRoom()})())
     with pytest.raises(ValueError, match="not journal-serialisable"):
         encode_request(req)
+
+
+def test_mixed_version_replay_tolerates_missing_trace(tmp_path):
+    """Journals written before trace context existed replay cleanly
+    alongside new-format records, and the trace key never leaks into
+    the payload."""
+    path = tmp_path / "j.wal"
+    old = _rec(0, request={"x": 1})                     # pre-trace format
+    new = _rec(1, event="start", trace="t-" + "f" * 16)
+    path.write_bytes(_frame(old) + _frame(new))
+
+    a, b = Journal(path).open()
+    assert a.trace_id is None
+    assert b.trace_id == "t-" + "f" * 16
+    assert "trace" not in a.payload and "trace" not in b.payload
+    assert a.payload == {"request": {"x": 1}}
+
+
+def test_append_without_trace_writes_old_format(tmp_path):
+    path = tmp_path / "j.wal"
+    j = Journal(path)
+    j.open()
+    j.append("submit", fingerprint="a" * 40, job_id=1)
+    j.append("start", fingerprint="a" * 40, job_id=1, trace_id="t-abc")
+    j.close()
+    raw = path.read_bytes()
+    first = json.loads(raw[8:8 + _HEADER.unpack_from(raw)[0]])
+    assert "trace" not in first                         # omitted, not null
+    a, b = Journal(path).open()
+    assert a.trace_id is None and b.trace_id == "t-abc"
+
+
+def test_recovery_of_old_journal_rederives_trace_ids(tmp_path):
+    """A pre-trace journal recovers with the same ids new code would
+    assign, because ids are derived from the fingerprint."""
+    from repro.acoustics import BoxRoom, Grid3D, Room
+    from repro.serve import SimulationService, derive_trace_id
+
+    req = SubmitRequest(room=Room(Grid3D(10, 8, 8), BoxRoom()), steps=3,
+                        receivers={"mic": "center"})
+    svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+    svc.submit(req)
+    svc.close()
+    # strip the trace keys: simulate a journal from an older build
+    path = tmp_path / "journal.wal"
+    frames = []
+    for rec in Journal(path).open():
+        body = {"seq": rec.seq, "event": rec.event, "fp": rec.fingerprint,
+                "job": rec.job_id, **rec.payload}
+        frames.append(_frame(body))
+    path.write_bytes(b"".join(frames))
+
+    back = SimulationService.recover(tmp_path, devices="TitanBlack")
+    [h] = back._handles
+    assert h.trace_id == derive_trace_id(req.fingerprint())
+    back.close()

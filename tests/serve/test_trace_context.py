@@ -1,0 +1,133 @@
+"""Per-job trace context: derivation, propagation, journalling, recovery,
+and the obs-on/obs-off byte-identity discipline."""
+
+import json
+
+import pytest
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.serve import (Journal, SimulationService, SubmitRequest,
+                         derive_trace_id)
+
+
+def _req(steps=3, priority=0, dims=(10, 8, 8), **kw):
+    kw.setdefault("receivers", {"mic": "center"})
+    return SubmitRequest(room=Room(Grid3D(*dims), BoxRoom()), steps=steps,
+                         priority=priority, **kw)
+
+
+class TestDerivation:
+    def test_trace_id_is_fingerprint_prefix(self):
+        req = _req()
+        assert derive_trace_id(req.fingerprint()) == \
+            "t-" + req.fingerprint()[:16]
+
+    def test_handle_carries_trace_id(self):
+        svc = SimulationService(devices="TitanBlack")
+        h = svc.submit(_req())
+        assert h.trace_id == derive_trace_id(h.request.fingerprint())
+        svc.close()
+
+    def test_duplicate_submits_share_a_trace(self):
+        """Duplicates share an answer, so they share a lane."""
+        svc = SimulationService(devices="TitanBlack")
+        a = svc.submit(_req(steps=4))
+        b = svc.submit(_req(steps=4))
+        c = svc.submit(_req(steps=5))
+        assert a.trace_id == b.trace_id != c.trace_id
+        svc.close()
+
+
+class TestPropagation:
+    def test_execute_spans_and_lanes_carry_trace_id(self):
+        svc = SimulationService(devices="TitanBlack", observability=True)
+        h = svc.submit(_req())
+        svc.drain()
+        execs = [s for s in svc.obs.tracer.spans if s.name == "serve.execute"]
+        assert execs and all(
+            s.attrs["trace_id"] == h.trace_id for s in execs)
+        lanes = [s for s in svc.obs.tracer.spans if s.cat == "job"]
+        assert {s.attrs["trace_id"] for s in lanes} == {h.trace_id}
+        names = {s.name for s in lanes}
+        assert "job" in names and "job.run" in names
+        svc.close()
+
+    def test_flight_recorder_sees_trace(self):
+        svc = SimulationService(devices="TitanBlack")   # obs OFF
+        h = svc.submit(_req())
+        svc.drain()
+        kinds = {e["kind"] for e in svc.flight.events()}
+        assert {"submit", "lease", "complete"} <= kinds
+        assert all(e["trace"] == h.trace_id
+                   for e in svc.flight.events("submit"))
+        svc.close()
+
+
+class TestJournalling:
+    def test_records_carry_trace_id(self, tmp_path):
+        svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+        h = svc.submit(_req())
+        svc.drain()
+        svc.close()
+        records = Journal(tmp_path / "journal.wal").open()
+        assert records
+        assert all(r.trace_id == h.trace_id for r in records)
+
+    def test_recovery_preserves_journalled_trace(self, tmp_path):
+        svc = SimulationService(devices="TitanBlack", durable_dir=tmp_path)
+        req = _req(steps=4)
+        expect = svc.submit(req).trace_id
+        svc.close()                      # in-flight: will requeue
+        back = SimulationService.recover(tmp_path, devices="TitanBlack")
+        [h] = back._handles
+        assert h.trace_id == expect
+        back.close()
+
+
+class TestByteIdentity:
+    def test_stats_identical_obs_on_vs_off(self):
+        def run(obs):
+            svc = SimulationService(devices="TitanBlack:2",
+                                    observability=obs)
+            for i in range(4):
+                svc.submit(_req(steps=3 + i % 2, priority=i % 2))
+            svc.drain()
+            stats = svc.stats()
+            svc.close()
+            return stats
+
+        on, off = run(True), run(False)
+        assert json.dumps(on, sort_keys=True) == \
+            json.dumps(off, sort_keys=True)
+
+    def test_results_identical_obs_on_vs_off(self):
+        import numpy as np
+
+        def run(obs):
+            svc = SimulationService(devices="TitanBlack",
+                                    observability=obs)
+            h = svc.submit(_req(steps=4))
+            svc.drain()
+            res = h.result()
+            svc.close()
+            return res
+
+        a, b = run(True), run(False)
+        assert np.array_equal(a.field, b.field)
+        assert a.latency_ms == b.latency_ms
+
+
+class TestObsOffGuards:
+    def test_timeseries_and_slo_absent_when_off(self):
+        svc = SimulationService(devices="TitanBlack")
+        assert svc.timeseries is None and svc.slo is None
+        svc.submit(_req())
+        svc.drain()                      # must not touch the None sinks
+        svc.close()
+
+    def test_slot_busy_tracked_regardless(self):
+        svc = SimulationService(devices="TitanBlack")
+        svc.submit(_req())
+        svc.drain()
+        assert sum(svc.slot_busy_ms) > 0.0
+        svc.close()

@@ -51,6 +51,17 @@ def test_serve_all_lists_are_exact():
         assert hasattr(serve, name)
 
 
+def test_obs_surface_documented():
+    import repro.obs as obs
+    assert _documented("repro.obs") == set(obs.__all__)
+
+
+def test_obs_all_lists_are_exact():
+    import repro.obs as obs
+    for name in obs.__all__:
+        assert hasattr(obs, name)
+
+
 def test_gpu_all_covers_multi_device_surface():
     import repro.gpu as gpu
     for name in ("resolve_device", "MultiGPU", "MultiRunResult", "ShardLost",
