@@ -44,7 +44,17 @@ from .materials import (FDMaterial, FIMaterial, MaterialTable,
 from .topology import RoomTopology, build_topology
 
 SCHEMES = ("fi", "fi_mm", "fd_mm")
-BACKENDS = ("numpy", "scalar", "lift", "lift_interp", "virtual_gpu")
+#: the unified backend registry.  ``lift`` is an alias that normalises
+#: to ``numpy-steady`` (its long-standing default realisation);
+#: ``lift-legacy`` is the allocating NumPy emitter, ``numpy-steady``
+#: the workspace-arena emitter, and ``numba`` the compiled fused-loop
+#: emitter (numba / C tiers, falling back to ``numpy-steady`` with a
+#: once-per-process warning when no compiled tier is available).  All
+#: of them lower the same ArenaProgram artifact and are bit-identical.
+BACKENDS = ("numpy", "scalar", "lift", "lift-legacy", "numpy-steady",
+            "numba", "lift_interp", "virtual_gpu")
+#: backends realised by the LIFT codegen tree (one lowering, N emitters)
+_LIFT_MODES = frozenset({"lift", "lift-legacy", "numpy-steady", "numba"})
 
 #: checkpoint container-format version (see docs/resilience.md)
 CHECKPOINT_VERSION = 1
@@ -199,27 +209,46 @@ class SimConfig:
     resilient: bool = False
     retry: object | None = None           # RetryPolicy for the resilient path
     devices: object | None = None         # resolve_device() designation
-    #: a pre-compiled HostProgram for the ``virtual_gpu`` backend (skips
-    #: ``compile_host``); must match (scheme, precision, num_branches) —
-    #: the serving layer's compile cache (``repro.serve.cache``) supplies
-    #: this so repeated shapes compile once per process, not per job
-    host_program: object | None = None
-    #: use the steady-state (workspace-arena) NumPy kernels for the
-    #: ``lift`` backend — bit-identical to the legacy emitter but free of
-    #: per-step full-grid allocations after warm-up.  ``False`` selects
-    #: the legacy allocating kernels; the wallclock benchmark uses this
-    #: as its baseline (``repro.bench.wallclock``)
-    lift_steady: bool = True
+    #: a pre-compiled :class:`repro.lift.codegen.host.HostProgram` for
+    #: the ``virtual_gpu`` backend (skips ``compile_host``); must match
+    #: (scheme, precision, num_branches) — the serving layer's compile
+    #: cache (``repro.serve.cache``) supplies this so repeated shapes
+    #: compile once per process, not per job
+    host_program: "HostProgram | None" = None
+    #: deprecated (warns once): the pre-registry boolean that selected
+    #: between the steady and legacy ``lift`` emitters.  ``True`` maps to
+    #: ``backend="numpy-steady"``, ``False`` to ``backend="lift-legacy"``;
+    #: use the backend registry string instead
+    lift_steady: bool | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}; one of {SCHEMES}")
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; one of {BACKENDS}")
+        if self.lift_steady is not None:
+            from .._deprecation import warn_once
+            warn_once("SimConfig.lift_steady",
+                      "SimConfig(lift_steady=...) is deprecated; select the "
+                      "emitter through the backend registry instead: "
+                      "backend='numpy-steady' (was lift_steady=True) or "
+                      "backend='lift-legacy' (was lift_steady=False)")
+            if self.backend == "lift":
+                self.backend = ("numpy-steady" if self.lift_steady
+                                else "lift-legacy")
+        if self.backend == "lift":
+            self.backend = "numpy-steady"
         if self.precision not in ("single", "double"):
             raise ValueError("precision must be 'single' or 'double'")
         if self.checkpoint_interval < 0 or self.health_interval < 0:
             raise ValueError("intervals must be >= 0 (0 disables)")
+        if self.host_program is not None:
+            from ..lift.codegen.host import HostProgram
+            if not isinstance(self.host_program, HostProgram):
+                raise TypeError(
+                    f"host_program must be a compiled HostProgram "
+                    f"(from repro.lift.codegen.host.compile_host), got "
+                    f"{type(self.host_program).__name__}")
 
     @property
     def dtype(self):
@@ -274,7 +303,7 @@ class RoomSimulation:
         self.modelled_halo_time_ms = 0.0
         self.last_checkpoint: Checkpoint | None = None
         self._energy_ref: float | None = None
-        if config.backend == "lift":
+        if config.backend in _LIFT_MODES:
             self._compile_lift()
         elif config.backend == "lift_interp":
             self._setup_interp()
@@ -292,31 +321,43 @@ class RoomSimulation:
         from ..lift.codegen.numpy_backend import compile_numpy
         from .lift_programs import (fd_mm_boundary, fi_fused_flat,
                                     fi_mm_boundary, volume_kernel)
+        mode = self.config.backend
         prec = self.config.precision
-        steady = bool(self.config.lift_steady)
+        steady = mode != "lift-legacy"
+
         # one workspace per kernel: shapes/dtypes are fixed for the life
         # of the simulation, so slots warm up on the first step and every
         # later step is allocation-free
-        ws = (lambda label: Workspace(f"lift:{label}")) if steady else \
-             (lambda label: None)
+        def build(kernel, label):
+            nk = compile_numpy(kernel, label, steady=steady)
+            ws = Workspace(f"lift:{label}") if steady else None
+            if mode == "numba":
+                from ..lift.codegen.loops import (LoopsUnsupported,
+                                                  compile_loops)
+                try:
+                    return compile_loops(nk.program,
+                                         reference_fn=nk.fn), ws
+                except LoopsUnsupported as why:
+                    from .._deprecation import warn_once
+                    warn_once(f"backend=numba fallback:{label}",
+                              f"compiled loop backend unavailable for "
+                              f"{label} ({why}); falling back to the "
+                              f"numpy-steady emitter")
+            return nk, ws
+
         if self.config.scheme == "fi":
-            self._k_fused = compile_numpy(fi_fused_flat(prec).kernel,
-                                          "fi_fused_flat", steady=steady)
-            self._ws_fused = ws("fi_fused_flat")
+            self._k_fused, self._ws_fused = build(
+                fi_fused_flat(prec).kernel, "fi_fused_flat")
         else:
-            self._k_volume = compile_numpy(volume_kernel(prec).kernel,
-                                           "volume_kernel", steady=steady)
-            self._ws_volume = ws("volume_kernel")
+            self._k_volume, self._ws_volume = build(
+                volume_kernel(prec).kernel, "volume_kernel")
             if self.config.scheme == "fi_mm":
-                self._k_boundary = compile_numpy(fi_mm_boundary(prec).kernel,
-                                                 "fi_mm_boundary",
-                                                 steady=steady)
-                self._ws_boundary = ws("fi_mm_boundary")
+                self._k_boundary, self._ws_boundary = build(
+                    fi_mm_boundary(prec).kernel, "fi_mm_boundary")
             else:
-                self._k_boundary = compile_numpy(
+                self._k_boundary, self._ws_boundary = build(
                     fd_mm_boundary(prec, self.table.num_branches).kernel,
-                    "fd_mm_boundary", steady=steady)
-                self._ws_boundary = ws("fd_mm_boundary")
+                    "fd_mm_boundary")
 
     def _setup_virtual_gpu(self, device=None):
         from ..lift.codegen.host import compile_host
@@ -460,7 +501,7 @@ class RoomSimulation:
             self._step_numpy()
         elif backend == "scalar":
             self._step_scalar()
-        elif backend == "lift":
+        elif backend in _LIFT_MODES:
             self._step_lift()
         elif backend == "virtual_gpu":
             self._step_virtual_gpu()

@@ -37,7 +37,7 @@ import numpy as np
 
 from . import obs as _obs
 from .acoustics.geometry import Room
-from .acoustics.sim import RoomSimulation, SimConfig
+from .acoustics.sim import BACKENDS, RoomSimulation, SimConfig
 from .gpu.device import DeviceSpec, resolve_device
 
 __all__ = ["BenchResult", "Session", "SimulationResult"]
@@ -97,6 +97,12 @@ class Session:
         modelling e.g. the R9 295X2's two on-board GPUs), or a list.
         More than one device runs every simulation Z-slab-decomposed,
         bit-identical to a single device.
+    ``backend``
+        default execution backend for :meth:`simulate`, validated
+        against :data:`repro.acoustics.sim.BACKENDS` (e.g.
+        ``"virtual_gpu"``, ``"numpy-steady"``, ``"numba"``); every
+        registered backend produces bit-identical fields, so the choice
+        only affects host wallclock.
     ``resilient``
         run the executor(s) under the retry/degrade/fallback policy;
         on a multi-device pool a lost device is recovered by
@@ -113,7 +119,15 @@ class Session:
 
     def __init__(self, *, devices=None, resilient: bool = False,
                  faults=None, retry=None,
-                 observability: bool | _obs.Observability = False):
+                 observability: bool | _obs.Observability = False,
+                 backend: str = "virtual_gpu"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"one of {BACKENDS}")
+        #: default execution backend for :meth:`simulate` (overridable
+        #: per call); any registered backend is bit-identical to any
+        #: other, so this only changes how fast answers arrive
+        self.backend = backend
         self.devices: tuple[DeviceSpec, ...] = resolve_device(devices)
         self.resilient = resilient
         self.faults = faults
@@ -134,7 +148,7 @@ class Session:
 
     # -- verbs -------------------------------------------------------------------
     def simulate(self, room: Room, steps: int, *, scheme: str = "fi_mm",
-                 precision: str = "double", backend: str = "virtual_gpu",
+                 precision: str = "double", backend: str | None = None,
                  impulse="center", receivers: dict | None = None,
                  materials=None, num_branches: int = 3,
                  checkpoint_interval: int = 0,
@@ -142,10 +156,14 @@ class Session:
         """Run a room simulation for ``steps`` steps on this session's pool.
 
         ``impulse`` is a grid position (or ``"center"``; ``None`` for no
-        source); ``receivers`` maps names to positions.  Returns a
-        :class:`SimulationResult`; the live :class:`RoomSimulation` is
-        attached for checkpointing or continued stepping.
+        source); ``receivers`` maps names to positions.  ``backend``
+        overrides the session default for this call (``None`` keeps it).
+        Returns a :class:`SimulationResult`; the live
+        :class:`RoomSimulation` is attached for checkpointing or
+        continued stepping.
         """
+        if backend is None:
+            backend = self.backend
         cfg = SimConfig(
             room=room, scheme=scheme, backend=backend, precision=precision,
             materials=materials, num_branches=num_branches,

@@ -1,19 +1,30 @@
-"""Host-wallclock benchmark: steady-state steps/sec, arena vs legacy.
+"""Host-wallclock benchmark: steps/sec per registered lift backend.
 
 Every other artefact in :mod:`repro.bench` reports the *modelled* GPU
 clock (the paper's Tables/Figures).  This one measures something the
 model deliberately ignores: real host seconds per simulation step on the
-generated-NumPy executable path, before and after the steady-state
-(workspace-arena) emitter.  It is the repo's perf trajectory — each PR
+generated executable paths.  It is the repo's perf trajectory — each PR
 that touches the hot path reruns it and commits the JSON artefact
-(``BENCH_5.json`` introduced it) so regressions show up in review.
+(``BENCH_5.json`` introduced it with the legacy-vs-steady pair;
+``BENCH_8.json`` added the compiled fused-loop backend) so regressions
+show up in review.
+
+Three backends are timed per scheme, all consuming the same
+:class:`~repro.lift.codegen.arena.ArenaProgram` lowering:
+
+* ``lift-legacy`` — the allocating NumPy emitter (the ratio baseline);
+* ``numpy-steady`` — the zero-allocation workspace-arena emitter;
+* ``numba`` — the compiled parallel fused-loop emitter (numba tier when
+  importable, C tier via the system compiler otherwise; falls back to
+  ``numpy-steady`` when neither exists, which the payload records as
+  ``compiled_tier: null``).
 
 Two rules keep the numbers honest and portable:
 
-* the *legacy* and *steady* timings always come from the same process on
-  the same machine, so their ratio (``speedup``) cancels host speed; CI
-  regression checks compare ratios, never absolute steps/sec;
-* both variants must produce **bit-identical** states — the benchmark
+* all timings always come from the same process on the same machine, so
+  their ratios (``speedup``, ``compiled_speedup``) cancel host speed;
+  CI regression checks compare ratios, never absolute steps/sec;
+* every backend must produce **bit-identical** states — the benchmark
   re-verifies that on every run and reports it in the payload.
 """
 
@@ -31,15 +42,28 @@ from .rooms import PAPER_SIZES, scaled_dims
 SCHEMES = ("fi", "fi_mm", "fd_mm")
 HEADLINE_SCHEME = "fi"
 
+#: host-executable lift backends timed per scheme, in reporting order;
+#: "lift-legacy" is the denominator of every ratio
+BENCH_BACKENDS = ("lift-legacy", "numpy-steady", "numba")
+
+
+def _compiled_tier() -> str | None:
+    """The tier the ``numba`` backend will actually compile with
+    (``"numba"`` or ``"cc"``), or ``None`` when it can only fall back
+    to the numpy-steady emitter."""
+    from ..lift.codegen.loops import available_tiers
+    compiled = [t for t in available_tiers() if t != "python"]
+    return compiled[0] if compiled else None
+
 
 def _time_steps(scheme: str, precision: str, dims, steps: int,
-                warmup: int, steady: bool):
+                warmup: int, backend: str):
     from ..acoustics.geometry import Room, shape_by_name
     from ..acoustics.grid import Grid3D
     from ..acoustics.sim import RoomSimulation, SimConfig
     room = Room(Grid3D(*dims), shape_by_name("box"))
-    cfg = SimConfig(room=room, scheme=scheme, backend="lift",
-                    precision=precision, lift_steady=steady)
+    cfg = SimConfig(room=room, scheme=scheme, backend=backend,
+                    precision=precision)
     sim = RoomSimulation(cfg)
     sim.add_impulse("center")
     for _ in range(warmup):
@@ -56,34 +80,49 @@ def wallclock_benchmark(scale: int = 1, size: str = "302",
                         precision: str = "double", steps: int = 10,
                         warmup: int = 3,
                         schemes=SCHEMES) -> dict:
-    """Time ``steps`` steady-state steps per scheme, legacy vs arena.
+    """Time ``steps`` steady-state steps per scheme and backend.
 
     ``size``/``scale`` follow the Table II registry: the default is the
     paper's medium box room (302 x 202 x 152) at full size; CI uses a
     larger ``scale`` for a small fast room.  Warm-up steps are excluded
-    so allocation of the arena itself is never timed.
+    so arena allocation and loop compilation are never timed.
     """
     dims = scaled_dims(size, scale)
+    tier = _compiled_tier()
     results = []
     for scheme in schemes:
-        legacy, sim_l = _time_steps(scheme, precision, dims, steps,
-                                    warmup, steady=False)
-        steady, sim_s = _time_steps(scheme, precision, dims, steps,
-                                    warmup, steady=True)
-        identical = bool(
-            np.array_equal(sim_l.curr, sim_s.curr)
-            and np.array_equal(sim_l.prev, sim_s.prev))
+        timings, sims = {}, {}
+        for backend in BENCH_BACKENDS:
+            timings[backend], sims[backend] = _time_steps(
+                scheme, precision, dims, steps, warmup, backend)
+        ref = sims["lift-legacy"]
+
+        def same(sim):
+            return bool(np.array_equal(ref.curr, sim.curr)
+                        and np.array_equal(ref.prev, sim.prev))
+
+        legacy_sps = timings["lift-legacy"]["steps_per_sec"]
+        steady_sps = timings["numpy-steady"]["steps_per_sec"]
         results.append({
             "scheme": scheme,
-            "legacy": legacy,
-            "steady": steady,
-            "speedup": steady["steps_per_sec"] / legacy["steps_per_sec"],
-            "bit_identical": identical,
+            # legacy/steady/speedup keep the BENCH_5 payload shape so
+            # committed baselines stay comparable across PRs
+            "legacy": timings["lift-legacy"],
+            "steady": timings["numpy-steady"],
+            "speedup": steady_sps / legacy_sps,
+            "bit_identical": same(sims["numpy-steady"]),
+            "backends": timings,
+            "compiled_speedup": (timings["numba"]["steps_per_sec"]
+                                 / steady_sps),
+            "compiled_bit_identical": same(sims["numba"]),
         })
     by_scheme = {r["scheme"]: r for r in results}
     headline = by_scheme.get(HEADLINE_SCHEME, results[0])["speedup"]
-    geomean = float(np.exp(np.mean([np.log(r["speedup"])
-                                    for r in results])))
+
+    def geo(key):
+        return float(np.exp(np.mean([np.log(r[key]) for r in results])))
+
+    compiled_geomean = geo("compiled_speedup")
     return {
         "benchmark": "wallclock",
         "room": {"size": size, "scale": scale, "shape": "box",
@@ -96,9 +135,15 @@ def wallclock_benchmark(scale: int = 1, size: str = "302",
         "results": results,
         "headline_scheme": HEADLINE_SCHEME,
         "headline_speedup": headline,
-        "speedup_geomean": geomean,
+        "speedup_geomean": geo("speedup"),
         "meets_3x_target": bool(headline >= 3.0),
         "all_bit_identical": all(r["bit_identical"] for r in results),
+        "backends": list(BENCH_BACKENDS),
+        "compiled_tier": tier,
+        "compiled_speedup_geomean": compiled_geomean,
+        "meets_compiled_3x_target": bool(compiled_geomean >= 3.0),
+        "all_compiled_bit_identical": all(r["compiled_bit_identical"]
+                                          for r in results),
     }
 
 
@@ -106,19 +151,28 @@ def check_regression(payload: dict, baseline: dict,
                      tolerance: float = 0.2) -> list[str]:
     """Compare a fresh run against a committed baseline.
 
-    Only the steady-vs-legacy *ratio* is compared (absolute steps/sec is
-    machine speed, not code quality): a scheme fails when its speedup
-    drops more than ``tolerance`` (default 20%) below the baseline's, or
-    when bit-identity is lost.  Returns human-readable failure strings
-    (empty = pass).
+    Only *ratios* are compared (absolute steps/sec is machine speed, not
+    code quality): a scheme fails when its steady-vs-legacy speedup — or
+    its compiled-vs-steady speedup, when the baseline recorded one and
+    this host has a compiled tier — drops more than ``tolerance``
+    (default 20%) below the baseline's, or when any backend loses
+    bit-identity.  Returns human-readable failure strings (empty =
+    pass).  Baselines committed before the compiled backend existed
+    simply skip the compiled checks.
     """
     failures: list[str] = []
     base = {r["scheme"]: r for r in baseline.get("results", [])}
+    check_compiled = (payload.get("compiled_tier") is not None
+                      and baseline.get("compiled_tier") is not None)
     for r in payload["results"]:
         b = base.get(r["scheme"])
         if not r["bit_identical"]:
             failures.append(
                 f"{r['scheme']}: steady-state result is no longer "
+                f"bit-identical to the legacy backend")
+        if not r.get("compiled_bit_identical", True):
+            failures.append(
+                f"{r['scheme']}: compiled-loop result is no longer "
                 f"bit-identical to the legacy backend")
         if b is None:
             continue
@@ -128,6 +182,14 @@ def check_regression(payload: dict, baseline: dict,
                 f"{r['scheme']}: steady-state speedup {r['speedup']:.2f}x "
                 f"regressed >{tolerance:.0%} below baseline "
                 f"{b['speedup']:.2f}x (floor {floor:.2f}x)")
+        if check_compiled and "compiled_speedup" in b:
+            cfloor = b["compiled_speedup"] * (1.0 - tolerance)
+            if r.get("compiled_speedup", 0.0) < cfloor:
+                failures.append(
+                    f"{r['scheme']}: compiled speedup "
+                    f"{r.get('compiled_speedup', 0.0):.2f}x regressed "
+                    f">{tolerance:.0%} below baseline "
+                    f"{b['compiled_speedup']:.2f}x (floor {cfloor:.2f}x)")
     return failures
 
 
@@ -138,21 +200,26 @@ def render_wallclock(scale: int = 1) -> str:
     d = p["room"]["dims"]
     print(f"Wallclock — host steps/sec, box {d[0]}x{d[1]}x{d[2]} "
           f"({p['room']['points']:,} points), {p['precision']}, "
-          f"{p['steps']} steps after {p['warmup']} warm-up", file=out)
+          f"{p['steps']} steps after {p['warmup']} warm-up "
+          f"(compiled tier: {p['compiled_tier'] or 'none'})", file=out)
     print(f"{'scheme':>6} {'legacy ms':>10} {'steady ms':>10} "
-          f"{'legacy sps':>11} {'steady sps':>11} {'speedup':>8} "
+          f"{'loops ms':>10} {'steady x':>8} {'loops x':>8} "
           f"{'identical':>9}", file=out)
     for r in p["results"]:
+        ident = (r["bit_identical"] and r["compiled_bit_identical"])
         print(f"{r['scheme']:>6} "
               f"{r['legacy']['seconds_per_step'] * 1e3:>10.2f} "
               f"{r['steady']['seconds_per_step'] * 1e3:>10.2f} "
-              f"{r['legacy']['steps_per_sec']:>11.2f} "
-              f"{r['steady']['steps_per_sec']:>11.2f} "
+              f"{r['backends']['numba']['seconds_per_step'] * 1e3:>10.2f} "
               f"{r['speedup']:>7.2f}x "
-              f"{str(r['bit_identical']):>9}", file=out)
+              f"{r['compiled_speedup']:>7.2f}x "
+              f"{str(ident):>9}", file=out)
     print(f"headline ({p['headline_scheme']}): "
           f"{p['headline_speedup']:.2f}x  "
-          f"geomean: {p['speedup_geomean']:.2f}x  "
-          f"3x target: {'met' if p['meets_3x_target'] else 'NOT met'}",
+          f"geomean steady/legacy: {p['speedup_geomean']:.2f}x  "
+          f"geomean loops/steady: {p['compiled_speedup_geomean']:.2f}x  "
+          f"3x targets: steady "
+          f"{'met' if p['meets_3x_target'] else 'NOT met'}, compiled "
+          f"{'met' if p['meets_compiled_3x_target'] else 'NOT met'}",
           file=out)
     return out.getvalue()

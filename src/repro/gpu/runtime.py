@@ -79,6 +79,26 @@ def _kernel_source_key(ks) -> str:
     return f"{ks.name}:{hashlib.sha1(basis.encode()).hexdigest()}"
 
 
+#: kernel execution backends a VirtualGPU accepts (None = auto: the
+#: compiled fused-loop emitter when a numba/cc tier exists, else the
+#: steady arena emitter — both consume the same ArenaProgram and are
+#: bit-identical, so auto-upgrading never changes results)
+_KERNEL_BACKENDS = ("numpy-steady", "numba")
+
+#: memoised compiled-loop availability: ``False`` = not yet probed,
+#: ``None`` = probed and unavailable, str = the tier that will be used
+_LOOPS_TIER: str | None | bool = False
+
+
+def _loops_available() -> bool:
+    global _LOOPS_TIER
+    if _LOOPS_TIER is False:
+        from ..lift.codegen.loops import available_tiers
+        compiled = [t for t in available_tiers() if t != "python"]
+        _LOOPS_TIER = compiled[0] if compiled else None
+    return _LOOPS_TIER is not None
+
+
 #: real-seconds histogram buckets for ``repro_host_wallclock_seconds``
 #: (the modelled-ms default buckets are the wrong scale for host time)
 _WALLCLOCK_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
@@ -188,12 +208,23 @@ class VirtualGPU:
 
     def __init__(self, device: DeviceSpec, traits: ImplTraits = LIFT_TRAITS,
                  autotune: bool = True, workgroup: int = 256,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 kernel_backend: str | None = None):
+        if kernel_backend is not None and kernel_backend not in _KERNEL_BACKENDS:
+            raise ClInvalidValue(
+                f"unknown kernel_backend {kernel_backend!r}; expected one "
+                f"of {_KERNEL_BACKENDS} or None (auto)",
+                backend=kernel_backend)
         self.device = device
         self.traits = traits
         self.autotune = autotune
         self.workgroup = workgroup
         self.faults = faults
+        #: which emitter realises kernel launches on the host: None picks
+        #: the compiled fused-loop backend when available (falling back
+        #: per kernel when a program is loop-opaque), "numpy-steady"
+        #: pins the vectorised arena emitter, "numba" demands loops
+        self.kernel_backend = kernel_backend
         self._np_kernels: dict[str, NumpyKernel] = {}
         self._np_kernels_steady: dict[str, NumpyKernel] = {}
         self._resources: dict[str, Resources] = {}
@@ -269,6 +300,31 @@ class VirtualGPU:
                 _NP_KERNEL_CACHE[key] = nk
             instance[ks.name] = nk
         return nk
+
+    def _exec_kernel(self, launch: Launch):
+        """The executable realising a launch on the hot path: the steady
+        arena kernel, upgraded to the compiled fused-loop emitter when
+        :attr:`kernel_backend` requests (or auto-detects) one.  Both
+        emitters consume the identical :class:`ArenaProgram`, so the
+        upgrade is bit-identical; loop-opaque programs (e.g. rank-3
+        full-array stores) fall back to the steady emitter per kernel,
+        cached under a ``#loops`` suffix of the same source hash."""
+        nk = self._np_kernel(launch, steady=True)
+        mode = self.kernel_backend
+        if mode is None:
+            mode = "numba" if _loops_available() else "numpy-steady"
+        if mode != "numba":
+            return nk
+        key = _kernel_source_key(launch.kernel) + "#loops"
+        lk = _NP_KERNEL_CACHE.get(key)
+        if lk is None:
+            from ..lift.codegen.loops import LoopsUnsupported, compile_loops
+            try:
+                lk = compile_loops(nk.program, reference_fn=nk.fn)
+            except LoopsUnsupported:
+                lk = nk
+            _NP_KERNEL_CACHE[key] = lk
+        return lk
 
     def _workspace_for(self, nk: NumpyKernel, args: list,
                        out_array: np.ndarray | None,
@@ -633,7 +689,7 @@ class VirtualGPU:
                 f"but its launch has no 'out' buffer binding; "
                 f"compile_host() normally adds one — check the plan's "
                 f"Launch.args", kernel=op.kernel.name)
-        steady_nk = self._np_kernel(op, steady=True)
+        steady_nk = self._exec_kernel(op)
         ws = self._workspace_for(steady_nk, args, out_array, size_kwargs)
         t0 = _time.perf_counter()
         if steady_nk.returns_out:
@@ -692,7 +748,7 @@ class VirtualGPU:
         What remains per step is patching the rotating buffer positions
         and the kernel call itself.
         """
-        nk = self._np_kernel(op, steady=True)
+        nk = self._exec_kernel(op)
         args: list = []
         rotating: list[tuple[int, str]] = []
         size_kwargs: dict[str, int] = {}

@@ -4,13 +4,23 @@
 * :mod:`.host` — OpenCL host-side orchestration: C source text plus an
   executable :class:`~repro.lift.codegen.host.HostPlan` for the virtual GPU
   runtime.
+* :mod:`.arena` — the backend-neutral :class:`~repro.lift.codegen.arena.
+  ArenaProgram` three-address artifact every executable emitter consumes,
+  plus the :class:`~repro.lift.codegen.arena.Workspace` slot arena.
 * :mod:`.numpy_backend` — a vectorising compiler emitting executable NumPy
-  Python source (the performance backend in this GPU-less reproduction).
+  Python source (steady zero-allocation or legacy allocating emission).
+* :mod:`.loops` — compiled parallel fused loops over the same
+  :class:`ArenaProgram` (numba jit or C-via-system-compiler tiers, with
+  graceful fallback when neither is available).
 """
 
 from .opencl import KernelSource, compile_kernel
 from .host import HostPlan, HostProgram, compile_host
 from .numpy_backend import compile_numpy
+from .arena import ArenaProgram, Workspace
+from .loops import LoopKernel, LoopsUnsupported, available_tiers, compile_loops
 
-__all__ = ["KernelSource", "compile_kernel", "HostPlan", "HostProgram",
-           "compile_host", "compile_numpy"]
+__all__ = ["ArenaProgram", "HostPlan", "HostProgram", "KernelSource",
+           "LoopKernel", "LoopsUnsupported", "Workspace", "available_tiers",
+           "compile_host", "compile_kernel", "compile_loops",
+           "compile_numpy"]

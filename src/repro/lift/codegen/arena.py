@@ -1,4 +1,18 @@
-"""Workspace arena: persistent buffers for zero-allocation stepping.
+"""Workspace arena and the backend-neutral arena program IR.
+
+Two layers live here:
+
+* :class:`ArenaProgram` — the explicit three-address artifact the
+  steady-state lowering produces: a straight-line list of typed ops
+  (pad / shift / take / ufunc / where / cast / const / stores) with the
+  slot table, CSE, and affine-gather decisions already applied.  It is
+  **backend-neutral**: ``render()`` prints the NumPy realisation
+  (the exact source :func:`repro.lift.codegen.numpy_backend.compile_numpy`
+  compiles), and :func:`repro.lift.codegen.loops.compile_loops` lowers
+  the *same object* to a compiled fused loop.  ``dump()`` is the stable
+  golden-IR serialisation pinned by ``tests/lift/test_arena_program.py``.
+* :class:`Workspace` — the runtime arena the rendered NumPy program
+  executes against.
 
 The NumPy backend's steady-state emitter (``compile_numpy(...,
 steady=True)``) lowers the kernel's expression tree to three-address
@@ -28,11 +42,405 @@ granularity.
 from __future__ import annotations
 
 import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Workspace", "ArenaFrozenError", "arena_stats",
-           "reset_arena_stats"]
+__all__ = ["ArenaFrozenError", "ArenaOp", "ArenaProgram", "Workspace",
+           "arena_stats", "reset_arena_stats"]
+
+
+# --- the arena program IR ----------------------------------------------------------
+#
+# Every op renders exactly one line of the steady-state NumPy source
+# (``render()``), and carries enough structure for a second emitter to
+# lower it without re-parsing strings.  Operand fields hold *Python
+# expression strings* over the kernel's parameters, size arguments and
+# earlier temporaries — a bare identifier that names a vector slot is a
+# full-grid value, anything else is a per-call scalar expression.
+
+
+class ArenaOp:
+    """Base class for arena-program ops (one rendered source line).
+    Value-producing ops carry a ``name`` field (their slot); stores
+    carry a ``target`` instead."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One stable ``dump()`` line (golden-IR serialisation)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScalarOp(ArenaOp):
+    """A per-call scalar binding ``name = expr`` (no full-grid value)."""
+
+    name: str
+    expr: str
+
+    def render(self) -> str:
+        return f"{self.name} = {self.expr}"
+
+    def describe(self) -> str:
+        return f"scalar {self.name} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class AliasOp(ArenaOp):
+    """A pure rename of an existing vector slot."""
+
+    name: str
+    src: str
+
+    def render(self) -> str:
+        return f"{self.name} = {self.src}"
+
+    def describe(self) -> str:
+        return f"alias  {self.name} = {self.src}"
+
+
+@dataclass(frozen=True)
+class VecExprOp(ArenaOp):
+    """Fallback: a vector value kept as a legacy (allocating) NumPy
+    expression.  Never produced by the hot FDTD kernels; its presence
+    marks the program unsupported for the fused-loop emitter."""
+
+    name: str
+    expr: str
+
+    def render(self) -> str:
+        return f"{self.name} = {self.expr}"
+
+    def describe(self) -> str:
+        return f"vexpr  {self.name} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class GidOp(ArenaOp):
+    """The contiguous work-item range ``_gid = np.arange(n)`` opening a
+    ``MapGlb`` region; ``n`` is the region's extent expression."""
+
+    n: str
+    name: str = "_gid"
+
+    def render(self) -> str:
+        return (f"_gid = _ws.const('_gid@{self.n}', _key, "
+                f"lambda: np.arange({self.n}))")
+
+    def describe(self) -> str:
+        return f"gid    _gid = arange({self.n})"
+
+
+@dataclass(frozen=True)
+class ConstOp(ArenaOp):
+    """A step-invariant vector hoisted into a keyed const slot."""
+
+    name: str
+    expr: str
+
+    def render(self) -> str:
+        return f"{self.name} = _ws.const({self.name!r}, _key, lambda: {self.expr})"
+
+    def describe(self) -> str:
+        return f"const  {self.name} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class ShiftOp(ArenaOp):
+    """Affine gather ``base[_gid + offset]`` over ``n`` elements;
+    ``copy`` snapshots when the kernel also writes ``base``."""
+
+    name: str
+    base: str
+    n: str
+    offset: str
+    copy: bool
+
+    def render(self) -> str:
+        return (f"{self.name} = _ws.shift({self.name!r}, {self.base}, "
+                f"{self.n}, {self.offset}, copy={self.copy})")
+
+    def describe(self) -> str:
+        c = " copy" if self.copy else ""
+        return (f"shift  {self.name} = {self.base}[_gid + {self.offset}]"
+                f" n={self.n}{c}")
+
+
+@dataclass(frozen=True)
+class TakeOp(ArenaOp):
+    """Fancy gather ``base[index]`` through a vector index slot."""
+
+    name: str
+    base: str
+    index: str
+
+    def render(self) -> str:
+        return f"{self.name} = _ws.take({self.name!r}, {self.base}, {self.index})"
+
+    def describe(self) -> str:
+        return f"take   {self.name} = {self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class UfuncOp(ArenaOp):
+    """Elementwise ufunc application into the slot's buffer."""
+
+    name: str
+    ufunc: str                  # e.g. "np.add"
+    args: tuple[str, ...]
+
+    def render(self) -> str:
+        return (f"{self.name} = _ws.ufunc({self.name!r}, {self.ufunc}, "
+                f"{', '.join(self.args)})")
+
+    def describe(self) -> str:
+        return f"ufunc  {self.name} = {self.ufunc}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class WhereOp(ArenaOp):
+    """Elementwise select ``np.where(cond, if_true, if_false)``."""
+
+    name: str
+    cond: str
+    if_true: str
+    if_false: str
+
+    def render(self) -> str:
+        return (f"{self.name} = _ws.where({self.name!r}, {self.cond}, "
+                f"{self.if_true}, {self.if_false})")
+
+    def describe(self) -> str:
+        return (f"where  {self.name} = where({self.cond}, {self.if_true}, "
+                f"{self.if_false})")
+
+
+@dataclass(frozen=True)
+class CastOp(ArenaOp):
+    """Elementwise dtype conversion (C-cast semantics)."""
+
+    name: str
+    value: str
+    dtype: str                  # e.g. "np.float32"
+
+    def render(self) -> str:
+        return f"{self.name} = _ws.cast({self.name!r}, {self.value}, {self.dtype})"
+
+    def describe(self) -> str:
+        return f"cast   {self.name} = ({self.dtype}) {self.value}"
+
+
+@dataclass(frozen=True)
+class PadOp(ArenaOp):
+    """Persistent 1-D ghost cells around ``base`` (halo written once)."""
+
+    name: str
+    base: str
+    before: str
+    after: str
+    fill: str
+
+    def render(self) -> str:
+        return (f"{self.name} = _ws.pad({self.name!r}, {self.base}, "
+                f"{self.before}, {self.after}, {self.fill})")
+
+    def describe(self) -> str:
+        return (f"pad    {self.name} = pad({self.base}, {self.before}, "
+                f"{self.after}, fill={self.fill})")
+
+
+@dataclass(frozen=True)
+class Pad3Op(ArenaOp):
+    """Persistent 3-D ghost cells (symmetric width)."""
+
+    name: str
+    base: str
+    width: str
+    fill: str
+
+    def render(self) -> str:
+        return (f"{self.name} = _ws.pad3({self.name!r}, {self.base}, "
+                f"{self.width}, {self.fill})")
+
+    def describe(self) -> str:
+        return f"pad3   {self.name} = pad3({self.base}, {self.width}, fill={self.fill})"
+
+
+@dataclass(frozen=True)
+class SliceStoreOp(ArenaOp):
+    """Contiguous scatter ``target[start : start + count] = value``
+    (the affine form of a unique-index scatter).  ``lhs`` keeps the
+    exact rendered subscript text."""
+
+    target: str
+    start: str
+    count: str
+    value: str
+    lhs: str
+
+    def render(self) -> str:
+        return f"{self.lhs} = {self.value}"
+
+    def describe(self) -> str:
+        return (f"store  {self.target}[{self.start} : {self.start} + "
+                f"{self.count}] = {self.value}")
+
+
+@dataclass(frozen=True)
+class IndexStoreOp(ArenaOp):
+    """Scatter through a vector index slot: ``target[index] = value``.
+    Indices are unique by construction (owner-partitioned points)."""
+
+    target: str
+    index: str
+    value: str
+
+    def render(self) -> str:
+        return f"{self.target}[{self.index}] = {self.value}"
+
+    def describe(self) -> str:
+        return f"store  {self.target}[{self.index}] = {self.value}"
+
+
+@dataclass(frozen=True)
+class ElemStoreOp(ArenaOp):
+    """A single-element store with a per-call scalar index."""
+
+    target: str
+    index: str
+    value: str
+
+    def render(self) -> str:
+        return f"{self.target}[{self.index}] = {self.value}"
+
+    def describe(self) -> str:
+        return f"selem  {self.target}[{self.index}] = {self.value}"
+
+
+@dataclass(frozen=True)
+class FullStoreOp(ArenaOp):
+    """Whole-buffer store ``target[:] = value`` (rank 1) or
+    ``target[:, :, :] = value`` (rank 3)."""
+
+    target: str
+    value: str
+    rank: int = 1
+
+    def render(self) -> str:
+        sub = ":" if self.rank == 1 else ":, :, :"
+        return f"{self.target}[{sub}] = {self.value}"
+
+    def describe(self) -> str:
+        return f"fill   {self.target}[...] = {self.value} rank={self.rank}"
+
+
+@dataclass(frozen=True)
+class RawOp(ArenaOp):
+    """An escape hatch for source lines with no structured form; its
+    presence marks the program unsupported for the fused-loop emitter."""
+
+    line: str
+
+    def render(self) -> str:
+        return self.line
+
+    def describe(self) -> str:
+        return f"raw    {self.line}"
+
+
+#: op kinds a fused-loop emitter cannot consume
+_LOOP_OPAQUE = (VecExprOp, Pad3Op, ElemStoreOp, FullStoreOp, RawOp)
+
+
+@dataclass
+class ArenaProgram:
+    """The backend-neutral steady-state lowering of one kernel Lambda.
+
+    A straight-line three-address program over named slots: CSE, affine
+    gather/scatter decisions, step-invariant hoisting and float-width
+    discipline are already applied, so every consumer sees the same
+    lowering.  ``render()`` prints the NumPy realisation (what
+    ``compile_numpy(steady=True)`` executes); the fused-loop emitter
+    (:mod:`repro.lift.codegen.loops`) walks ``ops`` directly.
+    """
+
+    name: str
+    #: kernel parameters, in call order
+    param_names: list[str] = field(default_factory=list)
+    #: size arguments appended to the signature
+    size_params: list[str] = field(default_factory=list)
+    #: scalar arguments forming the const-slot key, in key order
+    scalar_params: list[str] = field(default_factory=list)
+    #: names of 1-D array parameters
+    array_params: list[str] = field(default_factory=list)
+    #: arrays the kernel stores into (params and/or "out")
+    written: frozenset = frozenset()
+    #: True when the kernel writes a fresh ``out`` buffer
+    returns_out: bool = False
+    #: the exact ``return ...`` line of the rendered source
+    return_line: str = "return None"
+    ops: list = field(default_factory=list)
+    #: names bound to full-grid (vector) values
+    vec: frozenset = frozenset()
+    #: vector names that are step-invariant
+    inv: frozenset = frozenset()
+    #: memory-allocation plan (repro.lift.memory.KernelAllocation);
+    #: carried for the compiled callable, not part of the IR identity
+    alloc: object | None = None
+
+    # -- queries -------------------------------------------------------
+
+    def pad_ops(self) -> dict:
+        return {op.name: op for op in self.ops if isinstance(op, PadOp)}
+
+    def gid_ops(self) -> list:
+        return [op for op in self.ops if isinstance(op, GidOp)]
+
+    def loop_opaque_reasons(self) -> list[str]:
+        """Why the fused-loop emitter must decline this program
+        (empty = structurally loop-lowerable)."""
+        reasons = []
+        for op in self.ops:
+            if isinstance(op, _LOOP_OPAQUE):
+                reasons.append(f"{type(op).__name__}: {op.render()}")
+        if len(self.gid_ops()) != 1:
+            reasons.append(f"{len(self.gid_ops())} MapGlb regions (need 1)")
+        return reasons
+
+    # -- emitters ------------------------------------------------------
+
+    def signature(self) -> list[str]:
+        return (list(self.param_names) + list(self.size_params)
+                + (["out"] if self.returns_out else []) + ["_ws=None"])
+
+    def render(self) -> str:
+        """The steady-state NumPy source, byte-identical to what
+        ``compile_numpy(steady=True)`` compiles."""
+        lines = [f"def {self.name}({', '.join(self.signature())}):"]
+        lines.append("    if _ws is None:")
+        lines.append("        _ws = _Workspace()")
+        key = ", ".join(self.scalar_params) + ("," if self.scalar_params else "")
+        lines.append(f"    _key = ({key})")
+        for op in self.ops:
+            lines.append("    " + op.render())
+        lines.append("    " + self.return_line)
+        return "\n".join(lines)
+
+    def dump(self) -> str:
+        """Stable golden-IR serialisation (one line per op)."""
+        head = [
+            f"arena-program {self.name}",
+            f"params:  {' '.join(self.param_names)}",
+            f"sizes:   {' '.join(self.size_params)}",
+            f"scalars: {' '.join(self.scalar_params)}",
+            f"arrays:  {' '.join(self.array_params)}",
+            f"written: {' '.join(sorted(self.written))}",
+            f"returns: {'out' if self.returns_out else self.return_line}",
+        ]
+        body = [f"  {op.describe()}" for op in self.ops]
+        return "\n".join(head + body)
 
 
 class ArenaFrozenError(RuntimeError):

@@ -1,0 +1,801 @@
+"""Compiled fused-loop emitter for the arena program IR.
+
+:func:`compile_loops` is the second executable consumer of the
+backend-neutral :class:`~repro.lift.codegen.arena.ArenaProgram` (the
+first is the NumPy-steady emitter, which simply ``exec``-compiles
+``program.render()``).  It lowers the same straight-line three-address
+program to one fused per-element loop — every slot becomes a scalar
+local, every shift/take becomes an indexed load, every store an indexed
+write — and compiles that loop through the best available tier:
+
+* ``numba`` — ``njit(parallel=True, fastmath=False)`` over a Z-tiled
+  ``prange`` (one Z-plane per block when the kernel carries an ``NxNy``
+  size, matching the Devito-style tiled-stencil playbook);
+* ``cc``    — generated C, built with ``cc -O2 -ffp-contract=off
+  -fwrapv`` (no fastmath, no FMA contraction: IEEE semantics identical
+  to NumPy's per-op loops) and loaded through :mod:`ctypes`;
+* ``python`` — the numba source interpreted with ``prange = range``;
+  exact but slow, a debugging/test tier that is never auto-selected.
+
+Bit-identity strategy — *probe-first specialisation*: the first call
+for a given argument-dtype set runs the reference NumPy-steady kernel
+(so the first result is bit-identical by definition) and snapshots the
+workspace's slot dtypes.  Codegen then emits every operation with its
+operands explicitly cast to the dtype NumPy actually produced, so the
+compiled loop performs the same IEEE operation at the same width as
+NumPy's ufunc inner loops.  Negative affine offsets reproduce fancy
+indexing's wraparound (``index += size`` when negative), exactly as
+:meth:`Workspace.shift` does.
+
+Fusing the whole program into one pass over the grid reorders stores of
+element *i* before loads of element *j > i*.  That is value-preserving
+here because the lowering only gathers from written arrays at the
+element's own locations (boundary index sets are owner-partitioned and
+injective by construction) — pinned process-wide by the cross-backend
+bit-identity matrix in ``tests/acoustics/test_backend_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, GidOp,
+                    IndexStoreOp, PadOp, ScalarOp, ShiftOp, SliceStoreOp,
+                    TakeOp, UfuncOp, WhereOp, Workspace)
+
+__all__ = ["LoopKernel", "LoopsUnsupported", "available_tiers",
+           "compile_loops", "select_tier"]
+
+
+class LoopsUnsupported(RuntimeError):
+    """The fused-loop emitter cannot lower this program (the caller
+    should fall back to the NumPy-steady emitter)."""
+
+
+# --- tier discovery ---------------------------------------------------------
+
+_TIERS = ("numba", "cc", "python")
+_cc_state: dict = {}
+
+
+def _numba_available() -> bool:
+    try:
+        import numba  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _cc_path() -> str | None:
+    """A working C compiler, probed once per process with a real
+    compile-and-load round trip."""
+    if "path" in _cc_state:
+        return _cc_state["path"]
+    path = None
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            path = shutil.which(cand)
+            break
+    if path is not None:
+        try:
+            lib = _cc_build(path, "void repro_loop_probe(void) {}\n",
+                            "probe")
+            getattr(lib, "repro_loop_probe")
+        except Exception:
+            path = None
+    _cc_state["path"] = path
+    return path
+
+
+_build_dir: list = []
+_build_seq = [0]
+
+
+def _cc_workdir() -> str:
+    if not _build_dir:
+        d = tempfile.mkdtemp(prefix="repro-loops-")
+        _build_dir.append(d)
+        atexit.register(shutil.rmtree, d, ignore_errors=True)
+    return _build_dir[0]
+
+
+def _cc_build(cc: str, source: str, stem: str):
+    """Compile ``source`` to a shared object and load it."""
+    d = _cc_workdir()
+    _build_seq[0] += 1
+    stem = f"{stem}_{_build_seq[0]}"
+    src = os.path.join(d, f"{stem}.c")
+    so = os.path.join(d, f"{stem}.so")
+    with open(src, "w") as f:
+        f.write(source)
+    base = [cc, "-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off",
+            src, "-o", so, "-lm"]
+    for cmd in (base[:1] + ["-fopenmp"] + base[1:], base):
+        r = subprocess.run(cmd, capture_output=True, text=True)
+        if r.returncode == 0:
+            return ctypes.CDLL(so)
+    raise LoopsUnsupported(f"C compilation failed:\n{r.stderr}")
+
+
+def available_tiers() -> tuple[str, ...]:
+    """The loop tiers usable in this process, best first ('python' is
+    always present but never auto-selected)."""
+    tiers = []
+    if _numba_available():
+        tiers.append("numba")
+    if _cc_path():
+        tiers.append("cc")
+    tiers.append("python")
+    return tuple(tiers)
+
+
+def select_tier(requested: str | None = None) -> str:
+    """Resolve a tier name.  ``None`` picks the best *compiled* tier
+    (honouring ``REPRO_LOOP_TIER``) and raises :class:`LoopsUnsupported`
+    when neither numba nor a C compiler is available — the interpreted
+    tier is opt-in only."""
+    requested = requested or os.environ.get("REPRO_LOOP_TIER") or None
+    if requested is not None:
+        if requested not in _TIERS:
+            raise ValueError(f"unknown loop tier {requested!r}; "
+                             f"expected one of {_TIERS}")
+        if requested == "numba" and not _numba_available():
+            raise LoopsUnsupported("numba is not importable")
+        if requested == "cc" and not _cc_path():
+            raise LoopsUnsupported("no working C compiler found")
+        return requested
+    if _numba_available():
+        return "numba"
+    if _cc_path():
+        return "cc"
+    raise LoopsUnsupported(
+        "no compiled loop tier available (numba not importable, no "
+        "working C compiler)")
+
+
+# --- dtype utilities --------------------------------------------------------
+
+_CTYPE = {"f8": "double", "f4": "float", "i8": "long long", "i4": "int",
+          "i2": "short", "i1": "signed char", "u8": "unsigned long long",
+          "u4": "unsigned int", "u1": "unsigned char", "b1": "unsigned char"}
+_NPCTOR = {"f8": "np.float64", "f4": "np.float32", "i8": "np.int64",
+           "i4": "np.int32", "i2": "np.int16", "i1": "np.int8",
+           "u8": "np.uint64", "u4": "np.uint32", "u1": "np.uint8",
+           "b1": "np.bool_"}
+
+#: result-dtype-driven arithmetic ufuncs (operands cast to result dtype)
+_ARITH = {"np.add": "+", "np.subtract": "-", "np.multiply": "*",
+          "np.true_divide": "/"}
+_COMPARE = {"np.equal": "==", "np.not_equal": "!=", "np.less": "<",
+            "np.less_equal": "<=", "np.greater": ">",
+            "np.greater_equal": ">="}
+_MINMAX = {"np.minimum": "<", "np.maximum": ">"}
+_UNARY = {"np.negative", "np.sqrt", "np.abs"}
+
+
+def _code(dt: np.dtype) -> str:
+    c = dt.str.lstrip("<>|=")
+    if c not in _CTYPE:
+        raise LoopsUnsupported(f"unsupported dtype {dt} in loop emitter")
+    return c
+
+
+def _strip(s: str) -> str:
+    s = s.strip()
+    while s.startswith("(") and s.endswith(")"):
+        inner, depth = s[1:-1], 0
+        for ch in inner:
+            depth += (ch == "(") - (ch == ")")
+            if depth < 0:
+                return s
+        s = inner.strip()
+    return s
+
+
+# --- codegen ---------------------------------------------------------------
+
+
+class _Gen:
+    """Shared lowering state: one pass over the ops produces both the
+    python/numba body and the C body, plus the host-prologue plan."""
+
+    def __init__(self, program: ArenaProgram, dt: dict, scalar_dt: dict):
+        self.prog = program
+        self.dt = dt                  # name -> np.dtype (slots + arrays)
+        self.scalar_dt = scalar_dt    # scalar-arg expr -> np.dtype
+        self.local: dict[str, str] = {}      # slot -> loop token (py == C)
+        self.const_arrays: list[str] = []    # host-materialised array args
+        self.pad_arrays: list[str] = []
+        self.used_arrays: list[str] = []     # kernel array-argument order
+        self.sizes: list[str] = []           # arrays needing a _sz_ arg
+        self.scal_args: dict[str, str] = {}  # expr -> arg token
+        self.py: list[str] = []
+        self.c: list[str] = []
+
+    # -- operand resolution ------------------------------------------
+
+    def _use_array(self, name: str) -> None:
+        if name not in self.used_arrays:
+            self.used_arrays.append(name)
+
+    def _need_size(self, name: str) -> str:
+        if name not in self.sizes:
+            self.sizes.append(name)
+        return f"_sz_{name}"
+
+    def scal(self, expr: str) -> tuple[str, np.dtype]:
+        tok = self.scal_args.get(expr)
+        if tok is None:
+            tok = f"_s{len(self.scal_args)}"
+            self.scal_args[expr] = tok
+        return tok, self.scalar_dt[expr]
+
+    def operand(self, expr: str) -> tuple[str, np.dtype, bool]:
+        """Resolve an operand expression to (token, dtype, is_scalar_arg).
+        The token is valid in both the python and the C body."""
+        s = _strip(expr)
+        tok = self.local.get(s)
+        if tok is not None:
+            return tok, self.dt[s], False
+        tok, dt = self.scal(expr)
+        return tok, dt, True
+
+    def cast(self, expr: str, to: np.dtype) -> tuple[str, str]:
+        """Python and C tokens for the operand cast to ``to``."""
+        tok, dt, _ = self.operand(expr)
+        if dt == to:
+            return tok, tok
+        c = _code(to)
+        return f"{_NPCTOR[c]}({tok})", f"({_CTYPE[c]})({tok})"
+
+    # -- emission ------------------------------------------------------
+
+    def line(self, py: str, c: str) -> None:
+        self.py.append(py)
+        self.c.append(c)
+
+    def assign(self, name: str, py_rhs: str, c_rhs: str) -> None:
+        c = _code(self.dt[name])
+        self.local[name] = name
+        self.line(f"{name} = {py_rhs}", f"{_CTYPE[c]} {name} = {c_rhs};")
+
+    def indexed_load(self, name: str, base: str, py_idx: str,
+                     c_idx: str) -> None:
+        self._use_array(base)
+        sz = self._need_size(base)
+        self.line(f"_j = {py_idx}", f"_j = {c_idx};")
+        self.line("if _j < 0:", f"if (_j < 0) _j += {sz};")
+        self.line(f"    _j += {sz}", None)
+        self.assign(name, f"{base}[_j]", f"{base}[_j]")
+
+
+def _result_type(gen: _Gen, args: tuple, values: dict):
+    """NumPy promotion over the operands, with python-scalar weak
+    semantics (``np.result_type`` accepts values)."""
+    reps = []
+    for a in args:
+        s = _strip(a)
+        if s in gen.local:
+            reps.append(gen.dt[s])
+        else:
+            reps.append(values[a])
+    return np.result_type(*reps)
+
+
+def _lower_ops(gen: _Gen, scalar_values: dict) -> None:
+    prog = gen.prog
+    for op in prog.ops:
+        if isinstance(op, GidOp):
+            gen.local[op.name] = "_i"      # the loop variable
+            continue
+        if isinstance(op, ScalarOp):
+            continue                       # host prologue
+        if isinstance(op, ConstOp):
+            gen.dt[op.name] = gen.dt[op.name]      # set by snapshot
+            gen.local[op.name] = f"{op.name}[_i]"
+            gen.const_arrays.append(op.name)
+            gen._use_array(op.name)
+            continue
+        if isinstance(op, PadOp):
+            if op.base in prog.written:
+                raise LoopsUnsupported(
+                    f"pad of written array {op.base!r}")
+            gen.pad_arrays.append(op.name)
+            gen._use_array(op.name)
+            continue
+        if isinstance(op, AliasOp):
+            src = _strip(op.src)
+            if src not in gen.local:
+                raise LoopsUnsupported(f"alias of non-vector {op.src!r}")
+            gen.dt[op.name] = gen.dt[src]
+            gen.assign(op.name, gen.local[src], gen.local[src])
+            continue
+        if isinstance(op, ShiftOp):
+            off, _dt = gen.scal(op.offset)
+            gen.dt[op.name] = gen.dt[op.base]
+            gen.indexed_load(op.name, op.base, f"_i + {off}",
+                             f"_i + {off}")
+            continue
+        if isinstance(op, TakeOp):
+            idx = _strip(op.index)
+            if idx not in gen.local:
+                raise LoopsUnsupported(f"take index {op.index!r} is not "
+                                       "a vector slot")
+            tok = gen.local[idx]
+            gen.indexed_load(op.name, op.base, tok, f"(long long)({tok})")
+            continue
+        if isinstance(op, UfuncOp):
+            _lower_ufunc(gen, op, scalar_values)
+            continue
+        if isinstance(op, WhereOp):
+            to = gen.dt[op.name]
+            cond, _cdt, _ = gen.operand(op.cond)
+            tp, tc = gen.cast(op.if_true, to)
+            fp, fc = gen.cast(op.if_false, to)
+            gen.assign(op.name, f"{tp} if {cond} else {fp}",
+                       f"({cond}) ? {tc} : {fc}")
+            continue
+        if isinstance(op, CastOp):
+            to = gen.dt[op.name]
+            tok, _dt, _ = gen.operand(op.value)
+            c = _code(to)
+            gen.assign(op.name, f"{_NPCTOR[c]}({tok})",
+                       f"({_CTYPE[c]})({tok})")
+            continue
+        if isinstance(op, SliceStoreOp):
+            gen._use_array(op.target)
+            start, _dt = gen.scal(op.start)
+            vp, vc = gen.cast(op.value, gen.dt[op.target])
+            gen.line(f"{op.target}[{start} + _i] = {vp}",
+                     f"{op.target}[{start} + _i] = {vc};")
+            continue
+        if isinstance(op, IndexStoreOp):
+            idx = _strip(op.index)
+            if idx not in gen.local:
+                raise LoopsUnsupported(f"store index {op.index!r} is not "
+                                       "a vector slot")
+            gen._use_array(op.target)
+            sz = gen._need_size(op.target)
+            tok = gen.local[idx]
+            vp, vc = gen.cast(op.value, gen.dt[op.target])
+            gen.line(f"_j = {tok}", f"_j = (long long)({tok});")
+            gen.line("if _j < 0:", f"if (_j < 0) _j += {sz};")
+            gen.line(f"    _j += {sz}", None)
+            gen.line(f"{op.target}[_j] = {vp}", f"{op.target}[_j] = {vc};")
+            continue
+        raise LoopsUnsupported(f"op {type(op).__name__} has no loop "
+                               f"lowering: {op.render()}")
+
+
+def _lower_ufunc(gen: _Gen, op: UfuncOp, values: dict) -> None:
+    uf = op.ufunc
+    if uf in _ARITH:
+        to = gen.dt[op.name]
+        (ap, ac), (bp, bc) = (gen.cast(a, to) for a in op.args)
+        sym = _ARITH[uf]
+        if sym == "/" and to.kind != "f":
+            raise LoopsUnsupported("integer true_divide")
+        gen.assign(op.name, f"{ap} {sym} {bp}", f"{ac} {sym} {bc}")
+        return
+    if uf in _COMPARE:
+        to = _result_type(gen, op.args, values)
+        (ap, ac), (bp, bc) = (gen.cast(a, to) for a in op.args)
+        sym = _COMPARE[uf]
+        gen.assign(op.name, f"{ap} {sym} {bp}", f"{ac} {sym} {bc}")
+        return
+    if uf in _MINMAX:
+        # NaN-propagating, like np.minimum / np.maximum
+        to = gen.dt[op.name]
+        (ap, ac), (bp, bc) = (gen.cast(a, to) for a in op.args)
+        sym = _MINMAX[uf]
+        gen.assign(
+            op.name,
+            f"({ap} if {ap} != {ap} else ({bp} if {bp} != {bp} "
+            f"else ({ap} if {ap} {sym} {bp} else {bp})))",
+            f"({ac} != {ac} ? {ac} : ({bc} != {bc} ? {bc} : "
+            f"({ac} {sym} {bc} ? {ac} : {bc})))")
+        return
+    if uf in _UNARY:
+        to = gen.dt[op.name]
+        vp, vc = gen.cast(op.args[0], to)
+        c = _code(to)
+        if uf == "np.negative":
+            gen.assign(op.name, f"-({vp})", f"-({vc})")
+        elif uf == "np.sqrt":
+            fn = "sqrtf" if c == "f4" else "sqrt"
+            gen.assign(op.name, f"np.sqrt({vp})", f"{fn}({vc})")
+        else:
+            fn = {"f4": "fabsf", "f8": "fabs"}.get(c, "llabs")
+            gen.assign(op.name, f"np.abs({vp})",
+                       f"({_CTYPE[c]}){fn}({vc})")
+        return
+    raise LoopsUnsupported(f"ufunc {uf} has no loop lowering")
+
+
+# --- specialisation --------------------------------------------------------
+
+
+def _scalar_names(prog: ArenaProgram) -> list[str]:
+    arrays = set(prog.array_params)
+    return ([p for p in prog.param_names if p not in arrays]
+            + list(prog.size_params))
+
+
+def _host_env(prog: ArenaProgram, bound: dict) -> dict:
+    return {n: bound[n] for n in _scalar_names(prog)}
+
+
+def _snapshot_dtypes(prog: ArenaProgram, bound: dict,
+                     ws: Workspace) -> dict:
+    """Slot name -> dtype, from the probe call's workspace plus the
+    rules for slots the workspace never records (views, aliases)."""
+    dt: dict[str, np.dtype] = {}
+    for p in prog.array_params:
+        dt[p] = np.asarray(bound[p]).dtype
+    if prog.returns_out and "out" in bound:
+        dt["out"] = np.asarray(bound["out"]).dtype
+    for op in prog.ops:
+        if isinstance(op, GidOp):
+            ent = ws._consts.get(f"_gid@{op.n}")
+            dt[op.name] = (ent[1].dtype if ent is not None
+                           else np.dtype(np.int64))
+        elif isinstance(op, AliasOp):
+            src = _strip(op.src)
+            if src in dt:
+                dt[op.name] = dt[src]
+        elif isinstance(op, (ShiftOp, PadOp)):
+            dt[op.name] = dt[op.base]
+        elif isinstance(op, ConstOp):
+            ent = ws._consts.get(op.name)
+            if ent is None:
+                raise LoopsUnsupported(
+                    f"const slot {op.name!r} missing from probe workspace")
+            dt[op.name] = np.asarray(ent[1]).dtype
+        elif isinstance(op, (TakeOp, UfuncOp, WhereOp, CastOp)):
+            buf = ws._slots.get(op.name)
+            if buf is None:
+                raise LoopsUnsupported(
+                    f"slot {op.name!r} missing from probe workspace")
+            dt[op.name] = buf.dtype
+    return dt
+
+
+def _scalar_arg_dtypes(prog: ArenaProgram, env: dict) -> dict:
+    """Host-evaluate every scalar operand expression once (with the
+    probe call's values) to learn its dtype; returns expr -> value so
+    codegen can also ask ``np.result_type`` with weak-scalar
+    semantics."""
+    values: dict[str, object] = {}
+    local = dict(env)
+    glb = {"np": np}
+    for op in prog.ops:
+        if isinstance(op, ScalarOp):
+            local[op.name] = eval(op.expr, glb, local)  # noqa: S307
+    def ev(expr: str):
+        if expr not in values:
+            values[expr] = eval(expr, glb, dict(local))  # noqa: S307
+        return values[expr]
+    for op in prog.ops:
+        if isinstance(op, ShiftOp):
+            ev(op.offset)
+        elif isinstance(op, SliceStoreOp):
+            ev(op.start)
+            if _strip(op.value) not in prog.vec:
+                ev(op.value)
+        elif isinstance(op, IndexStoreOp):
+            if _strip(op.value) not in prog.vec:
+                ev(op.value)
+        elif isinstance(op, (UfuncOp, WhereOp, CastOp)):
+            args = (op.args if isinstance(op, UfuncOp)
+                    else (op.cond, op.if_true, op.if_false)
+                    if isinstance(op, WhereOp) else (op.value,))
+            for a in args:
+                s = _strip(a)
+                if s not in prog.vec:
+                    ev(a)
+    return values
+
+
+@dataclass
+class _Spec:
+    """One compiled specialisation (per argument-dtype set)."""
+
+    source: str
+    fn: object                    # python/numba callable or ctypes symbol
+    tier: str
+    arg_arrays: list[str]         # kernel array-argument order
+    const_items: list             # (name, expr code) in program order
+    pad_items: list               # (name, base, before, after, fill codes)
+    size_arrays: list[str]
+    scal_items: list              # (expr code, 'f'|'i') in arg order
+    scalarop_items: list          # (name, code) in program order
+    shift_checks: list            # (offset code, n code, base name)
+    n_code: object
+    gid_const: tuple | None       # ('_gid@N', n code) when consts need it
+    c_argtypes: list | None = None
+
+
+def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
+                tier: str) -> _Spec:
+    env = _host_env(prog, bound)
+    dt = _snapshot_dtypes(prog, bound, ws)
+    values = _scalar_arg_dtypes(prog, env)
+    scalar_dt = {e: np.asarray(v).dtype for e, v in values.items()}
+    gen = _Gen(prog, dt, scalar_dt)
+    _lower_ops(gen, values)
+
+    gid = prog.gid_ops()[0]
+    const_ops = [op for op in prog.ops if isinstance(op, ConstOp)]
+    pad_ops = [op for op in prog.ops if isinstance(op, PadOp)]
+    needs_gid = any("_gid" in op.expr for op in const_ops)
+
+    arrays = gen.used_arrays
+    scal_order = list(gen.scal_args)
+    args = (arrays + [f"_sz_{a}" for a in gen.sizes]
+            + [gen.scal_args[e] for e in scal_order] + ["_n", "_tile"])
+
+    source = _render_python(prog.name, args, gen)
+    if tier == "cc":
+        source = _render_c(prog.name, arrays, gen, scal_order, dt)
+        lib = _cc_build(_cc_path(), source, prog.name)
+        fn = getattr(lib, f"repro_loop_{prog.name}")
+        argtypes = ([ctypes.c_void_p] * len(arrays)
+                    + [ctypes.c_longlong] * len(gen.sizes))
+        for e in scal_order:
+            argtypes.append(ctypes.c_longlong
+                            if scalar_dt[e].kind in "iub"
+                            else ctypes.c_double)
+        argtypes += [ctypes.c_longlong, ctypes.c_longlong]
+        fn.argtypes = argtypes
+        fn.restype = None
+    else:
+        ns: dict = {"np": np}
+        if tier == "numba":
+            from numba import njit, prange
+            ns["prange"] = prange
+        else:
+            ns["prange"] = range
+        exec(compile(source, f"<loops:{prog.name}>", "exec"), ns)
+        fn = ns[f"_loop_{prog.name}"]
+        if tier == "numba":
+            fn = njit(parallel=True, fastmath=False)(fn)
+
+    def cc(expr):
+        return compile(expr, "<loop host>", "eval")
+
+    return _Spec(
+        source=source, fn=fn, tier=tier, arg_arrays=arrays,
+        const_items=[(op.name, cc(op.expr)) for op in const_ops],
+        pad_items=[(op.name, op.base, cc(op.before), cc(op.after),
+                    cc(op.fill)) for op in pad_ops],
+        size_arrays=list(gen.sizes),
+        scal_items=[(cc(e), "i" if scalar_dt[e].kind in "iub" else "f")
+                    for e in scal_order],
+        scalarop_items=[(op.name, cc(op.expr)) for op in prog.ops
+                        if isinstance(op, ScalarOp)],
+        shift_checks=[(cc(op.offset), cc(op.n), op.base) for op in prog.ops
+                      if isinstance(op, ShiftOp)],
+        n_code=cc(gid.n),
+        gid_const=(f"_gid@{gid.n}", cc(gid.n)) if needs_gid else None,
+        c_argtypes=None)
+
+
+def _render_python(name: str, args: list[str], gen: _Gen) -> str:
+    lines = [f"def _loop_{name}({', '.join(args)}):",
+             "    for _tb in prange((_n + _tile - 1) // _tile):",
+             "        _lo = _tb * _tile",
+             "        _hi = _lo + _tile",
+             "        if _hi > _n:",
+             "            _hi = _n",
+             "        for _i in range(_lo, _hi):",
+             "            _j = 0"]
+    lines += ["            " + ln for ln in gen.py]
+    return "\n".join(lines) + "\n"
+
+
+def _render_c(name: str, arrays: list[str], gen: _Gen,
+              scal_order: list[str], dt: dict) -> str:
+    params = []
+    for a in arrays:
+        params.append(f"{_CTYPE[_code(dt[a])]}* {a}")
+    for a in gen.sizes:
+        params.append(f"long long _sz_{a}")
+    for e in scal_order:
+        kind = gen.scalar_dt[e].kind
+        ctp = "long long" if kind in "iub" else "double"
+        params.append(f"{ctp} {gen.scal_args[e]}")
+    params += ["long long _n", "long long _tile"]
+    body = []
+    for ln in gen.c:
+        if ln is not None:
+            body.append("        " + ln)
+    return "\n".join([
+        "#include <math.h>",
+        f"void repro_loop_{name}({', '.join(params)})",
+        "{",
+        "    (void)_tile;",
+        "    #pragma omp parallel for schedule(static)",
+        "    for (long long _i = 0; _i < _n; ++_i) {",
+        "        long long _j = 0; (void)_j;",
+        *body,
+        "    }",
+        "}",
+    ]) + "\n"
+
+
+# --- the dispatching kernel -------------------------------------------------
+
+
+@dataclass
+class LoopKernel:
+    """A fused-loop realisation of one :class:`ArenaProgram`.
+
+    Call-compatible with the NumPy-steady kernel (same positional and
+    keyword signature, including the trailing ``_ws``); the first call
+    per argument-dtype set runs the reference NumPy-steady kernel and
+    is therefore bit-identical by construction.
+    """
+
+    name: str
+    program: ArenaProgram
+    tier: str
+    fn: object = None
+    source: str = ""              # loop source of the latest specialisation
+    param_names: list = field(default_factory=list)
+    size_params: list = field(default_factory=list)
+    out_alloc: object = None
+    returns_out: bool = False
+    steady: bool = True
+
+
+class _Dispatch:
+    def __init__(self, kernel: LoopKernel, reference_fn):
+        self.kernel = kernel
+        self.ref = reference_fn
+        self.specs: dict = {}
+        self.own_ws: Workspace | None = None
+        prog = kernel.program
+        self.names = (list(prog.param_names) + list(prog.size_params)
+                      + (["out"] if prog.returns_out else []))
+
+    def _bind(self, args, kwargs) -> tuple[dict, Workspace]:
+        bound = dict(zip(self.names, args))
+        ws = kwargs.pop("_ws", None)
+        bound.update(kwargs)
+        if ws is None:
+            if self.own_ws is None:
+                self.own_ws = Workspace(f"loops:{self.kernel.name}")
+            ws = self.own_ws
+        missing = [n for n in self.names if n not in bound]
+        if missing:
+            raise TypeError(f"{self.kernel.name}() missing arguments: "
+                            f"{missing}")
+        return bound, ws
+
+    def _key(self, bound: dict) -> tuple:
+        prog = self.kernel.program
+        key = []
+        for n in self.names:
+            v = bound[n]
+            if n in prog.array_params or n == "out":
+                key.append(np.asarray(v).dtype.str)
+            else:
+                key.append((np.asarray(v).dtype.str,
+                            type(v) in (int, float, bool)))
+        return tuple(key)
+
+    def __call__(self, *args, **kwargs):
+        bound, ws = self._bind(args, kwargs)
+        key = self._key(bound)
+        spec = self.specs.get(key)
+        if spec is None:
+            # probe: the reference NumPy-steady kernel produces this
+            # call's result AND the dtype snapshot for specialisation
+            result = self.ref(*[bound[n] for n in self.names], _ws=ws)
+            spec = _build_spec(self.kernel.program, bound, ws,
+                               self.kernel.tier)
+            self.specs[key] = spec
+            self.kernel.source = spec.source
+            return result
+        return self._run(spec, bound, ws)
+
+    def _run(self, spec: _Spec, bound: dict, ws: Workspace):
+        prog = self.kernel.program
+        env = _host_env(prog, bound)
+        glb = {"np": np}
+        for name, code in spec.scalarop_items:
+            env[name] = eval(code, glb, env)  # noqa: S307
+        n = int(eval(spec.n_code, glb, env))  # noqa: S307
+        _key = tuple(env[s] for s in prog.scalar_params)
+        host = dict(env)
+        if spec.gid_const is not None:
+            cname, ncode = spec.gid_const
+            nv = int(eval(ncode, glb, env))  # noqa: S307
+            host["_gid"] = ws.const(cname, _key,
+                                    lambda: np.arange(nv))
+        arrays = {a: bound[a] for a in self.names
+                  if a in prog.array_params or a == "out"}
+        for name, code in spec.const_items:
+            snap = dict(host)
+            val = ws.const(name, _key,
+                           lambda: eval(code, glb, snap))  # noqa: S307
+            host[name] = val
+            arrays[name] = np.asarray(val)
+        for name, base, before, after, fill in spec.pad_items:
+            arrays[name] = ws.pad(name, arrays[base],
+                                  eval(before, glb, host),   # noqa: S307
+                                  eval(after, glb, host),    # noqa: S307
+                                  eval(fill, glb, host))     # noqa: S307
+        sizes = {a: int(arrays[a].shape[0]) for a in spec.size_arrays}
+        for off_code, n_code, base in spec.shift_checks:
+            off = int(eval(off_code, glb, env))  # noqa: S307
+            ln = int(eval(n_code, glb, env))  # noqa: S307
+            size = int(arrays[base].shape[0])
+            if off + ln > size or size + off < 0:
+                raise IndexError(
+                    f"shifted gather out of range: offset {off}, "
+                    f"length {ln}, array size {size}")
+        tile = int(env.get("NxNy") or 0)
+        if tile <= 0 or tile > n:
+            tile = max(1, -(-n // (8 * (os.cpu_count() or 1))))
+        scal_vals = [eval(code, glb, env)  # noqa: S307
+                     for code, _k in spec.scal_items]
+        if spec.tier == "cc":
+            argv = []
+            for a in spec.arg_arrays:
+                arr = arrays[a]
+                if not arr.flags["C_CONTIGUOUS"]:
+                    raise LoopsUnsupported(
+                        f"array argument {a!r} is not contiguous")
+                argv.append(arr.ctypes.data)
+            argv += [sizes[a] for a in spec.size_arrays]
+            for v, (_c, kind) in zip(scal_vals, spec.scal_items):
+                argv.append(int(v) if kind == "i" else float(v))
+            argv += [n, tile]
+            spec.fn(*argv)
+        else:
+            argv = [arrays[a] for a in spec.arg_arrays]
+            argv += [sizes[a] for a in spec.size_arrays]
+            argv += scal_vals
+            argv += [n, tile]
+            spec.fn(*argv)
+        if prog.returns_out:
+            return bound["out"]
+        tail = prog.return_line[len("return "):].strip()
+        return None if tail == "None" else bound.get(tail)
+
+
+def compile_loops(program: ArenaProgram, *, tier: str | None = None,
+                  reference_fn=None) -> LoopKernel:
+    """Lower an :class:`ArenaProgram` to a compiled fused loop.
+
+    Raises :class:`LoopsUnsupported` when the program is structurally
+    loop-opaque or no compiled tier is available (callers fall back to
+    the NumPy-steady emitter).  ``reference_fn`` overrides the probe
+    callable (defaults to exec-compiling ``program.render()``, i.e. the
+    NumPy-steady realisation of the *same* artifact).
+    """
+    reasons = program.loop_opaque_reasons()
+    if reasons:
+        raise LoopsUnsupported("; ".join(reasons))
+    resolved = select_tier(tier)
+    if reference_fn is None:
+        ns: dict = {"np": np, "_Workspace": Workspace}
+        exec(compile(program.render(), f"<loops ref:{program.name}>",
+                     "exec"), ns)
+        reference_fn = ns[program.name]
+    kernel = LoopKernel(name=program.name, program=program, tier=resolved,
+                        param_names=list(program.param_names),
+                        size_params=list(program.size_params),
+                        out_alloc=program.alloc,
+                        returns_out=program.returns_out)
+    kernel.fn = _Dispatch(kernel, reference_fn)
+    return kernel

@@ -39,7 +39,10 @@ from ..patterns import (AbstractMap, AbstractReduce, ArrayAccess,
                         TupleCons, WriteTo, Zip, Zip3D)
 from ..types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
                      ScalarType)
-from .arena import Workspace
+from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, ElemStoreOp,
+                    FullStoreOp, GidOp, IndexStoreOp, Pad3Op, PadOp, RawOp,
+                    ScalarOp, ShiftOp, SliceStoreOp, TakeOp, UfuncOp,
+                    VecExprOp, WhereOp, Workspace)
 from .c_ast import NameGen
 
 
@@ -67,6 +70,9 @@ class NumpyKernel:
     out_alloc: object           # KernelAllocation
     returns_out: bool           # True when a fresh `out` buffer is written
     steady: bool = False        # steady-state (arena) emission
+    #: the backend-neutral lowering artifact (steady emission only);
+    #: ``source`` is exactly ``program.render()``
+    program: ArenaProgram | None = None
 
     def __call__(self, *args, **sizes):
         return self.fn(*args, **sizes)
@@ -88,7 +94,8 @@ class _SteadyInfo:
     * ``n`` — the current ``MapGlb`` extent, as a Python expression.
     """
 
-    def __init__(self, written: set[str]):
+    def __init__(self, written: set[str], program: ArenaProgram):
+        self.program = program
         self.vec: set[str] = set()
         self.inv: set[str] = set()
         self.affine: dict[str, str] = {}
@@ -277,7 +284,17 @@ class _Ctx:
         return c
 
     def emit(self, line: str) -> None:
+        # in steady mode every source line must exist in the program
+        # artifact; structured sites use add(), anything else is opaque
+        if self.steady is not None:
+            self.steady.program.ops.append(RawOp(line))
         self.lines.append("    " + line)
+
+    def add(self, op) -> None:
+        """Record an arena-program op; its render IS the source line."""
+        assert self.steady is not None
+        self.steady.program.ops.append(op)
+        self.lines.append("    " + op.render())
 
     def temp(self, value: str, prefix: str = "t") -> str:
         if self.steady is not None:
@@ -300,13 +317,13 @@ def _steady_temp(ctx: _Ctx, value: str, prefix: str) -> str:
     assert st is not None
     if not _vec_expr(st, value):
         name = ctx.names.fresh(prefix)
-        ctx.emit(f"{name} = {value}")
+        ctx.add(ScalarOp(name, value))
         return name
     # pure alias of an existing vector name — copy its marks
     alias = _strip_parens(value)
     if _IDENT.match(alias) and alias in st.vec:
         name = ctx.names.fresh(prefix)
-        ctx.emit(f"{name} = {alias}")
+        ctx.add(AliasOp(name, alias))
         st.vec.add(name)
         st.note(name, alias)
         if alias in st.inv:
@@ -328,38 +345,36 @@ def _steady_temp(ctx: _Ctx, value: str, prefix: str) -> str:
         if off is not None and st.n is not None:
             name = ctx.names.fresh(prefix)
             copy = base in st.written
-            ctx.emit(f"{name} = _ws.shift({name!r}, {base}, {st.n}, "
-                     f"{off}, copy={copy})")
+            ctx.add(ShiftOp(name, base, st.n, off, copy))
             st.vec.add(name)
             st.note(name, base)
             return name
         if _vec_expr(st, idx):
             if _inv_expr(st, idx) and not _IDENT.match(idx):
                 cname = ctx.names.fresh("c")
-                ctx.emit(f"{cname} = _ws.const({cname!r}, _key, "
-                         f"lambda: {idx})")
+                ctx.add(ConstOp(cname, idx))
                 st.vec.add(cname)
                 st.inv.add(cname)
                 idx = cname
             name = ctx.names.fresh(prefix)
-            ctx.emit(f"{name} = _ws.take({name!r}, {base}, {idx})")
+            ctx.add(TakeOp(name, base, idx))
             st.vec.add(name)
             st.note(name, base, idx)
             return name
         # scalar index: an element access, not a vector gather
         name = ctx.names.fresh(prefix)
-        ctx.emit(f"{name} = {value}")
+        ctx.add(ScalarOp(name, value))
         return name
     if _inv_expr(st, value):
         name = ctx.names.fresh("c")
-        ctx.emit(f"{name} = _ws.const({name!r}, _key, lambda: {value})")
+        ctx.add(ConstOp(name, value))
         st.vec.add(name)
         st.inv.add(name)
         return name
     # fallback: legacy (allocating) emission — not reached by the hot
     # FDTD kernels; keeps exotic IR shapes compiling correctly
     name = ctx.names.fresh(prefix)
-    ctx.emit(f"{name} = {value}")
+    ctx.add(VecExprOp(name, value))
     st.vec.add(name)
     st.note(name, value)
     return name
@@ -391,11 +406,13 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
     names = NameGen()
     lines: list[str] = []
     info = None
+    program = None
     if steady:
         written = set(alloc.written_param_names)
         if alloc.allocates_output:
             written.add("out")
-        info = _SteadyInfo(written)
+        program = ArenaProgram(name=name)
+        info = _SteadyInfo(written, program)
     ctx = _Ctx(lines, names, info)
 
     param_names = [p.name for p in kernel.params]
@@ -417,6 +434,9 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
         else:
             ctx.env[p.name] = p.name
             ctx.arith[p.name] = Var(p.name)
+    array_params = [p.name for p in kernel.params
+                    if isinstance(p.declared_type, ArrayType)
+                    and len(p.declared_type.shape()) == 1]
 
     size_params = list(alloc.size_params)
     for s in size_params:
@@ -433,28 +453,40 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
 
     result_expr = _gen_top(kernel.body, out_name, ctx, kernel)
 
-    sig_parts = param_names + size_params + (["out"] if returns_out else [])
-    if steady:
-        sig_parts = sig_parts + ["_ws=None"]
-    src_lines = [f"def {name}({', '.join(sig_parts)}):"]
-    if steady:
-        scalars = ([p.name for p in kernel.params
-                    if not isinstance(p.declared_type, ArrayType)]
-                   + size_params)
-        src_lines.append("    if _ws is None:")
-        src_lines.append("        _ws = _Workspace()")
-        key = ", ".join(scalars) + ("," if scalars else "")
-        src_lines.append(f"    _key = ({key})")
-    src_lines += lines
     if returns_out:
-        src_lines.append("    return out")
+        return_line = "return out"
     elif result_expr is not None:
-        src_lines.append(f"    return {result_expr}")
+        return_line = f"return {result_expr}"
     else:
         aliased = [o.aliased_param.name for o in alloc.outputs
                    if o.aliased_param is not None]
-        src_lines.append(f"    return {aliased[0] if aliased else 'None'}")
-    source = "\n".join(src_lines)
+        return_line = f"return {aliased[0] if aliased else 'None'}"
+
+    if steady:
+        assert program is not None and info is not None
+        program.param_names = param_names
+        program.size_params = size_params
+        program.scalar_params = ([p.name for p in kernel.params
+                                  if not isinstance(p.declared_type,
+                                                    ArrayType)]
+                                 + size_params)
+        program.array_params = array_params
+        program.written = frozenset(info.written)
+        program.returns_out = returns_out
+        program.return_line = return_line
+        program.vec = frozenset(info.vec)
+        program.inv = frozenset(info.inv)
+        program.alloc = alloc
+        # the NumPy emitter consumes the program artifact: the compiled
+        # source IS its rendering (pinned by tests/lift/test_arena_program.py)
+        source = program.render()
+    else:
+        sig_parts = param_names + size_params + (["out"] if returns_out
+                                                 else [])
+        src_lines = [f"def {name}({', '.join(sig_parts)}):"]
+        src_lines += lines
+        src_lines.append("    " + return_line)
+        source = "\n".join(src_lines)
 
     namespace: dict[str, object] = {"np": np, "_Workspace": Workspace}
     exec(compile(source, f"<numpy backend:{name}>", "exec"), namespace)
@@ -462,7 +494,20 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
     return NumpyKernel(name=name, source=source, fn=fn,
                        param_names=param_names, size_params=size_params,
                        out_alloc=alloc, returns_out=returns_out,
-                       steady=steady)
+                       steady=steady, program=program)
+
+
+def lower_arena(kernel: Lambda, name: str = "lift_kernel",
+                lower: bool = True) -> ArenaProgram:
+    """Lower a kernel Lambda to its backend-neutral :class:`ArenaProgram`.
+
+    The single lowering artifact every executable emitter consumes:
+    ``program.render()`` is the NumPy realisation (what
+    :func:`compile_numpy` with ``steady=True`` compiles), and
+    :func:`repro.lift.codegen.loops.compile_loops` lowers the same
+    object to a compiled fused loop.
+    """
+    return compile_numpy(kernel, name, lower, steady=True).program
 
 
 def _dim_name(d: ArithExpr, i: int, pname: str, ctx: _Ctx) -> str:
@@ -520,8 +565,7 @@ def _gen_mapglb(expr: FunCall, out_name: str | None, ctx: _Ctx):
     if st is not None:
         # the slot name carries the extent expression so two MapGlbs of
         # different lengths never share a cached arange
-        ctx.emit(f"_gid = _ws.const('_gid@{n_py}', _key, "
-                 f"lambda: np.arange({n_py}))")
+        ctx.add(GidOp(n_py))
         st.vec.add("_gid")
         st.inv.add("_gid")
         st.affine["_gid"] = "0"
@@ -552,7 +596,8 @@ def _gen_mapglb(expr: FunCall, out_name: str | None, ctx: _Ctx):
     if st is not None:
         # _gid is the contiguous range 0..n-1: the scatter is a slice
         # store, with no duplicate-index hazard
-        ctx.emit(f"{out_name}[0:{n_py}] = {val}")
+        ctx.add(SliceStoreOp(out_name, "0", n_py, val,
+                             lhs=f"{out_name}[0:{n_py}]"))
         st.kill(out_name)
     else:
         ctx.emit(f"{out_name}[_gid] = {val}")
@@ -592,7 +637,15 @@ def _gen_rows_into(expr: Expr, buffer: str, ctx: _Ctx):
         vals = _materialise_small(part, ctx)
         for j, v in enumerate(vals):
             idx = base if j == 0 else f"{base}+{j}"
-            ctx.emit(f"{buffer}[{idx}] = {v}")
+            if ctx.steady is not None:
+                # a Skip length that is itself a vector slot makes this a
+                # per-work-item scatter (indices injective by construction)
+                if j == 0 and _strip_parens(base) in ctx.steady.vec:
+                    ctx.add(IndexStoreOp(buffer, idx, v))
+                else:
+                    ctx.add(ElemStoreOp(buffer, idx, v))
+            else:
+                ctx.emit(f"{buffer}[{idx}] = {v}")
         if ctx.steady is not None:
             ctx.steady.kill(buffer)
         t = part.type
@@ -643,14 +696,19 @@ def _gen_writeto(expr: FunCall, ctx: _Ctx):
                 # store (indices are unique, so semantics are identical)
                 val = _gen_scalar(expr.args[1], ctx)
                 sl = f"{view.name}[({off}):({off})+({st.n})]"
-                ctx.emit(f"{sl} = {val}")
+                ctx.add(SliceStoreOp(view.name, off, st.n, val, lhs=sl))
                 st.kill(view.name)
                 return sl
         idx = _gen_scalar(t.args[1], ctx)
         val = _gen_scalar(expr.args[1], ctx)
-        ctx.emit(f"{view.name}[{idx}] = {val}")
         if ctx.steady is not None:
+            if _strip_parens(idx) in ctx.steady.vec:
+                ctx.add(IndexStoreOp(view.name, idx, val))
+            else:
+                ctx.add(ElemStoreOp(view.name, idx, val))
             ctx.steady.kill(view.name)
+        else:
+            ctx.emit(f"{view.name}[{idx}] = {val}")
         return f"{view.name}[{idx}]"
     view = _gen(t, ctx)
     if isinstance(view, NpMem):
@@ -664,9 +722,11 @@ def _gen_writeto(expr: FunCall, ctx: _Ctx):
         if isinstance(value, FunCall) and isinstance(value.fun, MapGlb):
             return _gen_mapglb(value, view.name, ctx)
         val = _gen_scalar(value, ctx)
-        ctx.emit(f"{view.name}[:] = {val}")
         if ctx.steady is not None:
+            ctx.add(FullStoreOp(view.name, val, rank=1))
             ctx.steady.kill(view.name)
+        else:
+            ctx.emit(f"{view.name}[:] = {val}")
         return view.name
     if isinstance(view, NpMem3):
         value = expr.args[1]
@@ -697,9 +757,11 @@ def _gen_mapglb3d(expr: FunCall, out_name: str | None, ctx: _Ctx):
     val = _gen_scalar(f.body, inner)
     if out_name is None:
         raise NumpyCodegenError("MapGlb3D needs an output grid")
-    ctx.emit(f"{out_name}[:, :, :] = {val}")
     if ctx.steady is not None:
+        ctx.add(FullStoreOp(out_name, val, rank=3))
         ctx.steady.kill(out_name)
+    else:
+        ctx.emit(f"{out_name}[:, :, :] = {val}")
     return None
 
 
@@ -810,7 +872,7 @@ def _gen_uncached(expr: Expr, ctx: _Ctx):
         if hit is not None:
             return hit
         name = ctx.names.fresh("t")
-        ctx.emit(f"{name} = _ws.where({name!r}, {c}, {t}, {f})")
+        ctx.add(WhereOp(name, c, t, f))
         st.vec.add(name)
         st.note(name, c, t, f)
         st.remember(("where", c, t, f), name)
@@ -823,7 +885,7 @@ def _gen_uncached(expr: Expr, ctx: _Ctx):
 def _steady_const(ctx: _Ctx, st: _SteadyInfo, legacy: str) -> str:
     """Hoist a step-invariant vector expression into a keyed const slot."""
     name = ctx.names.fresh("c")
-    ctx.emit(f"{name} = _ws.const({name!r}, _key, lambda: {legacy})")
+    ctx.add(ConstOp(name, legacy))
     st.vec.add(name)
     st.inv.add(name)
     return name
@@ -838,8 +900,7 @@ def _steady_binop(ctx: _Ctx, st: _SteadyInfo, op: str, a: str, b: str,
         if hit is not None:
             return hit
         name = ctx.names.fresh("t")
-        ctx.emit(f"{name} = _ws.ufunc({name!r}, {_UFUNC_NAMES[op]}, "
-                 f"{a}, {b})")
+        ctx.add(UfuncOp(name, _UFUNC_NAMES[op], (a, b)))
         st.vec.add(name)
         st.note(name, a, b)
         st.remember(("binop", op, a, b), name)
@@ -863,12 +924,12 @@ def _steady_unop(ctx: _Ctx, st: _SteadyInfo, op: str, v: str, legacy: str,
         return hit
     name = ctx.names.fresh("t")
     if op == "toInt":
-        ctx.emit(f"{name} = _ws.cast({name!r}, {v}, np.int64)")
+        ctx.add(CastOp(name, v, "np.int64"))
     elif op == "toFloat":
-        ctx.emit(f"{name} = _ws.cast({name!r}, {v}, {float_dt})")
+        ctx.add(CastOp(name, v, float_dt))
     else:
         uf = {"neg": "np.negative", "sqrt": "np.sqrt", "abs": "np.abs"}[op]
-        ctx.emit(f"{name} = _ws.ufunc({name!r}, {uf}, {v})")
+        ctx.add(UfuncOp(name, uf, (v,)))
     st.vec.add(name)
     st.note(name, v)
     st.remember(("unop", op, float_dt, v), name)
@@ -891,7 +952,7 @@ def _coerce_f32(operand: Expr, v: str, ctx: _Ctx) -> str:
     if hit is not None:
         return hit
     name = ctx.names.fresh("t")
-    ctx.emit(f"{name} = _ws.cast({name!r}, {v}, np.float32)")
+    ctx.add(CastOp(name, v, "np.float32"))
     st.vec.add(name)
     st.note(name, v)
     st.remember(("unop", "toFloat", "np.float32", v), name)
@@ -937,8 +998,7 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
                 # writes the base array) — the index array is never built
                 name = ctx.names.fresh("t")
                 copy = view.name in st.written
-                ctx.emit(f"{name} = _ws.shift({name!r}, {view.name}, "
-                         f"{st.n}, {off}, copy={copy})")
+                ctx.add(ShiftOp(name, view.name, st.n, off, copy))
                 st.vec.add(name)
                 st.note(name, view.name)
                 return name
@@ -977,9 +1037,8 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
             # persistent ghost cells: halo written once at allocation,
             # interior refreshed by slice assignment on later calls
             padded = ctx.names.fresh("pad")
-            ctx.emit(f"{padded} = _ws.pad({padded!r}, {view.name}, "
-                     f"{fun.left}, {fun.right}, "
-                     f"{float(fun.value.value)!r})")
+            ctx.add(PadOp(padded, view.name, str(fun.left), str(fun.right),
+                          repr(float(fun.value.value))))
             st.vec.add(padded)
             st.arrays.add(padded)
             st.note(padded, view.name)
@@ -996,8 +1055,8 @@ def _gen_call(expr: FunCall, ctx: _Ctx):
         st = ctx.steady
         if st is not None:
             padded = ctx.names.fresh("pad3")
-            ctx.emit(f"{padded} = _ws.pad3({padded!r}, {view.name}, "
-                     f"{fun.left}, {float(fun.value.value)!r})")
+            ctx.add(Pad3Op(padded, view.name, str(fun.left),
+                           repr(float(fun.value.value))))
             st.vec.add(padded)
             st.note(padded, view.name)
             return NpMem3(padded, view.shape_names)

@@ -71,6 +71,9 @@ class SubmitRequest:
     start exceeds it is EVICTED instead of run (admission-by-deadline).
     ``shards`` — how many devices of the pool to lease; more than one
     runs the job Z-slab-decomposed (bit-identical to one device).
+    ``backend`` — which execution backend steps the job (any member of
+    :data:`repro.acoustics.sim.BACKENDS`); like ``shards`` it changes
+    how the answer is computed, never what it is.
     """
 
     room: Room
@@ -84,12 +87,17 @@ class SubmitRequest:
     materials: object = None
     num_branches: int = 3
     shards: int = 1
+    backend: str = "virtual_gpu"
 
     def validate(self) -> None:
         """Admission-control checks (raise ``ValueError`` on bad input)."""
+        from ..acoustics.sim import BACKENDS
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}; "
                              f"one of {SCHEMES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"one of {BACKENDS}")
         if self.precision not in ("single", "double"):
             raise ValueError("precision must be 'single' or 'double'")
         if self.steps <= 0:
@@ -117,10 +125,14 @@ class SubmitRequest:
         boundary shape (class name + ``repr``, which for the repo's
         frozen shape dataclasses encodes all parameters), scheme /
         precision / steps / branches, source and receivers, and the
-        material set.  Scheduling knobs (priority, deadline, shards) are
-        deliberately *excluded* — they change when and where a job runs,
-        never what it computes (multi-device decomposition is
-        bit-identical by construction).
+        material set.  Scheduling and execution knobs (priority,
+        deadline, shards, **backend**) are deliberately *excluded* —
+        they change when, where and how fast a job runs, never what it
+        computes: multi-device decomposition is bit-identical by
+        construction, and every registered backend is bit-identical to
+        every other (enforced by the cross-backend matrix test), so a
+        cached answer computed under one backend is *the* answer under
+        all of them.
         """
         g = self.room.grid
         mats = (None if self.materials is None

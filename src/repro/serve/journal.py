@@ -301,6 +301,7 @@ def encode_request(request) -> dict:
                       for name, pos in request.receiver_items()],
         "materials": mats,
         "num_branches": request.num_branches, "shards": request.shards,
+        "backend": request.backend,
     }
 
 
@@ -331,4 +332,5 @@ def decode_request(obj: dict):
         deadline_ms=obj.get("deadline_ms"),
         impulse=_dec_pos(obj.get("impulse")),
         receivers=receivers or None, materials=mats,
-        num_branches=int(obj["num_branches"]), shards=int(obj["shards"]))
+        num_branches=int(obj["num_branches"]), shards=int(obj["shards"]),
+        backend=obj.get("backend", "virtual_gpu"))

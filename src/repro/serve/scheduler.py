@@ -427,9 +427,14 @@ class SimulationService:
         """
         req = handle.request
         fp = req.fingerprint()
-        hits_before = self.compile_cache.hits
-        program = self.compile_cache.program_for(req, slots[0].spec)
-        self._cache_metric("compile", hit=self.compile_cache.hits > hits_before)
+        program = None
+        if req.backend == "virtual_gpu":
+            # only the virtual_gpu backend consumes a compiled host
+            # program; host-side backends step their kernels directly
+            hits_before = self.compile_cache.hits
+            program = self.compile_cache.program_for(req, slots[0].spec)
+            self._cache_metric("compile",
+                               hit=self.compile_cache.hits > hits_before)
         devices = tuple(s.spec for s in slots)
         error = ""
         every = self.checkpoint_every
@@ -437,7 +442,7 @@ class SimulationService:
         for attempt in range(1, self.job_attempts + 1):
             handle.attempts = attempt
             cfg = SimConfig(
-                room=req.room, scheme=req.scheme, backend="virtual_gpu",
+                room=req.room, scheme=req.scheme, backend=req.backend,
                 precision=req.precision, materials=req.materials,
                 num_branches=req.num_branches, faults=self.faults,
                 resilient=self.resilient or attempt > 1, retry=self.retry,

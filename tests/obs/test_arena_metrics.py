@@ -5,7 +5,10 @@ modelled-clock ones: ``repro_host_wallclock_seconds`` (real host seconds
 per kernel call, histogram), ``repro_arena_bytes`` (resident arena
 bytes, gauge) and ``repro_arena_slot_requests_total`` (hit/miss
 counter).  ``kernel_cache_stats()`` mirrors the same accounting for
-callers without a session.
+callers without a session.  The device is pinned to the
+``numpy-steady`` kernel backend: arena-resident temporaries are a
+property of that emitter (the compiled-loop backend holds no
+full-grid temporaries, which is its whole point).
 """
 
 import numpy as np
@@ -59,7 +62,8 @@ class TestArenaMetrics:
     def test_families_present_and_schema_valid(self, run_args):
         host, inputs, sizes = run_args
         with obs.observe() as o:
-            VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+            VirtualGPU(NVIDIA_TITAN_BLACK,
+                       kernel_backend="numpy-steady").execute_many(
                 host, inputs, sizes, steps=4,
                 rotations=[("prev2_h", "prev1_h", "__out__")])
         text = prometheus_text(o.metrics)
@@ -72,7 +76,8 @@ class TestArenaMetrics:
         host, inputs, sizes = run_args
         steps = 3
         with obs.observe() as o:
-            VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+            VirtualGPU(NVIDIA_TITAN_BLACK,
+                       kernel_backend="numpy-steady").execute_many(
                 host, inputs, sizes, steps=steps,
                 rotations=[("prev2_h", "prev1_h", "__out__")])
         h = o.metrics.get("repro_host_wallclock_seconds")
@@ -84,7 +89,8 @@ class TestArenaMetrics:
     def test_slot_requests_split_hit_and_miss(self, run_args):
         host, inputs, sizes = run_args
         with obs.observe() as o:
-            VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+            VirtualGPU(NVIDIA_TITAN_BLACK,
+                       kernel_backend="numpy-steady").execute_many(
                 host, inputs, sizes, steps=4,
                 rotations=[("prev2_h", "prev1_h", "__out__")])
         c = o.metrics.get("repro_arena_slot_requests_total")
@@ -95,7 +101,8 @@ class TestArenaMetrics:
         """With no session active the instrumented paths still run and
         the process-wide cache stats expose the arena accounting."""
         host, inputs, sizes = run_args
-        VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+        VirtualGPU(NVIDIA_TITAN_BLACK,
+                       kernel_backend="numpy-steady").execute_many(
             host, inputs, sizes, steps=2,
             rotations=[("prev2_h", "prev1_h", "__out__")])
         stats = kernel_cache_stats()
