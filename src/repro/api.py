@@ -262,6 +262,31 @@ class Session:
             window_ms=window_ms, slos=slos,
             flight_capacity=flight_capacity)
 
+    def serve_http(self, *, host: str = "127.0.0.1", port: int = 8080,
+                   workers: int = 2, durable_dir=None, tenants=None,
+                   block: bool = True, **gateway_kwargs):
+        """Serve this session's configuration over HTTP + WebSocket.
+
+        Boots a :class:`repro.net.Gateway` — an asyncio front-end over
+        :meth:`service` with ``workers`` real worker processes and
+        per-tenant admission control.  With ``block=True`` (the
+        default) the gateway runs in the calling thread until
+        SIGTERM/SIGINT drains it; ``block=False`` starts it on a
+        background thread and returns the (started) gateway, whose
+        ``url`` is resolved even for ``port=0``.  See
+        ``docs/gateway.md``.
+        """
+        from .net import Gateway
+        gw = Gateway(host=host, port=port, workers=workers,
+                     devices=self.devices, durable_dir=durable_dir,
+                     tenants=tenants, resilient=self.resilient,
+                     **gateway_kwargs)
+        if block:
+            gw.serve_forever()
+        else:
+            gw.start()
+        return gw
+
     def __repr__(self) -> str:
         names = ",".join(d.name for d in self.devices)
         return (f"Session(devices=({names}), resilient={self.resilient}, "

@@ -34,7 +34,39 @@ def main(argv=None) -> int:
                              "(more = tighter ratios on small rooms)")
     parser.add_argument("--warmup", type=int, default=3,
                         help="with 'wallclock': untimed warm-up steps")
+    parser.add_argument("--loadgen", action="store_true",
+                        help="with 'serve': open-loop Poisson load against "
+                             "a real gateway (wallclock, worker processes) "
+                             "instead of the modelled in-process benchmark")
+    parser.add_argument("--rate", type=float, default=40.0,
+                        help="loadgen: offered arrival rate, jobs/s")
+    parser.add_argument("--jobs", type=int, default=120,
+                        help="loadgen: total jobs to offer")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="loadgen: number of tenants (API keys)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="loadgen: gateway worker processes")
+    parser.add_argument("--url", default=None,
+                        help="loadgen: target an external gateway instead "
+                             "of booting one in-process")
+    parser.add_argument("--verify", action="store_true",
+                        help="loadgen: bit-compare every unique result "
+                             "against serial Session.simulate")
     args = parser.parse_args(argv)
+    if args.loadgen:
+        import json
+        from .serve import loadgen_benchmark, render_loadgen
+        payload = loadgen_benchmark(
+            rate=args.rate, jobs=args.jobs, tenants=args.tenants,
+            workers=args.workers, verify=args.verify, url=args.url)
+        print(render_loadgen(payload))
+        if args.json is not None:
+            with open(args.json, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        ok = (payload["failed"] == 0 and payload["unfinished"] == 0
+              and payload.get("verify", {}).get("bit_identical", True))
+        return 0 if ok else 1
     artefacts = args.artefacts or ["all"]
     if artefacts == ["list"]:
         from .experiments import render_index

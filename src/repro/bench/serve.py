@@ -1,18 +1,32 @@
 """Serving-throughput benchmark: jobs/sec and latency percentiles.
 
-Drives a :class:`repro.serve.SimulationService` with a fixed,
-deterministic mixed workload — schemes and precisions cycled, priorities
-shuffled by a fixed pattern, two deliberate duplicate requests so the
-result cache is exercised — and reports the service's modelled-clock
-statistics.  Because every duration in the service is modelled, the
-whole artifact (jobs/sec, p50/p95 wait and latency, cache hit counts,
-batch count) is bit-reproducible run to run; CI uploads the JSON and a
-regression shows up as a diff, not noise.
+Two tiers:
+
+* :func:`serve_benchmark` drives an in-process
+  :class:`repro.serve.SimulationService` with a fixed, deterministic
+  mixed workload — schemes and precisions cycled, priorities shuffled by
+  a fixed pattern, two deliberate duplicate requests so the result cache
+  is exercised — and reports the service's modelled-clock statistics.
+  Because every duration in the service is modelled, the whole artifact
+  is bit-reproducible run to run; CI uploads the JSON and a regression
+  shows up as a diff, not noise.
+
+* :func:`loadgen_benchmark` is the **open-loop load generator** against
+  the real :class:`repro.net.Gateway`: Poisson arrivals (seeded
+  exponential inter-arrival times) from several tenants over real HTTP,
+  real worker processes, real wallclock.  It reports p50/p95/p99
+  server-side latency, goodput (completed jobs per wallclock second),
+  and the admission-control refusal counts — under overload the
+  interesting number is how much got *refused* (HTTP 429), not just how
+  fast the rest finished.  Wallclock numbers are machine-dependent;
+  ``BENCH_9.json`` records one reference run.
 """
 
 from __future__ import annotations
 
 import io
+import random
+import time
 
 from ..serve import SimulationService, SubmitRequest
 
@@ -94,6 +108,207 @@ def serve_benchmark(*, jobs: int = 12, steps: int = 4,
         "alerting": list(svc.slo.alerting()),
     }
     return stats
+
+
+def loadgen_tenants(n: int, rate: float):
+    """``n`` load-test tenants whose combined sustained allowance is
+    ~60% of the offered rate — overload by construction, so the token
+    buckets visibly engage (429s) once their bursts are spent."""
+    from ..net.ratelimit import Tenant
+    per = rate / n
+    return tuple(
+        Tenant(f"lg-{i}", f"key-lg-{i}", rate=max(0.5, per * 0.6),
+               burst=4.0, max_concurrent=64, queue_share=0.5)
+        for i in range(n))
+
+
+def loadgen_workload(jobs: int, steps: int) -> list[SubmitRequest]:
+    """``jobs`` requests cycling :data:`SERVE_MIX`, with the leading
+    grid dimension nudged every full cycle — a realistic blend of
+    unique work and exact duplicates (idempotent resubmissions)."""
+    from ..acoustics import BoxRoom, Grid3D, Room
+    out = []
+    for i in range(jobs):
+        scheme, precision, priority, dims = SERVE_MIX[i % len(SERVE_MIX)]
+        nx = dims[0] + (i // len(SERVE_MIX)) % 4
+        out.append(SubmitRequest(
+            room=Room(Grid3D(nx, dims[1], dims[2]), BoxRoom()),
+            steps=steps, scheme=scheme, precision=precision,
+            priority=priority, receivers={"mic": "center"}))
+    return out
+
+
+def _wall_percentile(xs, q: float) -> float:
+    if not xs:
+        return 0.0
+    xs = sorted(xs)
+    rank = max(1, int(-(-q * len(xs) // 100)))
+    return float(xs[min(rank, len(xs)) - 1])
+
+
+def loadgen_benchmark(*, rate: float = 40.0, jobs: int = 120,
+                      tenants: int = 3, workers: int = 2, steps: int = 4,
+                      seed: int = 7, verify: bool = False,
+                      url: str | None = None,
+                      wait_timeout: float = 600.0) -> dict:
+    """Open-loop Poisson load against a real gateway; returns the artifact.
+
+    With ``url=None`` a :class:`repro.net.Gateway` is booted in-process
+    (``workers`` OS worker processes, ephemeral port) and torn down at
+    the end; pass a URL to load an externally managed gateway instead
+    (it must be configured with :func:`loadgen_tenants`).
+
+    Open loop means arrivals do not wait for completions: inter-arrival
+    gaps are exponential with mean ``1/rate`` (seeded — the schedule is
+    reproducible even though service times are wallclock).  Each
+    submission round-robins across ``tenants`` API keys.  ``verify``
+    bit-compares every unique finished job against a serial
+    :meth:`repro.api.Session.simulate`.
+    """
+    from ..net import Gateway, GatewayClient
+    tens = loadgen_tenants(tenants, rate)
+    gw = None
+    if url is None:
+        gw = Gateway(workers=workers, port=0, tenants=tens,
+                     max_queue=max(16, jobs // 2))
+        url = gw.start()
+    try:
+        clients = [GatewayClient(url, api_key=t.api_key) for t in tens]
+        workload = loadgen_workload(jobs, steps)
+        rng = random.Random(seed)
+        codes: dict[str, int] = {}
+        refused: dict[str, int] = {}
+        accepted: dict[int, str] = {}      # job id -> fingerprint
+        duplicates = 0
+        t0 = time.monotonic()
+        next_at = 0.0
+        for i, req in enumerate(workload):
+            next_at += rng.expovariate(rate)
+            lag = next_at - (time.monotonic() - t0)
+            if lag > 0:
+                time.sleep(lag)
+            code, payload = clients[i % tenants].submit(req)
+            codes[str(code)] = codes.get(str(code), 0) + 1
+            if code == 202:
+                accepted[payload["job_id"]] = payload["fingerprint"]
+            elif code == 200:
+                duplicates += 1
+                accepted[payload["job_id"]] = payload["fingerprint"]
+            elif code == 429:
+                reason = payload.get("reason", "unknown")
+                refused[reason] = refused.get(reason, 0) + 1
+        submit_wall_s = time.monotonic() - t0
+
+        c0 = clients[0]
+        finals: dict[int, dict] = {}
+        pending = set(accepted)
+        deadline = time.monotonic() + wait_timeout
+        while pending and time.monotonic() < deadline:
+            for jid in list(pending):
+                st = c0.status(jid)
+                if st["state"] in ("DONE", "FAILED", "EVICTED"):
+                    finals[jid] = st
+                    pending.discard(jid)
+            if pending:
+                time.sleep(0.05)
+        wall_s = time.monotonic() - t0
+        done = [st for st in finals.values() if st["state"] == "DONE"]
+        lat = [st["latency_ms"] for st in done]
+        executed_lat = [st["latency_ms"] for st in done
+                        if not (st.get("from_cache")
+                                or st.get("from_store"))]
+        health = c0.healthz()
+        artifact = {
+            "kind": "gateway_loadgen",
+            "offered": {"rate_jobs_per_s": rate, "jobs": jobs,
+                        "tenants": tenants, "steps_per_job": steps,
+                        "seed": seed},
+            "workers": workers,
+            "http_codes": codes,
+            "refused_429": refused,
+            "duplicates": duplicates,
+            "accepted": len(accepted),
+            "unfinished": len(pending),
+            "done": len(done),
+            "failed": len(finals) - len(done),
+            "submit_wall_s": round(submit_wall_s, 3),
+            "wall_s": round(wall_s, 3),
+            "goodput_jobs_per_s": round(len(done) / wall_s, 3)
+            if wall_s > 0 else 0.0,
+            "latency_ms": {
+                "p50": round(_wall_percentile(lat, 50), 3),
+                "p95": round(_wall_percentile(lat, 95), 3),
+                "p99": round(_wall_percentile(lat, 99), 3)},
+            "executed_latency_ms": {
+                "p50": round(_wall_percentile(executed_lat, 50), 3),
+                "p95": round(_wall_percentile(executed_lat, 95), 3),
+                "p99": round(_wall_percentile(executed_lat, 99), 3)},
+            "executions": health["executions"],
+            "gateway": health["gateway"],
+        }
+        if verify:
+            artifact["verify"] = _verify_loadgen(c0, workload, accepted,
+                                                 finals)
+        return artifact
+    finally:
+        if gw is not None:
+            gw.stop()
+
+
+def _verify_loadgen(client, workload, accepted: dict,
+                    finals: dict) -> dict:
+    """Bit-compare each unique DONE fingerprint to a serial session run."""
+    import numpy as np
+    from ..api import Session
+    by_fp = {accepted[jid]: jid for jid, st in finals.items()
+             if st["state"] == "DONE"}
+    session = Session()
+    mismatches = []
+    checked = 0
+    seen = set()
+    for req in workload:
+        fp = req.fingerprint()
+        if fp in seen or fp not in by_fp:
+            continue
+        seen.add(fp)
+        checked += 1
+        arrays = client.result_arrays(by_fp[fp])
+        serial = session.simulate(
+            req.room, req.steps, scheme=req.scheme,
+            precision=req.precision,
+            receivers=dict(req.receiver_items()) or None)
+        if not np.array_equal(arrays["field"], serial.field):
+            mismatches.append(fp[:12])
+        elif any(not np.array_equal(arrays[f"recv:{k}"], np.asarray(v))
+                 for k, v in serial.receivers.items()):
+            mismatches.append(fp[:12])
+    return {"checked": checked, "bit_identical": not mismatches,
+            "mismatches": mismatches}
+
+
+def render_loadgen(stats: dict) -> str:
+    """Text rendering of one load-generator artifact."""
+    out = io.StringIO()
+    o = stats["offered"]
+    print(f"Gateway load test — {o['jobs']} jobs at {o['rate_jobs_per_s']}"
+          f"/s from {o['tenants']} tenant(s), {stats['workers']} "
+          f"worker process(es)", file=out)
+    print(f"  http codes   {stats['http_codes']}   "
+          f"429 by reason {stats['refused_429']}", file=out)
+    print(f"  done {stats['done']}/{stats['accepted']} accepted "
+          f"({stats['duplicates']} idempotent duplicates)   "
+          f"goodput {stats['goodput_jobs_per_s']}/s over "
+          f"{stats['wall_s']}s", file=out)
+    lt, xt = stats["latency_ms"], stats["executed_latency_ms"]
+    print(f"  latency ms   p50 {lt['p50']:>9.3f}  p95 {lt['p95']:>9.3f}  "
+          f"p99 {lt['p99']:>9.3f}", file=out)
+    print(f"  executed ms  p50 {xt['p50']:>9.3f}  p95 {xt['p95']:>9.3f}  "
+          f"p99 {xt['p99']:>9.3f}", file=out)
+    if "verify" in stats:
+        v = stats["verify"]
+        print(f"  verify       {v['checked']} unique results "
+              f"bit-identical to serial: {v['bit_identical']}", file=out)
+    return out.getvalue()
 
 
 def render_serve(scale: int = 1, *, jobs: int = 12, steps: int = 4,

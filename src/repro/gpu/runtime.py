@@ -112,11 +112,16 @@ def kernel_cache_stats() -> dict:
     arena variants are cached alongside the legacy emission, under a
     ``#steady`` suffix of the same source hash); ``arena`` reports the
     workspace arena's process-wide hit/miss counters and resident bytes
-    (see :func:`repro.lift.codegen.arena.arena_stats`).
+    (see :func:`repro.lift.codegen.arena.arena_stats`); ``loops_disk``
+    reports the on-disk compiled-artifact cache the cc tier shares
+    across processes (see
+    :func:`repro.lift.codegen.loops.loops_disk_cache_stats`).
     """
+    from ..lift.codegen.loops import loops_disk_cache_stats
     return {"np_kernels": len(_NP_KERNEL_CACHE),
             "resources": len(_RESOURCES_CACHE),
-            "arena": arena_stats()}
+            "arena": arena_stats(),
+            "loops_disk": loops_disk_cache_stats()}
 
 
 def clear_kernel_caches() -> None:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import atexit
 import ctypes
+import hashlib
 import os
 import shutil
 import subprocess
@@ -52,7 +53,8 @@ from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, GidOp,
                     TakeOp, UfuncOp, WhereOp, Workspace)
 
 __all__ = ["LoopKernel", "LoopsUnsupported", "available_tiers",
-           "compile_loops", "select_tier"]
+           "compile_loops", "loops_cache_dir", "loops_disk_cache_stats",
+           "select_tier", "set_loops_cache_dir"]
 
 
 class LoopsUnsupported(RuntimeError):
@@ -76,7 +78,8 @@ def _numba_available() -> bool:
 
 def _cc_path() -> str | None:
     """A working C compiler, probed once per process with a real
-    compile-and-load round trip."""
+    compile-and-load round trip (never satisfied from the disk cache —
+    a cached probe artifact would hide a missing compiler)."""
     if "path" in _cc_state:
         return _cc_state["path"]
     path = None
@@ -87,12 +90,70 @@ def _cc_path() -> str | None:
     if path is not None:
         try:
             lib = _cc_build(path, "void repro_loop_probe(void) {}\n",
-                            "probe")
+                            "probe", cache=False)
             getattr(lib, "repro_loop_probe")
         except Exception:
             path = None
     _cc_state["path"] = path
     return path
+
+
+# -- on-disk compiled-artifact cache -----------------------------------------
+#
+# The cc tier builds a shared object per (program, dtype set).  Without a
+# persistent cache every *process* pays that compile — painful for the
+# gateway's worker-process pool, where N workers would each recompile the
+# same four hot kernels at first touch.  Artifacts are content-addressed
+# by a hash of (generated C source, compiler path, flag set), so a stale
+# hit is impossible: change anything that could change the code and the
+# key changes with it.
+
+_CC_FLAGS = ("-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off")
+_disk_cache: dict = {}          # {"dir": str|None, "hits": int, "misses": int}
+
+
+def _resolve_cache_dir() -> str | None:
+    env = os.environ.get("REPRO_LOOPS_CACHE_DIR")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none", "disabled"):
+            return None
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "loops")
+
+
+def loops_cache_dir() -> str | None:
+    """The on-disk compiled-artifact cache directory (None = disabled).
+
+    Resolution order: ``REPRO_LOOPS_CACHE_DIR`` (set it to ``off`` to
+    disable, or to a path to relocate), else ``$XDG_CACHE_HOME/repro/
+    loops``, else ``~/.cache/repro/loops``.  The numba tier's own disk
+    cache is pointed at ``<dir>/numba`` (via ``NUMBA_CACHE_DIR``, unless
+    the caller already set one).
+    """
+    if "dir" not in _disk_cache:
+        _disk_cache.update(dir=_resolve_cache_dir(), hits=0, misses=0)
+    return _disk_cache["dir"]
+
+
+def set_loops_cache_dir(path) -> None:
+    """Relocate (or with ``None`` disable) the on-disk artifact cache
+    for this process; counters keep accumulating across the switch."""
+    loops_cache_dir()
+    _disk_cache["dir"] = None if path is None else os.fspath(path)
+
+
+def loops_disk_cache_stats() -> dict:
+    """Hit/miss counters and entry count of the on-disk ``.so`` cache
+    (surfaced through :func:`repro.gpu.runtime.kernel_cache_stats`)."""
+    d = loops_cache_dir()
+    entries = 0
+    if d is not None and os.path.isdir(d):
+        entries = sum(1 for f in os.listdir(d) if f.endswith(".so"))
+    return {"dir": d, "enabled": d is not None,
+            "hits": _disk_cache["hits"], "misses": _disk_cache["misses"],
+            "entries": entries}
 
 
 _build_dir: list = []
@@ -107,8 +168,55 @@ def _cc_workdir() -> str:
     return _build_dir[0]
 
 
-def _cc_build(cc: str, source: str, stem: str):
-    """Compile ``source`` to a shared object and load it."""
+def _cc_compile(cc: str, src: str, so: str):
+    """Run the compiler (OpenMP first, plain fallback); raises
+    :class:`LoopsUnsupported` when both invocations fail."""
+    base = [cc, *_CC_FLAGS, src, "-o", so, "-lm"]
+    for cmd in (base[:1] + ["-fopenmp"] + base[1:], base):
+        r = subprocess.run(cmd, capture_output=True, text=True)
+        if r.returncode == 0:
+            return
+    raise LoopsUnsupported(f"C compilation failed:\n{r.stderr}")
+
+
+def _cc_build(cc: str, source: str, stem: str, *, cache: bool = True):
+    """Compile ``source`` to a shared object and load it.
+
+    With the disk cache enabled the artifact is content-addressed by
+    (source, compiler, flags): a prior build — by any process — is
+    dlopen'd directly, skipping the compiler entirely.  Builds land in
+    the cache via an atomic rename, so concurrent worker processes
+    racing on the same kernel at worst compile twice, never load a
+    torn file.  Any cache-directory failure silently falls back to the
+    per-process temp-dir build.
+    """
+    cdir = loops_cache_dir() if cache else None
+    if cdir is not None:
+        key = hashlib.sha1("|".join(
+            ("v1", cc, " ".join(_CC_FLAGS), source)).encode()).hexdigest()
+        so = os.path.join(cdir, f"{stem}-{key[:16]}.so")
+        if os.path.exists(so):
+            try:
+                lib = ctypes.CDLL(so)
+                _disk_cache["hits"] += 1
+                return lib
+            except OSError:
+                pass                      # unreadable artifact: rebuild
+        try:
+            os.makedirs(cdir, exist_ok=True)
+            tmp = os.path.join(cdir, f".build-{os.getpid()}-{stem}.so")
+            src = so[:-3] + ".c"          # kept beside the .so for debugging
+            with open(src, "w") as f:
+                f.write(source)
+            _cc_compile(cc, src, tmp)
+            os.replace(tmp, so)
+            lib = ctypes.CDLL(so)
+            _disk_cache["misses"] += 1
+            return lib
+        except LoopsUnsupported:
+            raise
+        except OSError:
+            pass              # cache dir unusable: temp-dir build below
     d = _cc_workdir()
     _build_seq[0] += 1
     stem = f"{stem}_{_build_seq[0]}"
@@ -116,13 +224,8 @@ def _cc_build(cc: str, source: str, stem: str):
     so = os.path.join(d, f"{stem}.so")
     with open(src, "w") as f:
         f.write(source)
-    base = [cc, "-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off",
-            src, "-o", so, "-lm"]
-    for cmd in (base[:1] + ["-fopenmp"] + base[1:], base):
-        r = subprocess.run(cmd, capture_output=True, text=True)
-        if r.returncode == 0:
-            return ctypes.CDLL(so)
-    raise LoopsUnsupported(f"C compilation failed:\n{r.stderr}")
+    _cc_compile(cc, src, so)
+    return ctypes.CDLL(so)
 
 
 def available_tiers() -> tuple[str, ...]:
@@ -559,6 +662,12 @@ def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
     else:
         ns: dict = {"np": np}
         if tier == "numba":
+            cdir = loops_cache_dir()
+            if cdir is not None:
+                # point numba's own disk cache alongside ours so worker
+                # processes share whatever it can persist
+                os.environ.setdefault("NUMBA_CACHE_DIR",
+                                      os.path.join(cdir, "numba"))
             from numba import njit, prange
             ns["prange"] = prange
         else:

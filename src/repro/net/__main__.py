@@ -1,0 +1,102 @@
+"""``python -m repro.net`` — serve the gateway (or run its chaos drill).
+
+Serving::
+
+    python -m repro.net serve --port 8080 --workers 4 \\
+        --durable-dir /var/lib/repro --checkpoint-every 8
+
+``--port 0`` binds an ephemeral port; ``--ready-file PATH`` writes a
+JSON ``{"url": ..., "pid": ...}`` once the socket is listening (how the
+chaos harness and CI discover the port).  SIGTERM/SIGINT trigger a
+graceful drain: new submissions get 503, in-flight jobs finish, and
+everything else stays journalled for the next incarnation's
+``recover()``.
+
+Chaos::
+
+    python -m repro.net chaos --jobs 8 --workers 2 --verify --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _serve(args) -> int:
+    from .gateway import Gateway
+    gw = Gateway(host=args.host, port=args.port, workers=args.workers,
+                 devices=args.devices, durable_dir=args.durable_dir,
+                 max_queue=args.max_queue,
+                 checkpoint_every=args.checkpoint_every,
+                 job_attempts=args.job_attempts,
+                 resilient=args.resilient,
+                 drain_grace_s=args.drain_grace,
+                 ready_file=args.ready_file)
+    print(f"repro.net gateway: {args.workers} worker(s), "
+          f"durable={args.durable_dir or 'off'}", file=sys.stderr)
+    gw.serve_forever()
+    return 0
+
+
+def _chaos(args) -> int:
+    from .chaos import run_gateway_chaos
+    report = run_gateway_chaos(
+        jobs=args.jobs, workers=args.workers, steps=args.steps,
+        checkpoint_every=args.checkpoint_every,
+        durable_dir=args.durable_dir, verify=args.verify)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+    print(f"gateway_kill: {report['done_before_kill']} done before kill, "
+          f"recovered from_store={report['recovered']['from_store']}, "
+          f"ok={report['ok']}")
+    for err in report["errors"]:
+        print(f"  ERROR: {err}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Serve the simulation gateway over HTTP/WebSocket.")
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="run the gateway (default)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--devices", default=None,
+                       help="device designation, e.g. TitanBlack:2")
+    serve.add_argument("--durable-dir", default=None)
+    serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--checkpoint-every", type=int, default=0)
+    serve.add_argument("--job-attempts", type=int, default=2)
+    serve.add_argument("--resilient", action="store_true")
+    serve.add_argument("--drain-grace", type=float, default=30.0)
+    serve.add_argument("--ready-file", default=None)
+    serve.set_defaults(func=_serve)
+
+    chaos = sub.add_parser("chaos", help="gateway_kill scenario")
+    chaos.add_argument("--jobs", type=int, default=8)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--steps", type=int, default=12)
+    chaos.add_argument("--checkpoint-every", type=int, default=3)
+    chaos.add_argument("--durable-dir", default=None)
+    chaos.add_argument("--verify", action="store_true",
+                       help="bit-compare every result to serial simulate")
+    chaos.add_argument("--json", default=None,
+                       help="write the report to this path")
+    chaos.set_defaults(func=_chaos)
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("serve", "chaos"):
+        argv.insert(0, "serve")           # bare invocation serves
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

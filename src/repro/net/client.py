@@ -1,0 +1,211 @@
+"""A small blocking client for the gateway (stdlib ``http.client``).
+
+Used by the test suite, the load generator and the chaos harness — and
+a reasonable starting point for real callers.  One TCP connection per
+request keeps the failure modes simple; :meth:`GatewayClient.events`
+speaks enough RFC 6455 to consume the ``/events`` WebSocket (client
+frames masked, as the RFC requires).
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import io
+import json
+import os
+import socket
+import struct
+import time
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from ..serve.journal import encode_request
+from .http import WS_CLOSE, WS_TEXT, encode_frame, websocket_accept_key
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(Exception):
+    """A non-2xx response where the caller expected success."""
+
+    def __init__(self, status: int, payload) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class GatewayClient:
+    """Blocking HTTP + WebSocket client for one gateway."""
+
+    def __init__(self, base_url: str, api_key: str | None = None,
+                 timeout: float = 60.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http":
+            raise ValueError(f"only http:// is supported, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+    def request(self, method: str, path: str, body=None,
+                headers: dict | None = None) -> tuple[int, dict, bytes]:
+        """One request; returns ``(status, response_headers, body)``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            hdrs = {"Connection": "close"}
+            if self.api_key:
+                hdrs["X-API-Key"] = self.api_key
+            if headers:
+                hdrs.update(headers)
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                hdrs["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=hdrs)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, dict(resp.getheaders()), data
+        finally:
+            conn.close()
+
+    def request_json(self, method: str, path: str,
+                     body=None) -> tuple[int, dict]:
+        status, _, data = self.request(method, path, body)
+        try:
+            return status, json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return status, {"raw": data.decode("utf-8", "replace")}
+
+    # -- job surface -------------------------------------------------------------
+    def submit(self, request) -> tuple[int, dict]:
+        """POST one job; ``request`` is a SubmitRequest or encoded dict."""
+        obj = request if isinstance(request, dict) else \
+            encode_request(request)
+        return self.request_json("POST", "/v1/jobs", obj)
+
+    def submit_ok(self, request) -> dict:
+        status, payload = self.submit(request)
+        if status not in (200, 202):
+            raise GatewayError(status, payload)
+        return payload
+
+    def status(self, job_id: int) -> dict:
+        code, payload = self.request_json("GET", f"/v1/jobs/{job_id}")
+        if code != 200:
+            raise GatewayError(code, payload)
+        return payload
+
+    def wait(self, job_id: int, timeout: float = 120.0,
+             poll: float = 0.02) -> dict:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(job_id)
+            if payload["state"] in ("DONE", "FAILED", "EVICTED"):
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def cancel(self, job_id: int) -> tuple[int, dict]:
+        return self.request_json("DELETE", f"/v1/jobs/{job_id}")
+
+    def result_json(self, job_id: int) -> dict:
+        code, payload = self.request_json("GET", f"/v1/jobs/{job_id}/result")
+        if code != 200:
+            raise GatewayError(code, payload)
+        return payload
+
+    def result_arrays(self, job_id: int) -> dict:
+        """The exact result arrays via the npz route (bit-faithful)."""
+        code, _, data = self.request("GET",
+                                     f"/v1/jobs/{job_id}/result?format=npz")
+        if code != 200:
+            raise GatewayError(code, data[:200])
+        with np.load(io.BytesIO(data)) as npz:
+            return {name: npz[name].copy() for name in npz.files}
+
+    def healthz(self) -> dict:
+        code, payload = self.request_json("GET", "/healthz")
+        if code != 200:
+            raise GatewayError(code, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        code, _, data = self.request("GET", "/metrics")
+        if code != 200:
+            raise GatewayError(code, data[:200])
+        return data.decode("utf-8")
+
+    # -- WebSocket ---------------------------------------------------------------
+    def events(self, job_id: int, max_events: int = 1000,
+               timeout: float = 60.0) -> list[dict]:
+        """Consume ``/v1/jobs/{id}/events`` until the final event.
+
+        Returns every JSON event received (snapshot first).
+        """
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=timeout)
+        received: list[dict] = []
+        try:
+            path = f"/v1/jobs/{job_id}/events"
+            sock.sendall(
+                (f"GET {path} HTTP/1.1\r\n"
+                 f"Host: {self.host}:{self.port}\r\n"
+                 "Upgrade: websocket\r\n"
+                 "Connection: Upgrade\r\n"
+                 f"Sec-WebSocket-Key: {key}\r\n"
+                 "Sec-WebSocket-Version: 13\r\n\r\n").encode("ascii"))
+            reader = sock.makefile("rb")
+            status_line = reader.readline().decode("latin-1")
+            if " 101 " not in status_line:
+                raise GatewayError(0, f"handshake refused: {status_line!r}")
+            accept = None
+            while True:
+                line = reader.readline().decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "sec-websocket-accept":
+                    accept = value.strip()
+            if accept != websocket_accept_key(key):
+                raise GatewayError(0, "bad Sec-WebSocket-Accept")
+            while len(received) < max_events:
+                opcode, payload = _read_frame_blocking(reader)
+                if opcode == WS_CLOSE:
+                    break
+                if opcode != WS_TEXT:
+                    continue
+                event = json.loads(payload.decode("utf-8"))
+                received.append(event)
+                if event.get("final"):
+                    break
+            # polite close (masked, as clients must)
+            sock.sendall(encode_frame(WS_CLOSE, struct.pack("!H", 1000),
+                                      mask=True))
+        finally:
+            sock.close()
+        return received
+
+
+def _read_frame_blocking(reader) -> tuple[int, bytes]:
+    """Server frames are unmasked; a blocking mirror of http.read_frame."""
+    head = reader.read(2)
+    if len(head) < 2:
+        return WS_CLOSE, b""
+    b1, b2 = head
+    opcode = b1 & 0x0F
+    n = b2 & 0x7F
+    if n == 126:
+        (n,) = struct.unpack("!H", reader.read(2))
+    elif n == 127:
+        (n,) = struct.unpack("!Q", reader.read(8))
+    payload = reader.read(n)
+    return opcode, payload

@@ -1,0 +1,250 @@
+"""Minimal HTTP/1.1 + RFC 6455 WebSocket layer over asyncio streams.
+
+Only what the gateway needs, built on the stdlib: request parsing with
+a bounded body, keep-alive, JSON helpers, and the WebSocket handshake
+plus frame codec (single-frame messages, client masking honoured).  No
+chunked transfer encoding — the gateway always sends Content-Length and
+requires it on bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "Request", "Response", "WebSocket",
+           "read_request", "websocket_accept_key"]
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 101: "Switching Protocols",
+}
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+WS_TEXT = 0x1
+WS_BINARY = 0x2
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+
+class HttpError(Exception):
+    """A protocol-level error that maps to an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    method: str
+    target: str
+    path: str
+    query: dict
+    headers: dict           # keys lower-cased
+    body: bytes
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (self.headers.get("upgrade", "").lower() == "websocket"
+                and "upgrade" in self.headers.get("connection", "").lower())
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes = b""
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, status: int, payload, **headers) -> "Response":
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        hdrs = {"Content-Type": "application/json"}
+        hdrs.update(headers)
+        return cls(status, body, hdrs)
+
+    @classmethod
+    def text(cls, status: int, text: str,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status, text.encode("utf-8"),
+                   {"Content-Type": content_type})
+
+    def encode(self, *, keep_alive: bool = True) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        hdrs = dict(self.headers)
+        hdrs.setdefault("Content-Length", str(len(self.body)))
+        hdrs.setdefault("Connection", "keep-alive" if keep_alive else "close")
+        for k, v in hdrs.items():
+            lines.append(f"{k}: {v}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       *, max_body: int = MAX_BODY_BYTES) -> Request | None:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds {max_body}")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """RFC 6455 §4.2.2: the Sec-WebSocket-Accept for a client key."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, *, mask: bool = False) -> bytes:
+    """One FIN frame.  Clients must mask (RFC 6455 §5.3), servers must not."""
+    head = bytearray([0x80 | opcode])
+    n = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", n)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one frame, unmasking if needed.  Returns ``(opcode, payload)``."""
+    b1, b2 = await reader.readexactly(2)
+    if not b1 & 0x80:
+        raise HttpError(400, "fragmented WebSocket frames are not supported")
+    opcode = b1 & 0x0F
+    masked = bool(b2 & 0x80)
+    n = b2 & 0x7F
+    if n == 126:
+        (n,) = struct.unpack("!H", await reader.readexactly(2))
+    elif n == 127:
+        (n,) = struct.unpack("!Q", await reader.readexactly(8))
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(n)
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+class WebSocket:
+    """A server-side WebSocket over an accepted asyncio connection."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.closed = False
+
+    @classmethod
+    async def accept(cls, request: Request, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> "WebSocket":
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            raise HttpError(400, "missing Sec-WebSocket-Key")
+        writer.write(Response(101, headers={
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Accept": websocket_accept_key(key),
+            "Content-Length": "0",
+        }).encode())
+        await writer.drain()
+        return cls(reader, writer)
+
+    async def send_json(self, payload) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._writer.write(encode_frame(WS_TEXT, data))
+        await self._writer.drain()
+
+    async def recv(self) -> tuple[int, bytes]:
+        """Next data frame; answers pings, surfaces close as WS_CLOSE."""
+        while True:
+            opcode, payload = await read_frame(self._reader)
+            if opcode == WS_PING:
+                self._writer.write(encode_frame(WS_PONG, payload))
+                await self._writer.drain()
+                continue
+            if opcode == WS_CLOSE:
+                self.closed = True
+            return opcode, payload
+
+    async def close(self, code: int = 1000) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._writer.write(encode_frame(WS_CLOSE, struct.pack("!H", code)))
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass

@@ -60,6 +60,7 @@ Scheduling policy, in order:
 from __future__ import annotations
 
 import os
+import threading
 
 from .. import obs as _obs
 from ..acoustics.sim import (Checkpoint, RoomSimulation, SimConfig,
@@ -67,7 +68,7 @@ from ..acoustics.sim import (Checkpoint, RoomSimulation, SimConfig,
 from ..gpu.device import DeviceSpec, resolve_device
 from ..gpu.errors import ClError
 from .cache import CompileCache, ResultCache
-from .job import JobHandle, JobResult, SubmitRequest
+from .job import JOB_STATES, JobHandle, JobResult, SubmitRequest
 from .journal import (Journal, WorkerCrash, decode_request, encode_request)
 from .queue import BoundedPriorityQueue, InvalidRequest, QueueFull
 from .store import ResultStore
@@ -187,6 +188,11 @@ class SimulationService:
         self.batches = 0
         self._next_id = 1
         self._handles: list[JobHandle] = []
+        # incremental per-state counts + a lock make stats()/health()
+        # O(1) in the job count and safe to poll from another thread
+        # (the gateway's health endpoint) while the service mutates
+        self._lock = threading.RLock()
+        self._state_counts = {s: 0 for s in JOB_STATES}
         self._waits: list[float] = []
         self._latencies: list[float] = []
         # -- durability (opt-in) --
@@ -254,9 +260,9 @@ class SimulationService:
                                trace=handle.trace_id, scheme=request.scheme,
                                priority=request.priority)
             self._ts("submitted")
+            self._register(handle)
             self._complete(handle, ResultCache.rebase(
                 cached, submit_ms=handle.submit_ms, now_ms=self.now_ms))
-            self._handles.append(handle)
             return handle
         if len(self.queue) >= self.queue.capacity:
             # backpressure *before* the journal write: a refused job
@@ -267,7 +273,7 @@ class SimulationService:
                            trace=handle.trace_id, scheme=request.scheme,
                            priority=request.priority)
         self.queue.push(handle)           # may raise QueueFull (nothing kept)
-        self._handles.append(handle)
+        self._register(handle)
         self._ts("submitted")
         self._ts("queue_depth", len(self.queue))
         self._gauge_depth()
@@ -288,10 +294,8 @@ class SimulationService:
 
     def stats(self) -> dict:
         """Deterministic service-level statistics (modelled clock)."""
-        states = {s: 0 for s in ("QUEUED", "RUNNING", "DONE", "FAILED",
-                                 "EVICTED")}
-        for h in self._handles:
-            states[h.state] += 1
+        with self._lock:
+            states = dict(self._state_counts)
         makespan_ms = self.now_ms
         done = states["DONE"]
         durability = None
@@ -327,6 +331,40 @@ class SimulationService:
             "durability": durability,
         }
 
+    def health(self) -> dict:
+        """Cheap, thread-safe liveness snapshot for high-frequency
+        polling (the gateway's ``GET /healthz``).
+
+        Unlike :meth:`stats` it computes no percentiles and walks no
+        handle list: per-state counts are maintained incrementally, so
+        the cost is O(pool size + heap size) regardless of how many
+        jobs the service has ever seen.  Safe to call from a different
+        thread than the one driving the scheduler.
+        """
+        with self._lock:
+            states = dict(self._state_counts)
+            busy = [s.busy_until_ms for s in self.pool.slots]
+            now = self.now_ms
+            out = {
+                "queue_depth": len(self.queue),
+                "queue_capacity": self.queue.capacity,
+                "states": states,
+                "submitted": sum(states.values()),
+                "lease": {"slots": len(busy),
+                          "occupied": sum(1 for b in busy if b > now),
+                          "busy_until_ms": busy},
+                "now_ms": now,
+                "executions": self.executions,
+                "recovered": {k: (v if isinstance(v, int) else len(v))
+                              for k, v in self.recovery.items()},
+                "durable": self.durable_dir is not None,
+            }
+            if self.journal is not None:
+                out["journal_bytes"] = self.journal.bytes_appended
+            if self.store is not None:
+                out["store_entries"] = len(self.store._entries)
+            return out
+
     # -- scheduling core ---------------------------------------------------------
     def _place_batch(self, lead: JobHandle) -> None:
         """Lease devices for ``lead``, co-schedule compatible queued jobs
@@ -352,7 +390,7 @@ class SimulationService:
                 # cancelled/evicted between lease and execution — never
                 # double-complete the handle or burn its device time
                 continue
-            h.state = "RUNNING"
+            self._transition(h, "RUNNING")
             req = h.request
             t = max(t, h.submit_ms)
             if (req.deadline_ms is not None
@@ -616,7 +654,7 @@ class SimulationService:
                     if fp in traces:
                         h.trace_id = traces[fp]
                     self._next_id += 1
-                    self._handles.append(h)
+                    self._register(h)
                     handles.append(h)
                 event, payload = status[fp]
                 if event == "complete" and self.store is not None:
@@ -667,9 +705,27 @@ class SimulationService:
             self.journal.close()
 
     # -- bookkeeping -------------------------------------------------------------
+    def _register(self, handle: JobHandle) -> None:
+        """Track a freshly admitted handle (counts it in its current,
+        normally QUEUED, state)."""
+        with self._lock:
+            self._state_counts[handle.state] += 1
+            self._handles.append(handle)
+
+    def _transition(self, handle: JobHandle, new_state: str) -> None:
+        """Move a handle between lifecycle states, keeping the
+        incremental per-state counts (and therefore :meth:`health`)
+        consistent.  Every state assignment in the service goes through
+        here."""
+        with self._lock:
+            self._state_counts[handle.state] -= 1
+            self._state_counts[new_state] += 1
+            handle.state = new_state
+
     def _complete(self, handle: JobHandle, result: JobResult) -> None:
         self._journal("complete", handle, handle.request.fingerprint(),
                       end_ms=result.end_ms, from_cache=result.from_cache)
+        self._transition(handle, "DONE")
         handle._finish(result)
         self._waits.append(result.wait_ms)
         self._latencies.append(result.latency_ms)
@@ -709,6 +765,7 @@ class SimulationService:
     def _fail(self, handle: JobHandle, error: str) -> None:
         self._journal("fail", handle, handle.request.fingerprint(),
                       error=error[:500])
+        self._transition(handle, "FAILED")
         handle._fail(error)
         self.flight.record("fail", self.now_ms, job=handle.job_id,
                            trace=handle.trace_id, error=error[:200])
@@ -730,7 +787,7 @@ class SimulationService:
                       handle, handle.request.fingerprint(),
                       reason=reason[:500])
         handle.error = reason
-        handle.state = "EVICTED"
+        self._transition(handle, "EVICTED")
         self.flight.record("evict", self.now_ms, job=handle.job_id,
                            trace=handle.trace_id, reason=reason[:200])
         if self.timeseries is not None:

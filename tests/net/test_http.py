@@ -1,0 +1,100 @@
+"""Unit tests for the minimal HTTP/1.1 + WebSocket layer."""
+
+import asyncio
+
+import pytest
+
+from repro.net.http import (HttpError, Response, encode_frame, read_frame,
+                            read_request, websocket_accept_key)
+
+
+def _parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(go())
+
+
+def test_parses_get_with_query_and_percent_encoding():
+    req = _parse(b"GET /v1/jobs/7?format=npz&x=a%20b HTTP/1.1\r\n"
+                 b"Host: h\r\nX-API-Key: k1\r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/v1/jobs/7"
+    assert req.query == {"format": "npz", "x": "a b"}
+    assert req.headers["x-api-key"] == "k1"
+    assert req.body == b""
+    assert req.keep_alive
+
+
+def test_parses_post_body_and_connection_close():
+    req = _parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 9\r\n"
+                 b"Connection: close\r\n\r\n{\"a\": 42}")
+    assert req.json() == {"a": 42}
+    assert not req.keep_alive
+
+
+def test_eof_before_any_bytes_is_clean_close():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize("raw", [
+    b"NONSENSE\r\n\r\n",
+    b"GET /x\r\n\r\n",                       # no HTTP version
+    b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+])
+def test_malformed_requests_raise_400(raw):
+    with pytest.raises(HttpError) as e:
+        _parse(raw)
+    assert e.value.status == 400
+
+
+def test_oversized_body_raises_413():
+    with pytest.raises(HttpError) as e:
+        _parse(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+    assert e.value.status == 413
+
+
+def test_response_encode_roundtrip():
+    data = Response.json(202, {"job_id": 3}).encode()
+    head, _, body = data.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 202 Accepted")
+    assert b"Content-Type: application/json" in head
+    assert body == b'{"job_id": 3}'
+    assert f"Content-Length: {len(body)}".encode() in head
+
+
+def test_websocket_accept_key_rfc6455_vector():
+    # the worked example from RFC 6455 section 1.3
+    assert (websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+
+@pytest.mark.parametrize("size", [0, 10, 125, 126, 200, 65535, 70000])
+@pytest.mark.parametrize("mask", [False, True])
+def test_frame_roundtrip_all_length_encodings(size, mask):
+    payload = bytes(i % 251 for i in range(size))
+    raw = encode_frame(0x2, payload, mask=mask)
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_frame(reader)
+    opcode, decoded = asyncio.run(go())
+    assert opcode == 0x2
+    assert decoded == payload
+
+
+def test_fragmented_frames_are_rejected():
+    raw = bytearray(encode_frame(0x1, b"hi"))
+    raw[0] &= 0x7F                          # clear FIN
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(bytes(raw))
+        reader.feed_eof()
+        return await read_frame(reader)
+    with pytest.raises(HttpError):
+        asyncio.run(go())

@@ -1,0 +1,112 @@
+"""Idempotent submission across the gateway, including kill/recovery.
+
+The fingerprint is the idempotency key at every layer; these tests pin
+the two contracts that matter to callers:
+
+* within one gateway incarnation, a duplicate ``POST /v1/jobs`` maps to
+  the original job and never causes a second execution;
+* across a SIGKILL, resubmitted fingerprints answer from the durable
+  store with zero re-execution (``gateway_kill`` chaos scenario).
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.net import Gateway, GatewayClient, Tenant
+from repro.net.chaos import run_gateway_chaos
+from repro.serve import SubmitRequest
+
+TENANTS = (Tenant("alpha", "key-alpha", rate=500.0, burst=200.0,
+                  max_concurrent=64, queue_share=0.9),)
+
+
+@pytest.fixture(scope="module")
+def gateway(tmp_path_factory):
+    gw = Gateway(workers=2, port=0,
+                 durable_dir=str(tmp_path_factory.mktemp("idem-durable")),
+                 max_queue=32, tenants=TENANTS)
+    gw.start()
+    yield gw
+    gw.stop()
+
+
+@pytest.fixture(scope="module")
+def client(gateway):
+    return GatewayClient(gateway.url, api_key="key-alpha")
+
+
+def _req(steps, dims=(11, 9, 8)):
+    return SubmitRequest(room=Room(Grid3D(*dims), BoxRoom()), steps=steps,
+                         scheme="fi_mm", receivers={"mic": "center"})
+
+
+def test_duplicate_post_is_idempotent(gateway, client):
+    req = _req(steps=6)
+    first = client.submit_ok(req)
+    dup_codes = []
+    for _ in range(3):
+        code, payload = client.submit(req)
+        dup_codes.append(code)
+        assert payload["job_id"] == first["job_id"]
+        assert payload["duplicate"] is True
+    assert dup_codes == [200, 200, 200]
+    client.wait(first["job_id"])
+    # one execution no matter how many times it was posted
+    assert gateway.svc.executed_fingerprints.count(req.fingerprint()) == 1
+
+
+def test_duplicate_after_done_answers_without_execution(gateway, client):
+    req = _req(steps=7)
+    first = client.submit_ok(req)
+    client.wait(first["job_id"])
+    executions_before = gateway.svc.executions
+    code, payload = client.submit(req)
+    assert code == 200
+    assert payload["duplicate"] is True
+    assert payload["state"] == "DONE"
+    assert gateway.svc.executions == executions_before
+
+
+def test_twin_fingerprints_share_one_execution(gateway, client):
+    """Distinct jobs hashing alike ride one execution via the encoded
+    wire form (priority is outside the fingerprint)."""
+    from repro.serve.journal import encode_request
+    req = _req(steps=9)
+    a = encode_request(req)
+    b = dict(a, priority=5)
+    first = client.submit_ok(a)
+    second = client.submit_ok(b)
+    assert second["job_id"] == first["job_id"]
+    assert second.get("duplicate") is True
+    final = client.wait(first["job_id"])
+    assert final["state"] == "DONE"
+    assert gateway.svc.executed_fingerprints.count(req.fingerprint()) == 1
+
+
+def test_duplicate_result_is_bit_identical(gateway, client):
+    req = _req(steps=8)
+    sub = client.submit_ok(req)
+    client.wait(sub["job_id"])
+    one = client.result_arrays(sub["job_id"])
+    # resubmit and fetch again: same job, same bytes
+    code, payload = client.submit(req)
+    assert code == 200
+    two = client.result_arrays(payload["job_id"])
+    assert set(one) == set(two)
+    for name in one:
+        assert np.array_equal(one[name], two[name])
+
+
+@pytest.mark.slow
+def test_gateway_kill_recovers_without_reexecution(tmp_path):
+    """The E2E crash drill: SIGKILL mid-run, recover on the same durable
+    dir, resubmit everything, verify bit-identity against serial."""
+    report = run_gateway_chaos(jobs=4, workers=2, steps=8,
+                               checkpoint_every=2,
+                               durable_dir=str(tmp_path / "chaos"),
+                               verify=True)
+    assert report["errors"] == []
+    assert report["ok"] is True
+    assert report["done_before_kill"] >= 1
+    assert report["verified"] == 4          # every job bit-identical

@@ -1,0 +1,120 @@
+"""Unit tests for per-tenant admission control (deterministic clocks)."""
+
+import pytest
+
+from repro.net.ratelimit import (AdmissionController, Tenant, TokenBucket,
+                                 default_tenants)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    b = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [b.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+    wait = b.try_acquire()                  # empty: 1 token at 2/s = 0.5s
+    assert wait == pytest.approx(0.5)
+    clock.advance(0.5)
+    assert b.try_acquire() == 0.0
+    clock.advance(100.0)                    # refill caps at burst
+    assert b.tokens == pytest.approx(3.0)
+
+
+def test_token_bucket_refusal_does_not_consume():
+    clock = FakeClock()
+    b = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+    assert b.try_acquire() == 0.0
+    before = b.tokens
+    assert b.try_acquire() > 0.0
+    assert b.tokens == pytest.approx(before)
+
+
+@pytest.mark.parametrize("kwargs", [dict(rate=0.0, burst=1.0),
+                                    dict(rate=-1.0, burst=1.0),
+                                    dict(rate=1.0, burst=0.5)])
+def test_token_bucket_validation(kwargs):
+    with pytest.raises(ValueError):
+        TokenBucket(**kwargs)
+
+
+def _controller(clock, **overrides):
+    spec = dict(rate=10.0, burst=2.0, max_concurrent=3, queue_share=0.5)
+    spec.update(overrides)
+    return AdmissionController(
+        [Tenant("t", "key-t", **spec)], clock=clock)
+
+
+def test_rate_refusal_carries_retry_after():
+    clock = FakeClock()
+    ctrl = _controller(clock)
+    t = ctrl.authenticate("key-t")
+    assert ctrl.admit(t, 64) == (True, "", 0.0)
+    assert ctrl.admit(t, 64)[0] is True
+    ok, reason, retry = ctrl.admit(t, 64)   # burst of 2 spent
+    assert (ok, reason) == (False, "rate")
+    assert retry == pytest.approx(0.1)
+    assert ctrl.refusals["rate"] == 1
+
+
+def test_concurrency_quota_checked_before_rate():
+    clock = FakeClock()
+    ctrl = _controller(clock, max_concurrent=1, burst=10.0)
+    t = ctrl.authenticate("key-t")
+    assert ctrl.admit(t, 64)[0] is True
+    ctrl.on_admitted("t")
+    ok, reason, _ = ctrl.admit(t, 64)
+    assert (ok, reason) == (False, "concurrency")
+    # the refused request burned no rate token
+    assert ctrl._buckets["t"].tokens == pytest.approx(9.0)
+    ctrl.on_started("t")
+    ctrl.on_finished("t")
+    assert ctrl.admit(t, 64)[0] is True
+
+
+def test_queue_share_quota():
+    clock = FakeClock()
+    ctrl = _controller(clock, queue_share=0.25, burst=50.0, rate=50.0,
+                       max_concurrent=50)
+    t = ctrl.authenticate("key-t")
+    for _ in range(2):                      # share cap = 0.25 * 8 = 2
+        assert ctrl.admit(t, 8)[0] is True
+        ctrl.on_admitted("t")
+    ok, reason, _ = ctrl.admit(t, 8)
+    assert (ok, reason) == (False, "queue-share")
+    ctrl.on_started("t")                    # one job leaves the queue
+    assert ctrl.admit(t, 8)[0] is True
+
+
+def test_counts_and_finished_bookkeeping():
+    clock = FakeClock()
+    ctrl = _controller(clock, burst=10.0)
+    ctrl.on_admitted("t")
+    ctrl.on_admitted("t")
+    ctrl.on_started("t")
+    assert ctrl.counts()["t"] == {"queued": 1, "outstanding": 2}
+    ctrl.on_finished("t")                   # the running one
+    ctrl.on_finished("t", was_queued=True)  # a cancelled queued one
+    assert ctrl.counts()["t"] == {"queued": 0, "outstanding": 0}
+    ctrl.on_finished("t")                   # never goes negative
+    assert ctrl.counts()["t"]["outstanding"] == 0
+
+
+def test_authenticate_and_validation():
+    ctrl = AdmissionController(default_tenants())
+    assert ctrl.authenticate("key-alpha").name == "alpha"
+    assert ctrl.authenticate("nope") is None
+    assert ctrl.authenticate(None) is None
+    assert ctrl.authenticate("") is None
+    with pytest.raises(ValueError):
+        AdmissionController([])
+    with pytest.raises(ValueError):
+        AdmissionController([Tenant("a", "k"), Tenant("b", "k")])

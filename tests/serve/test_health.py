@@ -1,0 +1,109 @@
+"""SimulationService.health(): the cheap, thread-safe liveness snapshot.
+
+Unlike ``stats()`` it is meant for high-frequency polling from another
+thread (the gateway's ``GET /healthz``), so the tests pin both the
+shape of the snapshot and that concurrent polling during ``drain()``
+never sees torn state.
+"""
+
+import threading
+
+from repro.acoustics import BoxRoom, Grid3D, Room
+from repro.serve import JOB_STATES, SimulationService, SubmitRequest
+
+
+def _req(steps=3, dims=(10, 8, 8), **kw):
+    return SubmitRequest(room=Room(Grid3D(*dims), BoxRoom()),
+                         steps=steps, **kw)
+
+
+def test_health_shape_when_idle():
+    svc = SimulationService(max_queue=7)
+    h = svc.health()
+    assert h["queue_depth"] == 0
+    assert h["queue_capacity"] == 7
+    assert set(h["states"]) == set(JOB_STATES)
+    assert h["submitted"] == 0
+    assert h["lease"]["slots"] >= 1
+    assert h["lease"]["occupied"] == 0
+    assert h["executions"] == 0
+    assert h["durable"] is False
+    assert "journal_bytes" not in h
+    assert "store_entries" not in h
+
+
+def test_health_tracks_submit_and_drain():
+    svc = SimulationService()
+    handles = [svc.submit(_req(steps=3 + i)) for i in range(3)]
+    h = svc.health()
+    assert h["states"]["QUEUED"] == 3
+    assert h["queue_depth"] == 3
+    assert h["submitted"] == 3
+    svc.drain()
+    h = svc.health()
+    assert h["states"]["QUEUED"] == 0
+    assert h["states"]["DONE"] == 3
+    assert h["queue_depth"] == 0
+    assert h["submitted"] == 3
+    assert h["executions"] >= 1
+    assert all(x.state == "DONE" for x in handles)
+
+
+def test_health_counts_cancellation_and_duplicates():
+    svc = SimulationService()
+    a = svc.submit(_req(steps=4))
+    b = svc.submit(_req(steps=4))            # same fingerprint as a
+    c = svc.submit(_req(steps=5))
+    assert c.cancel()
+    h = svc.health()
+    assert h["states"]["EVICTED"] == 1
+    assert h["submitted"] == 3
+    svc.drain()
+    h = svc.health()
+    assert h["states"]["DONE"] == 2
+    assert h["states"]["EVICTED"] == 1
+    assert h["submitted"] == 3
+    assert a.state == b.state == "DONE"
+
+
+def test_health_reports_durability(tmp_path):
+    svc = SimulationService(durable_dir=str(tmp_path))
+    svc.submit(_req())
+    svc.drain()
+    h = svc.health()
+    assert h["durable"] is True
+    assert h["journal_bytes"] > 0
+    assert h["store_entries"] == 1
+    svc.close()
+
+
+def test_health_is_safe_to_poll_from_another_thread():
+    """Poll health() concurrently with drain(); every snapshot must be
+    internally consistent (counts sum to submitted, never negative)."""
+    svc = SimulationService()
+    for i in range(6):
+        svc.submit(_req(steps=3 + i, dims=(10 + i % 3, 8, 8)))
+    submitted = 6
+    failures = []
+    stop = threading.Event()
+
+    def poll():
+        while not stop.is_set():
+            h = svc.health()
+            if sum(h["states"].values()) != submitted:
+                failures.append(f"states sum {h['states']}")
+            if any(v < 0 for v in h["states"].values()):
+                failures.append(f"negative count {h['states']}")
+            if h["queue_depth"] > h["queue_capacity"]:
+                failures.append("queue depth over capacity")
+
+    poller = threading.Thread(target=poll)
+    poller.start()
+    try:
+        svc.drain()
+    finally:
+        stop.set()
+        poller.join(timeout=10.0)
+    assert failures == []
+    h = svc.health()
+    assert h["states"]["DONE"] == submitted

@@ -62,6 +62,17 @@ def test_obs_all_lists_are_exact():
         assert hasattr(obs, name)
 
 
+def test_net_surface_documented():
+    import repro.net as net
+    assert _documented("repro.net") == set(net.__all__)
+
+
+def test_net_all_lists_are_exact():
+    import repro.net as net
+    for name in net.__all__:
+        assert hasattr(net, name)
+
+
 def test_gpu_all_covers_multi_device_surface():
     import repro.gpu as gpu
     for name in ("resolve_device", "MultiGPU", "MultiRunResult", "ShardLost",
