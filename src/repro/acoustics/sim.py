@@ -192,6 +192,16 @@ class SimConfig:
         shard syntax, or a list).  More than one resolved device selects
         Z-slab domain decomposition (:class:`repro.gpu.multi.MultiGPU`),
         bit-identical to single-device execution.
+    ``parallel``
+        with more than one device, run each shard in its own OS process
+        (:class:`repro.gpu.parallel.ParallelMultiGPU`) with halo planes
+        exchanged through shared memory and interior compute overlapping
+        the exchange.  ``run()`` then advances in bulk segments between
+        checkpoint/health boundaries instead of one ``execute()`` round
+        trip per step — bit-identical either way.  Falls back to the
+        serial in-process executor whenever the parallel path cannot run
+        (single device, fault injection, resilient wrappers, daemon
+        parent process).
     """
 
     room: Room
@@ -209,6 +219,9 @@ class SimConfig:
     resilient: bool = False
     retry: object | None = None           # RetryPolicy for the resilient path
     devices: object | None = None         # resolve_device() designation
+    #: multi-device pools only: one worker process per shard with
+    #: compute/communication overlap (see class docstring)
+    parallel: bool = False
     #: a pre-compiled :class:`repro.lift.codegen.host.HostProgram` for
     #: the ``virtual_gpu`` backend (skips ``compile_host``); must match
     #: (scheme, precision, num_branches) — the serving layer's compile
@@ -301,6 +314,9 @@ class RoomSimulation:
 
         self.modelled_gpu_time_ms = 0.0
         self.modelled_halo_time_ms = 0.0
+        #: the last bulk-parallel segment's overlap report
+        #: (``MultiRunResult.overlap``); None before any segment ran
+        self.last_overlap: dict | None = None
         self.last_checkpoint: Checkpoint | None = None
         self._energy_ref: float | None = None
         if config.backend in _LIFT_MODES:
@@ -332,17 +348,12 @@ class RoomSimulation:
             nk = compile_numpy(kernel, label, steady=steady)
             ws = Workspace(f"lift:{label}") if steady else None
             if mode == "numba":
-                from ..lift.codegen.loops import (LoopsUnsupported,
-                                                  compile_loops)
-                try:
-                    return compile_loops(nk.program,
-                                         reference_fn=nk.fn), ws
-                except LoopsUnsupported as why:
-                    from .._deprecation import warn_once
-                    warn_once(f"backend=numba fallback:{label}",
-                              f"compiled loop backend unavailable for "
-                              f"{label} ({why}); falling back to the "
-                              f"numpy-steady emitter")
+                # every generated program (rank-1 gid and rank-3 grid3
+                # domains alike) is loop-lowerable; nothing falls back,
+                # so nothing warns — LoopsUnsupported would indicate a
+                # genuinely new program shape and should surface loudly
+                from ..lift.codegen.loops import compile_loops
+                return compile_loops(nk.program, reference_fn=nk.fn), ws
             return nk, ws
 
         if self.config.scheme == "fi":
@@ -384,6 +395,15 @@ class RoomSimulation:
         a plain VirtualGPU (optionally fault-carrying / resilient); more
         than one gives the Z-slab decomposition across the pool."""
         if len(devices) > 1:
+            if self.config.parallel:
+                from ..gpu.parallel import ParallelMultiGPU
+                return ParallelMultiGPU(
+                    devices, faults=self.config.faults,
+                    resilient=self.config.resilient,
+                    retry=self.config.retry,
+                    program_spec=(self.config.scheme,
+                                  self.config.precision,
+                                  self.table.num_branches or 3))
             from ..gpu.multi import MultiGPU
             return MultiGPU(devices, faults=self.config.faults,
                             resilient=self.config.resilient,
@@ -553,9 +573,100 @@ class RoomSimulation:
                 continue
             from ..gpu.multi import ShardLost
             try:
-                self.step()
+                if self._parallel_bulk_ok():
+                    self._step_parallel_segment(target)
+                else:
+                    self.step()
             except ShardLost as lost:
                 self._recover_shard_loss(lost)
+
+    def _parallel_bulk_ok(self) -> bool:
+        gpu = getattr(self, "_gpu", None)
+        return (hasattr(gpu, "_parallel_eligible")
+                and gpu._parallel_eligible() is None)
+
+    def _step_parallel_segment(self, target: int) -> None:
+        """Advance in one ``execute_many`` round trip across the shard
+        worker processes, stopping at the next checkpoint/health
+        boundary so periodic hooks fire at exactly the same time steps
+        as the per-step path.  Receivers are sampled in-worker (each
+        step, post-rotation — the same point the per-step path samples
+        ``curr``) and splice back in bulk."""
+        cfg = self.config
+        n = target - self.time_step
+        for interval in (cfg.checkpoint_interval, cfg.health_interval):
+            if interval:
+                n = min(n, interval - self.time_step % interval)
+        g = self.grid
+        t = self.topology
+        sizes = self._size_env()
+        rotations = [("prev2_h", "prev1_h", "__out__")]
+        if cfg.scheme == "fi":
+            inputs = dict(neighbors=self._nbrs_guarded, prev1_h=self.curr,
+                          prev2_h=self.prev, lambda_h=self._lam(),
+                          beta_h=self.table.beta[0],
+                          Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+        else:
+            inputs = dict(boundaries=t.boundary_indices,
+                          materialIdx=t.material,
+                          neighbors=self._nbrs_guarded,
+                          betaTable=self.table.beta, prev1_h=self.curr,
+                          prev2_h=self.prev, lambda_h=self._lam(),
+                          Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+            if cfg.scheme == "fd_mm":
+                inputs.update(BI_h=self.table.BI.reshape(-1),
+                              DI_h=self.table.DI.reshape(-1),
+                              F_h=self.table.F.reshape(-1),
+                              D_h=self.table.D.reshape(-1),
+                              g1_h=self.g1, v2_h=self.v2, v1_h=self.v1,
+                              K=sizes["K"])
+                rotations.append(("v2_h", "v1_h"))
+        o = _obs.get()
+        recv = {name: idx for name, (idx, _s) in self.receivers.items()}
+        if o is None:
+            res = self._gpu.execute_many(
+                self._host_program, inputs, sizes, n, rotations=rotations,
+                receivers=recv)
+        else:
+            with o.tracer.span("sim.segment", "sim", step=self.time_step,
+                               steps=n, scheme=cfg.scheme,
+                               shards=len(self.devices)):
+                res = self._gpu.execute_many(
+                    self._host_program, inputs, sizes, n,
+                    rotations=rotations, receivers=recv)
+        N = self._N
+        self.curr[:N] = np.asarray(
+            res.buffers["final:prev1_h"]).reshape(-1)[:N]
+        self.prev[:N] = np.asarray(
+            res.buffers["final:prev2_h"]).reshape(-1)[:N]
+        if cfg.scheme == "fd_mm":
+            self.g1[:] = res.buffers["final:g1_h"]
+            self.v1[:] = res.buffers["final:v1_h"]
+            self.v2[:] = res.buffers["final:v2_h"]
+        self.modelled_gpu_time_ms += res.kernel_time_ms()
+        self.modelled_halo_time_ms += res.halo_time_ms()
+        self.last_overlap = res.overlap
+        for name, samples in (res.overlap or {}).get(
+                "receivers", {}).items():
+            self.receivers[name][1].extend(float(x) for x in samples)
+        self.time_step += n
+        if o is not None:
+            o.metrics.counter(
+                "repro_sim_steps_total", "Completed simulation time steps",
+                ("scheme", "backend")).inc(n, scheme=cfg.scheme,
+                                           backend=cfg.backend)
+            if self.receivers:
+                o.metrics.counter(
+                    "repro_sim_receiver_samples_total",
+                    "Pressure samples captured at receiver points").inc(
+                        n * len(self.receivers))
+        if cfg.health_interval and self.time_step % cfg.health_interval == 0:
+            self._check_health()
+        if (cfg.checkpoint_interval
+                and self.time_step % cfg.checkpoint_interval == 0):
+            self.last_checkpoint = self.checkpoint()
+            if cfg.on_checkpoint is not None:
+                cfg.on_checkpoint(self.last_checkpoint)
 
     def _recover_shard_loss(self, lost) -> None:
         """Drop the dead device, re-shard, and rewind to the checkpoint.

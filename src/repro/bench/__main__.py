@@ -29,6 +29,14 @@ def main(argv=None) -> int:
                              "compare against; exits non-zero when the "
                              "steady-state speedup ratio regresses >20%% "
                              "or bit-identity is lost")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="with 'scaling': sweep shard counts through "
+                             "the multi-process overlap executor and "
+                             "report measured + modelled speedup, "
+                             "efficiency and overlap-hidden-%% per count")
+    parser.add_argument("--shards", default="1,2,4",
+                        help="scaling --wallclock: comma-separated shard "
+                             "counts to sweep")
     parser.add_argument("--steps", type=int, default=10,
                         help="with 'wallclock': timed steps per variant "
                              "(more = tighter ratios on small rooms)")
@@ -72,6 +80,29 @@ def main(argv=None) -> int:
         from .experiments import render_index
         print(render_index())
         return 0
+    if args.wallclock and "scaling" in artefacts:
+        import json
+        from .scaling_wallclock import (check_scaling_regression,
+                                        render_scaling_wallclock,
+                                        scaling_wallclock_benchmark)
+        shards = tuple(int(s) for s in args.shards.split(",") if s)
+        payload = scaling_wallclock_benchmark(
+            scale=args.scale, steps=args.steps, shard_counts=shards)
+        print(render_scaling_wallclock(payload))
+        if args.json is not None:
+            with open(args.json, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        if args.baseline is not None:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+            failures = check_scaling_regression(payload, baseline)
+            for msg in failures:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"no scaling regression vs {args.baseline}")
+        return 0 if payload["all_bit_identical"] else 1
     if args.json is not None or ("wallclock" in artefacts
                                  and args.baseline is not None):
         import json

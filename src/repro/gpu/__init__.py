@@ -31,8 +31,9 @@ from .device import (AMD_HD7970, AMD_R9_295X2, DeviceSpec, NVIDIA_GTX780,
                      NVIDIA_TITAN_BLACK, PAPER_DEVICES, device_by_name,
                      resolve_device)
 from .costmodel import (ImplTraits, KernelTiming, LIFT_TRAITS,
-                        HANDWRITTEN_TRAITS, halo_exchange_time_ms,
-                        kernel_time, peer_connected,
+                        HANDWRITTEN_TRAITS, OverlapTiming,
+                        halo_exchange_time_ms, kernel_time,
+                        overlapped_step_time_ms, peer_connected,
                         sector_bytes_per_item, transfer_time_ms)
 from .errors import (CL_STATUS_TABLE, TRANSIENT_ERRORS, ClDeviceLost,
                      ClDeviceNotAvailable, ClError, ClInvalidBufferSize,
@@ -46,6 +47,7 @@ from .runtime import (VirtualGPU, ProfilingEvent, RunResult,
 from .resilient import (PolicyOutcome, ResilientGPU, RetryPolicy,
                         shard_retry_policy)
 from .multi import MultiGPU, MultiRunResult, Shard, ShardLost, decompose
+from .parallel import ParallelMultiGPU
 from .autotune import AutotuneMemo, autotune_memo, autotune_workgroup
 
 __all__ = [
@@ -53,7 +55,8 @@ __all__ = [
     "NVIDIA_TITAN_BLACK", "PAPER_DEVICES", "device_by_name",
     "resolve_device",
     "ImplTraits", "KernelTiming", "LIFT_TRAITS", "HANDWRITTEN_TRAITS",
-    "halo_exchange_time_ms", "kernel_time", "peer_connected",
+    "OverlapTiming", "halo_exchange_time_ms", "kernel_time",
+    "overlapped_step_time_ms", "peer_connected",
     "sector_bytes_per_item", "transfer_time_ms",
     "CL_STATUS_TABLE", "TRANSIENT_ERRORS", "ClDeviceLost",
     "ClDeviceNotAvailable", "ClError", "ClInvalidBufferSize",
@@ -62,7 +65,8 @@ __all__ = [
     "ClOutOfResources", "ClTransferCorrupted",
     "FAULT_KINDS", "FaultPlan", "FaultRecord", "FaultSpec",
     "PolicyOutcome", "ResilientGPU", "RetryPolicy", "shard_retry_policy",
-    "MultiGPU", "MultiRunResult", "Shard", "ShardLost", "decompose",
+    "MultiGPU", "MultiRunResult", "ParallelMultiGPU", "Shard", "ShardLost",
+    "decompose",
     "VirtualGPU", "ProfilingEvent", "RunResult",
     "AutotuneMemo", "autotune_memo", "autotune_workgroup",
     "clear_kernel_caches", "kernel_cache_stats",

@@ -158,6 +158,41 @@ class Shard:
         return np.concatenate([own, hi, lo])
 
 
+def shard_program(program: HostProgram, shard_index: int,
+                  local_sizes: dict) -> HostProgram:
+    """The per-shard plan: same ops, placed on ``shard_index``, minus
+    work that is empty under the shard's sizes (a shard owning no
+    boundary points drops the boundary launch and its zero-element
+    buffers — allocating a zero-size buffer is an OpenCL error).
+    Module-level so worker processes can shard a plan they rebuilt
+    locally without constructing a pool."""
+    plan = program.plan
+    empty = {d.name for d in plan.buffers
+             if int(d.count.evaluate(local_sizes)) <= 0}
+    ops: list = []
+    for op in plan.ops:
+        if isinstance(op, (CopyIn, CopyOut)) and op.buffer in empty:
+            continue
+        if isinstance(op, Launch):
+            if (op.global_size is not None
+                    and int(op.global_size.evaluate(local_sizes)) <= 0):
+                continue
+            bad = [b.param_name for b in op.args
+                   if b.kind == "buffer" and b.source in empty]
+            if bad:
+                raise ClInvalidValue(
+                    f"launch {op.kernel.name!r} has nonzero work but "
+                    f"references empty buffer(s) via {bad} on shard "
+                    f"{shard_index}; the decomposition cannot shard "
+                    f"this plan", kernel=op.kernel.name, args=bad)
+        ops.append(op)
+    new_plan = HostPlan(
+        buffers=[d for d in plan.buffers if d.name not in empty],
+        ops=ops, result_buffer=plan.result_buffer, device=shard_index)
+    return HostProgram(source=program.source, plan=new_plan,
+                       kernels=program.kernels, params=program.params)
+
+
 def decompose(nz: int, plane: int, devices: tuple[DeviceSpec, ...],
               radius: int = STENCIL_RADIUS) -> list[Shard]:
     """Balanced Z-slab split of ``nz`` planes across ``devices``."""
@@ -194,6 +229,12 @@ class MultiRunResult:
     halo_events: list[ProfilingEvent]
     halo_bytes: int
     devices: tuple[str, ...]
+    #: overlap-schedule report when the run used the multi-process
+    #: executor (:class:`~.parallel.ParallelMultiGPU`): per-shard modes,
+    #: modelled ``max(interior, halo) + boundary`` timing, measured
+    #: stall/exchange wallclock and receiver traces; ``None`` for the
+    #: serial in-process BSP path
+    overlap: dict | None = None
 
     @property
     def events(self) -> list[ProfilingEvent]:
@@ -308,12 +349,15 @@ class MultiGPU:
         """A new pool with shard ``index``'s device removed — the
         re-shard step of device-loss recovery.  The same fault plan
         instance carries over, so already-fired one-shot faults do not
-        re-fire during the replay."""
+        re-fire during the replay.  Subclasses keep their type (a
+        :class:`~.parallel.ParallelMultiGPU` re-shards into another
+        parallel pool) and copy their extra state via
+        :meth:`_copy_config`."""
         remaining = tuple(d for i, d in enumerate(self.devices) if i != index)
         if not remaining:
             raise ClInvalidValue(
                 "cannot re-shard: no devices left", lost_shard=index)
-        pool = MultiGPU(
+        pool = type(self)(
             remaining, self.traits, self.autotune, self.workgroup,
             faults=self.faults,
             fault_shard=min(self.fault_shard, len(remaining) - 1),
@@ -321,12 +365,18 @@ class MultiGPU:
             plane_param=self.plane_param, boundary_param=self.boundary_param,
             field_params=self.field_params, owner_params=self.owner_params,
             branch_params=self.branch_params, k_size=self.k_size)
+        self._copy_config(pool)
         pool.inherited_log = self.policy_logs() + [PolicyOutcome(
             method="execute", device=self.devices[index].name, attempt=1,
             error="CL_DEVICE_LOST", action="reshard",
             detail=f"shard {index} lost; re-sharded across "
                    f"{len(remaining)} device(s)")]
         return pool
+
+    def _copy_config(self, pool: "MultiGPU") -> None:
+        """Carry subclass configuration onto a re-sharded pool (hook for
+        :meth:`without_device`; deliberately excludes one-shot test
+        knobs such as an injected worker kill)."""
 
     def policy_logs(self) -> list:
         """Concatenated recovery-policy logs: entries inherited across
@@ -379,35 +429,7 @@ class MultiGPU:
 
     def _shard_program(self, program: HostProgram, shard: Shard,
                        local_sizes: dict) -> HostProgram:
-        """The per-shard plan: same ops, placed on ``shard.index``, minus
-        work that is empty under the shard's sizes (a shard owning no
-        boundary points drops the boundary launch and its zero-element
-        buffers — allocating a zero-size buffer is an OpenCL error)."""
-        plan = program.plan
-        empty = {d.name for d in plan.buffers
-                 if int(d.count.evaluate(local_sizes)) <= 0}
-        ops: list = []
-        for op in plan.ops:
-            if isinstance(op, (CopyIn, CopyOut)) and op.buffer in empty:
-                continue
-            if isinstance(op, Launch):
-                if (op.global_size is not None
-                        and int(op.global_size.evaluate(local_sizes)) <= 0):
-                    continue
-                bad = [b.param_name for b in op.args
-                       if b.kind == "buffer" and b.source in empty]
-                if bad:
-                    raise ClInvalidValue(
-                        f"launch {op.kernel.name!r} has nonzero work but "
-                        f"references empty buffer(s) via {bad} on shard "
-                        f"{shard.index}; the decomposition cannot shard "
-                        f"this plan", kernel=op.kernel.name, args=bad)
-            ops.append(op)
-        new_plan = HostPlan(
-            buffers=[d for d in plan.buffers if d.name not in empty],
-            ops=ops, result_buffer=plan.result_buffer, device=shard.index)
-        return HostProgram(source=program.source, plan=new_plan,
-                           kernels=program.kernels, params=program.params)
+        return shard_program(program, shard.index, local_sizes)
 
     # -- halo exchange ------------------------------------------------------------------
     def _halo_schedule(self, shards: list[Shard]) -> list[HaloExchange]:
@@ -621,7 +643,10 @@ class MultiGPU:
                 for st in states:
                     st.rotate()
             results = [st.finish() for st in states]
-        return self._merge_many(shards, masks, states, results, inputs,
+        names: set[str] = set()
+        for st in states:
+            names |= set(st.binding)
+        return self._merge_many(shards, masks, names, results, inputs,
                                 halo_events, halo_bytes)
 
     @staticmethod
@@ -638,17 +663,16 @@ class MultiGPU:
             grown[:buf.size] = buf
             st.buffers[name] = grown
 
-    def _merge_many(self, shards, masks, states, results, inputs,
+    def _merge_many(self, shards, masks, names, results, inputs,
                     halo_events, halo_bytes) -> MultiRunResult:
+        """Merge per-shard resident results; ``names`` is the union of
+        the shards' rotation-binding names (host params + ``__out__``)."""
         field = np.concatenate(
             [np.asarray(r.result).reshape(-1)[:sh.n_local]
              for sh, r in zip(shards, results)])
         k_total = (np.asarray(inputs[self.boundary_param]).size
                    if self.boundary_param in inputs else 0)
         skip = {self.boundary_param, self.k_size, *self.owner_params}
-        names: set[str] = set()
-        for st in states:
-            names |= set(st.binding)
         buffers: dict[str, np.ndarray] = {}
         for name in sorted(names):
             if name in skip:
@@ -680,3 +704,10 @@ class MultiGPU:
             shard_events=[r.events for r in results],
             halo_events=halo_events, halo_bytes=halo_bytes,
             devices=tuple(d.name for d in self.devices))
+
+
+# re-export: the multi-process overlap executor subclasses MultiGPU, so
+# it lives in its own module; importing it here (after MultiGPU is fully
+# defined) keeps `from repro.gpu.multi import ParallelMultiGPU` working
+# as the natural spelling alongside the serial pool
+from .parallel import ParallelMultiGPU  # noqa: E402,F401

@@ -806,6 +806,7 @@ class VirtualGPU:
         if gather_src is None or gather_src not in rotating_sources:
             timing = self._launch_timing(res, n_items, precision,
                                          gather_static)
+        from ..lift.codegen.loops import LoopKernel
         return _PreparedLaunch(
             op=op, nk=nk, ws=Workspace(f"{self.device.name}:{op.kernel.name}"),
             site=f"launch:{op.kernel.name}", args=args, rotating=rotating,
@@ -814,7 +815,8 @@ class VirtualGPU:
                          and out_src in rotating_sources),
             gather_src=gather_src, gather_static=gather_static,
             size_kwargs=size_kwargs, n_items=n_items, res=res,
-            precision=precision, timing=timing)
+            precision=precision, timing=timing,
+            ranged=isinstance(nk, LoopKernel))
 
     def _launch_timing(self, res: Resources, n_items: int, precision: str,
                        gather_index: np.ndarray | None) -> KernelTiming:
@@ -829,10 +831,23 @@ class VirtualGPU:
     def _run_prepared(self, prep: "_PreparedLaunch",
                       view: dict[str, np.ndarray],
                       events: list[ProfilingEvent],
-                      step: int | None = None) -> np.ndarray | None:
+                      step: int | None = None,
+                      rng: tuple[int, int] | None = None
+                      ) -> np.ndarray | None:
         """Execute one prepared launch under the current buffer rotation
-        (``view`` maps rotating buffer names to their current arrays)."""
+        (``view`` maps rotating buffer names to their current arrays).
+
+        ``rng=(lo, hi)`` restricts the launch to global work-items
+        ``[lo, hi)`` — only compiled-loop kernels support it (see
+        :attr:`_PreparedLaunch.ranged`); the overlap scheduler uses it
+        to split a step kernel into an interior sweep and thin boundary
+        sweeps around the halo planes."""
         op = prep.op
+        if rng is not None and not prep.ranged:
+            raise ClInvalidValue(
+                f"kernel {op.kernel.name!r} does not support ranged "
+                f"launches (not realised by the compiled-loop backend)",
+                kernel=op.kernel.name)
         if self.faults is not None:
             if self.faults.should_inject("device_lost", prep.site, step):
                 raise ClDeviceLost(
@@ -852,19 +867,31 @@ class VirtualGPU:
         out_array = (view[prep.out_src] if prep.out_rotates
                      else prep.out_static)
         nk = prep.nk
+        extra = {} if rng is None else {"_range": (int(rng[0]), int(rng[1]))}
         t0 = _time.perf_counter()
         if nk.returns_out:
             ret = nk.fn(*args, **prep.size_kwargs, out=out_array,
-                        _ws=prep.ws)
+                        _ws=prep.ws, **extra)
         else:
-            ret = nk.fn(*args, **prep.size_kwargs, _ws=prep.ws)
+            ret = nk.fn(*args, **prep.size_kwargs, _ws=prep.ws, **extra)
         host_secs = _time.perf_counter() - t0
-        timing = prep.timing
-        if timing is None:
-            gather = (view[prep.gather_src]
-                      if prep.gather_src in view else prep.gather_static)
-            timing = self._launch_timing(prep.res, prep.n_items,
-                                         prep.precision, gather)
+        if rng is not None:
+            key = (int(rng[0]), int(rng[1]))
+            timing = prep.range_timing.get(key)
+            if timing is None:
+                gather = (view[prep.gather_src]
+                          if prep.gather_src in view else prep.gather_static)
+                timing = self._launch_timing(prep.res,
+                                             max(0, key[1] - key[0]),
+                                             prep.precision, gather)
+                prep.range_timing[key] = timing
+        else:
+            timing = prep.timing
+            if timing is None:
+                gather = (view[prep.gather_src]
+                          if prep.gather_src in view else prep.gather_static)
+                timing = self._launch_timing(prep.res, prep.n_items,
+                                             prep.precision, gather)
         attrs: dict = {}
         o = _obs.get()
         if o is not None:
@@ -904,6 +931,8 @@ class _PreparedLaunch:
     res: Resources
     precision: str
     timing: KernelTiming | None        # cached when gather never rotates
+    ranged: bool = False               # fn accepts a _range=(lo, hi) kwarg
+    range_timing: dict = field(default_factory=dict)  # (lo, hi) -> timing
 
 
 class ResidentPlan:
@@ -1001,6 +1030,35 @@ class ResidentPlan:
         """The array currently bound to rotation name ``name``."""
         return self.buffers[self.binding[name]]
 
+    def step_view(self) -> dict[str, np.ndarray]:
+        """Launch-argument view under the current rotation: maps each
+        original buffer name to the array presently bound to it."""
+        view = {orig: self.buffers[self.binding[h]]
+                for h, orig in self._host_to_buffer.items()}
+        if self._out_buffer is not None:
+            view[self._out_buffer] = self.buffers[self.binding["__out__"]]
+        return view
+
+    @property
+    def num_launches(self) -> int:
+        return len(self._prepared)
+
+    def launch_ranged_capable(self, idx: int) -> bool:
+        """Whether launch ``idx`` supports ``rng=(lo, hi)`` splitting
+        (i.e. is realised by the compiled-loop backend)."""
+        return self._prepared[idx].ranged
+
+    def run_launch(self, idx: int, step: int,
+                   view: dict[str, np.ndarray] | None = None,
+                   rng: tuple[int, int] | None = None) -> None:
+        """Run a single launch of the plan, optionally over a work-item
+        sub-range — the overlap scheduler's building block (interior
+        sweep concurrent with halo exchange, then the boundary sweeps)."""
+        if view is None:
+            view = self.step_view()
+        self.gpu._run_prepared(self._prepared[idx], view, self.events,
+                               step, rng=rng)
+
     def run_step(self, step: int, **span_attrs) -> None:
         """Run every launch of the plan once (one simulation step)."""
         o = self._o
@@ -1009,10 +1067,7 @@ class ResidentPlan:
                                     **span_attrs)
                      if o is not None else None)
         # rebind the launch arguments through the current rotation
-        view = {orig: self.buffers[self.binding[h]]
-                for h, orig in self._host_to_buffer.items()}
-        if self._out_buffer is not None:
-            view[self._out_buffer] = self.buffers[self.binding["__out__"]]
+        view = self.step_view()
         try:
             for prep in self._prepared:
                 self.gpu._run_prepared(prep, view, self.events, step)

@@ -46,8 +46,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ArenaFrozenError", "ArenaOp", "ArenaProgram", "Workspace",
-           "arena_stats", "reset_arena_stats"]
+__all__ = ["ArenaFrozenError", "ArenaOp", "ArenaProgram", "Slice3Op",
+           "Workspace", "arena_stats", "reset_arena_stats"]
 
 
 # --- the arena program IR ----------------------------------------------------------
@@ -115,6 +115,30 @@ class VecExprOp(ArenaOp):
 
     def describe(self) -> str:
         return f"vexpr  {self.name} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Slice3Op(ArenaOp):
+    """A rank-3 basic-slicing view ``base[z0:z0+ez, y0:y0+ey, x0:x0+ex]``
+    (a shifted stencil window into a 3-D grid).  Renders to exactly the
+    NumPy view expression — non-allocating — and carries the starts and
+    extents structurally so the fused-loop emitter can lower the whole
+    rank-3 program to one flat loop."""
+
+    name: str
+    base: str
+    starts: tuple[int, int, int]
+    extents: tuple[str, str, str]
+
+    def render(self) -> str:
+        sub = ", ".join(f"{s}:{s}+{e}"
+                        for s, e in zip(self.starts, self.extents))
+        return f"{self.name} = {self.base}[{sub}]"
+
+    def describe(self) -> str:
+        sub = ", ".join(f"{s}:{s}+{e}"
+                        for s, e in zip(self.starts, self.extents))
+        return f"slice3 {self.name} = {self.base}[{sub}]"
 
 
 @dataclass(frozen=True)
@@ -350,8 +374,12 @@ class RawOp(ArenaOp):
         return f"raw    {self.line}"
 
 
-#: op kinds a fused-loop emitter cannot consume
-_LOOP_OPAQUE = (VecExprOp, Pad3Op, ElemStoreOp, FullStoreOp, RawOp)
+#: op kinds a fused-loop emitter can never consume
+_LOOP_OPAQUE = (VecExprOp, Pad3Op, ElemStoreOp, RawOp)
+
+#: op kinds permitted in a rank-3 full-store (grid) program
+_GRID3_OPS = (ScalarOp, AliasOp, Slice3Op, UfuncOp, WhereOp, CastOp,
+              FullStoreOp)
 
 
 @dataclass
@@ -375,6 +403,8 @@ class ArenaProgram:
     scalar_params: list[str] = field(default_factory=list)
     #: names of 1-D array parameters
     array_params: list[str] = field(default_factory=list)
+    #: names of 3-D array parameters (rank-3 full-store programs)
+    array3_params: list[str] = field(default_factory=list)
     #: arrays the kernel stores into (params and/or "out")
     written: frozenset = frozenset()
     #: True when the kernel writes a fresh ``out`` buffer
@@ -398,6 +428,20 @@ class ArenaProgram:
     def gid_ops(self) -> list:
         return [op for op in self.ops if isinstance(op, GidOp)]
 
+    def full_store_ops(self) -> list:
+        return [op for op in self.ops if isinstance(op, FullStoreOp)]
+
+    def loop_domain(self) -> str:
+        """The iteration shape a fused-loop emitter runs over:
+        ``"gid"`` — one flat MapGlb range (``_gid`` programs);
+        ``"grid3"`` — a rank-3 full-store program (``fi_fused_3d``):
+        slice windows into 3-D grids feeding one whole-output store,
+        flattened to one loop by the emitter."""
+        fulls = self.full_store_ops()
+        if (not self.gid_ops() and len(fulls) == 1 and fulls[0].rank == 3):
+            return "grid3"
+        return "gid"
+
     def loop_opaque_reasons(self) -> list[str]:
         """Why the fused-loop emitter must decline this program
         (empty = structurally loop-lowerable)."""
@@ -405,9 +449,51 @@ class ArenaProgram:
         for op in self.ops:
             if isinstance(op, _LOOP_OPAQUE):
                 reasons.append(f"{type(op).__name__}: {op.render()}")
-        if len(self.gid_ops()) != 1:
-            reasons.append(f"{len(self.gid_ops())} MapGlb regions (need 1)")
+        if self.loop_domain() == "grid3":
+            for op in self.ops:
+                if not isinstance(op, _GRID3_OPS):
+                    reasons.append(
+                        f"{type(op).__name__} in rank-3 program: "
+                        f"{op.render()}")
+        else:
+            for op in self.full_store_ops():
+                reasons.append(f"FullStoreOp rank={op.rank}: {op.render()}")
+            if len(self.gid_ops()) != 1:
+                reasons.append(
+                    f"{len(self.gid_ops())} MapGlb regions (need 1)")
         return reasons
+
+    def shift_offsets(self) -> list[str]:
+        """Offset expressions of every affine gather in the program."""
+        return [op.offset for op in self.ops if isinstance(op, ShiftOp)]
+
+    def halo_footprint(self, env: dict) -> tuple[int, int]:
+        """The kernel's shift-op offset footprint ``(h_lo, h_hi)``:
+        how many elements below / above a work item's own index its
+        affine gathers reach, evaluated under ``env`` (the scalar and
+        size argument values).  This is what a domain decomposition
+        needs: cells in ``[h_lo, n - h_hi)`` read no halo data (the
+        interior variant), the rest form the thin boundary variant that
+        must wait for the neighbour exchange.  Gathers through index
+        vectors (TakeOp) are owner-partitioned boundary reads and are
+        not part of the affine footprint.
+        """
+        local = dict(env)
+        glb = {"np": np}
+        for op in self.ops:
+            if isinstance(op, ScalarOp):
+                try:
+                    local[op.name] = eval(op.expr, glb, local)  # noqa: S307
+                except Exception:
+                    pass
+        lo = hi = 0
+        for off in self.shift_offsets():
+            v = int(eval(off, glb, dict(local)))  # noqa: S307
+            if v < 0:
+                lo = max(lo, -v)
+            else:
+                hi = max(hi, v)
+        return lo, hi
 
     # -- emitters ------------------------------------------------------
 
@@ -436,6 +522,8 @@ class ArenaProgram:
             f"sizes:   {' '.join(self.size_params)}",
             f"scalars: {' '.join(self.scalar_params)}",
             f"arrays:  {' '.join(self.array_params)}",
+            *([f"arrays3: {' '.join(self.array3_params)}"]
+              if self.array3_params else []),
             f"written: {' '.join(sorted(self.written))}",
             f"returns: {'out' if self.returns_out else self.return_line}",
         ]

@@ -48,9 +48,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, GidOp,
-                    IndexStoreOp, PadOp, ScalarOp, ShiftOp, SliceStoreOp,
-                    TakeOp, UfuncOp, WhereOp, Workspace)
+from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, FullStoreOp,
+                    GidOp, IndexStoreOp, PadOp, ScalarOp, ShiftOp, Slice3Op,
+                    SliceStoreOp, TakeOp, UfuncOp, WhereOp, Workspace)
 
 __all__ = ["LoopKernel", "LoopsUnsupported", "available_tiers",
            "compile_loops", "loops_cache_dir", "loops_disk_cache_stats",
@@ -319,6 +319,8 @@ class _Gen:
         self.pad_arrays: list[str] = []
         self.used_arrays: list[str] = []     # kernel array-argument order
         self.sizes: list[str] = []           # arrays needing a _sz_ arg
+        self.strides: list[tuple[str, int]] = []  # rank-3 (array, dim) args
+        self.grid3 = program.loop_domain() == "grid3"
         self.scal_args: dict[str, str] = {}  # expr -> arg token
         self.py: list[str] = []
         self.c: list[str] = []
@@ -333,6 +335,13 @@ class _Gen:
         if name not in self.sizes:
             self.sizes.append(name)
         return f"_sz_{name}"
+
+    def _need_stride(self, name: str, dim: int) -> str:
+        """A flattening stride of a 3-D array argument (dim 0: plane,
+        dim 1: row), passed from the host like a size argument."""
+        if (name, dim) not in self.strides:
+            self.strides.append((name, dim))
+        return f"_st{dim}_{name}"
 
     def scal(self, expr: str) -> tuple[str, np.dtype]:
         tok = self.scal_args.get(expr)
@@ -395,7 +404,39 @@ def _result_type(gen: _Gen, args: tuple, values: dict):
 
 def _lower_ops(gen: _Gen, scalar_values: dict) -> None:
     prog = gen.prog
+    if gen.grid3:
+        # flat loop over the rank-3 output: decompose _i into the
+        # (z, y, x) window coordinates once per element (_ex, _eyx are
+        # the host-evaluated window extents ex and ey*ex)
+        gen.line("_iz = _i // _eyx", "long long _iz = _i / _eyx;")
+        gen.line("_ir = _i - _iz * _eyx",
+                 "long long _ir = _i - _iz * _eyx;")
+        gen.line("_iy = _ir // _ex", "long long _iy = _ir / _ex;")
+        gen.line("_ix = _ir - _iy * _ex",
+                 "long long _ix = _ir - _iy * _ex;")
     for op in prog.ops:
+        if isinstance(op, Slice3Op):
+            if op.base in prog.written:
+                raise LoopsUnsupported(
+                    f"rank-3 slice of written array {op.base!r}")
+            gen.dt[op.name] = gen.dt[op.base]
+            gen._use_array(op.base)
+            st0 = gen._need_stride(op.base, 0)
+            st1 = gen._need_stride(op.base, 1)
+            z0, y0, x0 = op.starts
+            idx = (f"({z0} + _iz) * {st0} + ({y0} + _iy) * {st1} "
+                   f"+ ({x0} + _ix)")
+            gen.assign(op.name, f"{op.base}[{idx}]", f"{op.base}[{idx}]")
+            continue
+        if isinstance(op, FullStoreOp):
+            if op.rank != 3 or not gen.grid3:
+                raise LoopsUnsupported(
+                    f"full store has no loop lowering: {op.render()}")
+            gen._use_array(op.target)
+            vp, vc = gen.cast(op.value, gen.dt[op.target])
+            gen.line(f"{op.target}[_i] = {vp}",
+                     f"{op.target}[_i] = {vc};")
+            continue
         if isinstance(op, GidOp):
             gen.local[op.name] = "_i"      # the loop variable
             continue
@@ -527,7 +568,7 @@ def _lower_ufunc(gen: _Gen, op: UfuncOp, values: dict) -> None:
 
 
 def _scalar_names(prog: ArenaProgram) -> list[str]:
-    arrays = set(prog.array_params)
+    arrays = set(prog.array_params) | set(prog.array3_params)
     return ([p for p in prog.param_names if p not in arrays]
             + list(prog.size_params))
 
@@ -541,7 +582,7 @@ def _snapshot_dtypes(prog: ArenaProgram, bound: dict,
     """Slot name -> dtype, from the probe call's workspace plus the
     rules for slots the workspace never records (views, aliases)."""
     dt: dict[str, np.dtype] = {}
-    for p in prog.array_params:
+    for p in list(prog.array_params) + list(prog.array3_params):
         dt[p] = np.asarray(bound[p]).dtype
     if prog.returns_out and "out" in bound:
         dt["out"] = np.asarray(bound["out"]).dtype
@@ -554,7 +595,7 @@ def _snapshot_dtypes(prog: ArenaProgram, bound: dict,
             src = _strip(op.src)
             if src in dt:
                 dt[op.name] = dt[src]
-        elif isinstance(op, (ShiftOp, PadOp)):
+        elif isinstance(op, (ShiftOp, PadOp, Slice3Op)):
             dt[op.name] = dt[op.base]
         elif isinstance(op, ConstOp):
             ent = ws._consts.get(op.name)
@@ -624,6 +665,10 @@ class _Spec:
     n_code: object
     gid_const: tuple | None       # ('_gid@N', n code) when consts need it
     c_argtypes: list | None = None
+    domain: str = "gid"           # "gid" | "grid3"
+    stride_items: list = field(default_factory=list)   # (array, dim)
+    ex_code: object = None        # grid3: window extent ex
+    eyx_code: object = None       # grid3: ey * ex
 
 
 def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
@@ -635,15 +680,35 @@ def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
     gen = _Gen(prog, dt, scalar_dt)
     _lower_ops(gen, values)
 
-    gid = prog.gid_ops()[0]
     const_ops = [op for op in prog.ops if isinstance(op, ConstOp)]
     pad_ops = [op for op in prog.ops if isinstance(op, PadOp)]
     needs_gid = any("_gid" in op.expr for op in const_ops)
 
+    if gen.grid3:
+        slices = [op for op in prog.ops if isinstance(op, Slice3Op)]
+        if not slices:
+            raise LoopsUnsupported(
+                "rank-3 program without slice windows")
+        ez, ey, ex = slices[0].extents
+        for s in slices[1:]:
+            if s.extents != (ez, ey, ex):
+                raise LoopsUnsupported(
+                    f"mismatched rank-3 window extents: {s.extents} vs "
+                    f"{(ez, ey, ex)}")
+        n_expr = f"({ez}) * ({ey}) * ({ex})"
+        ex_expr, eyx_expr = f"({ex})", f"({ey}) * ({ex})"
+    else:
+        gid = prog.gid_ops()[0]
+        n_expr = gid.n
+        ex_expr = eyx_expr = None
+
     arrays = gen.used_arrays
     scal_order = list(gen.scal_args)
+    extent_args = ["_ex", "_eyx"] if gen.grid3 else []
     args = (arrays + [f"_sz_{a}" for a in gen.sizes]
-            + [gen.scal_args[e] for e in scal_order] + ["_n", "_tile"])
+            + [f"_st{d}_{a}" for a, d in gen.strides]
+            + [gen.scal_args[e] for e in scal_order]
+            + extent_args + ["_lo", "_n", "_tile"])
 
     source = _render_python(prog.name, args, gen)
     if tier == "cc":
@@ -651,12 +716,13 @@ def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
         lib = _cc_build(_cc_path(), source, prog.name)
         fn = getattr(lib, f"repro_loop_{prog.name}")
         argtypes = ([ctypes.c_void_p] * len(arrays)
-                    + [ctypes.c_longlong] * len(gen.sizes))
+                    + [ctypes.c_longlong] * len(gen.sizes)
+                    + [ctypes.c_longlong] * len(gen.strides))
         for e in scal_order:
             argtypes.append(ctypes.c_longlong
                             if scalar_dt[e].kind in "iub"
                             else ctypes.c_double)
-        argtypes += [ctypes.c_longlong, ctypes.c_longlong]
+        argtypes += [ctypes.c_longlong] * (len(extent_args) + 3)
         fn.argtypes = argtypes
         fn.restype = None
     else:
@@ -692,19 +758,23 @@ def _build_spec(prog: ArenaProgram, bound: dict, ws: Workspace,
                         if isinstance(op, ScalarOp)],
         shift_checks=[(cc(op.offset), cc(op.n), op.base) for op in prog.ops
                       if isinstance(op, ShiftOp)],
-        n_code=cc(gid.n),
+        n_code=cc(n_expr),
         gid_const=(f"_gid@{gid.n}", cc(gid.n)) if needs_gid else None,
-        c_argtypes=None)
+        c_argtypes=None,
+        domain="grid3" if gen.grid3 else "gid",
+        stride_items=list(gen.strides),
+        ex_code=cc(ex_expr) if ex_expr is not None else None,
+        eyx_code=cc(eyx_expr) if eyx_expr is not None else None)
 
 
 def _render_python(name: str, args: list[str], gen: _Gen) -> str:
     lines = [f"def _loop_{name}({', '.join(args)}):",
-             "    for _tb in prange((_n + _tile - 1) // _tile):",
-             "        _lo = _tb * _tile",
-             "        _hi = _lo + _tile",
-             "        if _hi > _n:",
-             "            _hi = _n",
-             "        for _i in range(_lo, _hi):",
+             "    for _tb in prange((_n - _lo + _tile - 1) // _tile):",
+             "        _b0 = _lo + _tb * _tile",
+             "        _b1 = _b0 + _tile",
+             "        if _b1 > _n:",
+             "            _b1 = _n",
+             "        for _i in range(_b0, _b1):",
              "            _j = 0"]
     lines += ["            " + ln for ln in gen.py]
     return "\n".join(lines) + "\n"
@@ -717,11 +787,15 @@ def _render_c(name: str, arrays: list[str], gen: _Gen,
         params.append(f"{_CTYPE[_code(dt[a])]}* {a}")
     for a in gen.sizes:
         params.append(f"long long _sz_{a}")
+    for a, d in gen.strides:
+        params.append(f"long long _st{d}_{a}")
     for e in scal_order:
         kind = gen.scalar_dt[e].kind
         ctp = "long long" if kind in "iub" else "double"
         params.append(f"{ctp} {gen.scal_args[e]}")
-    params += ["long long _n", "long long _tile"]
+    if gen.grid3:
+        params += ["long long _ex", "long long _eyx"]
+    params += ["long long _lo", "long long _n", "long long _tile"]
     body = []
     for ln in gen.c:
         if ln is not None:
@@ -732,7 +806,7 @@ def _render_c(name: str, arrays: list[str], gen: _Gen,
         "{",
         "    (void)_tile;",
         "    #pragma omp parallel for schedule(static)",
-        "    for (long long _i = 0; _i < _n; ++_i) {",
+        "    for (long long _i = _lo; _i < _n; ++_i) {",
         "        long long _j = 0; (void)_j;",
         *body,
         "    }",
@@ -794,7 +868,8 @@ class _Dispatch:
         key = []
         for n in self.names:
             v = bound[n]
-            if n in prog.array_params or n == "out":
+            if (n in prog.array_params or n in prog.array3_params
+                    or n == "out"):
                 key.append(np.asarray(v).dtype.str)
             else:
                 key.append((np.asarray(v).dtype.str,
@@ -802,10 +877,15 @@ class _Dispatch:
         return tuple(key)
 
     def __call__(self, *args, **kwargs):
+        rng = kwargs.pop("_range", None)
         bound, ws = self._bind(args, kwargs)
         key = self._key(bound)
         spec = self.specs.get(key)
         if spec is None:
+            if rng is not None:
+                raise LoopsUnsupported(
+                    "ranged call requires an existing specialisation "
+                    "(run one full-range call first)")
             # probe: the reference NumPy-steady kernel produces this
             # call's result AND the dtype snapshot for specialisation
             result = self.ref(*[bound[n] for n in self.names], _ws=ws)
@@ -814,9 +894,9 @@ class _Dispatch:
             self.specs[key] = spec
             self.kernel.source = spec.source
             return result
-        return self._run(spec, bound, ws)
+        return self._run(spec, bound, ws, rng)
 
-    def _run(self, spec: _Spec, bound: dict, ws: Workspace):
+    def _run(self, spec: _Spec, bound: dict, ws: Workspace, rng=None):
         prog = self.kernel.program
         env = _host_env(prog, bound)
         glb = {"np": np}
@@ -831,7 +911,8 @@ class _Dispatch:
             host["_gid"] = ws.const(cname, _key,
                                     lambda: np.arange(nv))
         arrays = {a: bound[a] for a in self.names
-                  if a in prog.array_params or a == "out"}
+                  if a in prog.array_params or a in prog.array3_params
+                  or a == "out"}
         for name, code in spec.const_items:
             snap = dict(host)
             val = ws.const(name, _key,
@@ -843,6 +924,21 @@ class _Dispatch:
                                   eval(before, glb, host),   # noqa: S307
                                   eval(after, glb, host),    # noqa: S307
                                   eval(fill, glb, host))     # noqa: S307
+        strides = []
+        extents = []
+        if spec.domain == "grid3":
+            for a, d in spec.stride_items:
+                shp = np.asarray(arrays[a]).shape
+                strides.append(int(np.prod(shp[d + 1:])))
+            for a in list(arrays):
+                arr = np.asarray(arrays[a])
+                if arr.ndim > 1:
+                    if not arr.flags["C_CONTIGUOUS"]:
+                        raise LoopsUnsupported(
+                            f"rank-3 argument {a!r} is not contiguous")
+                    arrays[a] = arr.reshape(-1)
+            extents = [int(eval(spec.ex_code, glb, env)),    # noqa: S307
+                       int(eval(spec.eyx_code, glb, env))]   # noqa: S307
         sizes = {a: int(arrays[a].shape[0]) for a in spec.size_arrays}
         for off_code, n_code, base in spec.shift_checks:
             off = int(eval(off_code, glb, env))  # noqa: S307
@@ -852,12 +948,21 @@ class _Dispatch:
                 raise IndexError(
                     f"shifted gather out of range: offset {off}, "
                     f"length {ln}, array size {size}")
-        tile = int(env.get("NxNy") or 0)
-        if tile <= 0 or tile > n:
-            tile = max(1, -(-n // (8 * (os.cpu_count() or 1))))
+        lo, hi = 0, n
+        if rng is not None:
+            lo = max(0, int(rng[0]))
+            hi = min(n, int(rng[1]))
+        if spec.domain == "grid3":
+            tile = extents[1]          # one output z-plane per task
+        else:
+            tile = int(env.get("NxNy") or 0)
+            if tile <= 0 or tile > n:
+                tile = max(1, -(-n // (8 * (os.cpu_count() or 1))))
         scal_vals = [eval(code, glb, env)  # noqa: S307
                      for code, _k in spec.scal_items]
-        if spec.tier == "cc":
+        if hi <= lo:
+            pass
+        elif spec.tier == "cc":
             argv = []
             for a in spec.arg_arrays:
                 arr = arrays[a]
@@ -866,15 +971,19 @@ class _Dispatch:
                         f"array argument {a!r} is not contiguous")
                 argv.append(arr.ctypes.data)
             argv += [sizes[a] for a in spec.size_arrays]
+            argv += strides
             for v, (_c, kind) in zip(scal_vals, spec.scal_items):
                 argv.append(int(v) if kind == "i" else float(v))
-            argv += [n, tile]
+            argv += extents
+            argv += [lo, hi, tile]
             spec.fn(*argv)
         else:
             argv = [arrays[a] for a in spec.arg_arrays]
             argv += [sizes[a] for a in spec.size_arrays]
+            argv += strides
             argv += scal_vals
-            argv += [n, tile]
+            argv += extents
+            argv += [lo, hi, tile]
             spec.fn(*argv)
         if prog.returns_out:
             return bound["out"]

@@ -41,8 +41,8 @@ from ..types import (ArrayType, Bool, Double, Float, Int, LiftType, Long,
                      ScalarType)
 from .arena import (AliasOp, ArenaProgram, CastOp, ConstOp, ElemStoreOp,
                     FullStoreOp, GidOp, IndexStoreOp, Pad3Op, PadOp, RawOp,
-                    ScalarOp, ShiftOp, SliceStoreOp, TakeOp, UfuncOp,
-                    VecExprOp, WhereOp, Workspace)
+                    ScalarOp, ShiftOp, Slice3Op, SliceStoreOp, TakeOp,
+                    UfuncOp, VecExprOp, WhereOp, Workspace)
 from .c_ast import NameGen
 
 
@@ -56,6 +56,9 @@ _WORD = re.compile(r"[A-Za-z_]\w*")
 _GATHER = re.compile(r"^(\w+)\[([^\[\]]+)\]$")
 #: a window access ``(ident)+(int)`` as produced by NpWindow/NpSlide
 _WINDOW_IDX = re.compile(r"^\((\w+)\)\s*\+\s*\((-?\d+)\)$")
+#: a rank-3 stencil-window view (NpSlide3.element's exact output shape)
+_SLICE3 = re.compile(
+    r"^(\w+)\[(-?\d+):\2\+(.+?), (-?\d+):\4\+(.+?), (-?\d+):\6\+(.+?)\]$")
 
 
 @dataclass
@@ -100,6 +103,7 @@ class _SteadyInfo:
         self.inv: set[str] = set()
         self.affine: dict[str, str] = {}
         self.arrays: set[str] = set()
+        self.arrays3: set[str] = set()
         self.written = written
         self.n: str | None = None
         #: temp name -> source arrays it (transitively) reads from
@@ -371,6 +375,18 @@ def _steady_temp(ctx: _Ctx, value: str, prefix: str) -> str:
         st.vec.add(name)
         st.inv.add(name)
         return name
+    m3 = _SLICE3.match(value)
+    if m3 is not None and m3.group(1) in st.arrays3:
+        # a shifted rank-3 stencil window: a pure view (non-allocating),
+        # and structured enough for the fused-loop emitter to lower
+        name = ctx.names.fresh(prefix)
+        ctx.add(Slice3Op(name, m3.group(1),
+                         (int(m3.group(2)), int(m3.group(4)),
+                          int(m3.group(6))),
+                         (m3.group(3), m3.group(5), m3.group(7))))
+        st.vec.add(name)
+        st.note(name, m3.group(1))
+        return name
     # fallback: legacy (allocating) emission — not reached by the hot
     # FDTD kernels; keeps exotic IR shapes compiling correctly
     name = ctx.names.fresh(prefix)
@@ -427,6 +443,8 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
             elif len(dims) == 3:
                 sn = tuple(_dim_name(d, i, p.name, ctx) for i, d in enumerate(dims))
                 ctx.env[p.name] = NpMem3(p.name, sn)  # type: ignore[arg-type]
+                if info is not None:
+                    info.arrays3.add(p.name)
             else:
                 raise NumpyCodegenError(f"unsupported rank for {p.name}")
             if info is not None:
@@ -471,6 +489,9 @@ def compile_numpy(kernel: Lambda, name: str = "lift_kernel",
                                                     ArrayType)]
                                  + size_params)
         program.array_params = array_params
+        program.array3_params = [p.name for p in kernel.params
+                                 if isinstance(p.declared_type, ArrayType)
+                                 and len(p.declared_type.shape()) == 3]
         program.written = frozenset(info.written)
         program.returns_out = returns_out
         program.return_line = return_line

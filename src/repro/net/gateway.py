@@ -40,6 +40,7 @@ import re
 import signal
 import threading
 import time
+from collections import deque
 
 import numpy as np
 
@@ -54,6 +55,63 @@ from .ratelimit import AdmissionController, default_tenants
 __all__ = ["Gateway"]
 
 _JOB_ROUTE = re.compile(r"^/v1/jobs/(\d+)(/result|/events)?$")
+
+
+class _Subscriber:
+    """One WebSocket subscriber's bounded event buffer.
+
+    The old fan-out used an unbounded ``asyncio.Queue``: a stalled
+    reader watching a long job accumulated every ``progress`` event in
+    gateway memory.  Three rules bound it:
+
+    * **coalesce** — a ``progress`` payload replaces a still-queued
+      ``progress`` payload (a slow reader sees the newest step count,
+      not a replay of every intermediate one);
+    * **bound** — at most ``limit`` payloads wait; state transitions
+      are few (QUEUED/RUNNING/DONE plus ``started``), so the bound is
+      only ever tested by pathological readers;
+    * **drop-with-resync** — on overflow the backlog is discarded
+      wholesale and the buffer flagged: the consumer re-sends a fresh
+      authoritative snapshot before resuming live events, so a slow
+      consumer falls behind in *time*, never in *truth*.
+
+    Single-threaded by construction: every ``push`` happens on the
+    asyncio loop thread (worker messages arrive via
+    ``call_soon_threadsafe``), so a plain deque + Event suffice.
+    """
+
+    __slots__ = ("limit", "items", "wake", "resync", "coalesced",
+                 "dropped")
+
+    def __init__(self, limit: int):
+        self.limit = max(2, int(limit))
+        self.items: "deque[dict]" = deque()
+        self.wake = asyncio.Event()
+        self.resync = False
+        self.coalesced = 0
+        self.dropped = 0
+
+    def push(self, payload: dict) -> None:
+        if (payload.get("event") == "progress" and self.items
+                and self.items[-1].get("event") == "progress"):
+            self.items[-1] = payload
+            self.coalesced += 1
+        elif len(self.items) >= self.limit:
+            self.dropped += len(self.items)
+            self.items.clear()
+            self.resync = True
+            self.items.append(payload)
+        else:
+            self.items.append(payload)
+        self.wake.set()
+
+    async def get(self) -> tuple[bool, dict]:
+        """Next payload, preceded by whether a resync is owed."""
+        while not self.items:
+            self.wake.clear()
+            await self.wake.wait()
+        owed, self.resync = self.resync, False
+        return owed, self.items.popleft()
 
 
 class Gateway:
@@ -73,7 +131,8 @@ class Gateway:
                  checkpoint_every: int = 0, job_attempts: int = 2,
                  resilient: bool = False, drain_grace_s: float = 30.0,
                  loops_cache_dir: str | None = None,
-                 ready_file: str | None = None) -> None:
+                 ready_file: str | None = None,
+                 ws_queue_limit: int = 64) -> None:
         self.host = host
         self.port = port
         self.drain_grace_s = drain_grace_s
@@ -99,7 +158,8 @@ class Gateway:
         self._dispatch_ms: dict[str, float] = {}
         self._worker_task: dict[int, str] = {}  # worker id -> fingerprint
         self._executed: set[str] = set(self.svc.executed_fingerprints)
-        self._subscribers: dict[int, set[asyncio.Queue]] = {}
+        self._subscribers: dict[int, set[_Subscriber]] = {}
+        self.ws_queue_limit = ws_queue_limit
         self.draining = False
         self._t0 = time.monotonic()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -670,7 +730,19 @@ class Gateway:
 
     def _broadcast_one(self, job_id: int, payload: dict) -> None:
         for q in self._subscribers.get(job_id, ()):  # fan out, never block
-            q.put_nowait(payload)
+            coalesced, dropped = q.coalesced, q.dropped
+            q.push(payload)
+            if q.coalesced > coalesced:
+                self.svc.obs.metrics.counter(
+                    "repro_gateway_ws_coalesced_total",
+                    "Progress events merged into a newer one because the "
+                    "subscriber had not read the older yet").inc()
+            if q.dropped > dropped:
+                self.svc.obs.metrics.counter(
+                    "repro_gateway_ws_dropped_total",
+                    "Event payloads discarded on subscriber-buffer "
+                    "overflow (the client is resynced from a snapshot)"
+                    ).inc(q.dropped - dropped)
 
     async def _handle_events(self, request: Request, job_id: int,
                              reader: asyncio.StreamReader,
@@ -682,7 +754,7 @@ class Gateway:
             await writer.drain()
             return
         ws = await WebSocket.accept(request, reader, writer)
-        events: asyncio.Queue = asyncio.Queue()
+        events = _Subscriber(self.ws_queue_limit)
         self._subscribers.setdefault(job_id, set()).add(events)
         reader_task = asyncio.ensure_future(ws.recv())
         try:
@@ -705,7 +777,17 @@ class Gateway:
                 if reader_task in done:     # client went away / sent close
                     getter.cancel()
                     return
-                payload = getter.result()
+                owed_resync, payload = getter.result()
+                if owed_resync:
+                    # the backlog was dropped while this client lagged:
+                    # restore authority with a fresh snapshot, then
+                    # resume the live stream
+                    resync = self._event_payload(handle)
+                    resync["event"] = "resync"
+                    resync["dropped"] = events.dropped
+                    await ws.send_json(resync)
+                    if resync["final"]:
+                        return
                 await ws.send_json(payload)
                 if payload.get("final"):
                     return

@@ -485,6 +485,11 @@ class SimulationService:
                 num_branches=req.num_branches, faults=self.faults,
                 resilient=self.resilient or attempt > 1, retry=self.retry,
                 devices=devices, host_program=program,
+                # shards=k jobs get the multi-process overlap executor;
+                # it falls back to the serial in-process path on its own
+                # whenever ineligible (faults, resilient retries, daemon
+                # worker processes)
+                parallel=len(devices) > 1,
                 checkpoint_interval=every, on_checkpoint=hook)
             try:
                 with self._observed():

@@ -1,0 +1,306 @@
+"""Multi-process shard executor: bit-identity, overlap, dead-worker recovery.
+
+Every test here runs real OS processes (spawn start method) — the
+fixtures reuse the small grid of ``test_multi`` so each case stays in
+the seconds range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.geometry import DomeRoom, Room
+from repro.acoustics.grid import Grid3D
+from repro.acoustics.lift_programs import two_kernel_host
+from repro.acoustics.materials import (MaterialTable, default_fd_materials,
+                                       default_fi_materials)
+from repro.acoustics.sim import RoomSimulation, SimConfig
+from repro.acoustics.topology import build_topology
+from repro.lift.codegen.host import compile_host
+from repro.gpu import (ClInvalidValue, MultiGPU, NVIDIA_TITAN_BLACK,
+                       ParallelMultiGPU, ShardLost, VirtualGPU)
+
+STEPS = 7
+ROT_FI = [("prev2_h", "prev1_h", "__out__")]
+ROT_FD = [("prev2_h", "prev1_h", "__out__"), ("v2_h", "v1_h")]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid3D(14, 12, 10)
+
+
+@pytest.fixture(scope="module")
+def topo(grid):
+    return build_topology(Room(grid, DomeRoom()), num_materials=4)
+
+
+def _states(grid, topo, seed=5):
+    rng = np.random.default_rng(seed)
+    N = grid.num_points
+    guard = grid.nx * grid.ny
+    ins = topo.inside.reshape(-1)
+
+    def state():
+        a = np.zeros(N + guard)
+        a[:N][ins] = rng.standard_normal(int(ins.sum()))
+        return a
+
+    return state(), state()
+
+
+@pytest.fixture(scope="module")
+def fi_mm(grid, topo):
+    g = grid
+    N = g.num_points
+    guard = g.nx * g.ny
+    prev, curr = _states(g, topo)
+    table = MaterialTable.from_fi(default_fi_materials(4))
+    inputs = dict(boundaries=topo.boundary_indices, materialIdx=topo.material,
+                  neighbors=np.concatenate([topo.nbrs,
+                                            np.zeros(guard, np.int32)]),
+                  betaTable=table.beta, prev1_h=curr, prev2_h=prev,
+                  lambda_h=g.courant, Nx_h=g.nx, NxNy_h=g.nx * g.ny)
+    sizes = dict(N=N, NP=N + guard, K=topo.num_boundary_points,
+                 M=table.num_materials)
+    host = compile_host(two_kernel_host("fi_mm", "double").program, "ac")
+    return dict(host=host, inputs=inputs, sizes=sizes, N=N,
+                spec=("fi_mm", "double", None))
+
+
+@pytest.fixture(scope="module")
+def fd_mm(grid, topo, fi_mm):
+    table = MaterialTable.from_fd(default_fd_materials(4), 3)
+    K = topo.num_boundary_points
+    rng = np.random.default_rng(8)
+    inputs = dict(fi_mm["inputs"])
+    inputs.update(betaTable=table.beta, BI_h=table.BI.reshape(-1),
+                  DI_h=table.DI.reshape(-1), F_h=table.F.reshape(-1),
+                  D_h=table.D.reshape(-1),
+                  g1_h=rng.standard_normal(3 * K),
+                  v2_h=rng.standard_normal(3 * K),
+                  v1_h=np.zeros(3 * K), K=K)
+    host = compile_host(two_kernel_host("fd_mm", "double", 3).program, "ac")
+    return dict(host=host, inputs=inputs, sizes=dict(fi_mm["sizes"]),
+                N=fi_mm["N"], spec=("fd_mm", "double", 3))
+
+
+def _ref(case, rotations):
+    return VirtualGPU(NVIDIA_TITAN_BLACK).execute_many(
+        case["host"], case["inputs"], case["sizes"], STEPS,
+        rotations=rotations)
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_fi_mm_matches_single_and_serial(self, fi_mm, shards):
+        ref = _ref(fi_mm, ROT_FI)
+        serial = MultiGPU(f"TitanBlack:{shards}").execute_many(
+            fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"], STEPS,
+            rotations=ROT_FI)
+        par = ParallelMultiGPU(f"TitanBlack:{shards}",
+                               program_spec=fi_mm["spec"]).execute_many(
+            fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"], STEPS,
+            rotations=ROT_FI)
+        N = fi_mm["N"]
+        assert np.array_equal(par.result[:N], np.asarray(ref.result)[:N])
+        assert np.array_equal(par.buffers["final:prev1_h"][:N],
+                              serial.buffers["final:prev1_h"][:N])
+        assert par.overlap is not None
+        assert serial.overlap is None
+
+    def test_fd_mm_branch_state_matches(self, fd_mm):
+        ref = _ref(fd_mm, ROT_FD)
+        par = ParallelMultiGPU("TitanBlack:2",
+                               program_spec=fd_mm["spec"]).execute_many(
+            fd_mm["host"], fd_mm["inputs"], fd_mm["sizes"], STEPS,
+            rotations=ROT_FD)
+        N = fd_mm["N"]
+        assert np.array_equal(par.result[:N], np.asarray(ref.result)[:N])
+        for name in ("g1_h", "v1_h", "v2_h"):
+            assert np.array_equal(par.buffers[f"final:{name}"],
+                                  ref.buffers[f"final:{name}"])
+
+
+class TestOverlapReport:
+    def test_interior_boundary_split_and_model(self, fi_mm, grid):
+        par = ParallelMultiGPU("TitanBlack:2", program_spec=fi_mm["spec"])
+        res = par.execute_many(fi_mm["host"], fi_mm["inputs"],
+                               fi_mm["sizes"], STEPS, rotations=ROT_FI)
+        ov = res.overlap
+        assert ov["executor"] == "parallel"
+        assert ov["shards"] == 2 and ov["steps"] == STEPS
+        plane = grid.nx * grid.ny
+        for p in ov["per_shard"]:
+            # the footprint comes from the kernel's own shift-op IR: one
+            # z-plane on each side for the 7-point SLF stencil
+            assert p["mode"] == "overlap"
+            assert p["footprint"] == (plane, plane)
+            assert p["interior_model_ms"] > 0
+            assert p["boundary_model_ms"] > 0
+            assert p["hidden_model_ms"] + p["exposed_model_ms"] == \
+                pytest.approx(p["halo_model_ms"])
+        m = ov["modelled"]
+        assert m["step_ms"] <= m["bsp_step_ms"]
+        assert 0.0 <= m["hidden_fraction"] <= 1.0
+        assert m["hidden_ms"] > 0
+        meas = ov["measured"]
+        assert meas["wall_total_s"] > meas["loop_wall_s"] > 0
+        assert 0.0 <= meas["hidden_fraction"] <= 1.0
+
+    def test_halo_pricing_matches_worker_schedule(self, fi_mm):
+        # steps-1 exchange phases: step 0 consumes the pre-filled halos
+        par = ParallelMultiGPU("TitanBlack:2",
+                               program_spec=fi_mm["spec"]).execute_many(
+            fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"], STEPS,
+            rotations=ROT_FI)
+        serial = MultiGPU("TitanBlack:2").execute_many(
+            fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"], STEPS,
+            rotations=ROT_FI)
+        assert par.halo_time_ms() == pytest.approx(
+            serial.halo_time_ms() * (STEPS - 1) / STEPS)
+        assert all(e.kind == "halo" for e in par.halo_events)
+
+
+class TestFallbacks:
+    def test_no_program_spec_falls_back_serial(self, fi_mm):
+        par = ParallelMultiGPU("TitanBlack:2")
+        assert par._parallel_eligible() is not None
+        res = par.execute_many(fi_mm["host"], fi_mm["inputs"],
+                               fi_mm["sizes"], STEPS, rotations=ROT_FI)
+        ref = _ref(fi_mm, ROT_FI)
+        N = fi_mm["N"]
+        assert np.array_equal(res.result[:N], np.asarray(ref.result)[:N])
+        assert res.overlap is None
+
+    def test_receivers_require_parallel_path(self, fi_mm):
+        par = ParallelMultiGPU("TitanBlack:2")
+        with pytest.raises(ClInvalidValue):
+            par.execute_many(fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"],
+                             STEPS, rotations=ROT_FI, receivers={"mic": 0})
+
+    def test_single_shard_degenerates(self, fi_mm):
+        par = ParallelMultiGPU(("TitanBlack",), program_spec=fi_mm["spec"])
+        res = par.execute_many(fi_mm["host"], fi_mm["inputs"],
+                               fi_mm["sizes"], STEPS, rotations=ROT_FI)
+        ref = _ref(fi_mm, ROT_FI)
+        N = fi_mm["N"]
+        assert np.array_equal(res.result[:N], np.asarray(ref.result)[:N])
+
+
+class TestReceivers:
+    def test_in_worker_sampling_matches_per_step(self, fi_mm, grid):
+        # one receiver per shard's slab
+        lo_idx = 3 * grid.nx * grid.ny + 5
+        hi_idx = 8 * grid.nx * grid.ny + 5
+        par = ParallelMultiGPU("TitanBlack:2",
+                               program_spec=fi_mm["spec"]).execute_many(
+            fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"], STEPS,
+            rotations=ROT_FI, receivers={"lo": lo_idx, "hi": hi_idx})
+        # per-step reference: run serially, sampling after each step
+        gpu = VirtualGPU(NVIDIA_TITAN_BLACK)
+        inputs = {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                  for k, v in fi_mm["inputs"].items()}
+        expect = {"lo": [], "hi": []}
+        for _ in range(STEPS):
+            res = gpu.execute(fi_mm["host"], inputs, fi_mm["sizes"])
+            nxt = np.asarray(res.result)
+            prev1 = inputs["prev1_h"].copy()
+            inputs["prev2_h"][:] = prev1
+            inputs["prev1_h"][:len(nxt)] = nxt
+            expect["lo"].append(inputs["prev1_h"][lo_idx])
+            expect["hi"].append(inputs["prev1_h"][hi_idx])
+        got = par.overlap["receivers"]
+        assert np.array_equal(got["lo"], np.asarray(expect["lo"]))
+        assert np.array_equal(got["hi"], np.asarray(expect["hi"]))
+
+
+class TestDeadWorkerRecovery:
+    def test_killed_worker_raises_shardlost(self, fi_mm):
+        par = ParallelMultiGPU("TitanBlack:2", program_spec=fi_mm["spec"])
+        par._test_kill = {1: 3}
+        with pytest.raises(ShardLost) as err:
+            par.execute_many(fi_mm["host"], fi_mm["inputs"], fi_mm["sizes"],
+                             STEPS, rotations=ROT_FI)
+        assert err.value.shard == 1
+
+    def test_without_device_preserves_type_and_spec(self, fi_mm):
+        par = ParallelMultiGPU("TitanBlack:3", program_spec=fi_mm["spec"],
+                               ring_depth=4)
+        par._test_kill = {0: 1}
+        survivors = par.without_device(0)
+        assert isinstance(survivors, ParallelMultiGPU)
+        assert survivors.program_spec == fi_mm["spec"]
+        assert survivors.ring_depth == 4
+        assert survivors._test_kill is None  # the kill knob does not carry
+        assert len(survivors.devices) == 2
+        res = survivors.execute_many(fi_mm["host"], fi_mm["inputs"],
+                                     fi_mm["sizes"], STEPS,
+                                     rotations=ROT_FI)
+        ref = _ref(fi_mm, ROT_FI)
+        N = fi_mm["N"]
+        assert np.array_equal(res.result[:N], np.asarray(ref.result)[:N])
+
+
+def _sim(scheme, devices=None, steps=6, **kw):
+    cfg = SimConfig(room=Room(Grid3D(14, 12, 10), DomeRoom()),
+                    scheme=scheme, backend="virtual_gpu", devices=devices,
+                    **kw)
+    sim = RoomSimulation(cfg)
+    sim.add_impulse("center")
+    sim.add_receiver("mic", (3, 3, 3))
+    sim.run(steps)
+    return sim
+
+
+class TestSimParallel:
+    @pytest.mark.parametrize("scheme", ["fi", "fi_mm", "fd_mm"])
+    def test_bulk_parallel_bit_identical(self, scheme):
+        ref = _sim(scheme)
+        par = _sim(scheme, devices="TitanBlack:2", parallel=True)
+        assert np.array_equal(par.curr, ref.curr)
+        assert np.array_equal(par.prev, ref.prev)
+        assert np.array_equal(par.g1, ref.g1)
+        assert np.array_equal(par.v1, ref.v1)
+        assert np.array_equal(par.receiver_signal("mic"),
+                              ref.receiver_signal("mic"))
+        assert par.time_step == ref.time_step
+        assert par.last_overlap["executor"] == "parallel"
+        assert all(p["mode"] == "overlap"
+                   for p in par.last_overlap["per_shard"])
+
+    def test_single_precision_bit_identical(self):
+        ref = _sim("fi_mm", precision="single")
+        par = _sim("fi_mm", devices="TitanBlack:2", parallel=True,
+                   precision="single")
+        assert par.curr.dtype == np.float32
+        assert np.array_equal(par.curr, ref.curr)
+
+    def test_segments_respect_periodic_hooks(self):
+        ref = _sim("fi_mm", steps=8, checkpoint_interval=3,
+                   health_interval=2)
+        par = _sim("fi_mm", devices="TitanBlack:2", parallel=True, steps=8,
+                   checkpoint_interval=3, health_interval=2)
+        assert np.array_equal(par.curr, ref.curr)
+        assert (par.last_checkpoint.time_step
+                == ref.last_checkpoint.time_step == 6)
+
+    def test_killed_shard_process_recovers_bit_identically(self):
+        ref = _sim("fi_mm", steps=8)
+        cfg = SimConfig(room=Room(Grid3D(14, 12, 10), DomeRoom()),
+                        scheme="fi_mm", backend="virtual_gpu",
+                        devices="TitanBlack:2", parallel=True,
+                        checkpoint_interval=2)
+        sim = RoomSimulation(cfg)
+        sim.add_impulse("center")
+        sim.add_receiver("mic", (3, 3, 3))
+        # worker 1 SIGKILLs itself at step 1 of the first bulk segment
+        # (the kill step indexes into the segment's own step loop)
+        sim._gpu._test_kill = {1: 1}
+        sim.run(8)
+        assert np.array_equal(sim.curr, ref.curr)
+        assert sim.time_step == 8
+        # the dead worker's device left the pool; the survivor pool is
+        # still the parallel executor type (it just degenerates to the
+        # per-step path at one shard)
+        assert isinstance(sim._gpu, ParallelMultiGPU)
+        assert len(sim.devices) == 1

@@ -72,13 +72,25 @@ def test_available_tiers_always_lists_python():
     assert "python" in tiers
 
 
-def test_loop_opaque_program_raises_typed_error():
+def test_rank3_full_store_program_is_loop_lowerable():
     from repro.acoustics.lift_programs import fi_fused_3d
     nk = compile_numpy(fi_fused_3d("double").kernel, "fi_fused_3d",
                        steady=True)
-    assert nk.program.loop_opaque_reasons()
+    assert nk.program.loop_domain() == "grid3"
+    assert nk.program.loop_opaque_reasons() == []
+    lk = compile_loops(nk.program, tier="python", reference_fn=nk.fn)
+    assert lk.program is nk.program
+
+
+def test_loop_opaque_program_raises_typed_error():
+    from repro.lift.codegen.arena import ArenaProgram, RawOp
+    prog = ArenaProgram(name="opaque_demo", param_names=["x"],
+                        size_params=["N"])
+    prog.ops.append(RawOp("out = np.fft.fft(x).real"))
+    reasons = prog.loop_opaque_reasons()
+    assert reasons
     with pytest.raises(LoopsUnsupported):
-        compile_loops(nk.program, tier="python")
+        compile_loops(prog, tier="python")
 
 
 @pytest.mark.parametrize("scheme", ["fi", "fi_mm", "fd_mm"])

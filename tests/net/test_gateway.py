@@ -186,3 +186,74 @@ def test_index_route_lists_surface(client):
     assert "POST /v1/jobs" in payload["routes"]
     code, _ = client.request_json("PUT", "/v1/jobs/1")
     assert code == 405
+
+
+class TestSubscriberBackpressure:
+    """The bounded per-subscriber event buffer (no sockets needed —
+    pushes happen on the loop thread, the buffer itself is plain
+    Python)."""
+
+    def _sub(self, limit=4):
+        from repro.net.gateway import _Subscriber
+        return _Subscriber(limit)
+
+    def test_progress_events_coalesce_newest_wins(self):
+        sub = self._sub()
+        sub.push({"event": "state", "state": "RUNNING"})
+        for step in range(5):
+            sub.push({"event": "progress", "time_step": step})
+        assert len(sub.items) == 2
+        assert sub.items[-1] == {"event": "progress", "time_step": 4}
+        assert sub.coalesced == 4
+        assert sub.dropped == 0 and not sub.resync
+
+    def test_state_transitions_do_not_coalesce(self):
+        sub = self._sub(limit=8)
+        sub.push({"event": "state", "state": "QUEUED"})
+        sub.push({"event": "state", "state": "RUNNING"})
+        sub.push({"event": "progress", "time_step": 1})
+        sub.push({"event": "state", "state": "DONE", "final": True})
+        assert [p["event"] for p in sub.items] == ["state", "state",
+                                                   "progress", "state"]
+
+    def test_overflow_drops_backlog_and_flags_resync(self):
+        sub = self._sub(limit=3)
+        for i in range(3):
+            sub.push({"event": "state", "n": i})
+        sub.push({"event": "state", "n": 3})     # overflow
+        assert sub.resync is True
+        assert sub.dropped == 3
+        # only the newest payload survived the drop
+        assert [p["n"] for p in sub.items] == [3]
+
+    def test_get_reports_resync_exactly_once(self):
+        import asyncio
+        sub = self._sub(limit=2)
+        for i in range(4):
+            sub.push({"event": "state", "n": i})
+
+        async def drain():
+            first = await sub.get()
+            sub.push({"event": "state", "n": 99})
+            second = await sub.get()
+            return first, second
+
+        (owed1, p1), (owed2, p2) = asyncio.run(drain())
+        # pushes 0,1 filled the buffer; push 2 dropped them (resync
+        # owed); push 3 queued normally behind it
+        assert owed1 is True and p1["n"] == 2
+        assert owed2 is False and p2["n"] == 3
+
+    def test_broadcast_counts_drops_in_metrics(self, gateway):
+        sub = self._sub(limit=2)
+        job_id = 10 ** 9  # never a real job
+        gateway._subscribers[job_id] = {sub}
+        try:
+            for i in range(6):
+                gateway._broadcast_one(job_id, {"event": "state", "n": i})
+        finally:
+            del gateway._subscribers[job_id]
+        assert sub.dropped > 0
+        from repro.obs import prometheus_text
+        text = prometheus_text(gateway.svc.obs.metrics)
+        assert "repro_gateway_ws_dropped_total" in text
